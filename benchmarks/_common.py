@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every ``bench_<id>.py`` module provides
+
+* ``report() -> str`` — the experiment's paper-vs-measured table, and
+* one or more ``bench_*`` functions using pytest-benchmark.
+
+``python benchmarks/run_all.py`` regenerates every report into
+``benchmarks/results/`` (the source for EXPERIMENTS.md); ``pytest
+benchmarks/ --benchmark-only`` times the underlying operations and
+asserts each experiment's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table."""
+    materialised: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in materialised)
+    return "\n".join(out)
+
+
+def write_report(experiment_id: str, text: str) -> str:
+    """Persist a report under benchmarks/results/ and return the text."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    return text
+
+
+def banner(experiment_id: str, title: str, claim: str) -> str:
+    return (
+        f"experiment : {experiment_id}\n"
+        f"reproduces : {title}\n"
+        f"paper claim: {claim}\n"
+    )

@@ -1,0 +1,99 @@
+"""Experiment fine-adv — Section 2.2: active-schema vs global-schema
+advertisements.
+
+Quantifies "compared to global schema-based advertisements, we expect
+that the load of queries processed by each peer is smaller, since a
+peer receives only relevant to its base queries", and the bandwidth
+trade-off (finer advertisements cost more bytes once, save query
+traffic forever after).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import (
+    run_active_schema_advertisements,
+    run_global_advertisements,
+)
+from repro.rvl import ActiveSchema
+from repro.workloads.data_gen import Distribution, generate_bases
+from repro.workloads.query_gen import random_queries
+from repro.workloads.schema_gen import generate_schema
+from repro.rql.pattern import pattern_from_text
+
+from ._common import banner, format_table, write_report
+
+SYNTH = generate_schema(chain_length=5, refinement_fraction=0.4,
+                        noise_properties=3, seed=42)
+PEERS = [f"P{i:02d}" for i in range(30)]
+
+
+def _population(seed=0):
+    gen = generate_bases(
+        SYNTH, PEERS, Distribution.MIXED, statements_per_segment=10, seed=seed
+    )
+    return {
+        peer: ActiveSchema.from_base(graph, SYNTH.schema, peer)
+        for peer, graph in gen.bases.items()
+    }
+
+
+def _query_batch(count=50, seed=1):
+    return [
+        pattern_from_text(text, SYNTH.schema)
+        for text in random_queries(SYNTH, count, max_length=3, seed=seed)
+    ]
+
+
+def report() -> str:
+    ads = _population()
+    patterns = _query_batch()
+    global_outcome = run_global_advertisements(patterns, ads, SYNTH.schema)
+    active_outcome = run_active_schema_advertisements(patterns, ads, SYNTH.schema)
+    g_loads = sorted(global_outcome.per_peer_load.values(), reverse=True)
+    a_loads = sorted(active_outcome.per_peer_load.values(), reverse=True)
+    rows = [
+        ("queries forwarded", global_outcome.queries_forwarded,
+         active_outcome.queries_forwarded),
+        ("irrelevant queries processed", global_outcome.irrelevant_processed,
+         active_outcome.irrelevant_processed),
+        ("wasted processing fraction",
+         f"{global_outcome.wasted_fraction:.0%}",
+         f"{active_outcome.wasted_fraction:.0%}"),
+        ("peak per-peer load", g_loads[0] if g_loads else 0,
+         a_loads[0] if a_loads else 0),
+        ("mean per-peer load",
+         f"{sum(g_loads) / len(PEERS):.1f}",
+         f"{sum(a_loads) / len(PEERS):.1f}"),
+        ("advertisement bytes (one-off)", global_outcome.advertisement_bytes,
+         active_outcome.advertisement_bytes),
+    ]
+    text = banner(
+        "fine-adv",
+        "Section 2.2: per-peer query load under coarse vs fine advertisements",
+        "with active-schemas each peer receives only queries relevant to its "
+        "base, lowering per-peer load and network traffic",
+    ) + format_table(
+        ("metric", "global-schema ads", "active-schema ads (SQPeer)"), rows
+    )
+    return write_report("fine-adv", text)
+
+
+def bench_active_schema_routing_batch(benchmark):
+    ads = _population()
+    patterns = _query_batch()
+    outcome = benchmark(
+        run_active_schema_advertisements, patterns, ads, SYNTH.schema
+    )
+    assert outcome.irrelevant_processed == 0
+    report()
+
+
+def bench_global_routing_batch(benchmark):
+    ads = _population()
+    patterns = _query_batch()
+    outcome = benchmark(run_global_advertisements, patterns, ads, SYNTH.schema)
+    active = run_active_schema_advertisements(patterns, ads, SYNTH.schema)
+    assert outcome.queries_forwarded > active.queries_forwarded
+    assert outcome.wasted_fraction > 0

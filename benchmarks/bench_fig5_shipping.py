@@ -1,0 +1,100 @@
+"""Experiment fig5 — Figure 5: data vs query vs hybrid shipping.
+
+Reproduces the paper's three qualitative rules with a parameter sweep:
+
+* expensive coordinator links → query shipping wins;
+* heavy load at the remote peer → data shipping wins;
+* large remote intermediate results → query shipping wins;
+
+and benchmarks the site-assignment optimiser.
+"""
+
+from __future__ import annotations
+
+from repro.core import CostModel, Statistics, assign_sites
+from repro.core.algebra import Join, Scan
+from repro.core.shipping import ShippingPolicy, compare_policies
+from repro.workloads.paper import paper_query_pattern, paper_schema
+
+from ._common import banner, format_table, write_report
+
+Q1, Q2 = paper_query_pattern(paper_schema()).patterns
+#: The Figure 5 plan: P1 coordinates a join of results from P2 and P3.
+PLAN = Join([Scan((Q1,), "P2"), Scan((Q2,), "P3")])
+
+
+def _winner(stats: Statistics) -> ShippingPolicy:
+    out = compare_policies(PLAN, "P1", CostModel(stats))
+    return min(
+        (ShippingPolicy.DATA, ShippingPolicy.QUERY), key=lambda p: out[p].total
+    )
+
+
+def _stats(coordinator_link=1.0, remote_link=1.0, p2_load=0, cardinality=500):
+    stats = Statistics(default_cardinality=cardinality, join_selectivity=0.0001)
+    stats.set_link_cost("P1", "P2", coordinator_link)
+    stats.set_link_cost("P1", "P3", coordinator_link)
+    stats.set_link_cost("P2", "P3", remote_link)
+    if p2_load:
+        stats.set_load("P2", load=p2_load, slots=1)
+        stats.set_load("P3", load=p2_load, slots=1)
+    return stats
+
+
+def report() -> str:
+    sweep_rows = []
+    for coordinator_link in (0.01, 0.1, 1.0, 10.0, 100.0):
+        stats = _stats(coordinator_link=coordinator_link, remote_link=0.01)
+        out = compare_policies(PLAN, "P1", CostModel(stats))
+        sweep_rows.append((
+            coordinator_link,
+            f"{out[ShippingPolicy.DATA].total:.1f}",
+            f"{out[ShippingPolicy.QUERY].total:.1f}",
+            _winner(stats).value,
+        ))
+    scenario_rows = [
+        ("P1—P3 slower than P2—P3", "query shipping",
+         _winner(_stats(coordinator_link=50.0, remote_link=0.01)).value),
+        ("P2 heavily loaded", "data shipping",
+         _winner(_stats(p2_load=200, cardinality=10)).value),
+        ("large intermediate results at P2", "query shipping",
+         _winner(_stats(coordinator_link=5.0, remote_link=0.01,
+                        cardinality=5000)).value),
+    ]
+    text = (
+        banner(
+            "fig5",
+            "Figure 5: data and query shipping execution policies",
+            "link costs, peer load and result sizes decide between data, "
+            "query and hybrid shipping",
+        )
+        + format_table(
+            ("coordinator link cost", "data cost", "query cost", "winner"),
+            sweep_rows,
+        )
+        + "\n\n"
+        + format_table(("scenario", "paper predicts", "measured"), scenario_rows)
+    )
+    return write_report("fig5", text)
+
+
+def bench_site_assignment(benchmark):
+    stats = _stats(coordinator_link=50.0, remote_link=0.01)
+    assignment = benchmark(assign_sites, PLAN, "P1", CostModel(stats))
+    assert assignment.policy() is ShippingPolicy.QUERY
+    report()
+
+
+def bench_policy_comparison(benchmark):
+    stats = _stats()
+    out = benchmark(compare_policies, PLAN, "P1", CostModel(stats))
+    best_pure = min(out[ShippingPolicy.DATA].total, out[ShippingPolicy.QUERY].total)
+    assert out[ShippingPolicy.HYBRID].total <= best_pure + 1e-6
+
+
+def bench_assignment_deep_plan(benchmark):
+    plan = PLAN
+    for i in range(4):
+        plan = Join([plan, Scan((Q2,), f"X{i}")])
+    assignment = benchmark(assign_sites, plan, "P1", CostModel(_stats()))
+    assert assignment.sites

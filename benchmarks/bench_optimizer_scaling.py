@@ -1,0 +1,139 @@
+"""Experiment opt-scale — Section 2.5: optimisation benefit at scale.
+
+Sweeps the number of peers per path pattern and the overlap (peers
+answering *both* successive patterns, which TR1/TR2 exploit) and
+measures the two quantities Figure 4's rewrites target:
+
+* **max intermediate result** — after distribution no join consumes a
+  full union ("pushing joins below the unions produces smaller
+  intermediate results");
+* **per-peer shipped rows for overlap peers** — a merged ``(Q1∪Q2)@P``
+  subquery ships the local join's (small) output instead of two full
+  scan results.
+"""
+
+from __future__ import annotations
+
+from repro.core import CostModel, Statistics, build_plan, optimize, route_query
+from repro.core.algebra import Join, Scan, count_scans
+from repro.core.optimizer import distribute_joins_over_unions, merge_same_peer_scans
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+from ._common import banner, format_table, write_report
+
+SCHEMA = paper_schema()
+PATTERN = paper_query_pattern(SCHEMA)
+
+#: rows each peer returns per path pattern, and the join selectivity
+SCAN_ROWS = 100
+SELECTIVITY = 0.001
+
+
+def _advertisements(peers: int, overlap_fraction: float):
+    """``peers`` advertisements; a fraction covering both patterns."""
+    definition1 = SCHEMA.property_def(N1.prop1)
+    definition2 = SCHEMA.property_def(N1.prop2)
+    path1 = SchemaPath(definition1.domain, N1.prop1, definition1.range)
+    path2 = SchemaPath(definition2.domain, N1.prop2, definition2.range)
+    ads = []
+    overlap = max(1, int(peers * overlap_fraction))
+    for i in range(peers):
+        if i < overlap:
+            paths = [path1, path2]
+        elif i % 2 == 0:
+            paths = [path1]
+        else:
+            paths = [path2]
+        ads.append(ActiveSchema(SCHEMA.namespace.uri, paths, peer_id=f"O{i:02d}"))
+    return ads
+
+
+def _model() -> CostModel:
+    return CostModel(
+        Statistics(default_cardinality=SCAN_ROWS, join_selectivity=SELECTIVITY)
+    )
+
+
+def _plans(peers: int, overlap: float):
+    annotated = route_query(PATTERN, _advertisements(peers, overlap), SCHEMA)
+    plan1 = build_plan(annotated)
+    plan2 = distribute_joins_over_unions(plan1)
+    plan3 = merge_same_peer_scans(plan2)
+    return plan1, plan2, plan3
+
+
+def _merged_scan_rows(plan, model, peer_id="O00"):
+    """Rows the merged ``(Q1∪Q2)@peer`` subquery ships, vs the rows the
+    two separate scans it replaced would ship for that join term."""
+    merged = [
+        n
+        for n in plan.walk()
+        if isinstance(n, Scan) and n.peer_id == peer_id and len(n.patterns()) > 1
+    ]
+    if not merged:
+        return None
+    return model.scan_cardinality(merged[0])
+
+
+def report() -> str:
+    model = _model()
+    rows = []
+    for peers, overlap in ((4, 0.5), (8, 0.5), (8, 1.0), (16, 0.25), (32, 0.5)):
+        plan1, plan2, plan3 = _plans(peers, overlap)
+        merged_rows = _merged_scan_rows(plan3, model)
+        rows.append((
+            peers,
+            f"{overlap:.0%}",
+            f"{model.max_intermediate_rows(plan1):.0f}",
+            f"{model.max_intermediate_rows(plan3):.0f}",
+            f"{merged_rows:.0f} vs {2 * SCAN_ROWS}" if merged_rows else "-",
+            f"{count_scans(plan2)} -> {count_scans(plan3)}",
+        ))
+    text = banner(
+        "opt-scale",
+        "Section 2.5: compile-time optimisation benefit vs SON size/overlap",
+        "distribution keeps every join input small; TR1/TR2 turn an overlap "
+        "peer's two full scans into one small local-join result and cut the "
+        "subplans shipped",
+    ) + format_table(
+        ("peers", "overlap", "max interm. rows (Plan1)",
+         "max interm. rows (Plan3)", "merged subquery rows vs 2 scans",
+         "scans Plan2 -> Plan3"),
+        rows,
+    )
+    return write_report("opt-scale", text)
+
+
+def bench_optimize_16_peers(benchmark):
+    annotated = route_query(PATTERN, _advertisements(16, 0.5), SCHEMA)
+    plan1 = build_plan(annotated)
+    trace = benchmark(optimize, plan1)
+    assert trace.result != plan1
+    report()
+
+
+def bench_distribution_shrinks_intermediates(benchmark):
+    model = _model()
+
+    def run():
+        return _plans(8, 0.5)
+
+    plan1, plan2, plan3 = benchmark(run)
+    assert model.max_intermediate_rows(plan3) < model.max_intermediate_rows(plan1)
+    assert count_scans(plan3) < count_scans(plan2)
+
+
+def bench_merging_shrinks_overlap_peer_shipments(benchmark):
+    model = _model()
+
+    def run():
+        return _plans(8, 1.0)
+
+    plan1, _, plan3 = benchmark(run)
+    # the merged (Q1∪Q2)@O00 subquery ships the join's small output
+    # where the unmerged term shipped two full scan results
+    merged = _merged_scan_rows(plan3, model)
+    assert merged is not None
+    assert merged < 2 * SCAN_ROWS

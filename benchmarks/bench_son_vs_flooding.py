@@ -1,0 +1,119 @@
+"""Experiment son-vs-flood — Sections 1/3: SON routing vs flooding.
+
+Quantifies "the existence of SONs leads to minimizing the broadcasting
+(flooding) in the P2P system": for growing networks where a fixed
+fraction of peers is relevant, flooding contacts everyone while SON
+routing contacts only the annotated peers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import FloodingPeer, son_routing_contacts
+from repro.net import Network, random_neighbour_graph
+from repro.peers.base import PeerBase
+from repro.rdf import Graph, TYPE, Namespace
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+from ._common import banner, format_table, write_report
+
+SCHEMA = paper_schema()
+PATTERN = paper_query_pattern(SCHEMA)
+DATA = Namespace("http://flood/")
+
+#: Fraction of peers holding relevant (prop1/prop2) data.
+RELEVANT_FRACTION = 0.2
+
+
+def _build_population(size: int, seed: int = 0):
+    """``size`` peers, 20% with relevant chains, the rest with prop3."""
+    rng = random.Random(seed)
+    bases = {}
+    for i in range(size):
+        peer_id = f"N{i:03d}"
+        graph = Graph()
+        if rng.random() < RELEVANT_FRACTION:
+            x, y, z = DATA[f"x{i}"], DATA[f"y{i}"], DATA[f"z{i}"]
+            graph.add(x, TYPE, N1.C1)
+            graph.add(y, TYPE, N1.C2)
+            graph.add(x, N1.prop1, y)
+            graph.add(y, N1.prop2, z)
+            graph.add(z, TYPE, N1.C3)
+        else:
+            c, d = DATA[f"c{i}"], DATA[f"d{i}"]
+            graph.add(c, TYPE, N1.C3)
+            graph.add(d, TYPE, N1.C4)
+            graph.add(c, N1.prop3, d)
+        bases[peer_id] = graph
+    return bases
+
+
+def _flood_messages(bases, seed=0, ttl=10):
+    adjacency = random_neighbour_graph(sorted(bases), 4, random.Random(seed))
+    network = Network()
+    peers = {}
+    for peer_id, graph in bases.items():
+        peer = FloodingPeer(peer_id, PeerBase(graph, SCHEMA), adjacency[peer_id])
+        peer.join(network)
+        peers[peer_id] = peer
+    origin = peers[sorted(bases)[0]]
+    origin.flood("q", PATTERN, ttl=ttl)
+    network.run()
+    contacted = sum(1 for p, c in network.metrics.messages_received.items() if c)
+    return network.metrics.messages_total, contacted
+
+
+def _son_messages(bases):
+    ads = [ActiveSchema.from_base(g, SCHEMA, p) for p, g in bases.items()]
+    contacts = son_routing_contacts(PATTERN, ads, SCHEMA)
+    # one subplan out + one result back per relevant peer
+    return 2 * len(contacts), len(contacts)
+
+
+def report() -> str:
+    rows = []
+    for size in (10, 25, 50, 100, 200):
+        bases = _build_population(size, seed=size)
+        flood_msgs, flood_contacted = _flood_messages(bases, seed=size)
+        son_msgs, son_contacted = _son_messages(bases)
+        rows.append((
+            size,
+            flood_msgs,
+            flood_contacted,
+            son_msgs,
+            son_contacted,
+            f"{flood_msgs / max(1, son_msgs):.1f}x",
+        ))
+    text = banner(
+        "son-vs-flood",
+        "Sections 1/3: SON routing vs Gnutella-style flooding",
+        "a query is received and processed only by the relevant peers; "
+        "flooding grows with network size, SON routing with the relevant set",
+    ) + format_table(
+        ("peers", "flood msgs", "flood contacted", "SON msgs",
+         "SON contacted", "flood/SON"),
+        rows,
+    )
+    return write_report("son-vs-flood", text)
+
+
+def bench_flooding_100_peers(benchmark):
+    bases = _build_population(100, seed=1)
+
+    def run():
+        return _flood_messages(bases, seed=1)
+
+    messages, _ = benchmark(run)
+    son_msgs, _ = _son_messages(bases)
+    assert messages > 4 * son_msgs  # flooding broadcast dominates
+    report()
+
+
+def bench_son_routing_100_peers(benchmark):
+    bases = _build_population(100, seed=1)
+    ads = [ActiveSchema.from_base(g, SCHEMA, p) for p, g in bases.items()]
+    contacts = benchmark(son_routing_contacts, PATTERN, ads, SCHEMA)
+    # only the ~20% relevant peers are contacted
+    assert len(contacts) < 40

@@ -1,0 +1,88 @@
+"""Experiment topn — Section 5: completeness vs processing-load trade-off.
+
+The paper's future work: "study the trade-off between result
+completeness and processing load using the concepts of Top N queries"
+and "constraints regarding the number of peer nodes that each query is
+broadcasted".  Sweeping the per-pattern broadcast bound over a
+redundant SON measures exactly that curve: fewer contacted peers, fewer
+messages, fewer (but still sound) answers.
+"""
+
+from __future__ import annotations
+
+from repro.systems import HybridSystem
+from repro.workloads.data_gen import Distribution, generate_bases
+from repro.workloads.query_gen import chain_query
+from repro.workloads.schema_gen import generate_schema
+
+from ._common import banner, format_table, write_report
+
+SYNTH = generate_schema(chain_length=2, refinement_fraction=0.0, seed=21)
+PEERS = [f"P{i}" for i in range(10)]
+QUERY = chain_query(SYNTH, 0, 2)
+
+
+def _system() -> HybridSystem:
+    gen = generate_bases(
+        SYNTH, PEERS, Distribution.HORIZONTAL, statements_per_segment=6, seed=21
+    )
+    system = HybridSystem(SYNTH.schema)
+    system.add_super_peer("SP1")
+    for peer_id, graph in gen.bases.items():
+        system.add_peer(peer_id, graph, "SP1")
+    system.run()
+    return system
+
+
+def _run(max_peers):
+    system = _system()
+    table = system.query("P0", QUERY, max_peers=max_peers)
+    kinds = system.network.metrics.messages_by_kind
+    return len(table), kinds["SubPlanPacket"], system.network.metrics.bytes_total
+
+
+def report() -> str:
+    full_rows, _, _ = _run(None)
+    rows = []
+    for bound in (1, 2, 4, 8, None):
+        answered, subplans, bytes_total = _run(bound)
+        rows.append((
+            bound if bound is not None else "∞",
+            answered,
+            f"{answered / full_rows:.0%}",
+            subplans,
+            bytes_total,
+        ))
+    text = banner(
+        "topn",
+        "Section 5: Top-N / broadcast-constrained queries",
+        "bounding the number of peers each pattern is broadcast to trades "
+        "result completeness for per-query processing load and traffic",
+    ) + format_table(
+        ("max peers per pattern", "rows", "completeness",
+         "subplans shipped", "bytes"),
+        rows,
+    )
+    return write_report("topn", text)
+
+
+def bench_unconstrained(benchmark):
+    rows, _, _ = benchmark(_run, None)
+    assert rows > 0
+    report()
+
+
+def bench_bounded_to_two(benchmark):
+    rows, subplans, _ = benchmark(_run, 2)
+    full_rows, full_subplans, _ = _run(None)
+    assert rows <= full_rows
+    assert subplans < full_subplans
+
+
+def bench_limit_truncates(benchmark):
+    def run():
+        system = _system()
+        return system.query("P0", QUERY, limit=3)
+
+    table = benchmark(run)
+    assert len(table) == 3

@@ -1,0 +1,175 @@
+"""Assemble EXPERIMENTS.md from the generated experiment reports.
+
+Usage::
+
+    python -m benchmarks.run_all          # refresh benchmarks/results/
+    python -m benchmarks.make_experiments_md
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ._common import RESULTS_DIR
+
+HEADER = """\
+# EXPERIMENTS — paper vs measured
+
+The paper (a workshop middleware design paper) contains **no measurement
+tables**; its evaluation is Figures 1–7 plus comparative performance
+claims in prose.  Every experiment below regenerates one figure's
+scenario or quantifies one claim; absolute numbers come from this
+repository's deterministic network simulator, so only the *shape*
+(who wins, by what order of magnitude, where behaviour flips) is
+comparable with the paper.
+
+Regenerate everything with::
+
+    python -m benchmarks.run_all                 # tables below
+    pytest benchmarks/ --benchmark-only          # timings + shape assertions
+
+"""
+
+#: experiment id -> (title, verdict commentary)
+COMMENTARY = {
+    "fig1": (
+        "Figure 1 — schema / query pattern / advertisement formalism",
+        "Reproduced exactly: the extracted query pattern carries the "
+        "end-point classes from the schema and the RVL view's footprint "
+        "is the advertised fragment.",
+    ),
+    "fig2": (
+        "Figure 2 — routing annotation",
+        "Reproduced exactly, including P4's annotation through "
+        "prop4 ⊑ prop1 subsumption and the class-narrowing rewrite.",
+    ),
+    "fig3": (
+        "Figure 3 — plan generation and channel deployment",
+        "Reproduced exactly: the generated plan string equals the "
+        "paper's, and one channel per contacted peer is deployed.",
+    ),
+    "fig4": (
+        "Figure 4 — optimisation (distribution + TR1/TR2)",
+        "Reproduced exactly: Plan 2 is the 9-way union of pairwise "
+        "joins, Plan 3 merges the P1 and P4 subplans; subplans shipped "
+        "drop 18 -> 16 as in the paper's narrative.",
+    ),
+    "fig5": (
+        "Figure 5 — data vs query shipping",
+        "All three qualitative rules hold: slow coordinator links and "
+        "big intermediate results favour query shipping, loaded remote "
+        "peers favour data shipping; the crossover appears in the sweep.",
+    ),
+    "fig6": (
+        "Figure 6 — hybrid architecture flow",
+        "Reproduced: one routing round-trip at the super-peer, channels "
+        "only to the three relevant peers, a complete (hole-free) plan, "
+        "and the six expected answer rows.",
+    ),
+    "fig7": (
+        "Figure 7 — ad-hoc architecture flow",
+        "Reproduced: P1's Plan 1 and P2's Plan 2 match the paper "
+        "verbatim; P3's branch fails exactly as in the figure; results "
+        "flow back through P2.",
+    ),
+    "son-vs-flood": (
+        "Sections 1/3 — SON routing vs flooding",
+        "Shape holds: flooding contacts every peer and its message count "
+        "grows with network size (6–16x the SON cost here); SON routing "
+        "contacts only the relevant ~20%.",
+    ),
+    "fine-adv": (
+        "Section 2.2 — fine vs coarse advertisements",
+        "Shape holds: active-schemas eliminate irrelevant query "
+        "processing (0% wasted vs ~21%) and lower mean per-peer load, at "
+        "a one-off advertisement-size cost — the trade-off the paper "
+        "acknowledges.",
+    ),
+    "index-maint": (
+        "Section 4 — index vs active-schema maintenance",
+        "Shape holds and widens with churn: the full data index pays one "
+        "message per update while advertisements refresh only on "
+        "intensional changes (12x at 100 updates, >700x at 10k).",
+    ),
+    "adapt": (
+        "Section 2.5 — run-time adaptability",
+        "Shape holds: with replanning the query survives 1–3 peer "
+        "failures (losing only the dead peers' rows, spending extra "
+        "messages); without it any failure kills the query.",
+    ),
+    "depth": (
+        "Section 3.2 — k-depth neighbourhood discovery",
+        "Shape holds as a staircase: a provider k hops behind empty "
+        "peers is reachable exactly when the discovery depth reaches k, "
+        "with message cost growing in the depth.",
+    ),
+    "opt-scale": (
+        "Section 2.5 — optimisation benefit at scale",
+        "Shape holds: distribution caps every join input at one peer's "
+        "result size regardless of SON width, and TR1/TR2 replace an "
+        "overlap peer's two full scans with one small local-join result.",
+    ),
+    "phased": (
+        "Section 2.5 (extension) — ubQL discard vs phased execution",
+        "Both policies return identical answers; the phased alternative "
+        "salvages the failed phase's completed scans, re-shipping roughly "
+        "half the subplans the discard policy does under failure.",
+    ),
+    "topn": (
+        "Section 5 (extension) — Top-N / broadcast-constrained queries",
+        "The predicted trade-off curve appears: tightening the per-pattern "
+        "peer bound monotonically lowers subplans, bytes and completeness, "
+        "and every bounded answer stays sound.",
+    ),
+    "dht": (
+        "Section 5 / footnote 2 (extension) — schema DHT with subsumption",
+        "Lookups resolve all relevant peers — including subsumption-only "
+        "advertisers (prop4 for a prop1 query) — in O(log N) overlay hops "
+        "regardless of network distance.",
+    ),
+    "pipeline": (
+        "Section 2.5 (extension) — pipelined plan evaluation",
+        "Incremental joins over streamed chunks materialise first rows at "
+        "a constant early point while blocking completion scales with the "
+        "stream duration — a head start growing to ~98%; answers identical.",
+    ),
+    "churn": (
+        "Sections 1/2.2/2.5 (extension) — query stream under churn",
+        "Redundancy plus replanning sustain the stream: graceful leaves "
+        "(Goodbye withdrawal) actually reduce traffic, while crashes more "
+        "than double it through failed channels and replans.",
+    ),
+    "local-eval": (
+        "Substrate microbenchmark — entailed local evaluation",
+        "Not a paper figure: baseline throughput of the layers the "
+        "distributed machinery stands on, recorded so substrate "
+        "regressions are visible in isolation.",
+    ),
+}
+
+ORDER = list(COMMENTARY)
+
+
+def main() -> int:
+    parts = [HEADER]
+    for experiment_id in ORDER:
+        title, verdict = COMMENTARY[experiment_id]
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        if not os.path.exists(path):
+            print(f"missing report {path}; run `python -m benchmarks.run_all`",
+                  file=sys.stderr)
+            return 1
+        with open(path) as handle:
+            body = handle.read().rstrip()
+        parts.append(f"## {title}\n\n**Verdict.** {verdict}\n\n```\n{body}\n```\n")
+    out_path = os.path.join(os.path.dirname(RESULTS_DIR), "..", "EXPERIMENTS.md")
+    out_path = os.path.normpath(out_path)
+    with open(out_path, "w") as handle:
+        handle.write("\n".join(parts))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Regenerate every experiment report into benchmarks/results/.
+
+Usage::
+
+    python benchmarks/run_all.py
+
+Each ``bench_<id>.py`` module's ``report()`` prints the paper-vs-
+measured table for its experiment; EXPERIMENTS.md embeds these outputs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import sys
+
+
+MODULES = [
+    "bench_fig1_patterns",
+    "bench_fig2_routing",
+    "bench_fig3_planning",
+    "bench_fig4_optimization",
+    "bench_fig5_shipping",
+    "bench_fig6_hybrid",
+    "bench_fig7_adhoc",
+    "bench_son_vs_flooding",
+    "bench_advertisement",
+    "bench_index_maintenance",
+    "bench_adaptivity",
+    "bench_adhoc_depth",
+    "bench_optimizer_scaling",
+    "bench_phased_vs_discard",
+    "bench_topn",
+    "bench_dht_routing",
+    "bench_churn_system",
+    "bench_pipelining",
+    "bench_local_evaluation",
+]
+
+
+def main() -> int:
+    package = __package__ or "benchmarks"
+    for name in MODULES:
+        module = importlib.import_module(f"{package}.{name}")
+        text = module.report()
+        print(text)
+        print("=" * 78)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

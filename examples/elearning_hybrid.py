@@ -1,0 +1,155 @@
+"""An e-learning SON over a super-peer backbone.
+
+The paper motivates SQPeer with "highly dynamic, ever-changing,
+autonomous social organizations (e.g., scientific or educational
+communities)" and uses an e-learning community schema as its running
+setting.  This example builds such a community:
+
+* a richer RDF/S schema — courses, lecturers, materials, topics — with
+  a ``Seminar ⊑ Course`` / ``presents ⊑ teaches`` refinement;
+* six institution peers with different populated fragments (one only
+  publishes seminars through the refined subproperty);
+* a two-super-peer backbone;
+* three queries, including one answered purely through subsumption.
+
+Run with::
+
+    python examples/elearning_hybrid.py
+"""
+
+from repro.rdf import Graph, LITERAL_CLASS, Literal, Namespace, Schema, TYPE
+from repro.systems import HybridSystem
+
+EDU = Namespace("http://elearning.example.org/schema#")
+INST = Namespace("http://elearning.example.org/data#")
+
+
+def build_schema() -> Schema:
+    schema = Schema(EDU, "e-learning")
+    for name in ("Course", "Seminar", "Lecturer", "Material", "Topic"):
+        schema.add_class(EDU[name])
+    schema.add_subclass(EDU.Seminar, EDU.Course)
+    schema.add_property(EDU.teaches, EDU.Lecturer, EDU.Course)
+    schema.add_property(
+        EDU.presents, EDU.Lecturer, EDU.Seminar, subproperty_of=EDU.teaches
+    )
+    schema.add_property(EDU.hasMaterial, EDU.Course, EDU.Material)
+    schema.add_property(EDU.covers, EDU.Course, EDU.Topic)
+    schema.add_property(EDU.title, EDU.Course, LITERAL_CLASS)
+    return schema
+
+
+def build_peers() -> dict:
+    """Six institutions with heterogeneous coverage."""
+    bases = {}
+
+    # uni-a: full catalogue — lecturers, courses, materials
+    uni_a = Graph()
+    for i in range(3):
+        lecturer, course = INST[f"a_lect{i}"], INST[f"a_course{i}"]
+        material = INST[f"a_mat{i}"]
+        uni_a.add(lecturer, TYPE, EDU.Lecturer)
+        uni_a.add(course, TYPE, EDU.Course)
+        uni_a.add(material, TYPE, EDU.Material)
+        uni_a.add(lecturer, EDU.teaches, course)
+        uni_a.add(course, EDU.hasMaterial, material)
+        uni_a.add(course, EDU.title, Literal(f"Databases {i}"))
+    bases["uni-a"] = uni_a
+
+    # uni-b: teaches courses shared with uni-c's materials
+    uni_b = Graph()
+    for i in range(4):
+        lecturer, course = INST[f"b_lect{i}"], INST[f"shared_course{i}"]
+        uni_b.add(lecturer, TYPE, EDU.Lecturer)
+        uni_b.add(course, TYPE, EDU.Course)
+        uni_b.add(lecturer, EDU.teaches, course)
+    bases["uni-b"] = uni_b
+
+    # uni-c: provides materials for the shared courses
+    uni_c = Graph()
+    for i in range(4):
+        course, material = INST[f"shared_course{i}"], INST[f"c_mat{i}"]
+        uni_c.add(course, TYPE, EDU.Course)
+        uni_c.add(material, TYPE, EDU.Material)
+        uni_c.add(course, EDU.hasMaterial, material)
+    bases["uni-c"] = uni_c
+
+    # seminar-host: only publishes seminars via the refined subproperty
+    host = Graph()
+    for i in range(2):
+        lecturer, seminar = INST[f"h_lect{i}"], INST[f"h_sem{i}"]
+        material = INST[f"h_mat{i}"]
+        host.add(lecturer, TYPE, EDU.Lecturer)
+        host.add(seminar, TYPE, EDU.Seminar)
+        host.add(material, TYPE, EDU.Material)
+        host.add(lecturer, EDU.presents, seminar)
+        host.add(seminar, EDU.hasMaterial, material)
+    bases["seminar-host"] = host
+
+    # topic-index: only covers() statements
+    topics = Graph()
+    for i in range(4):
+        course, topic = INST[f"shared_course{i}"], INST[f"topic{i % 2}"]
+        topics.add(course, TYPE, EDU.Course)
+        topics.add(topic, TYPE, EDU.Topic)
+        topics.add(course, EDU.covers, topic)
+    bases["topic-index"] = topics
+
+    # portal: no data of its own — a pure query entry point
+    bases["portal"] = Graph()
+    return bases
+
+
+def main() -> None:
+    schema = build_schema()
+    system = HybridSystem(schema)
+    # SP-europe is responsible for the e-learning SON; SP-america owns
+    # other schemas and only forwards over the super-peer backbone
+    system.add_super_peer("SP-europe")
+    system.add_super_peer("SP-america", schemas=[])
+    homes = {
+        "uni-a": "SP-europe",
+        "uni-b": "SP-europe",
+        "uni-c": "SP-europe",
+        "seminar-host": "SP-europe",
+        "topic-index": "SP-europe",
+        # the portal is clustered under SP-america: its route requests
+        # are forwarded across the backbone to the responsible SP
+        "portal": "SP-america",
+    }
+    for peer_id, graph in build_peers().items():
+        system.add_peer(peer_id, graph, homes[peer_id])
+    system.run()
+
+    ns = f"USING NAMESPACE edu = &{EDU.uri}&"
+
+    print("=== who teaches what, with materials (cross-institution join) ===")
+    query = (
+        "SELECT L, C FROM {L} edu:teaches {C}, {C} edu:hasMaterial {M} " + ns
+    )
+    table = system.query("portal", query)
+    for binding in table.bindings():
+        print(f"  {binding['L'].local_name:10s} teaches {binding['C'].local_name}")
+    print(f"  ({len(table)} rows; uni-b x uni-c join + local chains)")
+
+    print("\n=== seminars found through presents ⊑ teaches subsumption ===")
+    query = (
+        "SELECT L, S FROM {L} edu:teaches {S;edu:Seminar} " + ns
+    )
+    table = system.query("portal", query)
+    for binding in table.bindings():
+        print(f"  {binding['L'].local_name:10s} presents {binding['S'].local_name}")
+
+    print("\n=== courses by topic (three-way distribution) ===")
+    query = (
+        "SELECT C, T FROM {L} edu:teaches {C}, {C} edu:covers {T} " + ns
+    )
+    table = system.query("portal", query)
+    for binding in table.bindings():
+        print(f"  {binding['C'].local_name:16s} covers {binding['T'].local_name}")
+
+    print("\nnetwork:", system.network.metrics.summary())
+
+
+if __name__ == "__main__":
+    main()

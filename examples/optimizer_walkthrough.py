@@ -1,0 +1,106 @@
+"""Compile-time optimisation and shipping policies, step by step.
+
+Reproduces the paper's Section 2.5 narrative on the running example:
+
+* Figure 4 — Plan 1 → Plan 2 (distribution of joins and unions) →
+  Plan 3 (Transformation Rules 1 and 2), with cost-model numbers for
+  each stage;
+* Figure 5 — how link costs, peer load and result sizes flip the
+  decision between data, query and hybrid shipping.
+
+Run with::
+
+    python examples/optimizer_walkthrough.py
+"""
+
+from repro.core import (
+    CostModel,
+    Statistics,
+    assign_sites,
+    build_plan,
+    compare_policies,
+    optimize,
+    route_query,
+)
+from repro.core.algebra import Join, Scan, count_scans
+from repro.core.shipping import ShippingPolicy
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+def figure4_walkthrough() -> None:
+    print("=== Figure 4: algebraic optimisation ===")
+    schema = paper_schema()
+    pattern = paper_query_pattern(schema)
+    annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+    plan1 = build_plan(annotated)
+
+    stats = Statistics(default_cardinality=100, join_selectivity=0.001)
+    for peer in ("P1", "P2", "P3", "P4"):
+        stats.set_cardinality(peer, N1.prop1, 80)
+        stats.set_cardinality(peer, N1.prop2, 80)
+        stats.set_cardinality(peer, N1.prop4, 30)
+    model = CostModel(stats)
+
+    trace = optimize(plan1, model)
+    names = {"input": "Plan 1", "distribute joins/unions": "Plan 2",
+             "merge same-peer (TR1/TR2)": "Plan 3"}
+    for rule, plan in trace:
+        print(f"\n{names.get(rule, rule)}  ({rule})")
+        print("  ", plan.render())
+        print(f"   subplans: {count_scans(plan)}   "
+              f"max intermediate rows: {model.max_intermediate_rows(plan):.0f}")
+
+
+def figure5_walkthrough() -> None:
+    print("\n=== Figure 5: data vs query shipping ===")
+    schema = paper_schema()
+    q1, q2 = paper_query_pattern(schema).patterns
+    plan = Join([Scan((q1,), "P2"), Scan((q2,), "P3")])
+    print("plan:", plan.render(), " coordinator: P1")
+
+    scenarios = {
+        "balanced network": Statistics(default_cardinality=200),
+        "P1 links slow, P2-P3 fast": None,
+        "P2/P3 heavily loaded": None,
+        "huge intermediate results": None,
+    }
+    slow = Statistics(default_cardinality=200, join_selectivity=0.0001)
+    slow.set_link_cost("P1", "P2", 20.0)
+    slow.set_link_cost("P1", "P3", 20.0)
+    slow.set_link_cost("P2", "P3", 0.01)
+    scenarios["P1 links slow, P2-P3 fast"] = slow
+
+    loaded = Statistics(default_cardinality=20)
+    loaded.set_load("P2", load=100, slots=1)
+    loaded.set_load("P3", load=100, slots=1)
+    scenarios["P2/P3 heavily loaded"] = loaded
+
+    huge = Statistics(default_cardinality=10000, join_selectivity=0.00001)
+    huge.set_link_cost("P1", "P2", 5.0)
+    huge.set_link_cost("P1", "P3", 5.0)
+    huge.set_link_cost("P2", "P3", 0.01)
+    scenarios["huge intermediate results"] = huge
+
+    for name, stats in scenarios.items():
+        model = CostModel(stats)
+        costs = compare_policies(plan, "P1", model)
+        assignment = assign_sites(plan, "P1", model)
+        print(f"\n  {name}:")
+        for policy in (ShippingPolicy.DATA, ShippingPolicy.QUERY):
+            print(f"    {policy.value:6s} shipping cost: {costs[policy].total:12.1f}")
+        print(f"    chosen: {assignment.policy().value} "
+              f"(join executes at {assignment.site_of(())})")
+
+
+def main() -> None:
+    figure4_walkthrough()
+    figure5_walkthrough()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Baseline comparators for the paper's comparative claims."""
+
+from .advertisement import (
+    AdvertisementComparison,
+    GLOBAL_ADVERTISEMENT_BYTES,
+    run_active_schema_advertisements,
+    run_global_advertisements,
+)
+from .flooding import FloodHit, FloodingPeer, QueryFlood, son_routing_contacts
+from .indexing import (
+    ActiveSchemaMaintainer,
+    ChurnResult,
+    FullDataIndexMaintainer,
+    MaintenanceCost,
+    run_churn,
+)
+
+__all__ = [
+    "ActiveSchemaMaintainer",
+    "AdvertisementComparison",
+    "ChurnResult",
+    "FloodHit",
+    "FloodingPeer",
+    "FullDataIndexMaintainer",
+    "GLOBAL_ADVERTISEMENT_BYTES",
+    "MaintenanceCost",
+    "QueryFlood",
+    "run_active_schema_advertisements",
+    "run_churn",
+    "run_global_advertisements",
+    "son_routing_contacts",
+]

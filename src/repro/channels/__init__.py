@@ -1,0 +1,16 @@
+"""ubQL-style communication channels (paper Section 2.4)."""
+
+from .channel import Channel, ChannelState
+from .manager import ChannelCallback, ChannelManager
+from .packets import ChangePlanPacket, DataPacket, StatsPacket, SubPlanPacket
+
+__all__ = [
+    "ChangePlanPacket",
+    "Channel",
+    "ChannelCallback",
+    "ChannelManager",
+    "ChannelState",
+    "DataPacket",
+    "StatsPacket",
+    "SubPlanPacket",
+]

@@ -1,0 +1,80 @@
+"""The channel construct (paper Section 2.4, after ubQL).
+
+Each channel has a **root** and a **destination** node.  The root
+manages the channel under a locally unique id; data packets flow from
+the destination to the root; the root reacts to failures and plan
+changes.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..core.algebra import PlanNode
+
+
+class ChannelState(enum.Enum):
+    OPEN = "open"
+    CLOSED = "closed"
+    FAILED = "failed"
+
+
+class Channel:
+    """Root-side bookkeeping for one channel.
+
+    Attributes:
+        channel_id: Root-local unique id (``"P1#3"``).
+        root: The managing peer (launched the subplan).
+        destination: The peer executing the subplan.
+        plan: The subplan shipped over the channel.
+        state: Lifecycle state.
+        tuples_received: Result tuples seen so far (the throughput
+            signal run-time adaptation watches).
+    """
+
+    __slots__ = (
+        "channel_id",
+        "root",
+        "destination",
+        "plan",
+        "state",
+        "tuples_received",
+        "query_id",
+    )
+
+    def __init__(
+        self,
+        channel_id: str,
+        root: str,
+        destination: str,
+        plan: Optional[PlanNode],
+        query_id: str = "",
+    ):
+        self.channel_id = channel_id
+        self.root = root
+        self.destination = destination
+        self.plan = plan
+        self.state = ChannelState.OPEN
+        self.tuples_received = 0
+        self.query_id = query_id
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is ChannelState.OPEN
+
+    def record_tuples(self, count: int) -> None:
+        self.tuples_received += count
+
+    def close(self) -> None:
+        if self.state is ChannelState.OPEN:
+            self.state = ChannelState.CLOSED
+
+    def fail(self) -> None:
+        self.state = ChannelState.FAILED
+
+    def __repr__(self) -> str:
+        return (
+            f"Channel({self.channel_id}: {self.root} -> {self.destination}, "
+            f"{self.state.value}, tuples={self.tuples_received})"
+        )

@@ -1,0 +1,165 @@
+"""Per-peer channel management.
+
+A :class:`ChannelManager` mints root-local channel ids, sends subplan
+packets over the network, and dispatches incoming data packets and
+failures to the continuation registered when the channel was opened.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional
+
+from ..core.algebra import PlanNode
+from ..errors import ChannelError
+from ..net.message import Message
+from ..net.simulator import Network
+from ..rql.bindings import BindingTable
+from .channel import Channel
+from .packets import DataPacket, SubPlanPacket, TreePath
+
+#: Continuation invoked with (table, failed_peer) when a channel completes.
+ChannelCallback = Callable[[Optional[BindingTable], Optional[str]], None]
+#: Per-chunk consumer for pipelined channels.
+ProgressCallback = Callable[[BindingTable], None]
+
+
+class ChannelManager:
+    """Channels rooted at one peer.
+
+    Args:
+        owner: The peer id owning (rooting) these channels.
+    """
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._channels: Dict[str, Channel] = {}
+        self._callbacks: Dict[str, ChannelCallback] = {}
+        self._buffers: Dict[str, BindingTable] = {}  # streamed chunks
+        self._progress: Dict[str, ProgressCallback] = {}  # pipelined channels
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # root side
+    # ------------------------------------------------------------------
+    def open(
+        self,
+        network: Network,
+        destination: str,
+        plan: PlanNode,
+        callback: ChannelCallback,
+        sites: Optional[Dict[TreePath, str]] = None,
+        query_id: str = "",
+        progress: Optional[ProgressCallback] = None,
+    ) -> Channel:
+        """Open a channel: ship ``plan`` to ``destination`` and register
+        the continuation for its results.
+
+        With ``progress`` set, the channel runs in *pipelined* mode:
+        every arriving chunk (including the final one) is handed to
+        ``progress`` immediately, no buffering happens, and the
+        completion ``callback`` fires with an empty table — a pure
+        done-signal.
+        """
+        channel_id = f"{self.owner}#{next(self._counter)}"
+        channel = Channel(channel_id, self.owner, destination, plan, query_id)
+        self._channels[channel_id] = channel
+        self._callbacks[channel_id] = callback
+        if progress is not None:
+            self._progress[channel_id] = progress
+        packet = SubPlanPacket(
+            channel_id=channel_id,
+            plan=plan,
+            sites=dict(sites or {}),
+            root_peer=self.owner,
+            query_id=query_id,
+        )
+        network.send(Message(self.owner, destination, packet))
+        return channel
+
+    def on_data(self, packet: DataPacket) -> None:
+        """Dispatch a data packet to the channel's continuation."""
+        channel = self._channels.get(packet.channel_id)
+        if channel is None:
+            # late packet for a channel discarded by a replan: drop it
+            return
+        if not channel.is_open:
+            return
+        channel.record_tuples(len(packet.table))
+        if packet.failed_peer is not None:
+            channel.fail()
+            self._buffers.pop(packet.channel_id, None)
+            self._progress.pop(packet.channel_id, None)
+            self._finish(packet.channel_id, None, packet.failed_peer)
+            return
+        progress = self._progress.get(packet.channel_id)
+        if progress is not None:
+            progress(packet.table)
+            if packet.final:
+                channel.close()
+                self._progress.pop(packet.channel_id, None)
+                self._finish(packet.channel_id, BindingTable(packet.table.columns), None)
+            return
+        buffered = self._buffers.get(packet.channel_id)
+        table = packet.table if buffered is None else buffered.union(packet.table)
+        if packet.final:
+            channel.close()
+            self._buffers.pop(packet.channel_id, None)
+            self._finish(packet.channel_id, table, None)
+        else:
+            self._buffers[packet.channel_id] = table
+
+    def on_failure(self, channel_id: str) -> None:
+        """Transport-level failure of the channel's destination."""
+        channel = self._channels.get(channel_id)
+        if channel is None or not channel.is_open:
+            return
+        channel.fail()
+        self._finish(channel_id, None, channel.destination)
+
+    def _finish(self, channel_id: str, table, failed_peer) -> None:
+        callback = self._callbacks.pop(channel_id, None)
+        if callback is not None:
+            callback(table, failed_peer)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def redirect(self, channel_id: str, callback: ChannelCallback) -> None:
+        """Replace an open channel's continuation.
+
+        Used by the phased execution policy: when a plan changes, the
+        still-open channels of the old phase keep collecting into the
+        scan cache instead of being discarded."""
+        channel = self._channels.get(channel_id)
+        if channel is not None and channel.is_open:
+            self._callbacks[channel_id] = callback
+
+    def discard(self, channel_id: str) -> None:
+        """Close a channel without invoking its continuation (the ubQL
+        discard used when a replan abandons on-going computation)."""
+        channel = self._channels.get(channel_id)
+        if channel is not None:
+            channel.close()
+        self._callbacks.pop(channel_id, None)
+        self._buffers.pop(channel_id, None)
+        self._progress.pop(channel_id, None)
+
+    def discard_all(self) -> int:
+        """Discard every open channel; returns how many were open."""
+        open_ids = [cid for cid, ch in self._channels.items() if ch.is_open]
+        for channel_id in open_ids:
+            self.discard(channel_id)
+        return len(open_ids)
+
+    def channel(self, channel_id: str) -> Channel:
+        try:
+            return self._channels[channel_id]
+        except KeyError:
+            raise ChannelError(f"unknown channel {channel_id}") from None
+
+    def open_channels(self) -> Dict[str, Channel]:
+        return {cid: ch for cid, ch in self._channels.items() if ch.is_open}
+
+    def __len__(self) -> int:
+        return len(self._channels)

@@ -1,0 +1,93 @@
+"""Channel packet payloads (paper Section 2.4).
+
+Channels carry subplans from root to destination and, in the reverse
+direction, data packets with query results — plus failure
+notifications, "changing plan" packets and statistics, as ubQL
+prescribes.  Every payload provides ``size_bytes()`` so the simulator
+can charge bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.algebra import PlanNode, count_scans
+from ..rql.bindings import BindingTable
+
+#: Relative tree path inside a shipped subplan.
+TreePath = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SubPlanPacket:
+    """Root → destination: execute this (sub)plan and stream results back.
+
+    Attributes:
+        channel_id: The root-local channel identifier.
+        plan: The plan subtree the destination must execute.
+        sites: Execution sites for the subtree's inner nodes, keyed by
+            tree path relative to ``plan`` (shipped along so the
+            destination honours the coordinator's shipping decisions).
+        root_peer: The peer coordinating the whole query (for tracing).
+        query_id: The query this subplan belongs to.
+    """
+
+    channel_id: str
+    plan: PlanNode
+    sites: Dict[TreePath, str] = field(default_factory=dict)
+    root_peer: str = ""
+    query_id: str = ""
+
+    def size_bytes(self) -> int:
+        return 128 + 96 * count_scans(self.plan) + 16 * len(self.sites)
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """Destination → root: a batch of result bindings.
+
+    Attributes:
+        channel_id: The channel the data flows over.
+        table: The bindings.
+        final: True when no more packets will follow on this channel.
+        failed_peer: When execution below the destination failed, the
+            peer that caused it (the root replans; ubQL failure info).
+    """
+
+    channel_id: str
+    table: BindingTable
+    final: bool = True
+    failed_peer: Optional[str] = None
+
+    def size_bytes(self) -> int:
+        return 64 + self.table.size_bytes()
+
+
+@dataclass(frozen=True)
+class ChangePlanPacket:
+    """Root → destination: the plan for this channel changed.
+
+    Under the ubQL policy SQPeer adopts, the destination discards
+    intermediate results and terminates on-going computation for the
+    channel.
+    """
+
+    channel_id: str
+    reason: str = ""
+
+    def size_bytes(self) -> int:
+        return 96 + len(self.reason)
+
+
+@dataclass(frozen=True)
+class StatsPacket:
+    """Destination → root: execution statistics for the optimiser
+    (tuple counts measured on the channel, Section 2.5)."""
+
+    channel_id: str
+    tuples_produced: int
+    cardinalities: Dict[str, int] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return 64 + 16 * len(self.cardinalities)

@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro demo
+        Run the paper's running example end to end and print each
+        middleware stage (pattern, annotation, plans, answer).
+
+    python -m repro figures
+        Print the exact artefacts of Figures 2, 3, 4 and 7 (annotation
+        table and plan strings) for eyeball comparison with the paper.
+
+    python -m repro query --schema schema.nt --namespace URI \\
+        --peer NAME=base.nt [--peer ...] --via NAME "SELECT ..."
+        Load a community schema and peer bases from N-Triples files,
+        deploy them as a hybrid SON and evaluate the query.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import build_plan, optimize, route_query
+from .rdf import load_graph, load_schema
+from .systems import HybridSystem
+from .workloads.paper import (
+    PAPER_QUERY,
+    adhoc_scenario,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SQPeer: semantic query routing and processing for P2P RDF/S bases",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("demo", help="run the paper's running example")
+    commands.add_parser("figures", help="print the Figure 2/3/4/7 artefacts")
+
+    query = commands.add_parser("query", help="query N-Triples peer bases")
+    query.add_argument("--schema", required=True, help="schema N-Triples file")
+    query.add_argument("--namespace", required=True, help="schema namespace URI")
+    query.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="NAME=FILE",
+        help="peer base as NAME=path.nt (repeatable)",
+    )
+    query.add_argument("--via", required=True, help="coordinating peer name")
+    query.add_argument("--limit", type=int, default=None, help="Top-N bound")
+    query.add_argument("--max-peers", type=int, default=None,
+                       help="broadcast bound per path pattern")
+    query.add_argument("text", help="RQL query text")
+    return parser
+
+
+def _cmd_demo() -> int:
+    schema = paper_schema()
+    print("query:", PAPER_QUERY)
+    pattern = paper_query_pattern(schema)
+    print("pattern:", pattern)
+    annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+    print("annotated:", annotated)
+    plan = build_plan(annotated)
+    print("plan:", plan.render())
+    print("optimized:", optimize(plan).result.render())
+    system = HybridSystem(schema)
+    system.add_super_peer("SP1")
+    for peer_id, graph in paper_peer_bases().items():
+        system.add_peer(peer_id, graph, "SP1")
+    table = system.query("P1", PAPER_QUERY)
+    print(f"answer ({len(table)} rows):")
+    for binding in table.bindings():
+        print("  ", binding["X"].local_name, "->", binding["Y"].local_name)
+    return 0
+
+
+def _cmd_figures() -> int:
+    schema = paper_schema()
+    pattern = paper_query_pattern(schema)
+    annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+    print("Figure 2 (annotated query pattern):")
+    print("  ", annotated)
+    plan = build_plan(annotated)
+    print("Figure 3 (query plan):")
+    print("  ", plan.render())
+    trace = optimize(plan)
+    print("Figure 4 (optimisation):")
+    for rule, step in trace:
+        print(f"   {rule}: {step.render()}")
+    scenario = adhoc_scenario()
+    from .rvl import ActiveSchema
+
+    neighbour_ads = [
+        ActiveSchema.from_base(scenario.bases[p], schema, p)
+        for p in scenario.neighbours["P1"]
+    ]
+    partial = optimize(
+        build_plan(route_query(pattern, neighbour_ads, schema))
+    ).result
+    print("Figure 7 (P1's partial plan):")
+    print("  ", partial.render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    schema = load_schema(args.schema, args.namespace)
+    system = HybridSystem(schema)
+    system.add_super_peer("SP")
+    names = []
+    for spec in args.peer:
+        name, _, path = spec.partition("=")
+        if not path:
+            print(f"error: --peer expects NAME=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        system.add_peer(name, load_graph(path), "SP")
+        names.append(name)
+    if args.via not in names:
+        print(f"error: --via {args.via!r} is not among the peers", file=sys.stderr)
+        return 2
+    try:
+        table = system.query(
+            args.via, args.text, max_peers=args.max_peers, limit=args.limit
+        )
+    except Exception as exc:  # surfaced to the shell, not a traceback
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 1
+    print("\t".join(table.columns))
+    for row in table.rows:
+        print("\t".join(term.n3() for term in row))
+    print(f"# {len(table)} rows", file=sys.stderr)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "query":
+        return _cmd_query(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

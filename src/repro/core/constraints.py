@@ -1,0 +1,147 @@
+"""Query constraints: the completeness/load trade-off (paper Section 5).
+
+The paper's future work proposes "to study the trade-off between result
+completeness and processing load using the concepts of Top N (or
+Bottom N) queries" and "constraints regarding the number of peer nodes
+that each query is broadcasted and further processed".
+:class:`QueryConstraints` captures both knobs:
+
+* ``max_peers_per_pattern`` — bound the horizontal distribution: only
+  the first K relevant peers per path pattern are contacted (exact
+  advertisement matches are preferred over subsumption matches, then
+  peers with the smallest estimated results);
+* ``max_results`` (+ ``order_by``/``descending``) — Top-N or Bottom-N:
+  the coordinator orders the answer by a projected variable and keeps
+  the first N rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rdf.terms import Literal
+from ..rql.bindings import BindingTable
+from .annotations import AnnotatedQueryPattern
+from .cost import Statistics
+
+
+class QueryConstraints:
+    """Broadcast and result-size bounds for one query.
+
+    Attributes:
+        max_peers_per_pattern: Contact at most this many peers per path
+            pattern (``None`` = all relevant peers — full completeness).
+        max_results: Return at most this many answer rows (``None`` =
+            all).
+        order_by: Order the answer by this variable before applying
+            ``max_results`` (Top-N when descending, Bottom-N otherwise).
+        descending: Sort direction for ``order_by``.
+    """
+
+    __slots__ = ("max_peers_per_pattern", "max_results", "order_by", "descending")
+
+    def __init__(
+        self,
+        max_peers_per_pattern: Optional[int] = None,
+        max_results: Optional[int] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+    ):
+        if max_peers_per_pattern is not None and max_peers_per_pattern < 1:
+            raise ValueError("max_peers_per_pattern must be >= 1")
+        if max_results is not None and max_results < 1:
+            raise ValueError("max_results must be >= 1")
+        object.__setattr__(self, "max_peers_per_pattern", max_peers_per_pattern)
+        object.__setattr__(self, "max_results", max_results)
+        object.__setattr__(self, "order_by", order_by)
+        object.__setattr__(self, "descending", bool(descending))
+
+    def __setattr__(self, name, val):
+        raise AttributeError("QueryConstraints is immutable")
+
+    def is_unconstrained(self) -> bool:
+        return (
+            self.max_peers_per_pattern is None
+            and self.max_results is None
+            and self.order_by is None
+        )
+
+    def apply_result_bounds(self, table: BindingTable) -> BindingTable:
+        """Order (when requested) and truncate (when bounded) a final
+        answer table."""
+        result = table
+        if self.order_by is not None and self.order_by in result.columns:
+            index = result.column_index(self.order_by)
+
+            def sort_key(row):
+                term = row[index]
+                if isinstance(term, Literal):
+                    value = term.to_python()
+                    # sort numbers before strings, each consistently
+                    if isinstance(value, (int, float)) and not isinstance(value, bool):
+                        return (0, value, "")
+                    return (1, 0, str(value))
+                return (2, 0, term.n3())
+
+            ordered = sorted(result.rows, key=sort_key, reverse=self.descending)
+            result = BindingTable(result.columns, ordered)
+        if self.max_results is not None and len(result) > self.max_results:
+            result = BindingTable(result.columns, result.rows[: self.max_results])
+        return result
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, QueryConstraints)
+            and self.max_peers_per_pattern == other.max_peers_per_pattern
+            and self.max_results == other.max_results
+            and self.order_by == other.order_by
+            and self.descending == other.descending
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.max_peers_per_pattern, self.max_results, self.order_by, self.descending)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryConstraints(max_peers_per_pattern={self.max_peers_per_pattern}, "
+            f"max_results={self.max_results}, order_by={self.order_by!r}, "
+            f"descending={self.descending})"
+        )
+
+
+#: No bounds: contact every relevant peer, return every answer.
+UNCONSTRAINED = QueryConstraints()
+
+
+def apply_peer_bound(
+    annotated: AnnotatedQueryPattern,
+    constraints: QueryConstraints,
+    statistics: Optional[Statistics] = None,
+) -> AnnotatedQueryPattern:
+    """Trim each pattern's annotations to the broadcast bound.
+
+    Peers are ranked exact-match first (an exact advertisement is the
+    most likely to answer in full), then by estimated result size
+    descending (bigger expected contributions first — favouring
+    completeness per contacted peer), then by id for determinism.
+    """
+    bound = constraints.max_peers_per_pattern
+    if bound is None:
+        return annotated
+    trimmed = AnnotatedQueryPattern(annotated.query_pattern)
+    for pattern in annotated.query_pattern:
+        candidates = list(annotated.annotations(pattern))
+
+        def rank(annotation):
+            rows = 0.0
+            if statistics is not None:
+                rows = statistics.cardinality(
+                    annotation.peer_id, pattern.schema_path.property
+                )
+            return (not annotation.exact, -rows, annotation.peer_id)
+
+        for annotation in sorted(candidates, key=rank)[:bound]:
+            trimmed.annotate(pattern, annotation)
+    return trimmed

@@ -1,0 +1,72 @@
+"""The SQPeer Query-Processing Algorithm (paper Section 2.4).
+
+Pseudocode from the paper::
+
+    Input:  an annotated query pattern AQ and current path pattern PP
+            (initially the root)
+    Output: a query plan QP
+    1. QP := ∅
+    2. P  := peers annotating PP in AQ
+    3. if P = ∅:  QP := PP@?
+       else:      QP := union over P_x of PP@P_x   -- horizontal
+    4. for all PP_i in children(PP):
+         TP_i := recurse(PP_i, AQ)
+       QP := ⋈(QP, TP_1, ..., TP_n)                -- vertical
+    5. return QP
+
+Horizontal distribution (the unions) favours completeness — several
+peers contribute valid answers; vertical distribution (the joins)
+ensures correctness — every path pattern of the query is covered.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..rql.pattern import PathPattern
+from .algebra import Hole, PlanNode, Scan, join_of, union_of
+from .annotations import AnnotatedQueryPattern
+
+
+def build_plan(
+    annotated: AnnotatedQueryPattern, pattern: Optional[PathPattern] = None
+) -> PlanNode:
+    """Generate the query plan for an annotated query pattern.
+
+    Follows the paper's recursion over the pattern tree: at each path
+    pattern, union the scans of its annotated peers (or emit a hole),
+    then join with the plans of its children.
+
+    Args:
+        annotated: The routing algorithm's output.
+        pattern: The current path pattern; defaults to the root.
+
+    Returns:
+        The (unoptimised) plan — e.g. Figure 3's
+        ``⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))``.
+    """
+    query_pattern = annotated.query_pattern
+    pattern = pattern or query_pattern.root
+    peers = annotated.peers_for(pattern)
+    node: PlanNode
+    if not peers:
+        node = Hole(pattern)
+    else:
+        # each scan carries the subquery *rewritten for its peer* —
+        # identical to the original for exact matches, class-narrowed
+        # for subsumption matches, and in the remote vocabulary for
+        # peers reached through a schema articulation (mediation)
+        scans = []
+        for peer_id in peers:
+            rewritten = annotated.rewritten_for(pattern, peer_id) or pattern
+            scans.append(Scan((rewritten,), peer_id))
+        node = union_of(scans)
+    subplans = [build_plan(annotated, child) for child in query_pattern.children(pattern)]
+    if subplans:
+        return join_of([node] + subplans)
+    return node
+
+
+def plan_is_executable(plan: PlanNode) -> bool:
+    """True when every leaf names a concrete peer (no holes)."""
+    return plan.is_complete()

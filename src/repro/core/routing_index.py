@@ -1,0 +1,99 @@
+"""A property-bucket index over advertisements for fast routing.
+
+Scanning every advertisement per query (the paper's pseudocode) is
+O(#advertisements × #paths).  A super-peer serving a large SON instead
+maintains buckets keyed by property URI — each advertisement filed
+under every advertised property *and its superproperties*, the same
+subsumption-closure trick the schema DHT uses — so routing touches only
+the candidate advertisements of each path pattern and then applies the
+precise ``isSubsumed`` check.  Results are identical to the exhaustive
+scan (the closure makes the bucket lookup complete; the precise check
+keeps it sound).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..rdf.schema import Schema
+from ..rdf.terms import URI
+from ..rql.pattern import QueryPattern
+from ..rvl.active_schema import ActiveSchema
+from .annotations import AnnotatedQueryPattern
+from .routing import route_query
+
+
+class RoutingIndex:
+    """Incremental advertisement index for one SON.
+
+    Args:
+        schema: The community schema (supplies the subsumption closure).
+    """
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._buckets: Dict[URI, Set[str]] = {}
+        self._advertisements: Dict[str, ActiveSchema] = {}
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _keys_for(self, advertisement: ActiveSchema) -> Set[URI]:
+        keys: Set[URI] = set()
+        for path in advertisement:
+            if self.schema.has_property(path.property):
+                keys.update(self.schema.superproperties(path.property))
+            else:
+                keys.add(path.property)
+        return keys
+
+    def add(self, advertisement: ActiveSchema) -> None:
+        """File (or refresh) one peer's advertisement."""
+        peer_id = advertisement.peer_id
+        if peer_id is None:
+            raise ValueError("advertisement must carry a peer id")
+        self.remove(peer_id)
+        self._advertisements[peer_id] = advertisement
+        for key in self._keys_for(advertisement):
+            self._buckets.setdefault(key, set()).add(peer_id)
+
+    def remove(self, peer_id: str) -> None:
+        """Drop a departed peer."""
+        advertisement = self._advertisements.pop(peer_id, None)
+        if advertisement is None:
+            return
+        for key in self._keys_for(advertisement):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(peer_id)
+                if not bucket:
+                    del self._buckets[key]
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def candidates(self, prop: URI) -> List[ActiveSchema]:
+        """Advertisements possibly relevant to a query on ``prop``."""
+        peers = self._buckets.get(prop, set())
+        return [self._advertisements[p] for p in sorted(peers)]
+
+    def route(self, pattern: QueryPattern) -> AnnotatedQueryPattern:
+        """Routing over bucket candidates only; result identical to the
+        exhaustive :func:`~repro.core.routing.route_query` scan."""
+        candidate_peers: Set[str] = set()
+        for path_pattern in pattern:
+            candidate_peers.update(
+                self._buckets.get(path_pattern.schema_path.property, ())
+            )
+        candidates = [self._advertisements[p] for p in sorted(candidate_peers)]
+        return route_query(pattern, candidates, self.schema)
+
+    def advertisements(self) -> List[ActiveSchema]:
+        """All filed advertisements, sorted by peer id."""
+        return [self._advertisements[p] for p in sorted(self._advertisements)]
+
+    def __len__(self) -> int:
+        return len(self._advertisements)
+
+    def __contains__(self, peer_id: str) -> bool:
+        return peer_id in self._advertisements

@@ -1,0 +1,259 @@
+"""Data / query / hybrid shipping decisions (paper Section 2.5, Figure 5).
+
+Given a plan and the coordinating peer, the optimiser assigns every
+inner operator (join/union) an *execution site*:
+
+* **data shipping** — the operator runs at the coordinator and all
+  inputs ship their results there (Figure 5 left: P1 joins locally);
+* **query shipping** — the operator is pushed to one of the peers
+  contributing an input, which combines results locally and ships only
+  the operator's output upward (Figure 5 right: P2 executes the join);
+* **hybrid shipping** — different operators make different choices.
+
+The assignment minimises estimated cost, combining the three statistics
+Section 2.5 enumerates: link costs between peers, expected result
+sizes, and per-peer processing load (slots).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from .algebra import Hole, PlanNode, Scan
+from .cost import CONTROL_MESSAGE_BYTES, CostEstimate, CostModel
+
+#: Tree path — the child-index route from the root to a node — used to
+#: key assignments (structurally equal subtrees may sit at different
+#: sites).
+TreePath = Tuple[int, ...]
+
+
+class ShippingPolicy(enum.Enum):
+    """The overall character of a site assignment."""
+
+    DATA = "data"
+    QUERY = "query"
+    HYBRID = "hybrid"
+
+
+class SiteAssignment:
+    """Execution sites for every node of one plan.
+
+    Attributes:
+        plan: The plan the assignment refers to.
+        coordinator: The peer that launched the query.
+        sites: Mapping tree path → executing peer id.
+        cost: The estimated cost of this assignment.
+    """
+
+    def __init__(
+        self,
+        plan: PlanNode,
+        coordinator: str,
+        sites: Dict[TreePath, str],
+        cost: CostEstimate,
+    ):
+        self.plan = plan
+        self.coordinator = coordinator
+        self.sites = dict(sites)
+        self.cost = cost
+
+    def site_of(self, path: TreePath) -> str:
+        return self.sites[path]
+
+    def policy(self) -> ShippingPolicy:
+        """Classify the assignment (Figure 5's two poles, or hybrid)."""
+        inner_sites = [
+            site
+            for path, site in self.sites.items()
+            if not isinstance(_node_at(self.plan, path), (Scan, Hole))
+        ]
+        if not inner_sites:
+            return ShippingPolicy.DATA
+        at_coordinator = [s == self.coordinator for s in inner_sites]
+        if all(at_coordinator):
+            return ShippingPolicy.DATA
+        if not any(at_coordinator):
+            return ShippingPolicy.QUERY
+        return ShippingPolicy.HYBRID
+
+    def describe(self) -> str:
+        """Human-readable per-operator placement."""
+        lines = [f"policy: {self.policy().value}  cost: {self.cost!r}"]
+        for path in sorted(self.sites):
+            node = _node_at(self.plan, path)
+            kind = type(node).__name__.lower()
+            lines.append(f"  {'.'.join(map(str, path)) or 'root'} [{kind}] @ {self.sites[path]}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"SiteAssignment(policy={self.policy().value}, cost={self.cost!r})"
+
+
+def _node_at(plan: PlanNode, path: TreePath) -> PlanNode:
+    node = plan
+    for index in path:
+        node = node.children()[index]
+    return node
+
+
+def assign_sites(
+    plan: PlanNode, coordinator: str, cost_model: Optional[CostModel] = None
+) -> SiteAssignment:
+    """Choose the cost-minimal execution site for every operator.
+
+    Dynamic program over the plan tree: for each node and each
+    candidate site (the parent's site or any peer contributing a scan
+    below the node), the cheapest placement of the subtree is computed;
+    the root is charged for shipping its result to the coordinator.
+    """
+    model = cost_model or CostModel()
+    best = _Assigner(model).solve(plan, (), coordinator)
+    sites, bytes_shipped, messages, time = best
+    return SiteAssignment(
+        plan, coordinator, sites, CostEstimate(bytes_shipped, messages, time)
+    )
+
+
+class _Assigner:
+    """The recursive site-assignment dynamic program."""
+
+    def __init__(self, model: CostModel):
+        self.model = model
+        self.stats = model.stats
+
+    def solve(
+        self, node: PlanNode, path: TreePath, parent_site: str
+    ) -> Tuple[Dict[TreePath, str], float, int, float]:
+        """Best placement of ``node`` given its parent executes at
+        ``parent_site``.
+
+        Returns:
+            ``(sites, bytes, messages, time)`` — the site map for the
+            subtree, and the cost of executing it *and shipping its
+            result to the parent site*.
+        """
+        if isinstance(node, (Scan, Hole)):
+            return self._solve_leaf(node, path, parent_site)
+        candidates = sorted({parent_site} | node.peers())
+        best: Optional[Tuple[Dict[TreePath, str], float, int, float]] = None
+        for site in candidates:
+            sites: Dict[TreePath, str] = {path: site}
+            total_bytes = 0.0
+            total_messages = 0
+            child_time = 0.0
+            for index, child in enumerate(node.children()):
+                c_sites, c_bytes, c_messages, c_time = self.solve(
+                    child, path + (index,), site
+                )
+                sites.update(c_sites)
+                total_bytes += c_bytes
+                total_messages += c_messages
+                child_time = max(child_time, c_time)  # children run in parallel
+            rows = self.model.cardinality(node)
+            processing = rows * 0.001 * self.stats.load_factor(site)
+            ship_bytes, ship_messages, ship_time = self._shipment(
+                rows, site, parent_site
+            )
+            candidate = (
+                sites,
+                total_bytes + ship_bytes,
+                total_messages + ship_messages,
+                child_time + processing + ship_time,
+            )
+            if best is None or _total(candidate) < _total(best):
+                best = candidate
+        assert best is not None
+        return best
+
+    def _solve_leaf(
+        self, node: PlanNode, path: TreePath, parent_site: str
+    ) -> Tuple[Dict[TreePath, str], float, int, float]:
+        if isinstance(node, Hole):
+            return ({path: "?"}, 0.0, 0, 0.0)
+        assert isinstance(node, Scan)
+        rows = self.model.scan_cardinality(node)
+        processing = rows * 0.001 * self.stats.load_factor(node.peer_id)
+        ship_bytes, ship_messages, ship_time = self._shipment(
+            rows, node.peer_id, parent_site
+        )
+        # +1 message: the subplan sent to the peer
+        return (
+            {path: node.peer_id},
+            ship_bytes,
+            ship_messages + 1,
+            processing + ship_time,
+        )
+
+    def _shipment(
+        self, rows: float, source: str, target: str
+    ) -> Tuple[float, int, float]:
+        """Cost of shipping ``rows`` result rows from source to target."""
+        if source == target:
+            return (0.0, 0, 0.0)
+        payload = rows * self.stats.row_bytes + CONTROL_MESSAGE_BYTES
+        link = self.stats.link_cost(source, target)
+        return (payload, 1, payload * link)
+
+
+def _total(candidate: Tuple[Dict[TreePath, str], float, int, float]) -> float:
+    _, bytes_shipped, messages, time = candidate
+    return time + messages * 0.1 + bytes_shipped * 1e-9  # bytes as a tiebreaker
+
+
+def compare_policies(
+    plan: PlanNode, coordinator: str, cost_model: Optional[CostModel] = None
+) -> Dict[ShippingPolicy, CostEstimate]:
+    """Cost of the pure data-shipping and pure query-shipping plans,
+    plus the optimal (possibly hybrid) assignment — the comparison
+    behind Figure 5's discussion."""
+    model = cost_model or CostModel()
+    out: Dict[ShippingPolicy, CostEstimate] = {}
+    out[ShippingPolicy.DATA] = _forced_assignment(plan, coordinator, model, push=False)
+    out[ShippingPolicy.QUERY] = _forced_assignment(plan, coordinator, model, push=True)
+    out[ShippingPolicy.HYBRID] = assign_sites(plan, coordinator, model).cost
+    return out
+
+
+def _forced_assignment(
+    plan: PlanNode, coordinator: str, model: CostModel, push: bool
+) -> CostEstimate:
+    """Cost with every inner operator forced to the coordinator
+    (``push=False``, data shipping) or forced to the lexicographically
+    first contributing peer (``push=True``, query shipping)."""
+
+    def walk(node: PlanNode, parent_site: str) -> Tuple[float, int, float]:
+        if isinstance(node, Hole):
+            return (0.0, 0, 0.0)
+        if isinstance(node, Scan):
+            rows = model.scan_cardinality(node)
+            processing = rows * 0.001 * model.stats.load_factor(node.peer_id)
+            payload, messages, time = _ship(model, rows, node.peer_id, parent_site)
+            return (payload, messages + 1, processing + time)
+        contributing = sorted(node.peers() - {"?"})
+        site = coordinator if not push or not contributing else contributing[0]
+        total_bytes, total_messages, child_time = 0.0, 0, 0.0
+        for child in node.children():
+            c_bytes, c_messages, c_time = walk(child, site)
+            total_bytes += c_bytes
+            total_messages += c_messages
+            child_time = max(child_time, c_time)
+        rows = model.cardinality(node)
+        processing = rows * 0.001 * model.stats.load_factor(site)
+        payload, messages, time = _ship(model, rows, site, parent_site)
+        return (
+            total_bytes + payload,
+            total_messages + messages,
+            child_time + processing + time,
+        )
+
+    bytes_shipped, messages, time = walk(plan, coordinator)
+    return CostEstimate(bytes_shipped, messages, time)
+
+
+def _ship(model: CostModel, rows: float, source: str, target: str):
+    if source == target:
+        return (0.0, 0, 0.0)
+    payload = rows * model.stats.row_bytes + CONTROL_MESSAGE_BYTES
+    return (payload, 1, payload * model.stats.link_cost(source, target))

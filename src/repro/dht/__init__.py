@@ -1,0 +1,6 @@
+"""Chord-style DHT for RDF/S schema lookup (paper Section 5 future work)."""
+
+from .chord import ChordNode, ChordRing, chord_hash
+from .schema_index import SchemaDHT
+
+__all__ = ["ChordNode", "ChordRing", "SchemaDHT", "chord_hash"]

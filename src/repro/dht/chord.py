@@ -1,0 +1,239 @@
+"""A Chord-style consistent-hashing ring (substrate for the schema DHT).
+
+The paper's footnote 2 ("more elaborated techniques based on DHT for
+RDF/S schemas can be used") and its future work ("investigate the
+possible use of Distributed Hash Tables for RDF/S schemas with
+subsumption information") reference a Chord-like structured overlay.
+This module implements the lookup substrate: nodes own arcs of a
+2^bits identifier ring, finger tables give O(log N) greedy routing,
+and lookups report their hop count so experiments can charge routing
+cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NetworkError
+
+
+def chord_hash(value: str, bits: int = 16) -> int:
+    """Deterministic identifier for a key or node name."""
+    digest = hashlib.sha1(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)
+
+
+class ChordNode:
+    """One ring member: identifier, finger table, local key store."""
+
+    __slots__ = ("name", "node_id", "fingers", "store")
+
+    def __init__(self, name: str, node_id: int):
+        self.name = name
+        self.node_id = node_id
+        self.fingers: List["ChordNode"] = []
+        self.store: Dict[str, set] = {}
+
+    def __repr__(self) -> str:
+        return f"ChordNode({self.name}@{self.node_id})"
+
+
+class ChordRing:
+    """The ring: membership, finger maintenance, greedy lookup.
+
+    Args:
+        bits: Identifier space size (2^bits positions).
+    """
+
+    def __init__(self, bits: int = 16):
+        if not 4 <= bits <= 48:
+            raise NetworkError("bits must be within [4, 48]")
+        self.bits = bits
+        self._nodes: Dict[str, ChordNode] = {}
+        self._ordered: List[ChordNode] = []
+        #: full stabilisation pending (set on departures and every few
+        #: joins); run at the next lookup, as Chord's periodic
+        #: stabilisation would
+        self._dirty = False
+        self._joins_since_stabilize = 0
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, name: str) -> ChordNode:
+        """Add a node; keys it now owns move over from its successor."""
+        if name in self._nodes:
+            raise NetworkError(f"node {name} already on the ring")
+        node = ChordNode(name, chord_hash(name, self.bits))
+        if any(n.node_id == node.node_id for n in self._ordered):
+            # identifier collision: probe deterministically
+            suffix = 1
+            while any(
+                n.node_id == chord_hash(f"{name}#{suffix}", self.bits)
+                for n in self._ordered
+            ):
+                suffix += 1
+            node = ChordNode(name, chord_hash(f"{name}#{suffix}", self.bits))
+        self._nodes[name] = node
+        self._ordered.append(node)
+        self._ordered.sort(key=lambda n: n.node_id)
+        # incremental maintenance: build the newcomer's fingers and move
+        # over the keys it now owns from its ring successor.  Other
+        # nodes' fingers stay temporarily suboptimal (never wrong —
+        # lookups still converge through authoritative successor steps)
+        # until the next full stabilisation.
+        node.fingers = [
+            self.successor((node.node_id + (1 << k)) % (1 << self.bits))
+            for k in range(self.bits)
+        ]
+        self._steal_keys(node)
+        self._joins_since_stabilize += 1
+        if self._joins_since_stabilize * 4 >= max(8, len(self._ordered)):
+            self._dirty = True
+        return node
+
+    def _steal_keys(self, node: ChordNode) -> None:
+        """Move keys the new node owns from its ring successor."""
+        index = self._ordered.index(node)
+        neighbour = self._ordered[(index + 1) % len(self._ordered)]
+        if neighbour is node:
+            return
+        for key in list(neighbour.store):
+            if self.successor(chord_hash(key, self.bits)) is node:
+                node.store.setdefault(key, set()).update(neighbour.store.pop(key))
+
+    def leave(self, name: str) -> None:
+        """Remove a node; its keys move to its successor."""
+        node = self._nodes.pop(name, None)
+        if node is None:
+            return
+        self._ordered.remove(node)
+        self._dirty = True
+        if self._ordered:
+            for key, values in node.store.items():
+                successor = self.successor(chord_hash(key, self.bits))
+                successor.store.setdefault(key, set()).update(values)
+        node.store.clear()
+
+    def node(self, name: str) -> ChordNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown ring node {name}") from None
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    # ------------------------------------------------------------------
+    # topology maintenance
+    # ------------------------------------------------------------------
+    def successor(self, key_id: int) -> ChordNode:
+        """The node owning identifier ``key_id`` (binary search)."""
+        if not self._ordered:
+            raise NetworkError("empty ring")
+        ids = [n.node_id for n in self._ordered]
+        index = bisect.bisect_left(ids, key_id)
+        if index == len(ids):
+            index = 0  # wrap around
+        return self._ordered[index]
+
+    def _stabilize(self) -> None:
+        """Run deferred maintenance after membership changes."""
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._joins_since_stabilize = 0
+        self._rebuild_fingers()
+        self._redistribute_keys()
+
+    def _rebuild_fingers(self) -> None:
+        for node in self._ordered:
+            node.fingers = [
+                self.successor((node.node_id + (1 << k)) % (1 << self.bits))
+                for k in range(self.bits)
+            ]
+
+    def _redistribute_keys(self) -> None:
+        """Move every stored key to its current owner (after a join)."""
+        relocations = []
+        for node in self._ordered:
+            for key in list(node.store):
+                owner = self.successor(chord_hash(key, self.bits))
+                if owner is not node:
+                    relocations.append((node, owner, key))
+        for source, owner, key in relocations:
+            owner.store.setdefault(key, set()).update(source.store.pop(key))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, start: Optional[str] = None) -> Tuple[ChordNode, int]:
+        """Greedy finger routing from ``start`` to the key's owner.
+
+        Returns:
+            ``(owner, hops)`` — the owning node and the overlay hops
+            the lookup traversed (0 when the start node owns the key).
+        """
+        if not self._ordered:
+            raise NetworkError("empty ring")
+        self._stabilize()
+        key_id = chord_hash(key, self.bits)
+        owner = self.successor(key_id)
+        current = self.node(start) if start else self._ordered[0]
+        hops = 0
+        while current is not owner:
+            step = self._closest_preceding(current, key_id)
+            if step is current:
+                current = owner  # direct successor hop
+            else:
+                current = step
+            hops += 1
+            if hops > 2 * self.bits:
+                raise NetworkError("lookup failed to converge")
+        return owner, hops
+
+    def _closest_preceding(self, node: ChordNode, key_id: int) -> ChordNode:
+        """The finger closest below the key, Chord's greedy step."""
+        best = node
+        for finger in reversed(node.fingers):
+            if _in_open_interval(finger.node_id, node.node_id, key_id, self.bits):
+                best = finger
+                break
+        return best
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    def put(self, key: str, value, start: Optional[str] = None) -> int:
+        """Store ``value`` under ``key`` at its owner; returns hops."""
+        owner, hops = self.lookup(key, start)
+        owner.store.setdefault(key, set()).add(value)
+        return hops
+
+    def get(self, key: str, start: Optional[str] = None) -> Tuple[set, int]:
+        """Fetch the values stored under ``key``; returns (values, hops)."""
+        owner, hops = self.lookup(key, start)
+        return set(owner.store.get(key, ())), hops
+
+    def remove_value(self, key: str, value) -> None:
+        """Drop one value from a key's set (peer departure)."""
+        if not self._ordered:
+            return
+        self._stabilize()
+        owner = self.successor(chord_hash(key, self.bits))
+        bucket = owner.store.get(key)
+        if bucket is not None:
+            bucket.discard(value)
+            if not bucket:
+                del owner.store[key]
+
+
+def _in_open_interval(x: int, a: int, b: int, bits: int) -> bool:
+    """True when x lies in the ring interval (a, b) going clockwise."""
+    if a == b:
+        return x != a
+    if a < b:
+        return a < x < b
+    return x > a or x < b

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the SQPeer reproduction.
+
+Every error raised by the library derives from :class:`SQPeerError`, so
+applications can catch one base class.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class SQPeerError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(SQPeerError):
+    """An RDF/S schema is malformed or a term is not declared in it."""
+
+
+class ParseError(SQPeerError):
+    """An RQL query or RVL view failed to parse.
+
+    Attributes:
+        text: The source text being parsed.
+        position: Character offset at which the error was detected.
+    """
+
+    def __init__(self, message: str, text: str = "", position: int = 0):
+        super().__init__(message)
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(SQPeerError):
+    """A query could not be evaluated against a local base."""
+
+
+class RoutingError(SQPeerError):
+    """The routing algorithm received inconsistent input."""
+
+
+class PlanningError(SQPeerError):
+    """A query plan could not be generated or is structurally invalid."""
+
+
+class ChannelError(SQPeerError):
+    """A channel operation failed (unknown id, closed channel, ...)."""
+
+
+class NetworkError(SQPeerError):
+    """The network simulator was asked to do something impossible."""
+
+
+class PeerError(SQPeerError):
+    """A peer received a request it cannot honour."""
+
+
+class MappingError(SQPeerError):
+    """A legacy-store mapping rule is inconsistent with the schema."""

@@ -1,0 +1,16 @@
+"""Distributed query execution over channels."""
+
+from .engine import Completion, ExecutorHost, PlanExecutor
+from .local import evaluate_scan
+from .operators import apply_conditions, finalize, join_all, union_all
+
+__all__ = [
+    "Completion",
+    "ExecutorHost",
+    "PlanExecutor",
+    "apply_conditions",
+    "evaluate_scan",
+    "finalize",
+    "join_all",
+    "union_all",
+]

@@ -1,0 +1,27 @@
+"""Local evaluation of plan leaves against a peer base.
+
+A scan's patterns are evaluated with RDFS entailment and joined
+locally; a composite scan ``(Q1∪Q2)@P`` therefore executes the pushed
+join at the peer — the behaviour Transformation Rules 1/2 rely on.
+Executing the *original* (unrewritten) pattern at a peer is sound:
+class filters are enforced during evaluation, so a peer advertising a
+broader class only contributes bindings that satisfy the query's
+classes.
+"""
+
+from __future__ import annotations
+
+from ..core.algebra import Scan
+from ..rdf.graph import Graph
+from ..rdf.inference import InferredView
+from ..rdf.schema import Schema
+from ..rql.bindings import BindingTable
+from ..rql.evaluator import evaluate_path_pattern
+from .operators import join_all
+
+
+def evaluate_scan(scan: Scan, base: Graph, schema: Schema) -> BindingTable:
+    """Evaluate a (possibly composite) scan against a local base."""
+    view = InferredView(base, schema)
+    tables = [evaluate_path_pattern(pattern, view) for pattern in scan.patterns()]
+    return join_all(tables)

@@ -1,0 +1,61 @@
+"""Relational operators over binding tables.
+
+Thin, well-tested wrappers the execution engine composes: n-ary union
+and join, condition filtering and final projection.  The heavy lifting
+(hash join, column alignment) lives in
+:class:`~repro.rql.bindings.BindingTable`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import EvaluationError
+from ..rql.ast import Condition
+from ..rql.bindings import BindingTable
+from ..rql.evaluator import _condition_predicate
+
+
+def union_all(tables: Sequence[BindingTable]) -> BindingTable:
+    """Bag union of one or more tables (columns must match as sets)."""
+    if not tables:
+        raise EvaluationError("union of zero tables")
+    result = tables[0]
+    for table in tables[1:]:
+        result = result.union(table)
+    return result
+
+
+def join_all(tables: Sequence[BindingTable]) -> BindingTable:
+    """Natural join of one or more tables."""
+    if not tables:
+        raise EvaluationError("join of zero tables")
+    result = tables[0]
+    for table in tables[1:]:
+        result = result.join(table)
+    return result
+
+
+def apply_conditions(table: BindingTable, conditions: Iterable[Condition]) -> BindingTable:
+    """Apply WHERE-clause filters; conditions referencing columns the
+    table lacks reject nothing (they were pushed elsewhere)."""
+    result = table
+    for condition in conditions:
+        referenced = {condition.variable}
+        if condition.value_is_variable:
+            referenced.add(str(condition.value))
+        if not referenced.issubset(set(result.columns)):
+            continue
+        result = result.select(_condition_predicate(condition))
+    return result
+
+
+def finalize(
+    table: BindingTable,
+    projections: Sequence[str],
+    conditions: Iterable[Condition] = (),
+) -> BindingTable:
+    """Coordinator post-processing: filter, project, de-duplicate."""
+    filtered = apply_conditions(table, conditions)
+    available = [c for c in projections if c in filtered.columns]
+    return filtered.project(available).distinct()

@@ -1,0 +1,184 @@
+"""Incremental (pipelined) operators over streamed binding chunks.
+
+Section 2.5 credits the distributed plan shape with "the ability to
+evaluate this plan in a pipeline way": with peers streaming result
+chunks (``DataPacket(final=False)``), joins and unions can emit output
+as soon as matching inputs meet, instead of blocking on complete
+inputs.  The observable win is **time to first result**.
+
+:class:`IncrementalHashJoin` is a symmetric hash join: every arriving
+chunk probes the opposite side's hash table (emitting matches
+immediately) and is then inserted into its own side.  N-ary joins
+cascade binary stages; unions re-emit chunks aligned to canonical
+column order.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import EvaluationError
+from ..rql.bindings import BindingTable
+
+#: Downstream consumer of emitted output chunks.
+Emit = Callable[[BindingTable], None]
+
+
+class IncrementalHashJoin:
+    """A symmetric hash join over two chunk streams.
+
+    Args:
+        left_columns: Column names of the left input.
+        right_columns: Column names of the right input.
+        emit: Called with each non-empty output chunk.
+
+    The output columns are ``left_columns`` followed by the right-only
+    columns (same convention as :meth:`BindingTable.join`), so batch and
+    pipelined evaluation produce identical tables.
+    """
+
+    def __init__(
+        self,
+        left_columns: Sequence[str],
+        right_columns: Sequence[str],
+        emit: Emit,
+    ):
+        self.left_columns = tuple(left_columns)
+        self.right_columns = tuple(right_columns)
+        self.shared = [c for c in self.left_columns if c in self.right_columns]
+        right_only = [c for c in self.right_columns if c not in self.left_columns]
+        self.out_columns: Tuple[str, ...] = self.left_columns + tuple(right_only)
+        self._emit = emit
+        self._left_rows: Dict[tuple, List[dict]] = defaultdict(list)
+        self._right_rows: Dict[tuple, List[dict]] = defaultdict(list)
+        self._left_done = False
+        self._right_done = False
+        self.rows_emitted = 0
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def _key(self, binding: dict) -> tuple:
+        return tuple(binding[c] for c in self.shared)
+
+    def feed_left(self, chunk: BindingTable) -> None:
+        """Probe the right side with a left-input chunk, then build."""
+        self._feed(chunk, self._left_rows, self._right_rows, left_side=True)
+
+    def feed_right(self, chunk: BindingTable) -> None:
+        """Probe the left side with a right-input chunk, then build."""
+        self._feed(chunk, self._right_rows, self._left_rows, left_side=False)
+
+    def _feed(self, chunk, own_store, other_store, left_side: bool) -> None:
+        out = BindingTable(self.out_columns)
+        for binding in chunk.bindings():
+            key = self._key(binding) if self.shared else ()
+            matches = (
+                other_store.get(key, ())
+                if self.shared
+                else [b for bucket in other_store.values() for b in bucket]
+            )
+            for other in matches:
+                merged = dict(other)
+                merged.update(binding)
+                out.append_binding(merged)
+            own_store[key if self.shared else ()].append(binding)
+        if out:
+            self.rows_emitted += len(out)
+            self._emit(out)
+
+    # ------------------------------------------------------------------
+    # termination
+    # ------------------------------------------------------------------
+    def finish_left(self) -> None:
+        self._left_done = True
+
+    def finish_right(self) -> None:
+        self._right_done = True
+
+    @property
+    def done(self) -> bool:
+        return self._left_done and self._right_done
+
+
+class IncrementalUnion:
+    """Re-emits chunks from several inputs, aligned to fixed columns."""
+
+    def __init__(self, columns: Sequence[str], inputs: int, emit: Emit):
+        if inputs < 1:
+            raise EvaluationError("union needs at least one input")
+        self.columns = tuple(columns)
+        self._emit = emit
+        self._remaining = inputs
+        self.rows_emitted = 0
+
+    def feed(self, chunk: BindingTable) -> None:
+        if set(chunk.columns) != set(self.columns):
+            raise EvaluationError(
+                f"union chunk columns {chunk.columns} != {self.columns}"
+            )
+        aligned = BindingTable(self.columns)
+        reorder = [chunk.column_index(c) for c in self.columns]
+        for row in chunk.rows:
+            aligned.append(tuple(row[i] for i in reorder))
+        if aligned:
+            self.rows_emitted += len(aligned)
+            self._emit(aligned)
+
+    def finish_one(self) -> None:
+        self._remaining -= 1
+
+    @property
+    def done(self) -> bool:
+        return self._remaining == 0
+
+
+class JoinCascade:
+    """An n-ary pipelined join as a chain of binary stages.
+
+    Input ``i``'s chunks enter stage ``max(0, i-1)``; each stage's
+    output feeds the next; the last stage's output is the cascade's.
+
+    Args:
+        input_columns: Column tuples of the n inputs, in plan order.
+        emit: Consumer of final output chunks.
+    """
+
+    def __init__(self, input_columns: Sequence[Sequence[str]], emit: Emit):
+        if len(input_columns) < 2:
+            raise EvaluationError("a join cascade needs at least two inputs")
+        self._stages: List[IncrementalHashJoin] = []
+        self._inputs_done = [False] * len(input_columns)
+        left = tuple(input_columns[0])
+        for index in range(1, len(input_columns)):
+            stage_index = index - 1
+            is_last = index == len(input_columns) - 1
+            stage_emit = emit if is_last else self._feeder(stage_index + 1)
+            stage = IncrementalHashJoin(left, tuple(input_columns[index]), stage_emit)
+            self._stages.append(stage)
+            left = stage.out_columns
+
+    def _feeder(self, next_stage: int) -> Emit:
+        def feed(chunk: BindingTable) -> None:
+            self._stages[next_stage].feed_left(chunk)
+
+        return feed
+
+    @property
+    def out_columns(self) -> Tuple[str, ...]:
+        return self._stages[-1].out_columns
+
+    def feed(self, input_index: int, chunk: BindingTable) -> None:
+        """Route a chunk from input ``input_index`` into its stage."""
+        if input_index == 0:
+            self._stages[0].feed_left(chunk)
+        else:
+            self._stages[input_index - 1].feed_right(chunk)
+
+    def finish(self, input_index: int) -> None:
+        self._inputs_done[input_index] = True
+
+    @property
+    def done(self) -> bool:
+        return all(self._inputs_done)

@@ -1,0 +1,5 @@
+"""Schema articulations and cross-SON query reformulation."""
+
+from .articulation import Articulation
+
+__all__ = ["Articulation"]

@@ -1,0 +1,140 @@
+"""Schema articulations: mappings between community RDF/S schemas.
+
+Section 3.1: "A multi-layered hierarchical organization of the
+super-peers network can be employed by using appropriate articulations
+(aka mappings) of the classes and properties defined in each super-peer
+RDF/S schema", and super-peers "may handle the role of a mediator in a
+scenario where a query expressed in terms of a global-known schema
+needs to be reformulated in terms of the schemas employed by the local
+bases of the simple-peers".
+
+An :class:`Articulation` maps classes and properties of a *source*
+schema onto a *target* schema; :meth:`Articulation.reformulate`
+rewrites a semantic query pattern across it, preserving variable names
+and labels so reformulated subqueries join seamlessly with native ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..errors import MappingError
+from ..rdf.schema import Schema
+from ..rdf.terms import URI
+from ..rdf.vocabulary import LITERAL_CLASS
+from ..rql.pattern import PathPattern, QueryPattern, SchemaPath
+
+
+class Articulation:
+    """A directed schema mapping.
+
+    Args:
+        source: The schema queries are expressed in.
+        target: The schema remote bases employ.
+        class_map: Source class → target class.
+        property_map: Source property → target property.
+
+    Raises:
+        MappingError: When a mapping entry names undeclared terms.
+    """
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        class_map: Optional[Mapping[URI, URI]] = None,
+        property_map: Optional[Mapping[URI, URI]] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.class_map: Dict[URI, URI] = dict(class_map or {})
+        self.property_map: Dict[URI, URI] = dict(property_map or {})
+        for src, dst in self.class_map.items():
+            if not source.has_class(src):
+                raise MappingError(f"unknown source class {src}")
+            if not target.has_class(dst):
+                raise MappingError(f"unknown target class {dst}")
+        for src, dst in self.property_map.items():
+            if not source.has_property(src):
+                raise MappingError(f"unknown source property {src}")
+            if not target.has_property(dst):
+                raise MappingError(f"unknown target property {dst}")
+
+    # ------------------------------------------------------------------
+    # term mapping
+    # ------------------------------------------------------------------
+    def map_property(self, prop: URI) -> Optional[URI]:
+        """The target property for a source property, or ``None``."""
+        return self.property_map.get(prop)
+
+    def map_class(self, cls: URI, default: Optional[URI] = None) -> Optional[URI]:
+        """The target class for a source class; literals map to
+        themselves; unmapped classes fall back to ``default``."""
+        if cls == LITERAL_CLASS:
+            return LITERAL_CLASS
+        return self.class_map.get(cls, default)
+
+    def covers(self, pattern: QueryPattern) -> bool:
+        """True when every property of the pattern is mapped."""
+        return all(
+            p.schema_path.property in self.property_map for p in pattern
+        )
+
+    # ------------------------------------------------------------------
+    # reformulation
+    # ------------------------------------------------------------------
+    def reformulate_path(self, pattern: PathPattern) -> Optional[PathPattern]:
+        """Rewrite one path pattern into the target vocabulary.
+
+        The property must be mapped; end-point classes map through
+        ``class_map`` and default to the target property's declared
+        domain/range.  Variables, labels and projections survive
+        unchanged so the reformulated subquery's results join with
+        native ones.
+        """
+        target_prop = self.map_property(pattern.schema_path.property)
+        if target_prop is None:
+            return None
+        definition = self.target.property_def(target_prop)
+        domain = self.map_class(pattern.schema_path.domain, definition.domain)
+        range_ = self.map_class(pattern.schema_path.range, definition.range)
+        return PathPattern(
+            label=pattern.label,
+            schema_path=SchemaPath(domain, target_prop, range_),
+            subject_var=pattern.subject_var,
+            object_var=pattern.object_var,
+            projected=pattern.projected,
+        )
+
+    def reformulate(self, pattern: QueryPattern) -> Optional[QueryPattern]:
+        """Rewrite a whole query pattern, or ``None`` when any path's
+        property is unmapped (partial mediation is unsound for joins)."""
+        rewritten = []
+        for path_pattern in pattern:
+            mapped = self.reformulate_path(path_pattern)
+            if mapped is None:
+                return None
+            rewritten.append(mapped)
+        return QueryPattern(rewritten, pattern.projections, self.target)
+
+    def inverse(self) -> "Articulation":
+        """The reverse mapping (requires injective maps).
+
+        Raises:
+            MappingError: When two source terms map to one target term.
+        """
+        inverted_classes = {v: k for k, v in self.class_map.items()}
+        inverted_properties = {v: k for k, v in self.property_map.items()}
+        if len(inverted_classes) != len(self.class_map) or len(
+            inverted_properties
+        ) != len(self.property_map):
+            raise MappingError("articulation is not invertible")
+        return Articulation(
+            self.target, self.source, inverted_classes, inverted_properties
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Articulation({self.source.name} -> {self.target.name}, "
+            f"{len(self.class_map)} classes, {len(self.property_map)} properties)"
+        )

@@ -1,0 +1,5 @@
+"""Measurement utilities shared by the simulator and the benchmarks."""
+
+from .collectors import MetricSet
+
+__all__ = ["MetricSet"]

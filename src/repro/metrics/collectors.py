@@ -1,0 +1,89 @@
+"""Metric collection shared by the network simulator and benchmarks."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Optional, Tuple
+
+
+class MetricSet:
+    """Counters the experiments report: messages, bytes, per-peer load.
+
+    All counters are cumulative; :meth:`snapshot` / :meth:`delta` let a
+    benchmark measure one query in isolation.
+    """
+
+    def __init__(self):
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.messages_by_kind: Counter = Counter()
+        self.bytes_by_kind: Counter = Counter()
+        self.messages_received: Counter = Counter()  # per peer
+        self.messages_sent: Counter = Counter()  # per peer
+        self.queries_processed: Counter = Counter()  # per peer
+        self.irrelevant_queries: Counter = Counter()  # per peer
+        self.query_latency: Dict[str, float] = {}
+        self._query_started: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_message(self, kind: str, src: str, dst: str, size: int) -> None:
+        self.messages_total += 1
+        self.bytes_total += size
+        self.messages_by_kind[kind] += 1
+        self.bytes_by_kind[kind] += size
+        self.messages_sent[src] += 1
+        self.messages_received[dst] += 1
+
+    def record_query_processed(self, peer_id: str, relevant: bool = True) -> None:
+        self.queries_processed[peer_id] += 1
+        if not relevant:
+            self.irrelevant_queries[peer_id] += 1
+
+    def query_started(self, query_id: str, time: float) -> None:
+        self._query_started[query_id] = time
+
+    def query_finished(self, query_id: str, time: float) -> None:
+        started = self._query_started.get(query_id)
+        if started is not None:
+            self.query_latency[query_id] = time - started
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Tuple[int, int]:
+        """``(messages, bytes)`` so far."""
+        return (self.messages_total, self.bytes_total)
+
+    def delta(self, snapshot: Tuple[int, int]) -> Tuple[int, int]:
+        """Messages/bytes since a snapshot."""
+        return (
+            self.messages_total - snapshot[0],
+            self.bytes_total - snapshot[1],
+        )
+
+    def peak_peer_load(self) -> int:
+        """The highest per-peer processed-query count."""
+        return max(self.queries_processed.values(), default=0)
+
+    def mean_latency(self) -> Optional[float]:
+        if not self.query_latency:
+            return None
+        return sum(self.query_latency.values()) / len(self.query_latency)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of headline numbers for bench output."""
+        return {
+            "messages": self.messages_total,
+            "bytes": self.bytes_total,
+            "queries_processed": sum(self.queries_processed.values()),
+            "irrelevant_queries": sum(self.irrelevant_queries.values()),
+            "mean_latency": self.mean_latency() or 0.0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricSet(messages={self.messages_total}, bytes={self.bytes_total}, "
+            f"queries={sum(self.queries_processed.values())})"
+        )

@@ -1,0 +1,18 @@
+"""The simulated P2P network substrate."""
+
+from .message import DeliveryFailure, Message, payload_kind, payload_size
+from .simulator import Link, Network, Node
+from .topology import random_neighbour_graph, star, uniform_mesh
+
+__all__ = [
+    "DeliveryFailure",
+    "Link",
+    "Message",
+    "Network",
+    "Node",
+    "payload_kind",
+    "payload_size",
+    "random_neighbour_graph",
+    "star",
+    "uniform_mesh",
+]

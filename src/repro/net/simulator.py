@@ -1,0 +1,180 @@
+"""A deterministic discrete-event network simulator.
+
+The paper evaluates SQPeer architecturally; this simulator provides the
+substrate on one machine: peers register as nodes, messages are
+delivered in virtual-time order with per-link latency and bandwidth,
+and every delivery is metered.  A single-threaded event loop with an
+explicit seedable RNG makes every experiment bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
+
+from ..errors import NetworkError
+from ..metrics.collectors import MetricSet
+from .message import DeliveryFailure, Message
+
+
+class Node(Protocol):
+    """What the network requires of a registered peer object."""
+
+    peer_id: str
+
+    def receive(self, message: Message, network: "Network") -> None:
+        """Handle one delivered message (may send more)."""
+
+
+class Link:
+    """Point-to-point link parameters."""
+
+    __slots__ = ("latency", "cost_per_byte")
+
+    def __init__(self, latency: float = 1.0, cost_per_byte: float = 0.0001):
+        self.latency = latency
+        self.cost_per_byte = cost_per_byte
+
+    def delay(self, size: int) -> float:
+        return self.latency + size * self.cost_per_byte
+
+
+class Network:
+    """The simulated P2P network.
+
+    Args:
+        seed: RNG seed (topology generators and protocols that need
+            randomness draw from :attr:`rng`).
+        default_latency: Latency of links not configured explicitly.
+        default_cost_per_byte: Transfer delay per byte for such links.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_latency: float = 1.0,
+        default_cost_per_byte: float = 0.0001,
+    ):
+        self.rng = random.Random(seed)
+        self.metrics = MetricSet()
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._default_link = Link(default_latency, default_cost_per_byte)
+        self._down: Set[str] = set()
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def register(self, node: Node) -> None:
+        """Add a peer node; its ``peer_id`` becomes its address."""
+        if node.peer_id in self._nodes:
+            raise NetworkError(f"duplicate peer id {node.peer_id}")
+        self._nodes[node.peer_id] = node
+
+    def node(self, peer_id: str) -> Node:
+        try:
+            return self._nodes[peer_id]
+        except KeyError:
+            raise NetworkError(f"unknown peer {peer_id}") from None
+
+    def peer_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def set_link(
+        self, a: str, b: str, latency: float, cost_per_byte: float = 0.0001
+    ) -> None:
+        """Configure the (symmetric) link between two peers."""
+        link = Link(latency, cost_per_byte)
+        self._links[(a, b)] = link
+        self._links[(b, a)] = link
+
+    def link(self, a: str, b: str) -> Link:
+        return self._links.get((a, b), self._default_link)
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+    def fail_peer(self, peer_id: str) -> None:
+        """Mark a peer as down; messages to it bounce back as
+        :class:`DeliveryFailure` notifications."""
+        self._down.add(peer_id)
+
+    def recover_peer(self, peer_id: str) -> None:
+        self._down.discard(peer_id)
+
+    def is_down(self, peer_id: str) -> bool:
+        return peer_id in self._down
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Schedule delivery of a message (or of its failure bounce)."""
+        if message.src not in self._nodes:
+            raise NetworkError(f"unknown sender {message.src}")
+        if message.dst not in self._nodes:
+            raise NetworkError(f"unknown destination {message.dst}")
+        link = self.link(message.src, message.dst)
+        delay = link.delay(message.size)
+        self.metrics.record_message(message.kind, message.src, message.dst, message.size)
+        if message.dst in self._down:
+            bounce = Message(message.dst, message.src, DeliveryFailure(message))
+            self._schedule(delay, lambda: self._deliver(bounce))
+            return
+        self._schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        if message.dst in self._down:
+            # destination failed while the message was in flight
+            if not isinstance(message.payload, DeliveryFailure):
+                bounce = Message(message.dst, message.src, DeliveryFailure(message))
+                link = self.link(message.dst, message.src)
+                self._schedule(link.delay(bounce.size), lambda: self._deliver(bounce))
+            return
+        self._nodes[message.dst].receive(message, self)
+
+    def _schedule(self, delay: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), action))
+
+    def call_later(self, delay: float, action: Callable[[], None]) -> None:
+        """Schedule an arbitrary callback (protocol timers)."""
+        if delay < 0:
+            raise NetworkError("cannot schedule in the past")
+        self._schedule(delay, action)
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def run(self, max_events: int = 1_000_000, until: Optional[float] = None) -> int:
+        """Process events in time order; returns the number processed.
+
+        Raises:
+            NetworkError: If ``max_events`` is exhausted (a protocol
+                loop that never quiesces is a bug, not a workload).
+        """
+        processed = 0
+        while self._queue:
+            time, _, action = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            action()
+            processed += 1
+            if processed >= max_events:
+                raise NetworkError(f"event budget exhausted ({max_events} events)")
+        return processed
+
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(peers={len(self._nodes)}, down={len(self._down)}, "
+            f"t={self.now:.2f}, pending={len(self._queue)})"
+        )

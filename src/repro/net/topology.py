@@ -1,0 +1,67 @@
+"""Topology builders for experiment networks.
+
+These helpers wire up :class:`~repro.net.simulator.Network` instances
+with common shapes: uniform meshes, super-peer stars and random
+neighbour graphs (the physical layer ad-hoc SONs grow on).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from .simulator import Network
+
+
+def uniform_mesh(network: Network, peer_ids: Sequence[str], latency: float = 1.0) -> None:
+    """Every pair of peers gets the same link latency."""
+    for i, a in enumerate(peer_ids):
+        for b in peer_ids[i + 1 :]:
+            network.set_link(a, b, latency)
+
+
+def star(
+    network: Network,
+    hub: str,
+    leaves: Sequence[str],
+    hub_latency: float = 1.0,
+    leaf_latency: float = 5.0,
+) -> None:
+    """A super-peer star: fast links to the hub, slow leaf-to-leaf links."""
+    for leaf in leaves:
+        network.set_link(hub, leaf, hub_latency)
+    for i, a in enumerate(leaves):
+        for b in leaves[i + 1 :]:
+            network.set_link(a, b, leaf_latency)
+
+
+def random_neighbour_graph(
+    peer_ids: Sequence[str],
+    degree: int,
+    rng: random.Random,
+) -> Dict[str, Tuple[str, ...]]:
+    """A connected random graph with ~``degree`` neighbours per peer.
+
+    Builds a random spanning chain first (connectivity guarantee), then
+    adds random extra edges until the average degree is reached.
+    Returns the symmetric adjacency mapping used as ad-hoc
+    neighbourhoods.
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    ids: List[str] = list(peer_ids)
+    rng.shuffle(ids)
+    edges = set()
+    for a, b in zip(ids, ids[1:]):
+        edges.add((min(a, b), max(a, b)))
+    target_edges = max(len(ids) - 1, (len(ids) * degree) // 2)
+    attempts = 0
+    while len(edges) < target_edges and attempts < 50 * target_edges:
+        a, b = rng.sample(ids, 2)
+        edges.add((min(a, b), max(a, b)))
+        attempts += 1
+    adjacency: Dict[str, List[str]] = {p: [] for p in peer_ids}
+    for a, b in sorted(edges):
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    return {p: tuple(sorted(n)) for p, n in adjacency.items()}

@@ -1,0 +1,35 @@
+"""Peer roles: client, simple and super peers, plus SON bookkeeping."""
+
+from .base import Peer, PeerBase
+from .client import ClientPeer
+from .protocol import (
+    Advertise,
+    AdvertisementReply,
+    AdvertisementRequest,
+    PartialPlan,
+    QueryResult,
+    QuerySubmit,
+    RouteReply,
+    RouteRequest,
+)
+from .simple import PendingQuery, SimplePeer
+from .son import SONRegistry
+from .super import SuperPeer
+
+__all__ = [
+    "Advertise",
+    "AdvertisementReply",
+    "AdvertisementRequest",
+    "ClientPeer",
+    "PartialPlan",
+    "Peer",
+    "PeerBase",
+    "PendingQuery",
+    "QueryResult",
+    "QuerySubmit",
+    "RouteReply",
+    "RouteRequest",
+    "SONRegistry",
+    "SimplePeer",
+    "SuperPeer",
+]

@@ -1,0 +1,258 @@
+"""Peer foundations: local storage and the network-node base class.
+
+:class:`PeerBase` is a peer's *database*: an RDF graph plus the
+community schema it commits to, optionally populated through RVL views
+(virtual scenario).  :class:`Peer` is the network-facing machinery
+every peer role shares: a channel manager, subplan execution hosting
+and message dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from ..channels.manager import ChannelManager
+from ..channels.packets import DataPacket, StatsPacket, SubPlanPacket
+from ..core.algebra import Scan
+from ..errors import PeerError
+from ..execution.engine import PlanExecutor
+from ..execution.local import evaluate_scan
+from ..net.message import DeliveryFailure, Message
+from ..net.simulator import Network
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rql.bindings import BindingTable
+from ..rvl.active_schema import ActiveSchema
+from ..rvl.view import ViewDefinition
+
+
+class PeerBase:
+    """A peer's local description base.
+
+    Args:
+        graph: The asserted RDF statements (materialised scenario), or
+            the virtual image produced by wrappers.
+        schema: The community RDF/S schema the base commits to.
+        views: RVL views populating the schema, when the base is
+            virtual; their footprint defines the active-schema.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        schema: Schema,
+        views: Sequence[ViewDefinition] = (),
+    ):
+        self.graph = graph
+        self.schema = schema
+        self.views = tuple(views)
+
+    def active_schema(self, peer_id: str) -> ActiveSchema:
+        """The advertisement for this base.
+
+        Views take precedence (virtual scenario: what *can* be
+        populated); otherwise the materialised base is scanned.
+        """
+        if self.views:
+            merged: Optional[ActiveSchema] = None
+            for view in self.views:
+                derived = ActiveSchema.from_view(view, self.schema, peer_id)
+                merged = derived if merged is None else merged.merge(derived)
+            assert merged is not None
+            return merged
+        return ActiveSchema.from_base(self.graph, self.schema, peer_id)
+
+    def evaluate_scan(self, scan: Scan) -> BindingTable:
+        """Evaluate a (composite) scan against this base."""
+        return evaluate_scan(scan, self.graph, self.schema)
+
+
+class Peer:
+    """Base class of every network peer role.
+
+    Dispatches incoming messages to ``handle_<PayloadType>`` methods;
+    hosts :class:`~repro.execution.engine.PlanExecutor` instances for
+    received subplans and roots channels for the plans it launches.
+    """
+
+    #: when set, subplan results stream back in chunks of this many rows
+    #: (one DataPacket per chunk), modelling pipelined production — the
+    #: tuple flow run-time adaptation observes (Section 2.5)
+    stream_chunk_rows: Optional[int] = None
+    #: virtual-time spacing between streamed chunks
+    stream_interval: float = 2.0
+
+    def __init__(
+        self,
+        peer_id: str,
+        base: Optional[PeerBase] = None,
+        secondary_bases: Sequence[PeerBase] = (),
+    ):
+        self.peer_id = peer_id
+        self.base = base
+        #: additional bases for peers committing to several community
+        #: schemas ("a simple-peer can be connected to multiple
+        #: super-peers when it provides descriptions conforming to more
+        #: than one schema", Section 3.1)
+        self.secondary_bases: tuple = tuple(secondary_bases)
+        self.channels = ChannelManager(peer_id)
+        self.network: Optional[Network] = None
+        #: channel ids whose roots changed plans: stop streaming to them
+        self._cancelled_streams: set = set()
+
+    def all_bases(self) -> tuple:
+        """Primary base first, then the secondary ones."""
+        primary = (self.base,) if self.base is not None else ()
+        return primary + self.secondary_bases
+
+    def base_for_property(self, prop) -> Optional[PeerBase]:
+        """The base whose schema declares ``prop`` (multi-SON dispatch)."""
+        for candidate in self.all_bases():
+            if candidate.schema.has_property(prop):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def join(self, network: Network) -> None:
+        """Register with the network (subclasses extend with protocol
+        handshakes: pushing or pulling advertisements)."""
+        network.register(self)
+        self.network = network
+
+    def _require_network(self) -> Network:
+        if self.network is None:
+            raise PeerError(f"peer {self.peer_id} has not joined a network")
+        return self.network
+
+    def send(self, dst: str, payload) -> None:
+        network = self._require_network()
+        network.send(Message(self.peer_id, dst, payload))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def receive(self, message: Message, network: Network) -> None:
+        """Route a delivered message to its ``handle_*`` method."""
+        handler_name = f"handle_{type(message.payload).__name__}"
+        handler = getattr(self, handler_name, None)
+        if handler is None:
+            raise PeerError(
+                f"{type(self).__name__} {self.peer_id} cannot handle {message.kind}"
+            )
+        handler(message)
+
+    # ------------------------------------------------------------------
+    # executor hosting (ExecutorHost protocol)
+    # ------------------------------------------------------------------
+    def local_scan(self, scan: Scan) -> BindingTable:
+        prop = scan.patterns()[0].schema_path.property if scan.patterns() else None
+        base = self.base_for_property(prop) if prop is not None else self.base
+        if base is None:
+            # no base speaks this vocabulary: the empty table
+            return BindingTable(scan.patterns()[0].variables() if scan.patterns() else ())
+        return base.evaluate_scan(scan)
+
+    def handle_SubPlanPacket(self, message: Message) -> None:
+        """Execute a received subplan and stream the result back.
+
+        Alongside the data packet, the destination reports statistics
+        (its local cardinalities for the subplan's properties) so the
+        channel root can feed its optimiser — the "statistics useful
+        for query optimization" ubQL packets of Section 2.4.
+        """
+        packet: SubPlanPacket = message.payload
+        root = message.src
+
+        def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
+            if failed is None and table is not None:
+                stats = self._local_cardinalities(packet)
+                self.send(
+                    root,
+                    StatsPacket(packet.channel_id, len(table), stats),
+                )
+                self._send_result(root, packet.channel_id, table)
+                return
+            self.send(
+                root,
+                DataPacket(
+                    channel_id=packet.channel_id,
+                    table=table if table is not None else BindingTable(()),
+                    final=True,
+                    failed_peer=failed,
+                ),
+            )
+
+        executor = PlanExecutor(
+            self,
+            self._require_network(),
+            packet.plan,
+            sites=packet.sites,
+            query_id=packet.query_id,
+            on_complete=on_complete,
+        )
+        executor.start()
+
+    def _send_result(self, root: str, channel_id: str, table: BindingTable) -> None:
+        """Ship a subplan result: one packet, or a paced chunk stream
+        when :attr:`stream_chunk_rows` is set."""
+        chunk = self.stream_chunk_rows
+        if not chunk or len(table) <= chunk:
+            self.send(root, DataPacket(channel_id, table, final=True))
+            return
+        network = self._require_network()
+        batches = [
+            BindingTable(table.columns, table.rows[i : i + chunk])
+            for i in range(0, len(table), chunk)
+        ]
+
+        def send_batch(index: int) -> None:
+            if channel_id in self._cancelled_streams:
+                return  # the root changed plans: terminate this stream
+            final = index == len(batches) - 1
+            self.send(root, DataPacket(channel_id, batches[index], final=final))
+            if not final:
+                network.call_later(self.stream_interval, lambda: send_batch(index + 1))
+
+        send_batch(0)
+
+    def _local_cardinalities(self, packet: SubPlanPacket) -> Dict[str, int]:
+        """Entailed statement counts for the subplan's properties in the
+        local base (the statistics shipped to the channel root)."""
+        from ..rdf.inference import InferredView
+
+        counts: Dict[str, int] = {}
+        for pattern in packet.plan.patterns():
+            prop = pattern.schema_path.property
+            if prop.value in counts:
+                continue
+            base = self.base_for_property(prop)
+            if base is None:
+                continue
+            view = InferredView(base.graph, base.schema)
+            counts[prop.value] = sum(1 for _ in view.triples(None, prop, None))
+        return counts
+
+    def handle_DataPacket(self, message: Message) -> None:
+        self.channels.on_data(message.payload)
+
+    def handle_ChangePlanPacket(self, message: Message) -> None:
+        """The channel root changed its plan: terminate on-going work
+        for that channel (ubQL discard on the destination side) —
+        concretely, stop any in-flight chunk stream."""
+        self._cancelled_streams.add(message.payload.channel_id)
+
+    def handle_StatsPacket(self, message: Message) -> None:
+        """Base peers ignore statistics; coordinators override."""
+
+    def handle_DeliveryFailure(self, message: Message) -> None:
+        """A message we sent bounced: if it opened a channel, fail it."""
+        failure: DeliveryFailure = message.payload
+        original = failure.original
+        if isinstance(original.payload, SubPlanPacket):
+            self.channels.on_failure(original.payload.channel_id)
+        # bounced data packets mean the root died: nothing to repair here
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.peer_id})"

@@ -1,0 +1,79 @@
+"""Peer churn: departures and advertisement refresh.
+
+"We would like to support loosely coupled communities of databases
+where each peer base can join and leave the network at will"
+(Section 1).  This module supplies the two protocol pieces joining
+(already on the peer classes) does not cover:
+
+* **departure** — a leaving peer notifies the parties holding its
+  advertisement (its super-peer in the hybrid architecture, its
+  neighbours in the ad-hoc one) with a :class:`Goodbye`, so routing
+  stops annotating it *before* queries fail over to it;
+* **refresh** — when a peer's base changes *intensionally* (a property
+  becomes populated or empties out), a fresh advertisement is pushed;
+  purely extensional churn stays silent — the economy Section 2.2
+  claims over full data indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..rdf.terms import URI
+from ..rvl.active_schema import ActiveSchema
+
+
+@dataclass(frozen=True)
+class Goodbye:
+    """Departing peer → advertisement holders: forget me."""
+
+    peer_id: str
+
+    def size_bytes(self) -> int:
+        return 48 + len(self.peer_id)
+
+
+class AdvertisementTracker:
+    """Tracks a base's intensional footprint across updates.
+
+    Args:
+        base: The peer's :class:`~repro.peers.base.PeerBase`.
+
+    The tracker remembers the footprint last advertised;
+    :meth:`refresh` returns a new advertisement only when the footprint
+    changed since.
+    """
+
+    def __init__(self, base):
+        self.base = base
+        self._advertised: Optional[FrozenSet[URI]] = None
+
+    def _footprint(self) -> FrozenSet[URI]:
+        if self.base.views:
+            merged = None
+            for view in self.base.views:
+                derived = ActiveSchema.from_view(view, self.base.schema, "_")
+                merged = derived if merged is None else merged.merge(derived)
+            return frozenset(p.property for p in (merged or ActiveSchema("_")))
+        return frozenset(
+            prop
+            for prop in self.base.schema.properties
+            if next(self.base.graph.triples(None, prop, None), None) is not None
+        )
+
+    def mark_advertised(self) -> None:
+        """Record the current footprint as the advertised one."""
+        self._advertised = self._footprint()
+
+    def needs_refresh(self) -> bool:
+        """True when the footprint drifted from the advertised one."""
+        return self._footprint() != self._advertised
+
+    def refresh(self, peer_id: str) -> Optional[ActiveSchema]:
+        """A fresh advertisement when needed, else ``None``."""
+        if not self.needs_refresh():
+            return None
+        self.mark_advertised()
+        advertisement = self.base.active_schema(peer_id)
+        return advertisement

@@ -1,0 +1,70 @@
+"""Client-peers: query entry points with no base of their own.
+
+Client-peers "have only the ability to pose RQL queries to the rest of
+the P2P system" (Section 3); they connect to a simple peer, submit
+queries and collect answers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from ..net.message import Message
+from .base import Peer
+from .protocol import QueryResult, QuerySubmit
+
+
+class ClientPeer(Peer):
+    """A query-only peer.
+
+    Example:
+        >>> client = ClientPeer("C1")          # doctest: +SKIP
+        >>> client.join(network)               # doctest: +SKIP
+        >>> qid = client.submit("P1", "SELECT ...")  # doctest: +SKIP
+        >>> network.run()                      # doctest: +SKIP
+        >>> client.result(qid)                 # doctest: +SKIP
+    """
+
+    def __init__(self, peer_id: str):
+        super().__init__(peer_id, base=None)
+        self.results: Dict[str, QueryResult] = {}
+        self._counter = itertools.count(1)
+
+    def submit(
+        self,
+        via_peer: str,
+        text: str,
+        max_peers: Optional[int] = None,
+        limit: Optional[int] = None,
+        order_by: Optional[str] = None,
+        descending: bool = False,
+    ) -> str:
+        """Submit an RQL query through a simple peer; returns the
+        query id to look the answer up with.
+
+        Args:
+            via_peer: The simple peer acting as coordinator.
+            text: RQL source text.
+            max_peers: Broadcast bound per path pattern (Section 5's
+                completeness/load trade-off).
+            limit: Top-N / Bottom-N bound on the answer size.
+            order_by: Variable to order the answer by before the limit.
+            descending: Sort direction for ``order_by``.
+        """
+        query_id = f"{self.peer_id}-q{next(self._counter)}"
+        self.send(
+            via_peer,
+            QuerySubmit(
+                query_id, text, self.peer_id, max_peers, limit, order_by, descending
+            ),
+        )
+        return query_id
+
+    def handle_QueryResult(self, message: Message) -> None:
+        result: QueryResult = message.payload
+        # first answer wins; late duplicates (ad-hoc races) are dropped
+        self.results.setdefault(result.query_id, result)
+
+    def result(self, query_id: str) -> Optional[QueryResult]:
+        return self.results.get(query_id)

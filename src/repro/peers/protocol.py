@@ -1,0 +1,157 @@
+"""Peer-level protocol payloads.
+
+These ride inside :class:`~repro.net.message.Message` envelopes.
+Channel-level packets (subplans, data) live in
+:mod:`repro.channels.packets`; the payloads here cover query
+submission, routing, advertisement push/pull and ad-hoc partial-plan
+forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.algebra import PlanNode, count_scans
+from ..core.annotations import AnnotatedQueryPattern
+from ..rql.bindings import BindingTable
+from ..rql.pattern import QueryPattern
+from ..rvl.active_schema import ActiveSchema
+
+
+@dataclass(frozen=True)
+class QuerySubmit:
+    """Client → simple peer: evaluate this RQL query.
+
+    ``max_peers`` / ``limit`` carry the completeness/load trade-off of
+    Section 5: bound the per-pattern broadcast and the answer size.
+    """
+
+    query_id: str
+    text: str
+    reply_to: str
+    max_peers: Optional[int] = None
+    limit: Optional[int] = None
+    order_by: Optional[str] = None
+    descending: bool = False
+
+    def size_bytes(self) -> int:
+        return 64 + len(self.text)
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Coordinator → client: the final answer (or an error)."""
+
+    query_id: str
+    table: Optional[BindingTable]
+    error: Optional[str] = None
+
+    def size_bytes(self) -> int:
+        return 64 + (self.table.size_bytes() if self.table is not None else len(self.error or ""))
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """Simple peer → super-peer: annotate this query pattern
+    (hybrid architecture, first evaluation phase of Section 3.1)."""
+
+    query_id: str
+    pattern: QueryPattern
+    requester: str
+    hops: int = 0
+
+    def size_bytes(self) -> int:
+        return 96 + 48 * len(self.pattern)
+
+
+@dataclass(frozen=True)
+class RouteReply:
+    """Super-peer → simple peer: the annotated query pattern."""
+
+    query_id: str
+    annotated: AnnotatedQueryPattern
+
+    def size_bytes(self) -> int:
+        peers = sum(
+            len(self.annotated.peers_for(p)) for p in self.annotated.query_pattern
+        )
+        return 96 + 32 * peers
+
+
+@dataclass(frozen=True)
+class Advertise:
+    """Peer → super-peer / neighbour: my active-schema (push)."""
+
+    active_schema: ActiveSchema
+
+    def size_bytes(self) -> int:
+        return self.active_schema.size_bytes()
+
+
+@dataclass(frozen=True)
+class AdvertisementRequest:
+    """Peer → neighbour: send me your active-schema(s) (pull).
+
+    ``depth`` > 1 asks the neighbour to forward the request onward,
+    implementing the 2-depth / 3-depth neighbourhood discovery of
+    Section 3.2.
+    """
+
+    requester: str
+    depth: int = 1
+
+    def size_bytes(self) -> int:
+        return 64
+
+
+@dataclass(frozen=True)
+class AdvertisementReply:
+    """Neighbour → requester: the advertisements it knows at this depth."""
+
+    schemas: Tuple[ActiveSchema, ...]
+    from_peer: str
+
+    def size_bytes(self) -> int:
+        return 32 + sum(s.size_bytes() for s in self.schemas)
+
+
+@dataclass(frozen=True)
+class DelegatedResult:
+    """Completing peer → query root: the outcome of a forwarded plan.
+
+    Carries the *raw* (unprojected) bindings so the root applies the
+    original query's filters and projection; or an error when the
+    receiving peer could not fill the plan's holes either.
+    """
+
+    query_id: str
+    table: Optional[BindingTable]
+    from_peer: str
+    error: Optional[str] = None
+
+    def size_bytes(self) -> int:
+        if self.table is None:
+            return 96 + len(self.error or "")
+        return 96 + self.table.size_bytes()
+
+
+@dataclass(frozen=True)
+class PartialPlan:
+    """Peer → peer able to answer part of the plan: continue routing.
+
+    Carries a plan with holes plus coordination context (ad-hoc
+    interleaved routing/processing, Section 3.2).  ``visited`` prevents
+    forwarding loops.
+    """
+
+    query_id: str
+    plan: PlanNode
+    pattern: QueryPattern
+    root_peer: str
+    reply_to: str
+    visited: Tuple[str, ...] = ()
+    conditions_text: str = ""
+
+    def size_bytes(self) -> int:
+        return 160 + 96 * count_scans(self.plan) + 16 * len(self.visited)

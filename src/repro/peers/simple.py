@@ -1,0 +1,440 @@
+"""Simple peers: storage, query coordination and execution.
+
+A simple peer shares its base with the SON, answers subplans, and —
+when a client submits a query to it — acts as the query's coordinator:
+it obtains an annotated query pattern (how depends on the
+architecture), generates and optimises the plan, deploys channels, and
+assembles the final answer.  Run-time adaptation lives here too: when
+a channel fails, the coordinator discards partial results (ubQL),
+re-routes without the obsolete peers and re-executes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Set
+
+from ..core.algebra import PlanNode
+from ..core.annotations import AnnotatedQueryPattern
+from ..core.constraints import QueryConstraints, UNCONSTRAINED, apply_peer_bound
+from ..core.cost import CostModel, Statistics
+from ..core.optimizer import optimize
+from ..core.planning import build_plan
+from ..core.routing import route_query
+from ..core.shipping import assign_sites
+from ..errors import ParseError, SchemaError
+from ..execution.engine import PlanExecutor
+from ..execution.operators import finalize
+from ..net.message import Message
+from ..rdf.schema import Schema
+from ..rql.ast import RQLQuery
+from ..rql.bindings import BindingTable
+from ..rql.parser import parse_query
+from ..rql.pattern import QueryPattern, extract_pattern
+from ..rvl.active_schema import ActiveSchema
+from .base import Peer, PeerBase
+from .churn import AdvertisementTracker, Goodbye
+from .protocol import (
+    Advertise,
+    AdvertisementReply,
+    AdvertisementRequest,
+    QueryResult,
+    QuerySubmit,
+)
+
+
+class PendingQuery:
+    """Coordinator-side state of one in-flight query."""
+
+    def __init__(
+        self,
+        query_id: str,
+        query: RQLQuery,
+        pattern: QueryPattern,
+        reply_to: str,
+        constraints: Optional[QueryConstraints] = None,
+    ):
+        self.query_id = query_id
+        self.query = query
+        self.pattern = pattern
+        self.reply_to = reply_to
+        self.constraints = constraints or UNCONSTRAINED
+        self.excluded: Set[str] = set()
+        self.attempts = 0
+        self.executor: Optional[PlanExecutor] = None
+        self.annotated: Optional[AnnotatedQueryPattern] = None
+        self.discarded_results = 0
+        #: scan-result cache carried across phases (phased policy only)
+        self.scan_cache: Dict = {}
+        self.reused_rows = 0
+
+
+class SimplePeer(Peer):
+    """A peer with a local base that can coordinate queries.
+
+    The base class routes from *local knowledge* (its own base plus
+    advertisements it has received); the hybrid and ad-hoc subclasses
+    override :meth:`_obtain_routing` / :meth:`_handle_incomplete` with
+    their architecture's behaviour.
+
+    Args:
+        peer_id: Network address.
+        base: Local description base.
+        adaptive: Replan on channel failures (Section 2.5).
+        max_replans: Bound on adaptation rounds per query.
+        optimize_plans: Apply compile-time optimisation.
+        use_shipping: Let the cost model place operators (hybrid
+            shipping); otherwise everything joins at the coordinator.
+        failure_policy: What happens to partial results on a replan —
+            ``"discard"`` (the ubQL policy SQPeer adopts: previous
+            intermediate results are thrown away) or ``"phased"`` (the
+            [Ives02] alternative: completed subresults carry over into
+            the next phase and are combined at cleanup).
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        base: Optional[PeerBase] = None,
+        adaptive: bool = True,
+        max_replans: int = 3,
+        optimize_plans: bool = True,
+        use_shipping: bool = False,
+        statistics: Optional[Statistics] = None,
+        failure_policy: str = "discard",
+        secondary_bases=(),
+    ):
+        super().__init__(peer_id, base, secondary_bases=secondary_bases)
+        if failure_policy not in ("discard", "phased"):
+            raise ValueError("failure_policy must be 'discard' or 'phased'")
+        self.adaptive = adaptive
+        self.max_replans = max_replans
+        self.optimize_plans = optimize_plans
+        self.use_shipping = use_shipping
+        self.failure_policy = failure_policy
+        #: phased policy: virtual-time window for the old phase's
+        #: in-flight results to land in the cache before the new phase
+        self.phase_settle_time = 10.0
+        #: pipelined evaluation (Section 2.5's "pipeline way"): stream
+        #: remote chunks through incremental joins/unions at the
+        #: coordinator; ``last_first_output_at`` records when the most
+        #: recent query produced its first rows
+        self.pipelined_execution = False
+        self.last_first_output_at: Optional[float] = None
+        #: run-time throughput monitoring (Section 2.5): watch per-
+        #: channel tuple flow and replan away from stalled channels
+        self.monitor_channels = False
+        self.monitor_interval = 15.0
+        self.stall_checks = 2
+        #: channel id -> (tuples seen at last tick, consecutive stalls)
+        self._stall_counts: Dict[str, tuple] = {}
+        self.statistics = statistics or Statistics()
+        self.known_advertisements: Dict[str, ActiveSchema] = {}
+        self._pending: Dict[str, PendingQuery] = {}
+        self._query_counter = itertools.count(1)
+        self._tracker = AdvertisementTracker(base) if base is not None else None
+
+    # ------------------------------------------------------------------
+    # advertisements
+    # ------------------------------------------------------------------
+    def own_advertisement(self) -> Optional[ActiveSchema]:
+        if self.base is None:
+            return None
+        if self._tracker is not None:
+            self._tracker.mark_advertised()
+        advertisement = self.base.active_schema(self.peer_id)
+        return None if advertisement.is_empty() else advertisement
+
+    def own_advertisements(self) -> List[ActiveSchema]:
+        """One advertisement per non-empty base (multi-SON peers)."""
+        out = []
+        primary = self.own_advertisement()
+        if primary is not None:
+            out.append(primary)
+        for base in self.secondary_bases:
+            advertisement = base.active_schema(self.peer_id)
+            if not advertisement.is_empty():
+                out.append(advertisement)
+        return out
+
+    def remember_advertisement(self, advertisement: ActiveSchema) -> None:
+        if advertisement.peer_id and advertisement.peer_id != self.peer_id:
+            self.known_advertisements[advertisement.peer_id] = advertisement
+
+    def handle_Advertise(self, message: Message) -> None:
+        self.remember_advertisement(message.payload.active_schema)
+
+    def handle_AdvertisementRequest(self, message: Message) -> None:
+        request: AdvertisementRequest = message.payload
+        own = self.own_advertisement()
+        schemas = (own,) if own is not None else ()
+        self.send(request.requester, AdvertisementReply(tuple(schemas), self.peer_id))
+
+    def handle_AdvertisementReply(self, message: Message) -> None:
+        for advertisement in message.payload.schemas:
+            self.remember_advertisement(advertisement)
+
+    def _advertisement_targets(self) -> List[str]:
+        """Who holds this peer's advertisement (architecture-specific:
+        the home super-peer in hybrid SONs, the neighbours in ad-hoc)."""
+        return []
+
+    def refresh_advertisement(self) -> bool:
+        """Push a fresh advertisement when the base's intensional
+        footprint changed (Section 2.2: extensional churn is free).
+        Returns True when an advertisement was sent."""
+        if self._tracker is None:
+            return False
+        advertisement = self._tracker.refresh(self.peer_id)
+        if advertisement is None:
+            return False
+        for target in self._advertisement_targets():
+            self.send(target, Advertise(advertisement))
+        return True
+
+    def leave(self) -> None:
+        """Depart gracefully: holders of this peer's advertisement
+        forget it, then the peer goes dark (in-flight subplans bounce,
+        triggering the roots' run-time adaptation)."""
+        network = self._require_network()
+        for target in self._advertisement_targets():
+            self.send(target, Goodbye(self.peer_id))
+        network.fail_peer(self.peer_id)
+
+    def handle_Goodbye(self, message: Message) -> None:
+        self.known_advertisements.pop(message.payload.peer_id, None)
+
+    def _routing_knowledge(self) -> List[ActiveSchema]:
+        """Everything this peer can route with: its own advertisement
+        plus the ones it has collected."""
+        knowledge = list(self.known_advertisements.values())
+        knowledge.extend(self.own_advertisements())
+        return knowledge
+
+    # ------------------------------------------------------------------
+    # query coordination
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Optional[Schema]:
+        return self.base.schema if self.base is not None else None
+
+    def handle_QuerySubmit(self, message: Message) -> None:
+        submit: QuerySubmit = message.payload
+        network = self._require_network()
+        network.metrics.query_started(submit.query_id, network.now)
+        try:
+            query = parse_query(submit.text)
+            pattern = self._extract_against_any_schema(query)
+        except (ParseError, SchemaError) as exc:
+            self.send(submit.reply_to, QueryResult(submit.query_id, None, str(exc)))
+            return
+        constraints = QueryConstraints(
+            max_peers_per_pattern=submit.max_peers,
+            max_results=submit.limit,
+            order_by=submit.order_by,
+            descending=submit.descending,
+        )
+        pending = PendingQuery(
+            submit.query_id, query, pattern, submit.reply_to, constraints
+        )
+        self._pending[submit.query_id] = pending
+        self._obtain_routing(pending)
+
+    def _extract_against_any_schema(self, query: RQLQuery) -> QueryPattern:
+        """Resolve the query against the first of this peer's schemas
+        that declares its vocabulary (multi-SON peers speak several)."""
+        bases = self.all_bases()
+        if not bases:
+            raise SchemaError(f"peer {self.peer_id} has no schema to parse against")
+        last_error: Optional[SchemaError] = None
+        for base in bases:
+            try:
+                return extract_pattern(query, base.schema)
+            except SchemaError as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error
+
+    def _obtain_routing(self, pending: PendingQuery) -> None:
+        """Acquire the annotated query pattern.  Base behaviour: route
+        from local knowledge (subclasses ask super-peers or interleave)."""
+        annotated = route_query(pending.pattern, self._routing_knowledge(), self.schema)
+        self._on_annotated(pending, annotated)
+
+    def _on_annotated(self, pending: PendingQuery, annotated: AnnotatedQueryPattern) -> None:
+        annotated = annotated.without_peers(pending.excluded)
+        annotated = apply_peer_bound(annotated, pending.constraints, self.statistics)
+        pending.annotated = annotated
+        plan = self._compile(annotated)
+        if plan.is_complete():
+            self._execute_plan(pending, plan)
+        else:
+            self._handle_incomplete(pending, plan, annotated)
+
+    def _compile(self, annotated: AnnotatedQueryPattern) -> PlanNode:
+        plan = build_plan(annotated)
+        if self.optimize_plans:
+            plan = optimize(plan, CostModel(self.statistics)).result
+        return plan
+
+    def _handle_incomplete(
+        self, pending: PendingQuery, plan: PlanNode, annotated: AnnotatedQueryPattern
+    ) -> None:
+        """No peer is known for some path pattern.  Base behaviour:
+        give up (the ad-hoc subclass forwards partial plans instead)."""
+        holes = ", ".join(h.render() for h in plan.holes())
+        self._reply_error(pending, f"no relevant peers for: {holes}")
+
+    # ------------------------------------------------------------------
+    # execution + adaptation
+    # ------------------------------------------------------------------
+    def _execute_plan(self, pending: PendingQuery, plan: PlanNode) -> None:
+        network = self._require_network()
+        sites = None
+        if self.use_shipping:
+            assignment = assign_sites(plan, self.peer_id, CostModel(self.statistics))
+            sites = assignment.sites
+
+        def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
+            if pending.executor is not None:
+                pending.reused_rows += pending.executor.reused_rows
+                self.last_first_output_at = pending.executor.first_output_at
+            if failed is not None:
+                self._on_execution_failure(pending, failed)
+            else:
+                assert table is not None
+                self._reply_result(pending, table)
+
+        pending.attempts += 1
+        pending.executor = PlanExecutor(
+            self,
+            network,
+            plan,
+            sites=sites,
+            query_id=pending.query_id,
+            on_complete=on_complete,
+            scan_cache=pending.scan_cache if self.failure_policy == "phased" else None,
+            pipelined=self.pipelined_execution,
+        )
+        pending.executor.start()
+        if self.monitor_channels and self.adaptive:
+            self._schedule_monitor_tick(pending.query_id)
+
+    # ------------------------------------------------------------------
+    # run-time throughput monitoring (Section 2.5)
+    # ------------------------------------------------------------------
+    def _schedule_monitor_tick(self, query_id: str) -> None:
+        network = self._require_network()
+        network.call_later(
+            self.monitor_interval, lambda: self._monitor_tick(query_id)
+        )
+
+    def _monitor_tick(self, query_id: str) -> None:
+        """Check the query's open channels for stalled tuple flow.
+
+        A channel that made no progress across ``stall_checks``
+        consecutive ticks is declared failed; the usual adaptation path
+        then replans without its destination ("the root node of each
+        channel is responsible for identifying possible problems ...
+        and for handling them accordingly").
+        """
+        pending = self._pending.get(query_id)
+        if pending is None:
+            return  # query answered: stop monitoring
+        stalled_channel = None
+        for channel_id, channel in self.channels.open_channels().items():
+            if channel.query_id != query_id:
+                continue
+            if self._stall_counts.get(channel_id, (None, 0))[0] == channel.tuples_received:
+                count = self._stall_counts[channel_id][1] + 1
+            else:
+                count = 1
+            self._stall_counts[channel_id] = (channel.tuples_received, count)
+            if count > self.stall_checks:
+                stalled_channel = channel_id
+        if stalled_channel is not None:
+            self._stall_counts.pop(stalled_channel, None)
+            self.channels.on_failure(stalled_channel)
+            return  # the failure path schedules no further ticks itself
+        self._schedule_monitor_tick(query_id)
+
+    def _on_execution_failure(self, pending: PendingQuery, failed_peer: str) -> None:
+        """Run-time adaptation: exclude the obsolete peer, discard
+        partial results, re-route and re-execute (Section 2.5)."""
+        pending.excluded.add(failed_peer)
+        pending.discarded_results += 1
+        if pending.executor is not None:
+            # ubQL: discard on-going computation; phased: salvage the
+            # old phase's in-flight scan results into the cache
+            pending.executor.abort()
+        if not self.adaptive or pending.attempts > self.max_replans:
+            self._reply_error(pending, f"peer {failed_peer} failed")
+            return
+        if self.failure_policy == "phased":
+            # phase boundary: give the previous phase's completed
+            # computations time to land before the cleanup/retry phase
+            network = self._require_network()
+            network.call_later(
+                self.phase_settle_time,
+                lambda: self._retry_if_pending(pending.query_id),
+            )
+        else:
+            self._obtain_routing(pending)
+
+    def _retry_if_pending(self, query_id: str) -> None:
+        pending = self._pending.get(query_id)
+        if pending is not None:
+            self._obtain_routing(pending)
+
+    # ------------------------------------------------------------------
+    # statistics feedback (Section 2.5: per-channel stats packets)
+    # ------------------------------------------------------------------
+    def handle_StatsPacket(self, message: Message) -> None:
+        """Fold a destination's reported cardinalities into the local
+        statistics store, keyed by the channel's destination peer —
+        the optimiser of subsequent queries benefits."""
+        packet = message.payload
+        try:
+            channel = self.channels.channel(packet.channel_id)
+        except Exception:
+            return  # stats for a discarded channel: ignore
+        from ..rdf.terms import URI
+
+        for prop_value, rows in packet.cardinalities.items():
+            self.statistics.set_cardinality(
+                channel.destination, URI(prop_value), rows
+            )
+
+    # ------------------------------------------------------------------
+    # replies
+    # ------------------------------------------------------------------
+    def _reply_result(self, pending: PendingQuery, table: BindingTable) -> None:
+        if pending.query_id not in self._pending:
+            return  # already answered (e.g. first-wins in ad-hoc mode)
+        final = finalize(
+            table,
+            pending.query.effective_projections(),
+            pending.query.conditions,
+        )
+        final = pending.constraints.apply_result_bounds(final)
+        self._finish(pending, QueryResult(pending.query_id, final))
+
+    def _reply_error(self, pending: PendingQuery, reason: str) -> None:
+        if pending.query_id not in self._pending:
+            return
+        self._finish(pending, QueryResult(pending.query_id, None, reason))
+
+    def _finish(self, pending: PendingQuery, result: QueryResult) -> None:
+        del self._pending[pending.query_id]
+        network = self._require_network()
+        network.metrics.query_finished(pending.query_id, network.now)
+        if pending.reply_to == self.peer_id:
+            # locally submitted (tests drive peers directly)
+            return
+        self.send(pending.reply_to, result)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def next_query_id(self) -> str:
+        return f"{self.peer_id}-q{next(self._query_counter)}"

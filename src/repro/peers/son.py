@@ -1,0 +1,59 @@
+"""Semantic Overlay Network membership bookkeeping.
+
+A SON clusters the peers that employ one community RDF/S schema
+(Section 1).  The registry groups advertisements by schema URI; both
+architectures use it — super-peers hold one per cluster, ad-hoc peers
+grow one incrementally from neighbourhood pulls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set
+
+from ..rvl.active_schema import ActiveSchema
+
+
+class SONRegistry:
+    """Advertisements grouped into SONs by community schema URI."""
+
+    def __init__(self):
+        self._sons: Dict[str, Dict[str, ActiveSchema]] = {}
+
+    def add(self, advertisement: ActiveSchema) -> None:
+        """File an advertisement under its schema's SON."""
+        if advertisement.peer_id is None:
+            raise ValueError("advertisement must carry a peer id")
+        son = self._sons.setdefault(advertisement.schema_uri, {})
+        existing = son.get(advertisement.peer_id)
+        if existing is not None:
+            advertisement = existing.merge(advertisement)
+        son[advertisement.peer_id] = advertisement
+
+    def remove_peer(self, peer_id: str) -> None:
+        """Drop a departed peer from every SON."""
+        for son in self._sons.values():
+            son.pop(peer_id, None)
+        self._sons = {uri: son for uri, son in self._sons.items() if son}
+
+    def members(self, schema_uri: str) -> Set[str]:
+        """Peers belonging to one SON."""
+        return set(self._sons.get(schema_uri, {}))
+
+    def advertisements(self, schema_uri: str) -> List[ActiveSchema]:
+        """The SON's advertisements, sorted by peer id."""
+        son = self._sons.get(schema_uri, {})
+        return [son[p] for p in sorted(son)]
+
+    def sons(self) -> List[str]:
+        """The schema URIs with at least one member."""
+        return sorted(self._sons)
+
+    def sons_of(self, peer_id: str) -> List[str]:
+        """The SONs one peer belongs to."""
+        return sorted(uri for uri, son in self._sons.items() if peer_id in son)
+
+    def __len__(self) -> int:
+        return len(self._sons)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sons())

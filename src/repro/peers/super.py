@@ -1,0 +1,191 @@
+"""Super-peers: routing servers of the hybrid architecture (Section 3.1).
+
+A super-peer collects the active-schemas of the simple peers clustered
+under it (one cluster per community schema / SON), answers
+:class:`~repro.peers.protocol.RouteRequest` messages by running the
+routing algorithm over its registry, and forwards requests for schemas
+it is not responsible for across the super-peer backbone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
+from ..core.routing import route_query
+from ..core.routing_index import RoutingIndex
+from ..errors import PeerError
+from ..mappings.articulation import Articulation
+from ..net.message import Message
+from ..rdf.schema import Schema
+from ..rvl.active_schema import ActiveSchema
+from .base import Peer
+from .protocol import Advertise, RouteReply, RouteRequest
+
+#: Guard against route requests circulating the backbone forever.
+MAX_BACKBONE_HOPS = 8
+
+
+class SuperPeer(Peer):
+    """A routing server for one or more SONs.
+
+    Args:
+        peer_id: Network address.
+        schemas: The community schemas this super-peer is responsible
+            for (it can route queries over them).
+        backbone_directory: Shared mapping schema URI → responsible
+            super-peer id; lets any super-peer forward a request for an
+            unknown schema to the right one.  All super-peers of a
+            deployment share one directory instance.
+        parent: Optional parent super-peer for the multi-layered
+            hierarchical organisation of Section 3.1: requests for
+            schemas unknown to this layer escalate upward instead of
+            failing.
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        schemas: Iterable[Schema] = (),
+        backbone_directory: Optional[Dict[str, str]] = None,
+        parent: Optional[str] = None,
+    ):
+        super().__init__(peer_id, base=None)
+        self.parent = parent
+        self.schemas: Dict[str, Schema] = {s.namespace.uri: s for s in schemas}
+        self.backbone_directory = (
+            backbone_directory if backbone_directory is not None else {}
+        )
+        for uri in self.schemas:
+            self.backbone_directory[uri] = peer_id
+        self.registry: Dict[str, Dict[str, ActiveSchema]] = {
+            uri: {} for uri in self.schemas
+        }
+        #: per-SON property-bucket indices for O(candidates) routing
+        self.indices: Dict[str, RoutingIndex] = {
+            uri: RoutingIndex(schema) for uri, schema in self.schemas.items()
+        }
+        self.articulations: List[Articulation] = []
+
+    def add_articulation(self, articulation: Articulation) -> None:
+        """Register a mediation mapping.  The super-peer must manage
+        both SONs (it needs the target SON's advertisements to route
+        reformulated queries).
+
+        Raises:
+            PeerError: When either schema is not managed here.
+        """
+        for schema in (articulation.source, articulation.target):
+            uri = schema.namespace.uri
+            if uri not in self.schemas:
+                self.schemas[uri] = schema
+                self.backbone_directory[uri] = self.peer_id
+                self.registry.setdefault(uri, {})
+                self.indices.setdefault(uri, RoutingIndex(schema))
+        self.articulations.append(articulation)
+
+    # ------------------------------------------------------------------
+    # advertisement registry
+    # ------------------------------------------------------------------
+    def handle_Advertise(self, message: Message) -> None:
+        advertisement: ActiveSchema = message.payload.active_schema
+        if advertisement.peer_id is None:
+            raise PeerError("advertisement without peer id")
+        son = self.registry.setdefault(advertisement.schema_uri, {})
+        son[advertisement.peer_id] = advertisement
+        index = self.indices.get(advertisement.schema_uri)
+        if index is not None:
+            index.add(advertisement)
+
+    def deregister(self, peer_id: str) -> None:
+        """Drop a departed peer's advertisements from every SON."""
+        for son in self.registry.values():
+            son.pop(peer_id, None)
+        for index in self.indices.values():
+            index.remove(peer_id)
+
+    def handle_Goodbye(self, message: Message) -> None:
+        """A clustered peer departs: forget its advertisements."""
+        self.deregister(message.payload.peer_id)
+
+    def advertisements_for(self, schema_uri: str) -> List[ActiveSchema]:
+        return sorted(
+            self.registry.get(schema_uri, {}).values(), key=lambda a: a.peer_id or ""
+        )
+
+    def cluster(self, schema_uri: str) -> Set[str]:
+        """The peers clustered under this super-peer for one SON."""
+        return set(self.registry.get(schema_uri, {}))
+
+    # ------------------------------------------------------------------
+    # routing service
+    # ------------------------------------------------------------------
+    def is_responsible_for(self, schema_uri: str) -> bool:
+        return schema_uri in self.schemas
+
+    def handle_RouteRequest(self, message: Message) -> None:
+        request: RouteRequest = message.payload
+        schema_uri = request.pattern.schema.namespace.uri
+        if self.is_responsible_for(schema_uri):
+            annotated = self.indices[schema_uri].route(request.pattern)
+            self._mediate(request, annotated)
+            self.send(request.requester, RouteReply(request.query_id, annotated))
+            return
+        # not responsible: discover the right super-peer via the backbone
+        responsible = self.backbone_directory.get(schema_uri)
+        if responsible is None and self.parent is not None and (
+            request.hops < MAX_BACKBONE_HOPS
+        ):
+            # multi-layer hierarchy: escalate to the parent layer
+            responsible = self.parent
+        if responsible is None or request.hops >= MAX_BACKBONE_HOPS:
+            # nobody reachable owns this schema: empty annotation
+            annotated = route_query(request.pattern, [], request.pattern.schema)
+            self.send(request.requester, RouteReply(request.query_id, annotated))
+            return
+        self.send(
+            responsible,
+            RouteRequest(
+                request.query_id,
+                request.pattern,
+                request.requester,
+                hops=request.hops + 1,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # mediation (Section 3.1: reformulation across articulations)
+    # ------------------------------------------------------------------
+    def _mediate(
+        self, request: RouteRequest, annotated: AnnotatedQueryPattern
+    ) -> None:
+        """Extend the annotation with peers of articulated SONs.
+
+        For every articulation whose source is the query's schema, the
+        pattern is reformulated into the target vocabulary and routed
+        over the target SON's registry; matching peers are annotated on
+        the *original* pattern with their reformulated subqueries, so
+        the generated plan ships each peer a query in its own terms.
+        """
+        schema_uri = request.pattern.schema.namespace.uri
+        for articulation in self.articulations:
+            if articulation.source.namespace.uri != schema_uri:
+                continue
+            reformulated = articulation.reformulate(request.pattern)
+            if reformulated is None:
+                continue
+            target_uri = articulation.target.namespace.uri
+            index = self.indices.get(target_uri)
+            if index is None:
+                continue
+            target_annotated = index.route(reformulated)
+            for original, mapped in zip(
+                request.pattern.patterns, reformulated.patterns
+            ):
+                for annotation in target_annotated.annotations(mapped):
+                    annotated.annotate(
+                        original,
+                        PeerAnnotation(
+                            annotation.peer_id, annotation.rewritten, exact=False
+                        ),
+                    )

@@ -1,0 +1,61 @@
+"""RDF/S data model substrate.
+
+Provides terms, triples, an indexed graph store, the RDF/S schema model
+with subsumption, RDFS inference, and N-Triples serialisation.
+"""
+
+from .graph import Graph
+from .inference import InferredView, materialize_closure
+from .schema import PropertyDef, Schema
+from .serializer import deserialize, graph_size_bytes, serialize
+from .store_io import load_graph, load_schema, save_graph, save_schema
+from .terms import BNode, Literal, Namespace, Term, URI, Variable
+from .triple import Triple
+from .vocabulary import (
+    CLASS,
+    DOMAIN,
+    LITERAL_CLASS,
+    PROPERTY,
+    RANGE,
+    RDF,
+    RDFS,
+    RESOURCE,
+    SUBCLASSOF,
+    SUBPROPERTYOF,
+    TYPE,
+    XSD,
+)
+
+__all__ = [
+    "BNode",
+    "CLASS",
+    "DOMAIN",
+    "Graph",
+    "InferredView",
+    "LITERAL_CLASS",
+    "Literal",
+    "Namespace",
+    "PROPERTY",
+    "PropertyDef",
+    "RANGE",
+    "RDF",
+    "RDFS",
+    "RESOURCE",
+    "SUBCLASSOF",
+    "SUBPROPERTYOF",
+    "Schema",
+    "TYPE",
+    "Term",
+    "Triple",
+    "URI",
+    "Variable",
+    "XSD",
+    "deserialize",
+    "graph_size_bytes",
+    "load_graph",
+    "load_schema",
+    "materialize_closure",
+    "save_graph",
+    "save_schema",
+    "serialize",
+]

@@ -1,0 +1,163 @@
+"""RDFS inference over instance data.
+
+SQPeer's query semantics are *schema-aware*: asking for instances of a
+class also returns instances of its subclasses, and asking for a
+property also returns statements of its subproperties (that is how peer
+P4, which only holds ``prop4`` data, answers a ``prop1`` query in the
+paper's Figure 2).  :class:`InferredView` provides that semantics lazily
+over a base :class:`~repro.rdf.graph.Graph` without materialising the
+closure; :func:`materialize_closure` computes the full RDFS closure when
+an application wants a static graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Set
+
+from .graph import Graph
+from .schema import Schema
+from .terms import Term, URI
+from .triple import Triple
+from .vocabulary import TYPE
+
+
+class InferredView:
+    """A read-only, RDFS-entailed view over a base graph.
+
+    Args:
+        base: The asserted triples.
+        schema: The schema supplying class/property hierarchies.
+    """
+
+    def __init__(self, base: Graph, schema: Schema):
+        self._base = base
+        self._schema = schema
+
+    @property
+    def base(self) -> Graph:
+        """The underlying asserted graph."""
+        return self._base
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield entailed triples matching the pattern.
+
+        Entailment applied:
+
+        * a query on property ``p`` also scans every ``p' ⊑ p``
+          (results are reported with the *asserted* predicate);
+        * a query on ``rdf:type C`` also scans every ``C' ⊑ C`` and
+          derives types from property domain/range declarations.
+        """
+        if predicate is None:
+            yield from self._base.triples(subject, None, obj)
+            return
+        if predicate == TYPE:
+            yield from self._type_triples(subject, obj)
+            return
+        if self._schema.has_property(predicate):
+            seen: Set[Triple] = set()
+            for sub_prop in self._schema.subproperties(predicate):
+                for t in self._base.triples(subject, sub_prop, obj):
+                    if t not in seen:
+                        seen.add(t)
+                        yield t
+            return
+        yield from self._base.triples(subject, predicate, obj)
+
+    def _type_triples(self, subject: Optional[Term], obj: Optional[Term]) -> Iterator[Triple]:
+        """Entailed ``rdf:type`` statements.
+
+        A resource is an instance of class ``C`` when it is asserted to
+        be an instance of any ``C' ⊑ C``, or when it occurs as the
+        subject (resp. object) of a property whose domain (resp. range)
+        is subsumed by ``C``.
+        """
+        if obj is not None and isinstance(obj, URI) and self._schema.has_class(obj):
+            emitted: Set[Term] = set()
+            for member in self.instances_of(obj):
+                if subject is not None and member != subject:
+                    continue
+                if member not in emitted:
+                    emitted.add(member)
+                    yield Triple(member, TYPE, obj)
+            return
+        yield from self._base.triples(subject, TYPE, obj)
+
+    def instances_of(self, cls: URI) -> Iterator[Term]:
+        """Yield distinct resources entailed to be instances of ``cls``."""
+        seen: Set[Term] = set()
+        for sub_cls in self._schema.subclasses(cls):
+            for member in self._base.subjects(TYPE, sub_cls):
+                if member not in seen:
+                    seen.add(member)
+                    yield member
+        for prop_def in self._schema:
+            if self._schema.is_subclass(prop_def.domain, cls):
+                for sub_prop in self._schema.subproperties(prop_def.uri):
+                    for t in self._base.triples(None, sub_prop, None):
+                        if t.subject not in seen:
+                            seen.add(t.subject)
+                            yield t.subject
+            if self._schema.is_subclass(prop_def.range, cls):
+                for sub_prop in self._schema.subproperties(prop_def.uri):
+                    for t in self._base.triples(None, sub_prop, None):
+                        if t.object not in seen:
+                            seen.add(t.object)
+                            yield t.object
+
+    def is_instance_of(self, resource: Term, cls: URI) -> bool:
+        """True when ``resource`` is an entailed instance of ``cls``."""
+        for t in self._base.triples(resource, TYPE, None):
+            if isinstance(t.object, URI) and self._schema.has_class(t.object):
+                if self._schema.is_subclass(t.object, cls):
+                    return True
+        for t in self._base.triples(resource, None, None):
+            if self._schema.has_property(t.predicate):
+                domain = self._schema.domain_of(t.predicate)
+                if self._schema.is_subclass(domain, cls):
+                    return True
+        for t in self._base.triples(None, None, resource):
+            if self._schema.has_property(t.predicate):
+                range_ = self._schema.range_of(t.predicate)
+                if self._schema.is_subclass(range_, cls):
+                    return True
+        return False
+
+
+def materialize_closure(base: Graph, schema: Schema) -> Graph:
+    """Compute the RDFS closure of ``base`` under ``schema`` as a new graph.
+
+    Adds: entailed ``rdf:type`` statements from subclass edges and from
+    property domain/range, plus entailed property statements from
+    subproperty edges.
+    """
+    closed = base.copy()
+    # property entailment: p' ⊑ p and (s, p', o)  ⇒  (s, p, o)
+    for prop_def in schema:
+        for parent in schema.superproperties(prop_def.uri):
+            if parent == prop_def.uri:
+                continue
+            for t in base.triples(None, prop_def.uri, None):
+                closed.add(t.subject, parent, t.object)
+    # domain/range entailment
+    for prop_def in schema:
+        for t in base.triples(None, prop_def.uri, None):
+            closed.add(t.subject, TYPE, prop_def.domain)
+            if schema.has_class(prop_def.range):
+                closed.add(t.object, TYPE, prop_def.range)
+    # subclass entailment (iterate until fixpoint over one level is enough
+    # because superclasses() is already transitive)
+    for t in list(closed.triples(None, TYPE, None)):
+        if isinstance(t.object, URI) and schema.has_class(t.object):
+            for parent in schema.superclasses(t.object):
+                closed.add(t.subject, TYPE, parent)
+    return closed

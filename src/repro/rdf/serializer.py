@@ -1,0 +1,121 @@
+"""N-Triples-style serialisation and parsing for graphs.
+
+The format is the plain line-oriented N-Triples subset: one triple per
+line, terminated by `` .``, with ``<uri>``, ``_:bnode`` and quoted
+literals (optional ``@lang`` / ``^^<datatype>``).  Used for persisting
+peer bases and for shipping graph fragments across simulated channels.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ParseError
+from .graph import Graph
+from .terms import BNode, Literal, URI
+from .triple import Triple
+
+
+def serialize(graph: Graph) -> str:
+    """Serialise a graph as sorted N-Triples text."""
+    return "\n".join(sorted(t.n3() for t in graph)) + ("\n" if len(graph) else "")
+
+
+def deserialize(text: str) -> Graph:
+    """Parse N-Triples text into a :class:`Graph`."""
+    graph = Graph()
+    # split strictly on '\n': escaped literals never contain a raw one,
+    # while exotic Unicode line separators (U+2028...) may legitimately
+    # appear inside literal text and must not break statements apart
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        graph.add_triple(_parse_line(stripped, line_no))
+    return graph
+
+
+def _parse_line(line: str, line_no: int) -> Triple:
+    terms, pos = [], 0
+    while pos < len(line) and len(terms) < 3:
+        pos = _skip_ws(line, pos)
+        term, pos = _parse_term(line, pos, line_no)
+        terms.append(term)
+    pos = _skip_ws(line, pos)
+    if len(terms) != 3 or pos >= len(line) or line[pos] != ".":
+        raise ParseError(f"line {line_no}: malformed N-Triples statement", line, pos)
+    subject, predicate, obj = terms
+    if not isinstance(predicate, URI):
+        raise ParseError(f"line {line_no}: predicate must be a URI", line, 0)
+    return Triple(subject, predicate, obj)
+
+
+def _skip_ws(line: str, pos: int) -> int:
+    while pos < len(line) and line[pos] in " \t":
+        pos += 1
+    return pos
+
+
+def _parse_term(line: str, pos: int, line_no: int):
+    if pos >= len(line):
+        raise ParseError(f"line {line_no}: unexpected end of line", line, pos)
+    char = line[pos]
+    if char == "<":
+        end = line.find(">", pos)
+        if end == -1:
+            raise ParseError(f"line {line_no}: unterminated URI", line, pos)
+        return URI(line[pos + 1 : end]), end + 1
+    if char == "_" and line[pos : pos + 2] == "_:":
+        end = pos + 2
+        while end < len(line) and (line[end].isalnum() or line[end] in "-_"):
+            end += 1
+        return BNode(line[pos + 2 : end]), end
+    if char == '"':
+        return _parse_literal(line, pos, line_no)
+    raise ParseError(f"line {line_no}: unexpected character {char!r}", line, pos)
+
+
+def _parse_literal(line: str, pos: int, line_no: int):
+    chars: List[str] = []
+    i = pos + 1
+    while i < len(line):
+        c = line[i]
+        if c == "\\" and i + 1 < len(line):
+            escape = line[i + 1]
+            chars.append(
+                {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(
+                    escape, escape
+                )
+            )
+            i += 2
+            continue
+        if c == '"':
+            break
+        chars.append(c)
+        i += 1
+    else:
+        raise ParseError(f"line {line_no}: unterminated literal", line, pos)
+    lexical = "".join(chars)
+    i += 1
+    if line[i : i + 1] == "@":
+        end = i + 1
+        while end < len(line) and (line[end].isalnum() or line[end] == "-"):
+            end += 1
+        return Literal(lexical, language=line[i + 1 : end]), end
+    if line[i : i + 2] == "^^":
+        if line[i + 2 : i + 3] != "<":
+            raise ParseError(f"line {line_no}: datatype must be a URI", line, i)
+        end = line.find(">", i + 2)
+        if end == -1:
+            raise ParseError(f"line {line_no}: unterminated datatype URI", line, i)
+        return Literal(lexical, datatype=URI(line[i + 3 : end])), end + 1
+    return Literal(lexical), i
+
+
+def graph_size_bytes(graph: Graph) -> int:
+    """Approximate wire size of a graph: length of its serialisation.
+
+    The network simulator uses this to charge bandwidth for shipped
+    RDF fragments.
+    """
+    return sum(len(t.n3()) + 1 for t in graph)

@@ -1,0 +1,43 @@
+"""Filesystem persistence for graphs and schemas.
+
+Peers joining "at will" need their description bases on disk between
+sessions; graphs and schemas round-trip through the N-Triples
+serialisation.
+"""
+
+from __future__ import annotations
+
+
+from .graph import Graph
+from .schema import Schema
+from .serializer import deserialize, serialize
+from .terms import Namespace
+
+
+def save_graph(graph: Graph, path: str) -> int:
+    """Write a graph as N-Triples; returns the number of triples."""
+    text = serialize(graph)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return len(graph)
+
+
+def load_graph(path: str) -> Graph:
+    """Read an N-Triples file into a graph.
+
+    Raises:
+        FileNotFoundError: When the path does not exist.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        return deserialize(handle.read())
+
+
+def save_schema(schema: Schema, path: str) -> int:
+    """Persist a schema via its RDF serialisation."""
+    return save_graph(schema.to_graph(), path)
+
+
+def load_schema(path: str, namespace_uri: str, name: str = "") -> Schema:
+    """Rebuild a schema from its persisted RDF serialisation."""
+    graph = load_graph(path)
+    return Schema.from_graph(graph, Namespace(namespace_uri), name)

@@ -1,0 +1,66 @@
+"""The RDF triple value object."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .terms import ObjectTerm, SubjectTerm, Term, URI
+
+
+class Triple:
+    """An RDF statement ``(subject, predicate, object)``.
+
+    Immutable and hashable so triples can live in sets and index maps.
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: SubjectTerm, predicate: URI, obj: ObjectTerm):
+        if not isinstance(predicate, URI):
+            raise TypeError(f"triple predicate must be a URI, got {predicate!r}")
+        object.__setattr__(self, "subject", subject)
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "object", obj)
+
+    def __setattr__(self, name, val):
+        raise AttributeError("Triple is immutable")
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter((self.subject, self.predicate, self.object))
+
+    def as_tuple(self) -> Tuple[Term, URI, Term]:
+        """Return the ``(s, p, o)`` tuple."""
+        return (self.subject, self.predicate, self.object)
+
+    def n3(self) -> str:
+        """Serialise in N-Triples syntax (without trailing newline)."""
+        return f"{self.subject.n3()} {self.predicate.n3()} {self.object.n3()} ."
+
+    def matches(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[URI] = None,
+        obj: Optional[Term] = None,
+    ) -> bool:
+        """True when every non-``None`` slot equals this triple's slot."""
+        if subject is not None and subject != self.subject:
+            return False
+        if predicate is not None and predicate != self.predicate:
+            return False
+        if obj is not None and obj != self.object:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Triple)
+            and self.subject == other.subject
+            and self.predicate == other.predicate
+            and self.object == other.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))

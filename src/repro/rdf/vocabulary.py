@@ -1,0 +1,31 @@
+"""The RDF and RDFS vocabulary terms the library depends on."""
+
+from __future__ import annotations
+
+from .terms import Namespace
+
+#: The RDF namespace.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+#: The RDF Schema namespace.
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+#: XML Schema datatypes namespace.
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: ``rdf:type`` — instance-of link between a resource and a class.
+TYPE = RDF.type
+#: ``rdf:Property`` — the class of properties.
+PROPERTY = RDF.Property
+#: ``rdfs:Class`` — the class of classes.
+CLASS = RDFS.Class
+#: ``rdfs:subClassOf`` — class specialisation.
+SUBCLASSOF = RDFS.subClassOf
+#: ``rdfs:subPropertyOf`` — property specialisation.
+SUBPROPERTYOF = RDFS.subPropertyOf
+#: ``rdfs:domain`` — the class of a property's subjects.
+DOMAIN = RDFS.domain
+#: ``rdfs:range`` — the class of a property's objects.
+RANGE = RDFS.range
+#: ``rdfs:Resource`` — the universal class.
+RESOURCE = RDFS.Resource
+#: ``rdfs:Literal`` — the class of literal values.
+LITERAL_CLASS = RDFS.Literal

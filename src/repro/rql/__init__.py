@@ -1,0 +1,46 @@
+"""RQL: the conjunctive RDF query language fragment used by SQPeer.
+
+Provides the lexer/parser, the AST, semantic query patterns
+(Section 2.1 of the paper), binding tables and the schema-aware local
+evaluator.
+"""
+
+from .ast import Condition, NodeSpec, PathExpression, RQLQuery
+from .bindings import BindingTable
+from .evaluator import (
+    evaluate_path_pattern,
+    evaluate_pattern,
+    evaluate_query,
+    query,
+)
+from .parser import parse_query
+from .pattern import (
+    PathPattern,
+    QueryPattern,
+    SchemaPath,
+    extract_pattern,
+    pattern_from_text,
+    resolve_qname,
+)
+from .tokens import Token, tokenize
+
+__all__ = [
+    "BindingTable",
+    "Condition",
+    "NodeSpec",
+    "PathExpression",
+    "PathPattern",
+    "QueryPattern",
+    "RQLQuery",
+    "SchemaPath",
+    "Token",
+    "evaluate_path_pattern",
+    "evaluate_pattern",
+    "evaluate_query",
+    "extract_pattern",
+    "parse_query",
+    "pattern_from_text",
+    "query",
+    "resolve_qname",
+    "tokenize",
+]

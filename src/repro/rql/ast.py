@@ -1,0 +1,123 @@
+"""Abstract syntax for the conjunctive RQL fragment.
+
+A query is ``SELECT vars FROM path-expressions WHERE conditions USING
+NAMESPACE bindings``.  Path expressions have the RQL shape
+``{X;n1:C1} n1:prop1 {Y}`` — node specs in braces (variable plus
+optional class filter) around a schema property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..rdf.terms import Literal
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One ``{...}`` node of a path expression.
+
+    Attributes:
+        variable: The variable name (``X``), or ``None`` for an
+            anonymous node.
+        class_name: Optional qualified class filter (``n1:C1``) — the
+            resource must be an (entailed) instance of that class.
+    """
+
+    variable: Optional[str] = None
+    class_name: Optional[str] = None
+
+    def __str__(self) -> str:
+        inner = self.variable or ""
+        if self.class_name:
+            inner = f"{inner};{self.class_name}" if inner else self.class_name
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class PathExpression:
+    """``{subject} property {object}`` — one hop of a path."""
+
+    subject: NodeSpec
+    property_name: str
+    object: NodeSpec
+
+    def __str__(self) -> str:
+        return f"{self.subject}{self.property_name}{self.object}"
+
+    def variables(self) -> Tuple[str, ...]:
+        """The variables bound by this expression, subject first."""
+        out = []
+        if self.subject.variable:
+            out.append(self.subject.variable)
+        if self.object.variable:
+            out.append(self.object.variable)
+        return tuple(out)
+
+
+#: A WHERE-clause comparison value: literal constant or another variable.
+ConditionValue = Union[Literal, str]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """A boolean filter ``variable op value`` from the WHERE clause."""
+
+    variable: str
+    operator: str
+    value: ConditionValue
+    value_is_variable: bool = False
+
+    def __str__(self) -> str:
+        if self.value_is_variable:
+            return f"{self.variable} {self.operator} {self.value}"
+        if isinstance(self.value, Literal):
+            return f"{self.variable} {self.operator} {self.value.n3()}"
+        return f"{self.variable} {self.operator} {self.value}"
+
+
+@dataclass(frozen=True)
+class RQLQuery:
+    """A parsed conjunctive RQL query.
+
+    Attributes:
+        projections: Projected variable names, in SELECT order.  The
+            empty tuple means ``SELECT *`` (project everything).
+        paths: The FROM-clause path expressions (implicitly joined on
+            shared variables).
+        conditions: WHERE-clause filters (conjunctive).
+        namespaces: Mapping prefix → namespace URI from the USING
+            NAMESPACE clause.
+        text: The original source text, if parsed from text.
+    """
+
+    projections: Tuple[str, ...]
+    paths: Tuple[PathExpression, ...]
+    conditions: Tuple[Condition, ...] = ()
+    namespaces: Dict[str, str] = field(default_factory=dict)
+    text: str = ""
+
+    def variables(self) -> Tuple[str, ...]:
+        """All variables appearing in the FROM clause, in first-use order."""
+        seen: List[str] = []
+        for path in self.paths:
+            for var in path.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def effective_projections(self) -> Tuple[str, ...]:
+        """The projections, defaulting to all variables for ``SELECT *``."""
+        return self.projections or self.variables()
+
+    def __str__(self) -> str:
+        select = ", ".join(self.projections) if self.projections else "*"
+        from_clause = ", ".join(str(p) for p in self.paths)
+        out = f"SELECT {select} FROM {from_clause}"
+        if self.conditions:
+            out += " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        if self.namespaces:
+            bindings = ", ".join(f"{p} = &{u}&" for p, u in self.namespaces.items())
+            out += f" USING NAMESPACE {bindings}"
+        return out

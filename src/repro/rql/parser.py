@@ -1,0 +1,194 @@
+"""Recursive-descent parser for the conjunctive RQL fragment.
+
+Grammar (paper Section 2.1 — conjunctive path queries with projections
+and simple filters)::
+
+    query       := SELECT projections FROM paths [WHERE conditions]
+                   [USING NAMESPACE ns_bindings]
+    projections := '*' | IDENT (',' IDENT)*
+    paths       := path (',' path)*
+    path        := node QNAME node
+    node        := '{' [IDENT] [';' QNAME] '}'
+    conditions  := condition (AND condition)*
+    condition   := IDENT op (STRING | NUMBER | IDENT)
+    ns_bindings := IDENT '=' URI (',' IDENT '=' URI)*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ParseError
+from ..rdf.terms import Literal
+from .ast import Condition, NodeSpec, PathExpression, RQLQuery
+from .tokens import Token, tokenize
+
+
+class _TokenStream:
+    """Cursor over a token list with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token], text: str):
+        self._tokens = tokens
+        self._pos = 0
+        self.text = text
+
+    def peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", self.text, len(self.text))
+        self._pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            got = token.kind if token else "end of input"
+            where = token.position if token else len(self.text)
+            raise ParseError(f"expected {kind}, got {got}", self.text, where)
+        return self.next()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            return self.next()
+        return None
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+
+def parse_query(text: str) -> RQLQuery:
+    """Parse RQL source text into an :class:`~repro.rql.ast.RQLQuery`.
+
+    Raises:
+        ParseError: With the offending position on malformed input.
+    """
+    stream = _TokenStream(tokenize(text), text)
+    stream.expect("SELECT")
+    projections = _parse_projections(stream)
+    stream.expect("FROM")
+    paths = _parse_paths(stream)
+    conditions: Tuple[Condition, ...] = ()
+    if stream.accept("WHERE"):
+        conditions = _parse_conditions(stream)
+    namespaces: Dict[str, str] = {}
+    if stream.accept("USING"):
+        stream.expect("NAMESPACE")
+        namespaces = _parse_namespaces(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"trailing input {token.value!r}", text, token.position)
+    query = RQLQuery(projections, paths, conditions, namespaces, text)
+    _check_query(query, text)
+    return query
+
+
+def _parse_projections(stream: _TokenStream) -> Tuple[str, ...]:
+    if stream.accept("STAR"):
+        return ()
+    names = [stream.expect("IDENT").value]
+    while stream.accept("COMMA"):
+        # the FROM clause follows a comma-free projection list, so a
+        # comma always introduces another variable here
+        names.append(stream.expect("IDENT").value)
+    return tuple(names)
+
+
+def _parse_paths(stream: _TokenStream) -> Tuple[PathExpression, ...]:
+    paths = [_parse_path(stream)]
+    while stream.accept("COMMA"):
+        paths.append(_parse_path(stream))
+    return tuple(paths)
+
+
+def _parse_path(stream: _TokenStream) -> PathExpression:
+    subject = _parse_node(stream)
+    prop = stream.expect("QNAME").value
+    obj = _parse_node(stream)
+    return PathExpression(subject, prop, obj)
+
+
+def _parse_node(stream: _TokenStream) -> NodeSpec:
+    stream.expect("LBRACE")
+    variable: Optional[str] = None
+    class_name: Optional[str] = None
+    token = stream.peek()
+    if token is not None and token.kind == "IDENT":
+        variable = stream.next().value
+    elif token is not None and token.kind == "QNAME":
+        class_name = stream.next().value
+    if class_name is None and stream.accept("SEMI"):
+        class_name = stream.expect("QNAME").value
+    stream.expect("RBRACE")
+    return NodeSpec(variable, class_name)
+
+
+def _parse_conditions(stream: _TokenStream) -> Tuple[Condition, ...]:
+    conditions = [_parse_condition(stream)]
+    while stream.accept("AND"):
+        conditions.append(_parse_condition(stream))
+    return tuple(conditions)
+
+
+def _parse_condition(stream: _TokenStream) -> Condition:
+    variable = stream.expect("IDENT").value
+    token = stream.peek()
+    if token is not None and token.kind == "LIKE":
+        stream.next()
+        operator = "like"
+    else:
+        operator = stream.expect("OP").value
+    value_token = stream.next()
+    if value_token.kind == "STRING":
+        return Condition(variable, operator, Literal(value_token.value))
+    if value_token.kind == "NUMBER":
+        raw = value_token.value
+        number = float(raw) if "." in raw else int(raw)
+        return Condition(variable, operator, Literal(number))
+    if value_token.kind == "IDENT":
+        return Condition(variable, operator, value_token.value, value_is_variable=True)
+    raise ParseError(
+        f"expected literal or variable, got {value_token.kind}",
+        stream.text,
+        value_token.position,
+    )
+
+
+def _parse_namespaces(stream: _TokenStream) -> Dict[str, str]:
+    namespaces: Dict[str, str] = {}
+    while True:
+        prefix = stream.expect("IDENT").value
+        op = stream.expect("OP")
+        if op.value != "=":
+            raise ParseError("expected '=' in namespace binding", stream.text, op.position)
+        namespaces[prefix] = stream.expect("URI").value
+        if not stream.accept("COMMA"):
+            break
+    return namespaces
+
+
+def _check_query(query: RQLQuery, text: str) -> None:
+    """Static sanity checks: projections and filters reference bound vars."""
+    bound = set(query.variables())
+    for name in query.projections:
+        if name not in bound:
+            raise ParseError(f"projected variable {name} is not bound in FROM", text)
+    for condition in query.conditions:
+        if condition.variable not in bound:
+            raise ParseError(
+                f"filtered variable {condition.variable} is not bound in FROM", text
+            )
+        if condition.value_is_variable and condition.value not in bound:
+            raise ParseError(
+                f"comparison variable {condition.value} is not bound in FROM", text
+            )
+    prefixes = {name.split(":", 1)[0] for p in query.paths for name in
+                [p.property_name] + [n.class_name for n in (p.subject, p.object) if n.class_name]}
+    for prefix in prefixes:
+        if query.namespaces and prefix not in query.namespaces:
+            raise ParseError(f"prefix {prefix} is not declared in USING NAMESPACE", text)

@@ -1,0 +1,136 @@
+"""Lexer for the conjunctive RQL fragment used by SQPeer.
+
+Token kinds cover the ``SELECT ... FROM ... WHERE ... USING NAMESPACE``
+skeleton, path-expression punctuation (``{ } ; ,``), qualified names
+(``n1:prop1``), comparison operators, string/number literals and URIs
+quoted in ampersands (``&http://...&``) as in RQL's namespace clause.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple
+
+from ..errors import ParseError
+
+KEYWORDS = frozenset(
+    {"SELECT", "FROM", "WHERE", "USING", "NAMESPACE", "AND", "LIKE", "VIEW", "CREATE"}
+)
+
+PUNCTUATION = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ";": "SEMI",
+    ",": "COMMA",
+    ".": "DOT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "*": "STAR",
+    "@": "AT",
+}
+
+OPERATORS = ("<=", ">=", "!=", "=", "<", ">")
+
+
+class Token(NamedTuple):
+    """A lexical token with its source position (for error messages)."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise RQL/RVL source text.
+
+    Raises:
+        ParseError: On any character that cannot start a token.
+    """
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    pos, length = 0, len(text)
+    while pos < length:
+        char = text[pos]
+        if char in " \t\r\n":
+            pos += 1
+            continue
+        if char == "&":
+            end = text.find("&", pos + 1)
+            if end == -1:
+                raise ParseError("unterminated &URI&", text, pos)
+            yield Token("URI", text[pos + 1 : end], pos)
+            pos = end + 1
+            continue
+        if char == '"':
+            literal, pos = _scan_string(text, pos)
+            yield literal
+            continue
+        if char.isdigit() or (char == "-" and pos + 1 < length and text[pos + 1].isdigit()):
+            number, pos = _scan_number(text, pos)
+            yield number
+            continue
+        if char.isalpha() or char == "_":
+            word, pos = _scan_word(text, pos)
+            yield word
+            continue
+        for op in OPERATORS:
+            if text.startswith(op, pos):
+                yield Token("OP", op, pos)
+                pos += len(op)
+                break
+        else:
+            kind = PUNCTUATION.get(char)
+            if kind is None:
+                raise ParseError(f"unexpected character {char!r}", text, pos)
+            yield Token(kind, char, pos)
+            pos += 1
+
+
+def _scan_string(text: str, pos: int):
+    chars: List[str] = []
+    i = pos + 1
+    while i < len(text):
+        c = text[i]
+        if c == "\\" and i + 1 < len(text):
+            chars.append(text[i + 1])
+            i += 2
+            continue
+        if c == '"':
+            return Token("STRING", "".join(chars), pos), i + 1
+        chars.append(c)
+        i += 1
+    raise ParseError("unterminated string literal", text, pos)
+
+
+def _scan_number(text: str, pos: int):
+    end = pos + 1
+    seen_dot = False
+    while end < len(text):
+        c = text[end]
+        if c == "." and not seen_dot and end + 1 < len(text) and text[end + 1].isdigit():
+            seen_dot = True
+            end += 1
+            continue
+        if not c.isdigit():
+            break
+        end += 1
+    return Token("NUMBER", text[pos:end], pos), end
+
+
+def _scan_word(text: str, pos: int):
+    end = pos
+    while end < len(text) and (text[end].isalnum() or text[end] in "_"):
+        end += 1
+    word = text[pos:end]
+    # Qualified name: prefix:local
+    if end < len(text) and text[end] == ":" and end + 1 < len(text) and (
+        text[end + 1].isalpha() or text[end + 1] == "_"
+    ):
+        local_end = end + 1
+        while local_end < len(text) and (text[local_end].isalnum() or text[local_end] in "_"):
+            local_end += 1
+        return Token("QNAME", text[pos:local_end], pos), local_end
+    if word.upper() in KEYWORDS:
+        return Token(word.upper(), word, pos), end
+    return Token("IDENT", word, pos), end

@@ -1,0 +1,7 @@
+"""RVL views and active-schema advertisements (paper Section 2.2)."""
+
+from .active_schema import ActiveSchema
+from .parser import parse_view
+from .view import ViewAtom, ViewDefinition
+
+__all__ = ["ActiveSchema", "ViewAtom", "ViewDefinition", "parse_view"]

@@ -1,0 +1,90 @@
+"""Parser for the RVL view fragment used for peer advertisements.
+
+Grammar (the view-definition shape of the paper's Figure 1)::
+
+    view      := [CREATE] VIEW atoms FROM paths [WHERE conditions]
+                 [USING NAMESPACE ns_bindings]
+    atoms     := atom (',' atom)*
+    atom      := QNAME '(' IDENT [',' IDENT] ')'
+
+A one-argument atom ``n1:C5(X)`` populates class C5 with the bindings
+of ``X``; a two-argument atom ``n1:prop4(X, Y)`` populates property
+prop4 with the ``(X, Y)`` pairs.  The FROM/WHERE body is the same
+conjunctive fragment as RQL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ParseError
+from ..rql.ast import Condition, PathExpression
+from ..rql.parser import (
+    _parse_conditions,
+    _parse_namespaces,
+    _parse_paths,
+    _TokenStream,
+)
+from ..rql.tokens import tokenize
+from .view import ViewAtom, ViewDefinition
+
+
+def parse_view(text: str) -> ViewDefinition:
+    """Parse an RVL view statement.
+
+    Raises:
+        ParseError: On malformed input or wrong atom arity.
+    """
+    stream = _TokenStream(tokenize(text), text)
+    stream.accept("CREATE")
+    stream.expect("VIEW")
+    atoms = _parse_atoms(stream)
+    stream.expect("FROM")
+    paths: Tuple[PathExpression, ...] = _parse_paths(stream)
+    conditions: Tuple[Condition, ...] = ()
+    if stream.accept("WHERE"):
+        conditions = _parse_conditions(stream)
+    namespaces: Dict[str, str] = {}
+    if stream.accept("USING"):
+        stream.expect("NAMESPACE")
+        namespaces = _parse_namespaces(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise ParseError(f"trailing input {token.value!r}", text, token.position)
+    view = ViewDefinition(tuple(atoms), paths, conditions, namespaces, text)
+    _check_view(view, text)
+    return view
+
+
+def _parse_atoms(stream: _TokenStream) -> List[ViewAtom]:
+    atoms = [_parse_atom(stream)]
+    while True:
+        token = stream.peek()
+        # a comma only continues the atom list if a QNAME follows
+        if token is None or token.kind != "COMMA":
+            break
+        stream.next()
+        atoms.append(_parse_atom(stream))
+    return atoms
+
+
+def _parse_atom(stream: _TokenStream) -> ViewAtom:
+    name = stream.expect("QNAME").value
+    stream.expect("LPAREN")
+    args = [stream.expect("IDENT").value]
+    if stream.accept("COMMA"):
+        args.append(stream.expect("IDENT").value)
+    stream.expect("RPAREN")
+    return ViewAtom(name, tuple(args))
+
+
+def _check_view(view: ViewDefinition, text: str) -> None:
+    bound = set()
+    for path in view.paths:
+        bound.update(path.variables())
+    for atom in view.atoms:
+        for arg in atom.arguments:
+            if arg not in bound:
+                raise ParseError(
+                    f"view atom argument {arg} is not bound in FROM", text
+                )

@@ -1,0 +1,129 @@
+"""RVL view definitions and their materialisation.
+
+A view populates classes and properties of a community schema from a
+conjunctive body evaluated over a peer's base (materialised scenario)
+or over a legacy store's virtual RDF image (virtual scenario).  The
+intensional footprint of the view — which schema paths it can populate
+— is its :class:`~repro.rvl.active_schema.ActiveSchema` and is what the
+peer advertises (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import MappingError, SchemaError
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import URI
+from ..rdf.vocabulary import TYPE
+from ..rql.ast import Condition, PathExpression, RQLQuery
+from ..rql.evaluator import evaluate_query
+from ..rql.pattern import resolve_qname
+
+
+@dataclass(frozen=True)
+class ViewAtom:
+    """One head atom of a view: class (arity 1) or property (arity 2)."""
+
+    name: str
+    arguments: Tuple[str, ...]
+
+    def __post_init__(self):
+        if len(self.arguments) not in (1, 2):
+            raise SchemaError(f"view atom {self.name} must have arity 1 or 2")
+
+    @property
+    def is_class_atom(self) -> bool:
+        return len(self.arguments) == 1
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.arguments)})"
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A parsed RVL view statement.
+
+    Attributes:
+        atoms: Head atoms declaring which classes/properties the view
+            populates.
+        paths: Body path expressions (the from-clause).
+        conditions: Body filters.
+        namespaces: Prefix bindings.
+        text: Original source text.
+    """
+
+    atoms: Tuple[ViewAtom, ...]
+    paths: Tuple[PathExpression, ...]
+    conditions: Tuple[Condition, ...] = ()
+    namespaces: Dict[str, str] = field(default_factory=dict)
+    text: str = ""
+
+    def body_query(self) -> RQLQuery:
+        """The view body as a SELECT * query over the source base."""
+        return RQLQuery((), self.paths, self.conditions, dict(self.namespaces))
+
+    def head_terms(
+        self, schema: Schema, default_namespaces: Optional[Mapping[str, str]] = None
+    ) -> Tuple[Dict[URI, str], Dict[URI, Tuple[str, str]]]:
+        """Resolve head atoms against ``schema``.
+
+        Returns:
+            ``(classes, properties)`` where ``classes`` maps a class URI
+            to its witness variable and ``properties`` maps a property
+            URI to its ``(subject_var, object_var)`` pair.
+
+        Raises:
+            MappingError: If an atom names an undeclared term or has an
+                arity inconsistent with the schema.
+        """
+        namespaces: Dict[str, str] = dict(default_namespaces or {})
+        namespaces.update(self.namespaces)
+        classes: Dict[URI, str] = {}
+        properties: Dict[URI, Tuple[str, str]] = {}
+        for atom in self.atoms:
+            uri = resolve_qname(atom.name, namespaces)
+            if atom.is_class_atom:
+                if not schema.has_class(uri):
+                    raise MappingError(f"view populates undeclared class {uri}")
+                classes[uri] = atom.arguments[0]
+            else:
+                if not schema.has_property(uri):
+                    raise MappingError(f"view populates undeclared property {uri}")
+                properties[uri] = (atom.arguments[0], atom.arguments[1])
+        return classes, properties
+
+    def materialize(
+        self,
+        source: Graph,
+        schema: Schema,
+        default_namespaces: Optional[Mapping[str, str]] = None,
+    ) -> Graph:
+        """Evaluate the view over ``source`` and emit the head triples.
+
+        Class atoms yield ``rdf:type`` statements; property atoms yield
+        property statements.  This is the "populated on demand"
+        behaviour of the virtual scenario in Section 2.2.
+        """
+        classes, properties = self.head_terms(schema, default_namespaces)
+        bindings = evaluate_query(self.body_query(), source, schema, dict(default_namespaces or {}))
+        out = Graph()
+        for binding in bindings.bindings():
+            for cls, var in classes.items():
+                out.add(binding[var], TYPE, cls)
+            for prop, (s_var, o_var) in properties.items():
+                out.add(binding[s_var], prop, binding[o_var])
+        return out
+
+    def __str__(self) -> str:
+        head = ", ".join(str(a) for a in self.atoms)
+        body = ", ".join(str(p) for p in self.paths)
+        out = f"VIEW {head} FROM {body}"
+        if self.conditions:
+            out += " WHERE " + " AND ".join(str(c) for c in self.conditions)
+        if self.namespaces:
+            ns = ", ".join(f"{p} = &{u}&" for p, u in self.namespaces.items())
+            out += f" USING NAMESPACE {ns}"
+        return out

@@ -1,0 +1,20 @@
+"""Query/view subsumption and per-peer rewriting (SWIM's role in SQPeer)."""
+
+from .checker import (
+    can_answer,
+    class_compatible,
+    covers_pattern,
+    is_subsumed,
+    matching_paths,
+)
+from .rewriter import narrow_class, rewrite_for_peer
+
+__all__ = [
+    "can_answer",
+    "class_compatible",
+    "covers_pattern",
+    "is_subsumed",
+    "matching_paths",
+    "narrow_class",
+    "rewrite_for_peer",
+]

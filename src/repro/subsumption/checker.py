@@ -1,0 +1,81 @@
+"""Query/view subsumption — the logic core of semantic routing.
+
+The routing algorithm's test ``isSubsumed(AS_jk, AQ_i)`` (paper
+Section 2.3) asks whether active-schema path ``AS_jk`` can contribute
+answers to query path pattern ``AQ_i``.  Under RDF/S semantics this
+holds when the advertised property is subsumed by the queried property
+and the advertised end-point classes are *compatible* with the queried
+ones: every instance pair the peer stores under ``AS_jk`` is then an
+(entailed) instance pair of ``AQ_i`` — the check is sound — and
+because advertisements enumerate every populated path, scanning them
+all keeps routing complete (the SWIM guarantee the paper relies on).
+
+Figure 2's example: P4 advertises ``(C5)prop4(C6)``; since
+``prop4 ⊑ prop1``, ``C5 ⊑ C1`` and ``C6 ⊑ C2``, the path is subsumed
+by Q1 = ``(C1)prop1(C2)`` and P4 is annotated for Q1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..rdf.schema import Schema
+from ..rdf.terms import URI
+from ..rdf.vocabulary import LITERAL_CLASS
+from ..rql.pattern import PathPattern, SchemaPath
+from ..rvl.active_schema import ActiveSchema
+
+
+def class_compatible(advertised: URI, queried: URI, schema: Schema) -> bool:
+    """True when instances advertised under ``advertised`` may satisfy
+    a query end point of class ``queried``.
+
+    Exact subsumption ``advertised ⊑ queried`` is the sound direction.
+    The converse ``queried ⊑ advertised`` is also accepted: a peer
+    populating the *broader* class may hold instances of the narrower
+    one, and the query rewriting step narrows the class filter so only
+    correct answers are returned (sound after rewriting, and necessary
+    for completeness).
+    """
+    if advertised == LITERAL_CLASS or queried == LITERAL_CLASS:
+        return advertised == queried
+    return schema.is_subclass(advertised, queried) or schema.is_subclass(
+        queried, advertised
+    )
+
+
+def is_subsumed(advertised: SchemaPath, query_path: SchemaPath, schema: Schema) -> bool:
+    """The routing test: can ``advertised`` contribute to ``query_path``?
+
+    Requires property subsumption ``advertised.property ⊑
+    query_path.property`` and end-point class compatibility on both
+    sides.
+    """
+    if not schema.is_subproperty(advertised.property, query_path.property):
+        return False
+    return class_compatible(advertised.domain, query_path.domain, schema) and (
+        class_compatible(advertised.range, query_path.range, schema)
+    )
+
+
+def matching_paths(
+    active_schema: ActiveSchema, pattern: PathPattern, schema: Schema
+) -> List[SchemaPath]:
+    """The advertised paths of ``active_schema`` subsumed by ``pattern``."""
+    return [
+        path for path in active_schema if is_subsumed(path, pattern.schema_path, schema)
+    ]
+
+
+def can_answer(active_schema: ActiveSchema, pattern: PathPattern, schema: Schema) -> bool:
+    """True when the peer advertising ``active_schema`` is relevant to
+    ``pattern`` — i.e. at least one advertised path is subsumed."""
+    return any(is_subsumed(p, pattern.schema_path, schema) for p in active_schema)
+
+
+def covers_pattern(
+    active_schemas: Iterable[ActiveSchema], pattern: PathPattern, schema: Schema
+) -> bool:
+    """True when at least one advertisement in the collection can
+    answer ``pattern`` (used to detect plan "holes")."""
+    return any(can_answer(a, pattern, schema) for a in active_schemas)

@@ -1,0 +1,71 @@
+"""Per-peer query rewriting.
+
+After routing decides that a peer is relevant to a path pattern, the
+query actually *sent* to that peer is rewritten against the peer's
+active-schema ("rewrite accordingly the query sent to a peer",
+Section 2.3): the property is kept at the query's level of generality
+when the peer advertises a subsumed property (local RDFS entailment
+recovers the instances), but end-point classes are narrowed to the
+intersection of the query's and the advertisement's classes so a peer
+populating a broader class only ships sound answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import RoutingError
+from ..rdf.schema import Schema
+from ..rdf.terms import URI
+from ..rdf.vocabulary import LITERAL_CLASS
+from ..rql.pattern import PathPattern, SchemaPath
+from ..rvl.active_schema import ActiveSchema
+from .checker import is_subsumed
+
+
+def narrow_class(advertised: URI, queried: URI, schema: Schema) -> URI:
+    """The more specific of two compatible classes.
+
+    Both subsumption directions were accepted by routing; rewriting
+    keeps the narrower class so the peer-side filter is sound.
+    """
+    if advertised == LITERAL_CLASS or queried == LITERAL_CLASS:
+        return queried
+    if schema.is_subclass(advertised, queried):
+        return advertised
+    if schema.is_subclass(queried, advertised):
+        return queried
+    raise RoutingError(f"classes {advertised} and {queried} are not comparable")
+
+
+def rewrite_for_peer(
+    pattern: PathPattern, active_schema: ActiveSchema, schema: Schema
+) -> Optional[PathPattern]:
+    """Rewrite ``pattern`` into the subquery to send to one peer.
+
+    Returns ``None`` when no advertised path of the peer is subsumed by
+    the pattern (the peer is irrelevant).  When several advertised
+    paths match (e.g. the peer populates both ``prop1`` and
+    ``prop4 ⊑ prop1``), the queried property is kept — one subquery
+    retrieves all of them via local entailment — and end-point classes
+    are narrowed to the least upper bound of the matching paths.
+    """
+    matching: List[SchemaPath] = [
+        p for p in active_schema if is_subsumed(p, pattern.schema_path, schema)
+    ]
+    if not matching:
+        return None
+    query_path = pattern.schema_path
+    domain = query_path.domain
+    range_ = query_path.range
+    if len(matching) == 1:
+        advertised = matching[0]
+        domain = narrow_class(advertised.domain, query_path.domain, schema)
+        range_ = narrow_class(advertised.range, query_path.range, schema)
+    return PathPattern(
+        label=pattern.label,
+        schema_path=SchemaPath(domain, query_path.property, range_),
+        subject_var=pattern.subject_var,
+        object_var=pattern.object_var,
+        projected=pattern.projected,
+    )

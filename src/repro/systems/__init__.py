@@ -1,0 +1,6 @@
+"""Deployable P2P architectures: hybrid (super-peer) and ad-hoc SONs."""
+
+from .adhoc import AdhocPeer, AdhocSystem
+from .hybrid import HybridPeer, HybridSystem
+
+__all__ = ["AdhocPeer", "AdhocSystem", "HybridPeer", "HybridSystem"]

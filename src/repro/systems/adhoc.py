@@ -1,0 +1,419 @@
+"""The ad-hoc (self-adaptive SON) P2P architecture (paper Section 3.2).
+
+Peers joining the system pull the active-schemas of their physical
+neighbours, forming a semantic neighbourhood.  A query is routed from
+*local* knowledge, so the resulting plan may contain ``Q@?`` holes;
+the plan is then forwarded to peers known to answer part of it, which
+**interleave** routing and processing with their own knowledge.  The
+first peer able to fill every hole executes the complete plan and
+streams the results back to the query's root.  When nobody in reach
+can help, the root widens its neighbourhood with 2-depth / 3-depth
+advertisement requests before giving up — constructing progressively
+self-adaptive SONs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
+from ..core.algebra import PlanNode, Scan
+from ..core.cost import Statistics
+from ..core.routing import route_query
+from ..errors import PeerError
+from ..net.message import Message
+from ..net.simulator import Network
+from ..peers.base import PeerBase
+from ..peers.client import ClientPeer
+from ..peers.protocol import (
+    AdvertisementReply,
+    AdvertisementRequest,
+    DelegatedResult,
+    PartialPlan,
+)
+from ..peers.simple import PendingQuery, SimplePeer
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rql.bindings import BindingTable
+from ..rql.pattern import QueryPattern
+
+
+class AdhocPeer(SimplePeer):
+    """A peer in a self-adaptive SON.
+
+    Args:
+        neighbours: Physically known peers at join time.
+        max_discovery_depth: How far advertisement requests may travel
+            when local knowledge leaves holes (Section 3.2's 2-depth,
+            3-depth neighbourhoods).
+        discovery_settle_time: Virtual-time budget allowed for one
+            round of deeper discovery before the query is retried.
+        dht: Optional schema DHT (Section 5 / footnote 2).  When set,
+            unanswerable patterns are resolved with O(log N) overlay
+            lookups instead of k-depth neighbourhood broadcasts.
+    """
+
+    def __init__(
+        self,
+        peer_id: str,
+        base: Optional[PeerBase] = None,
+        neighbours: Sequence[str] = (),
+        max_discovery_depth: int = 3,
+        discovery_settle_time: float = 20.0,
+        dht=None,
+        **kwargs,
+    ):
+        super().__init__(peer_id, base, **kwargs)
+        self.neighbours: Tuple[str, ...] = tuple(neighbours)
+        self.max_discovery_depth = max_discovery_depth
+        self.discovery_settle_time = discovery_settle_time
+        self.dht = dht
+        self._discovery_depth: Dict[str, int] = {}  # per query id
+        self._dht_attempted: Set[str] = set()  # query ids
+        self._delegations: Dict[str, int] = {}  # outstanding forwards
+        self._seen_partials: Set[Tuple[str, str]] = set()  # (query, my role) guard
+
+    # ------------------------------------------------------------------
+    # joining: pull the neighbourhood's advertisements
+    # ------------------------------------------------------------------
+    def join(self, network: Network) -> None:
+        super().join(network)
+
+    def _advertisement_targets(self):
+        return list(self.neighbours)
+
+    def leave(self) -> None:
+        if self.dht is not None:
+            self.dht.unpublish(self.peer_id)
+        super().leave()
+
+    def discover_neighbourhood(self, depth: int = 1) -> None:
+        """Pull active-schemas from the physical neighbours (and, with
+        ``depth`` > 1, from their neighbours transitively)."""
+        for neighbour in self.neighbours:
+            self.send(neighbour, AdvertisementRequest(self.peer_id, depth))
+
+    def handle_AdvertisementRequest(self, message: Message) -> None:
+        request: AdvertisementRequest = message.payload
+        own = self.own_advertisement()
+        schemas = (own,) if own is not None else ()
+        self.send(request.requester, AdvertisementReply(tuple(schemas), self.peer_id))
+        if request.depth > 1:
+            for neighbour in self.neighbours:
+                if neighbour not in (request.requester, message.src):
+                    self.send(
+                        neighbour,
+                        AdvertisementRequest(request.requester, request.depth - 1),
+                    )
+
+    # ------------------------------------------------------------------
+    # interleaved routing and processing
+    # ------------------------------------------------------------------
+    def _handle_incomplete(
+        self, pending: PendingQuery, plan: PlanNode, annotated: AnnotatedQueryPattern
+    ) -> None:
+        """Forward the partial plan to peers that can answer part of it."""
+        candidates = self._forward_candidates(annotated, visited={self.peer_id})
+        if not candidates:
+            self._deepen_or_fail(pending)
+            return
+        self._delegations[pending.query_id] = len(candidates)
+        for candidate in candidates:
+            self.send(
+                candidate,
+                PartialPlan(
+                    query_id=pending.query_id,
+                    plan=plan,
+                    pattern=pending.pattern,
+                    root_peer=self.peer_id,
+                    reply_to=self.peer_id,
+                    visited=(self.peer_id,),
+                ),
+            )
+
+    def _forward_candidates(
+        self, annotated: AnnotatedQueryPattern, visited: Set[str]
+    ) -> List[str]:
+        """Peers known to answer at least a part of the query plan."""
+        candidates = set(annotated.all_peers()) - visited
+        return sorted(candidates)
+
+    def _deepen_or_fail(self, pending: PendingQuery) -> None:
+        """Widen the neighbourhood (2-depth, 3-depth, ...) and retry —
+        or, with a schema DHT available, resolve the missing patterns
+        with direct overlay lookups."""
+        if self.dht is not None and pending.query_id not in self._dht_attempted:
+            self._dht_attempted.add(pending.query_id)
+            if self._dht_discover(pending):
+                self._obtain_routing(pending)
+                return
+        depth = self._discovery_depth.get(pending.query_id, 1) + 1
+        if depth > self.max_discovery_depth:
+            self._reply_error(pending, "no relevant peers within discovery depth")
+            return
+        self._discovery_depth[pending.query_id] = depth
+        self.discover_neighbourhood(depth)
+        network = self._require_network()
+        settle = self.discovery_settle_time * depth
+        network.call_later(settle, lambda: self._retry_after_discovery(pending.query_id))
+
+    def _dht_discover(self, pending: PendingQuery) -> bool:
+        """Look the query's patterns up in the schema DHT; returns True
+        when new advertisements were learned."""
+        learned = False
+        for pattern in pending.pattern:
+            advertisements, _ = self.dht.advertisements_for_pattern(
+                pattern, start=self.peer_id
+            )
+            for advertisement in advertisements:
+                peer_id = advertisement.peer_id
+                if peer_id != self.peer_id and peer_id not in self.known_advertisements:
+                    self.remember_advertisement(advertisement)
+                    learned = True
+        return learned
+
+    def _retry_after_discovery(self, query_id: str) -> None:
+        pending = self._pending.get(query_id)
+        if pending is None:
+            return  # answered in the meantime
+        self._obtain_routing(pending)
+
+    # ------------------------------------------------------------------
+    # receiving a partial plan: fill holes with local knowledge
+    # ------------------------------------------------------------------
+    def handle_PartialPlan(self, message: Message) -> None:
+        partial: PartialPlan = message.payload
+        guard = (partial.query_id, self.peer_id)
+        if guard in self._seen_partials:
+            self._decline(partial)
+            return
+        self._seen_partials.add(guard)
+        merged = self._merge_knowledge(partial)
+        plan = self._compile(merged)
+        if plan.is_complete():
+            self._execute_delegated(partial, plan)
+            return
+        # candidates must come from *this peer's own* knowledge — the
+        # plan already names peers the root knew about, and Figure 7's
+        # P3 fails precisely because it knows no new peer itself
+        local = route_query(partial.pattern, self._routing_knowledge(), self.schema)
+        visited = set(partial.visited) | {self.peer_id}
+        candidates = self._forward_candidates(local, visited)
+        if not candidates:
+            self._decline(partial)
+            return
+        # forward onward; account the extra branches at the root's sender
+        for candidate in candidates:
+            self.send(
+                candidate,
+                PartialPlan(
+                    query_id=partial.query_id,
+                    plan=plan,
+                    pattern=partial.pattern,
+                    root_peer=partial.root_peer,
+                    reply_to=partial.reply_to,
+                    visited=tuple(sorted(visited)),
+                ),
+            )
+        # this peer neither completed nor declined: the forwards replace
+        # its own obligation, so tell the root about the fan-out delta
+        if len(candidates) > 1:
+            self.send(
+                partial.reply_to,
+                DelegatedResult(
+                    partial.query_id,
+                    None,
+                    self.peer_id,
+                    error=f"forwarded:{len(candidates) - 1}",
+                ),
+            )
+
+    def _merge_knowledge(self, partial: PartialPlan) -> AnnotatedQueryPattern:
+        """Annotations from the incoming plan's scans plus this peer's
+        own routing knowledge — the interleaving step."""
+        local = route_query(partial.pattern, self._routing_knowledge(), self.schema)
+        from_plan = AnnotatedQueryPattern(partial.pattern)
+        for node in partial.plan.walk():
+            if not isinstance(node, Scan):
+                continue
+            for scan_pattern in node.patterns():
+                try:
+                    pattern = partial.pattern.pattern_by_label(scan_pattern.label)
+                except KeyError:
+                    continue
+                from_plan.annotate(
+                    pattern,
+                    PeerAnnotation(node.peer_id, scan_pattern, exact=True),
+                )
+        return local.merge(from_plan)
+
+    def _execute_delegated(self, partial: PartialPlan, plan: PlanNode) -> None:
+        """This peer filled every hole: execute and ship raw results to
+        the root ("the first peer that is able to fill all the holes...
+        holds also the responsibility of executing it")."""
+        from ..execution.engine import PlanExecutor
+
+        network = self._require_network()
+
+        def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
+            if failed is not None:
+                self.send(
+                    partial.reply_to,
+                    DelegatedResult(
+                        partial.query_id, None, self.peer_id, error=f"peer {failed} failed"
+                    ),
+                )
+            else:
+                assert table is not None
+                self.send(
+                    partial.reply_to,
+                    DelegatedResult(partial.query_id, table, self.peer_id),
+                )
+
+        executor = PlanExecutor(
+            self, network, plan, query_id=partial.query_id, on_complete=on_complete
+        )
+        executor.start()
+
+    def _decline(self, partial: PartialPlan) -> None:
+        self.send(
+            partial.reply_to,
+            DelegatedResult(
+                partial.query_id, None, self.peer_id, error="cannot complete plan"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # root side: collect delegation outcomes
+    # ------------------------------------------------------------------
+    def handle_DelegatedResult(self, message: Message) -> None:
+        result: DelegatedResult = message.payload
+        pending = self._pending.get(result.query_id)
+        if pending is None:
+            return  # already answered: first winner took it
+        if result.table is not None:
+            self._reply_result(pending, result.table)
+            self._delegations.pop(result.query_id, None)
+            return
+        outstanding = self._delegations.get(result.query_id, 0)
+        if result.error and result.error.startswith("forwarded:"):
+            outstanding += int(result.error.split(":", 1)[1])
+        outstanding -= 1
+        self._delegations[result.query_id] = outstanding
+        if outstanding <= 0:
+            self._delegations.pop(result.query_id, None)
+            self._deepen_or_fail(pending)
+
+
+class AdhocSystem:
+    """Builder/harness for an ad-hoc deployment.
+
+    Args:
+        use_dht: Maintain a schema DHT over the peers and let them
+            resolve unanswerable patterns with overlay lookups instead
+            of (only) k-depth neighbourhood broadcasts.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        seed: int = 0,
+        default_latency: float = 1.0,
+        statistics: Optional[Statistics] = None,
+        use_dht: bool = False,
+        **peer_options,
+    ):
+        self.schema = schema
+        self.network = Network(seed=seed, default_latency=default_latency)
+        self.statistics = statistics
+        self.peer_options = peer_options
+        self.peers: Dict[str, AdhocPeer] = {}
+        self.clients: Dict[str, ClientPeer] = {}
+        self._client_counter = itertools.count(1)
+        self.dht = None
+        if use_dht:
+            from ..dht import ChordRing, SchemaDHT
+
+            self.dht = SchemaDHT(ChordRing(), schema)
+
+    def add_peer(
+        self,
+        peer_id: str,
+        graph: Graph,
+        neighbours: Sequence[str] = (),
+        schema: Optional[Schema] = None,
+    ) -> AdhocPeer:
+        base = PeerBase(graph, schema or self.schema)
+        peer = AdhocPeer(
+            peer_id,
+            base,
+            neighbours=neighbours,
+            statistics=self.statistics,
+            dht=self.dht,
+            **self.peer_options,
+        )
+        peer.join(self.network)
+        self.peers[peer_id] = peer
+        if self.dht is not None:
+            advertisement = peer.own_advertisement()
+            if advertisement is not None:
+                self.dht.publish(advertisement)
+            else:
+                self.dht.ring.join(peer_id)
+        return peer
+
+    def add_client(self, peer_id: Optional[str] = None) -> ClientPeer:
+        peer_id = peer_id or f"client{next(self._client_counter)}"
+        client = ClientPeer(peer_id)
+        client.join(self.network)
+        self.clients[peer_id] = client
+        return client
+
+    def discover_all(self, depth: int = 1) -> None:
+        """Have every peer pull its neighbourhood's advertisements and
+        settle the exchange (run to quiescence)."""
+        for peer in self.peers.values():
+            peer.discover_neighbourhood(depth)
+        self.network.run()
+
+    @classmethod
+    def from_scenario(cls, scenario, **kwargs) -> "AdhocSystem":
+        """Build Figure 7's deployment from an
+        :class:`~repro.workloads.paper.AdhocScenario`."""
+        system = cls(scenario.schema, **kwargs)
+        for peer_id in scenario.peers:
+            system.add_peer(
+                peer_id, scenario.bases[peer_id], scenario.neighbours.get(peer_id, ())
+            )
+        system.discover_all()
+        return system
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        return self.network.run(max_events=max_events)
+
+    def query(self, via_peer: str, text: str, max_peers=None, limit=None,
+              order_by=None, descending=False):
+        """Submit through a peer, run to quiescence, return the table.
+
+        Args:
+            via_peer: The peer the client connects through.
+            text: RQL source text.
+            max_peers: Per-pattern broadcast bound (Section 5).
+            limit: Top-N bound on the answer.
+
+        Raises:
+            PeerError: When the query failed (carries the reason).
+        """
+        client = next(iter(self.clients.values())) if self.clients else self.add_client()
+        query_id = client.submit(
+            via_peer, text, max_peers=max_peers, limit=limit,
+            order_by=order_by, descending=descending,
+        )
+        self.run()
+        result = client.result(query_id)
+        if result is None:
+            raise PeerError(f"query {query_id} produced no reply")
+        if result.error is not None:
+            raise PeerError(f"query {query_id} failed: {result.error}")
+        return result.table

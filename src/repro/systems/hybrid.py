@@ -1,0 +1,221 @@
+"""The hybrid (super-peer) P2P architecture (paper Section 3.1).
+
+Simple peers push their active-schemas to the super-peer responsible
+for their SON when they join.  Query evaluation has two sequential
+phases: **routing**, performed exclusively at super-peers (the
+coordinator sends a :class:`~repro.peers.protocol.RouteRequest` and
+receives the annotated query pattern), and **processing/execution**,
+performed by the simple peers (plan generation, channel deployment,
+result assembly) — exactly Figure 6's flow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional, Sequence
+
+from ..core.cost import Statistics
+from ..errors import PeerError
+from ..net.message import Message
+from ..net.simulator import Network
+from ..peers.base import PeerBase
+from ..peers.client import ClientPeer
+from ..peers.protocol import Advertise, RouteReply, RouteRequest
+from ..peers.simple import PendingQuery, SimplePeer
+from ..peers.super import SuperPeer
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+
+
+class HybridPeer(SimplePeer):
+    """A simple peer in the hybrid architecture.
+
+    Args:
+        home_super_peer: The super-peer this peer clusters under (the
+            one responsible for its community schema's SON).
+    """
+
+    def __init__(self, peer_id: str, base: Optional[PeerBase] = None,
+                 home_super_peer: str = "", home_super_peers=None, **kwargs):
+        super().__init__(peer_id, base, **kwargs)
+        if not home_super_peer:
+            raise PeerError(f"hybrid peer {peer_id} needs a home super-peer")
+        self.home_super_peer = home_super_peer
+        #: schema URI -> super-peer, for peers in several SONs
+        #: ("a simple-peer can be connected to multiple super-peers")
+        self.home_super_peers = dict(home_super_peers or {})
+
+    def _home_for(self, schema_uri: str) -> str:
+        return self.home_super_peers.get(schema_uri, self.home_super_peer)
+
+    def join(self, network: Network) -> None:
+        """Register and push each base's active-schema to the
+        super-peer responsible for that SON."""
+        super().join(network)
+        for advertisement in self.own_advertisements():
+            self.send(self._home_for(advertisement.schema_uri), Advertise(advertisement))
+
+    def _advertisement_targets(self):
+        targets = {self.home_super_peer, *self.home_super_peers.values()}
+        return sorted(targets)
+
+    def _obtain_routing(self, pending: PendingQuery) -> None:
+        """Phase 1: ask the super-peer backbone for the annotation —
+        the super-peer of the query's schema, when this peer knows it."""
+        target = self._home_for(pending.pattern.schema.namespace.uri)
+        self.send(
+            target,
+            RouteRequest(pending.query_id, pending.pattern, self.peer_id),
+        )
+
+    def handle_RouteReply(self, message: Message) -> None:
+        """Phase 2: generate the plan and execute it."""
+        reply: RouteReply = message.payload
+        pending = self._pending.get(reply.query_id)
+        if pending is None:
+            return  # stale reply for an already-answered query
+        self._on_annotated(pending, reply.annotated)
+
+
+class HybridSystem:
+    """Builder/harness for a hybrid deployment.
+
+    Example:
+        >>> system = HybridSystem(schema)                  # doctest: +SKIP
+        >>> system.add_super_peer("SP1")                   # doctest: +SKIP
+        >>> system.add_peer("P1", graph, "SP1")            # doctest: +SKIP
+        >>> table = system.query("P1", "SELECT ...")       # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        seed: int = 0,
+        default_latency: float = 1.0,
+        statistics: Optional[Statistics] = None,
+        **peer_options,
+    ):
+        self.schema = schema
+        self.network = Network(seed=seed, default_latency=default_latency)
+        self.statistics = statistics
+        self.peer_options = peer_options
+        self.super_peers: Dict[str, SuperPeer] = {}
+        self.peers: Dict[str, HybridPeer] = {}
+        self.clients: Dict[str, ClientPeer] = {}
+        self._backbone_directory: Dict[str, str] = {}
+        self._client_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_super_peer(
+        self, peer_id: str, schemas: Optional[Iterable[Schema]] = None
+    ) -> SuperPeer:
+        super_peer = SuperPeer(
+            peer_id,
+            schemas=list(schemas) if schemas is not None else [self.schema],
+            backbone_directory=self._backbone_directory,
+        )
+        super_peer.join(self.network)
+        self.super_peers[peer_id] = super_peer
+        return super_peer
+
+    def add_peer(
+        self,
+        peer_id: str,
+        graph: Graph,
+        home_super_peer: str,
+        schema: Optional[Schema] = None,
+        secondary: Sequence = (),
+    ) -> HybridPeer:
+        """Add a simple peer.
+
+        Args:
+            secondary: Extra SON memberships as ``(graph, schema,
+                super_peer_id)`` triples — the peer advertises each base
+                to the corresponding super-peer.
+        """
+        if home_super_peer not in self.super_peers:
+            raise PeerError(f"unknown super-peer {home_super_peer}")
+        base = PeerBase(graph, schema or self.schema)
+        secondary_bases = []
+        homes = {}
+        for extra_graph, extra_schema, super_id in secondary:
+            if super_id not in self.super_peers:
+                raise PeerError(f"unknown super-peer {super_id}")
+            secondary_bases.append(PeerBase(extra_graph, extra_schema))
+            homes[extra_schema.namespace.uri] = super_id
+        peer = HybridPeer(
+            peer_id,
+            base,
+            home_super_peer=home_super_peer,
+            home_super_peers=homes,
+            secondary_bases=secondary_bases,
+            statistics=self.statistics,
+            **self.peer_options,
+        )
+        peer.join(self.network)
+        self.peers[peer_id] = peer
+        return peer
+
+    def add_client(self, peer_id: Optional[str] = None) -> ClientPeer:
+        peer_id = peer_id or f"client{next(self._client_counter)}"
+        client = ClientPeer(peer_id)
+        client.join(self.network)
+        self.clients[peer_id] = client
+        return client
+
+    @classmethod
+    def from_scenario(cls, scenario, **kwargs) -> "HybridSystem":
+        """Build Figure 6's deployment from a
+        :class:`~repro.workloads.paper.HybridScenario`."""
+        system = cls(scenario.schema, **kwargs)
+        for super_id in scenario.super_peers:
+            system.add_super_peer(super_id)
+        for peer_id in scenario.simple_peers:
+            system.add_peer(
+                peer_id, scenario.bases[peer_id], scenario.home_super_peer[peer_id]
+            )
+        return system
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def submit(self, via_peer: str, text: str, client: Optional[ClientPeer] = None) -> str:
+        """Submit a query through a simple peer; returns the query id.
+
+        Call :meth:`run` afterwards to drive the event loop.
+        """
+        client = client or (
+            next(iter(self.clients.values())) if self.clients else self.add_client()
+        )
+        return client.submit(via_peer, text)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        return self.network.run(max_events=max_events)
+
+    def query(self, via_peer: str, text: str, max_peers=None, limit=None,
+              order_by=None, descending=False):
+        """Submit, run to quiescence, and return the result table.
+
+        Args:
+            via_peer: The coordinating simple peer.
+            text: RQL source text.
+            max_peers: Per-pattern broadcast bound (Section 5).
+            limit: Top-N bound on the answer.
+
+        Raises:
+            PeerError: When the query failed (carries the reason).
+        """
+        client = next(iter(self.clients.values())) if self.clients else self.add_client()
+        query_id = client.submit(
+            via_peer, text, max_peers=max_peers, limit=limit,
+            order_by=order_by, descending=descending,
+        )
+        self.run()
+        result = client.result(query_id)
+        if result is None:
+            raise PeerError(f"query {query_id} produced no reply")
+        if result.error is not None:
+            raise PeerError(f"query {query_id} failed: {result.error}")
+        return result.table

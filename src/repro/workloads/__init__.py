@@ -1,0 +1,31 @@
+"""Workload construction: the paper's scenarios plus synthetic generators."""
+
+from .paper import (
+    AdhocScenario,
+    DATA,
+    HybridScenario,
+    N1,
+    PAPER_QUERY,
+    PAPER_VIEW,
+    adhoc_scenario,
+    hybrid_scenario,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+__all__ = [
+    "AdhocScenario",
+    "DATA",
+    "HybridScenario",
+    "N1",
+    "PAPER_QUERY",
+    "PAPER_VIEW",
+    "adhoc_scenario",
+    "hybrid_scenario",
+    "paper_active_schemas",
+    "paper_peer_bases",
+    "paper_query_pattern",
+    "paper_schema",
+]

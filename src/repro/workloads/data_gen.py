@@ -1,0 +1,145 @@
+"""Peer-base population with controlled data distribution.
+
+The paper's routing/processing algorithms are exercised by three data
+distributions over a SON (Section 2.3):
+
+* **vertical** — each peer populates a *segment* of the schema's chain
+  (peer A holds chain0, peer B holds chain1, ...): answering a chain
+  query requires joining across peers;
+* **horizontal** — every peer populates *all* chain properties with its
+  own instances: answering requires unioning across peers;
+* **mixed** — each peer populates a random subset of the chain.
+
+Instances at segment boundaries are drawn from a shared pool so
+cross-peer joins succeed with a configurable probability.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Namespace, URI
+from ..rdf.vocabulary import TYPE
+from .schema_gen import SyntheticSchema
+
+
+class Distribution(enum.Enum):
+    """How schema coverage is spread over the peers of a SON."""
+
+    VERTICAL = "vertical"
+    HORIZONTAL = "horizontal"
+    MIXED = "mixed"
+
+
+@dataclass
+class GeneratedBases:
+    """The population result.
+
+    Attributes:
+        bases: Peer id → graph.
+        coverage: Peer id → chain segment indices it populates.
+    """
+
+    bases: Dict[str, Graph]
+    coverage: Dict[str, Tuple[int, ...]]
+
+
+def _segment_assignment(
+    distribution: Distribution,
+    peer_ids: Sequence[str],
+    segments: int,
+    rng: random.Random,
+) -> Dict[str, Tuple[int, ...]]:
+    coverage: Dict[str, Tuple[int, ...]] = {}
+    if distribution is Distribution.HORIZONTAL:
+        for peer in peer_ids:
+            coverage[peer] = tuple(range(segments))
+    elif distribution is Distribution.VERTICAL:
+        for index, peer in enumerate(peer_ids):
+            coverage[peer] = (index % segments,)
+    else:  # MIXED
+        for peer in peer_ids:
+            count = rng.randint(1, segments)
+            coverage[peer] = tuple(sorted(rng.sample(range(segments), count)))
+    return coverage
+
+
+def generate_bases(
+    synthetic: SyntheticSchema,
+    peer_ids: Sequence[str],
+    distribution: Distribution = Distribution.MIXED,
+    statements_per_segment: int = 20,
+    shared_pool: int = 10,
+    instance_namespace: str = "http://example.org/instances#",
+    seed: int = 0,
+) -> GeneratedBases:
+    """Populate peer bases over a synthetic schema.
+
+    Args:
+        synthetic: The generated schema (chain metadata included).
+        peer_ids: The SON's peers.
+        distribution: Coverage layout.
+        statements_per_segment: Property statements each peer asserts
+            per covered chain segment.
+        shared_pool: Size of the shared instance pool per chain class —
+            boundary instances are drawn from it, making cross-peer
+            joins possible.
+        instance_namespace: Namespace minting instance URIs.
+        seed: RNG seed.
+    """
+    if not peer_ids:
+        raise ValueError("need at least one peer")
+    if shared_pool < 1:
+        raise ValueError("shared_pool must be >= 1")
+    rng = random.Random(seed)
+    schema = synthetic.schema
+    chain = synthetic.chain_properties
+    data = Namespace(instance_namespace)
+    coverage = _segment_assignment(distribution, peer_ids, len(chain), rng)
+
+    # one shared instance pool per chain class: segment i draws subjects
+    # from pool[i] and objects from pool[i + 1]
+    pools: List[List[URI]] = [
+        [data[f"n{level}_{j}"] for j in range(shared_pool)]
+        for level in range(len(chain) + 1)
+    ]
+
+    bases: Dict[str, Graph] = {}
+    for peer in peer_ids:
+        graph = Graph()
+        for segment in coverage[peer]:
+            prop = chain[segment]
+            definition = schema.property_def(prop)
+            for _ in range(statements_per_segment):
+                subject = rng.choice(pools[segment])
+                obj = rng.choice(pools[segment + 1])
+                graph.add(subject, TYPE, definition.domain)
+                graph.add(obj, TYPE, definition.range)
+                graph.add(subject, prop, obj)
+        bases[peer] = graph
+    return GeneratedBases(bases, coverage)
+
+
+def populate_with_refinements(
+    synthetic: SyntheticSchema,
+    graph: Graph,
+    statements: int = 10,
+    instance_namespace: str = "http://example.org/instances#",
+    seed: int = 0,
+) -> None:
+    """Additionally assert refined (sub-property) statements into a
+    base, so subsumption routing has something to find."""
+    rng = random.Random(seed)
+    data = Namespace(instance_namespace)
+    for sub_prop, sub_domain, sub_range in synthetic.refined_properties:
+        for j in range(statements):
+            subject = data[f"ref_{sub_prop.local_name}_s{j}"]
+            obj = data[f"ref_{sub_prop.local_name}_o{rng.randrange(statements)}"]
+            graph.add(subject, TYPE, sub_domain)
+            graph.add(obj, TYPE, sub_range)
+            graph.add(subject, sub_prop, obj)

@@ -1,0 +1,239 @@
+"""The paper's running example, as reusable fixtures.
+
+Builds the exact artefacts of Figures 1–7:
+
+* the community RDF/S schema in namespace ``n1`` — classes C1–C6,
+  properties prop1–prop3 and ``prop4 ⊑ prop1`` between the subclasses
+  C5 ⊑ C1 and C6 ⊑ C2 (Figure 1, top);
+* the RVL advertisement view of Figure 1 (bottom left);
+* query **Q** joining prop1 and prop2 on Y (Figure 1, bottom right);
+* the four peer active-schemas of Figure 2 (P1: prop1+prop2,
+  P2: prop1, P3: prop2, P4: prop4+prop2);
+* populated peer bases consistent with those advertisements, with
+  joinable resources across peers so distributed execution returns
+  non-empty answers;
+* the hybrid scenario of Figure 6 (SP1–SP3, P1–P5) and the ad-hoc
+  scenario of Figure 7 (P1's neighbourhood and P5 behind P2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Namespace, URI
+from ..rdf.vocabulary import TYPE
+from ..rql.pattern import QueryPattern, SchemaPath, pattern_from_text
+from ..rvl.active_schema import ActiveSchema
+
+#: The community schema namespace of the paper's figures.
+N1 = Namespace("http://ics.forth.gr/sqpeer/n1#")
+#: Namespace minting instance resources for the example bases.
+DATA = Namespace("http://ics.forth.gr/sqpeer/data#")
+
+#: Query **Q** of Figure 1 — resources related through prop1 then prop2.
+PAPER_QUERY = (
+    "SELECT X, Y FROM {X} n1:prop1 {Y}, {Y} n1:prop2 {Z} "
+    f"USING NAMESPACE n1 = &{N1.uri}&"
+)
+
+#: The RVL advertisement of Figure 1 (bottom left): populate C5, C6 and
+#: prop4 from the peer's base.
+PAPER_VIEW = (
+    "VIEW n1:C5(X), n1:C6(Y), n1:prop4(X, Y) FROM {X} n1:prop4 {Y} "
+    f"USING NAMESPACE n1 = &{N1.uri}&"
+)
+
+
+def paper_schema() -> Schema:
+    """The Figure 1 schema: C1–C6, prop1–prop4 with subsumption."""
+    schema = Schema(N1, "n1")
+    for name in ("C1", "C2", "C3", "C4", "C5", "C6"):
+        schema.add_class(N1[name])
+    schema.add_subclass(N1.C5, N1.C1)
+    schema.add_subclass(N1.C6, N1.C2)
+    schema.add_property(N1.prop1, N1.C1, N1.C2)
+    schema.add_property(N1.prop2, N1.C2, N1.C3)
+    schema.add_property(N1.prop3, N1.C3, N1.C4)
+    schema.add_property(N1.prop4, N1.C5, N1.C6, subproperty_of=N1.prop1)
+    return schema
+
+
+def paper_query_pattern(schema: Schema = None) -> QueryPattern:
+    """The semantic pattern of query **Q** (path patterns Q1, Q2)."""
+    return pattern_from_text(PAPER_QUERY, schema or paper_schema())
+
+
+def _path(schema: Schema, prop: URI) -> SchemaPath:
+    definition = schema.property_def(prop)
+    return SchemaPath(definition.domain, prop, definition.range)
+
+
+def paper_active_schemas(schema: Schema = None) -> Dict[str, ActiveSchema]:
+    """The four advertisements of Figure 2.
+
+    P1 populates prop1 and prop2; P2 populates prop1; P3 populates
+    prop2; P4 populates prop4 (⊑ prop1) and prop2.
+    """
+    schema = schema or paper_schema()
+    uri = schema.namespace.uri
+    return {
+        "P1": ActiveSchema(uri, [_path(schema, N1.prop1), _path(schema, N1.prop2)], peer_id="P1"),
+        "P2": ActiveSchema(uri, [_path(schema, N1.prop1)], peer_id="P2"),
+        "P3": ActiveSchema(uri, [_path(schema, N1.prop2)], peer_id="P3"),
+        "P4": ActiveSchema(uri, [_path(schema, N1.prop4), _path(schema, N1.prop2)], peer_id="P4"),
+    }
+
+
+def paper_peer_bases() -> Dict[str, Graph]:
+    """Materialised bases matching the Figure 2 advertisements.
+
+    The instance data is laid out so that both *local* joins (inside
+    P1 and P4) and *cross-peer* joins (P2's prop1 results joining P3's
+    prop2 results on shared Y resources) yield answers — exercising
+    horizontal and vertical distribution at once.
+    """
+    bases: Dict[str, Graph] = {name: Graph() for name in ("P1", "P2", "P3", "P4")}
+
+    # P1: complete chains x -prop1-> y -prop2-> z (local join possible)
+    p1 = bases["P1"]
+    for i in range(3):
+        x, y, z = DATA[f"p1x{i}"], DATA[f"shared_y{i}"], DATA[f"p1z{i}"]
+        p1.add(x, TYPE, N1.C1)
+        p1.add(y, TYPE, N1.C2)
+        p1.add(z, TYPE, N1.C3)
+        p1.add(x, N1.prop1, y)
+        p1.add(y, N1.prop2, z)
+
+    # P2: prop1 statements whose targets join with P3's prop2 subjects
+    p2 = bases["P2"]
+    for i in range(4):
+        x, y = DATA[f"p2x{i}"], DATA[f"bridge_y{i}"]
+        p2.add(x, TYPE, N1.C1)
+        p2.add(y, TYPE, N1.C2)
+        p2.add(x, N1.prop1, y)
+
+    # P3: prop2 statements continuing P2's bridge resources
+    p3 = bases["P3"]
+    for i in range(4):
+        y, z = DATA[f"bridge_y{i}"], DATA[f"p3z{i}"]
+        p3.add(y, TYPE, N1.C2)
+        p3.add(z, TYPE, N1.C3)
+        p3.add(y, N1.prop2, z)
+
+    # P4: prop4 (⊑ prop1) chains over the subclasses C5/C6, plus prop2
+    p4 = bases["P4"]
+    for i in range(2):
+        x, y, z = DATA[f"p4x{i}"], DATA[f"p4y{i}"], DATA[f"p4z{i}"]
+        p4.add(x, TYPE, N1.C5)
+        p4.add(y, TYPE, N1.C6)
+        p4.add(z, TYPE, N1.C3)
+        p4.add(x, N1.prop4, y)
+        p4.add(y, N1.prop2, z)
+    return bases
+
+
+@dataclass
+class HybridScenario:
+    """Figure 6's cast: a super-peer backbone and five simple peers.
+
+    P2 and P3 can answer Q1 (prop1), P5 can answer Q2 (prop2); P1 and
+    P4 hold no relevant data.  All simple peers connect to SP1, the
+    super-peer responsible for the n1 SON.
+    """
+
+    schema: Schema
+    super_peers: Tuple[str, ...]
+    simple_peers: Tuple[str, ...]
+    bases: Dict[str, Graph]
+    home_super_peer: Dict[str, str]
+    query: str = PAPER_QUERY
+
+
+def hybrid_scenario() -> HybridScenario:
+    """Build the Figure 6 scenario."""
+    schema = paper_schema()
+    bases: Dict[str, Graph] = {name: Graph() for name in ("P1", "P2", "P3", "P4", "P5")}
+    for peer, prefix in (("P2", "h2"), ("P3", "h3")):
+        graph = bases[peer]
+        for i in range(3):
+            x, y = DATA[f"{prefix}x{i}"], DATA[f"hy{i}"]
+            graph.add(x, TYPE, N1.C1)
+            graph.add(y, TYPE, N1.C2)
+            graph.add(x, N1.prop1, y)
+    p5 = bases["P5"]
+    for i in range(3):
+        y, z = DATA[f"hy{i}"], DATA[f"h5z{i}"]
+        p5.add(y, TYPE, N1.C2)
+        p5.add(z, TYPE, N1.C3)
+        p5.add(y, N1.prop2, z)
+    # P1 and P4 are connected but hold unrelated data (prop3 only)
+    for peer in ("P1", "P4"):
+        graph = bases[peer]
+        c, d = DATA[f"{peer}c"], DATA[f"{peer}d"]
+        graph.add(c, TYPE, N1.C3)
+        graph.add(d, TYPE, N1.C4)
+        graph.add(c, N1.prop3, d)
+    return HybridScenario(
+        schema=schema,
+        super_peers=("SP1", "SP2", "SP3"),
+        simple_peers=("P1", "P2", "P3", "P4", "P5"),
+        bases=bases,
+        home_super_peer={p: "SP1" for p in ("P1", "P2", "P3", "P4", "P5")},
+    )
+
+
+@dataclass
+class AdhocScenario:
+    """Figure 7's cast: five peers in a self-adaptive SON.
+
+    P1's neighbours are P2, P3 and P4.  P2 and P3 answer Q1; only P5 —
+    known solely to P2 — answers Q2, so P1's local plan has a Q2 hole
+    that P2 fills by interleaved routing.  P3 has no further neighbours
+    (its channel fails in the figure).
+    """
+
+    schema: Schema
+    peers: Tuple[str, ...]
+    bases: Dict[str, Graph]
+    neighbours: Dict[str, Tuple[str, ...]]
+    query: str = PAPER_QUERY
+
+
+def adhoc_scenario() -> AdhocScenario:
+    """Build the Figure 7 scenario."""
+    schema = paper_schema()
+    bases: Dict[str, Graph] = {name: Graph() for name in ("P1", "P2", "P3", "P4", "P5")}
+    for peer, prefix in (("P2", "a2"), ("P3", "a3")):
+        graph = bases[peer]
+        for i in range(3):
+            x, y = DATA[f"{prefix}x{i}"], DATA[f"ay{i}"]
+            graph.add(x, TYPE, N1.C1)
+            graph.add(y, TYPE, N1.C2)
+            graph.add(x, N1.prop1, y)
+    p5 = bases["P5"]
+    for i in range(3):
+        y, z = DATA[f"ay{i}"], DATA[f"a5z{i}"]
+        p5.add(y, TYPE, N1.C2)
+        p5.add(z, TYPE, N1.C3)
+        p5.add(y, N1.prop2, z)
+    # P4 holds only prop3 data: a neighbour, but irrelevant to Q
+    p4 = bases["P4"]
+    c, d = DATA["a4c"], DATA["a4d"]
+    p4.add(c, TYPE, N1.C3)
+    p4.add(d, TYPE, N1.C4)
+    p4.add(c, N1.prop3, d)
+    return AdhocScenario(
+        schema=schema,
+        peers=("P1", "P2", "P3", "P4", "P5"),
+        bases=bases,
+        neighbours={
+            "P1": ("P2", "P3", "P4"),
+            "P2": ("P1", "P5"),
+            "P3": ("P1",),
+            "P4": ("P1",),
+            "P5": ("P2",),
+        },
+    )

@@ -1,0 +1,61 @@
+"""Conjunctive RQL query generation over synthetic schemas.
+
+Queries are contiguous chain segments (the shape the paper's query
+**Q** has), optionally using refined subproperties or subclass filters
+to exercise subsumption routing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..rdf.schema import Schema
+from .schema_gen import SyntheticSchema
+
+
+def chain_query(
+    synthetic: SyntheticSchema,
+    start: int = 0,
+    length: int = 2,
+    prefix: str = "s",
+) -> str:
+    """The RQL text querying chain segments ``start .. start+length-1``.
+
+    Variables are ``V0 .. Vlength``; the first two are projected (like
+    the paper's ``SELECT X, Y``).
+    """
+    chain = synthetic.chain_properties
+    if length < 1 or start < 0 or start + length > len(chain):
+        raise ValueError(
+            f"segment [{start}, {start + length}) outside chain of {len(chain)}"
+        )
+    namespace_uri = synthetic.schema.namespace.uri
+    paths = []
+    for offset in range(length):
+        prop = chain[start + offset]
+        paths.append(f"{{V{offset}}} {prefix}:{prop.local_name} {{V{offset + 1}}}")
+    projections = "V0, V1" if length >= 1 else "V0"
+    return (
+        f"SELECT {projections} FROM {', '.join(paths)} "
+        f"USING NAMESPACE {prefix} = &{namespace_uri}&"
+    )
+
+
+def random_queries(
+    synthetic: SyntheticSchema,
+    count: int,
+    max_length: int = 3,
+    seed: int = 0,
+) -> List[str]:
+    """A batch of random chain queries (for load experiments)."""
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    rng = random.Random(seed)
+    chain_len = len(synthetic.chain_properties)
+    queries = []
+    for _ in range(count):
+        length = rng.randint(1, min(max_length, chain_len))
+        start = rng.randint(0, chain_len - length)
+        queries.append(chain_query(synthetic, start, length))
+    return queries

@@ -1,0 +1,100 @@
+"""Synthetic RDF/S community schema generator.
+
+Generates schemas with a **backbone chain** of classes connected by
+properties (``K0 --chain0--> K1 --chain1--> ...``), so multi-hop
+conjunctive path queries always exist, plus configurable subclass and
+subproperty refinements (the subsumption structure semantic routing
+exploits) and optional off-chain "noise" properties.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..rdf.schema import Schema
+from ..rdf.terms import Namespace, URI
+
+
+@dataclass(frozen=True)
+class SyntheticSchema:
+    """A generated schema plus its navigational metadata.
+
+    Attributes:
+        schema: The RDF/S schema.
+        chain_properties: Backbone properties in chain order; segment
+            ``i`` connects class ``Ki`` to ``Ki+1``.
+        refined_properties: For each backbone property that received a
+            refinement, the (sub-property, sub-domain, sub-range) triple.
+        noise_properties: Off-chain properties (never part of chain
+            queries).
+    """
+
+    schema: Schema
+    chain_properties: Tuple[URI, ...]
+    refined_properties: Tuple[Tuple[URI, URI, URI], ...]
+    noise_properties: Tuple[URI, ...]
+
+
+def generate_schema(
+    namespace_uri: str = "http://example.org/synth#",
+    chain_length: int = 4,
+    refinement_fraction: float = 0.5,
+    noise_properties: int = 2,
+    seed: int = 0,
+) -> SyntheticSchema:
+    """Generate a community schema.
+
+    Args:
+        namespace_uri: Namespace of the schema.
+        chain_length: Number of backbone properties (classes =
+            ``chain_length + 1``).
+        refinement_fraction: Fraction of backbone properties that get a
+            subproperty over subclass endpoints (prop4-style).
+        noise_properties: Extra properties between random backbone
+            classes, populating SONs with irrelevant structure.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: On nonsensical parameters.
+    """
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    if not 0.0 <= refinement_fraction <= 1.0:
+        raise ValueError("refinement_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    namespace = Namespace(namespace_uri)
+    schema = Schema(namespace, f"synth({seed})")
+
+    classes = [namespace[f"K{i}"] for i in range(chain_length + 1)]
+    for cls in classes:
+        schema.add_class(cls)
+    chain: List[URI] = []
+    for i in range(chain_length):
+        prop = namespace[f"chain{i}"]
+        schema.add_property(prop, classes[i], classes[i + 1])
+        chain.append(prop)
+
+    refined: List[Tuple[URI, URI, URI]] = []
+    for i, prop in enumerate(chain):
+        if rng.random() >= refinement_fraction:
+            continue
+        sub_domain = namespace[f"K{i}sub"]
+        sub_range = namespace[f"K{i + 1}sub{i}"]
+        if not schema.has_class(sub_domain):
+            schema.add_class(sub_domain, subclass_of=[classes[i]])
+        if not schema.has_class(sub_range):
+            schema.add_class(sub_range, subclass_of=[classes[i + 1]])
+        sub_prop = namespace[f"chain{i}sub"]
+        schema.add_property(sub_prop, sub_domain, sub_range, subproperty_of=prop)
+        refined.append((sub_prop, sub_domain, sub_range))
+
+    noise: List[URI] = []
+    for i in range(noise_properties):
+        domain, range_ = rng.choice(classes), rng.choice(classes)
+        prop = namespace[f"noise{i}"]
+        schema.add_property(prop, domain, range_)
+        noise.append(prop)
+
+    return SyntheticSchema(schema, tuple(chain), tuple(refined), tuple(noise))

@@ -1,0 +1,20 @@
+"""Legacy-store wrappers: virtual RDF/S views over relational/XML data."""
+
+from .relational import (
+    PropertyMapping,
+    RelationalPeerMapping,
+    RelationalStore,
+    Table,
+)
+from .xmlstore import ElementMapping, XMLElement, XMLPeerMapping, XMLStore
+
+__all__ = [
+    "ElementMapping",
+    "PropertyMapping",
+    "RelationalPeerMapping",
+    "RelationalStore",
+    "Table",
+    "XMLElement",
+    "XMLPeerMapping",
+    "XMLStore",
+]

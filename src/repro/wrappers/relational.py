@@ -1,0 +1,159 @@
+"""A miniature relational store with RDF/S mapping rules.
+
+Stands in for the relational peer bases SQPeer virtualises through
+SWIM-style mappings (Section 2.2's virtual scenario): a peer keeps its
+data in tables and exposes an RDF/S image of it, so its active-schema
+advertises what *can* be populated on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import MappingError
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Literal, URI
+from ..rdf.vocabulary import LITERAL_CLASS, TYPE
+from ..rql.pattern import SchemaPath
+from ..rvl.active_schema import ActiveSchema
+
+Row = Tuple
+
+
+class Table:
+    """A named relation with fixed columns."""
+
+    def __init__(self, name: str, columns: Sequence[str]):
+        if len(set(columns)) != len(columns):
+            raise MappingError(f"duplicate columns in table {name}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows: List[Row] = []
+
+    def insert(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise MappingError(
+                f"{self.name}: expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise MappingError(f"{self.name} has no column {column!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class RelationalStore:
+    """A set of tables."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[str]) -> Table:
+        if name in self._tables:
+            raise MappingError(f"table {name} already exists")
+        table = Table(name, columns)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise MappingError(f"no table {name}") from None
+
+    def tables(self) -> List[str]:
+        return sorted(self._tables)
+
+
+@dataclass(frozen=True)
+class PropertyMapping:
+    """Map two columns of a table to a property's subject/object.
+
+    Attributes:
+        table: Source table name.
+        subject_column: Column minting the subject resource.
+        object_column: Column minting the object (resource or literal).
+        property: Target RDF/S property.
+        uri_prefix: Prefix for minted resource URIs.
+        object_is_literal: Emit the object column as a literal (for
+            properties with range ``rdfs:Literal``).
+    """
+
+    table: str
+    subject_column: str
+    object_column: str
+    property: URI
+    uri_prefix: str
+    object_is_literal: bool = False
+
+
+class RelationalPeerMapping:
+    """The RDF/S virtualisation of one relational store.
+
+    Args:
+        store: The legacy data.
+        schema: The community schema mapped onto.
+        mappings: Column-pair → property rules.
+    """
+
+    def __init__(
+        self,
+        store: RelationalStore,
+        schema: Schema,
+        mappings: Iterable[PropertyMapping] = (),
+    ):
+        self.store = store
+        self.schema = schema
+        self.mappings: List[PropertyMapping] = []
+        for mapping in mappings:
+            self.add_mapping(mapping)
+
+    def add_mapping(self, mapping: PropertyMapping) -> None:
+        if not self.schema.has_property(mapping.property):
+            raise MappingError(f"mapping targets undeclared property {mapping.property}")
+        range_ = self.schema.range_of(mapping.property)
+        if mapping.object_is_literal != (range_ == LITERAL_CLASS):
+            raise MappingError(
+                f"mapping literal-ness disagrees with range of {mapping.property}"
+            )
+        # validate the columns exist up front
+        table = self.store.table(mapping.table)
+        table.column_index(mapping.subject_column)
+        table.column_index(mapping.object_column)
+        self.mappings.append(mapping)
+
+    def virtual_graph(self) -> Graph:
+        """Materialise the RDF/S image of the store ("populated on
+        demand" — callers invoke this lazily)."""
+        graph = Graph()
+        for mapping in self.mappings:
+            table = self.store.table(mapping.table)
+            s_idx = table.column_index(mapping.subject_column)
+            o_idx = table.column_index(mapping.object_column)
+            definition = self.schema.property_def(mapping.property)
+            for row in table.rows:
+                subject = URI(f"{mapping.uri_prefix}{row[s_idx]}")
+                graph.add(subject, TYPE, definition.domain)
+                if mapping.object_is_literal:
+                    graph.add(subject, mapping.property, Literal(row[o_idx]))
+                else:
+                    obj = URI(f"{mapping.uri_prefix}{row[o_idx]}")
+                    graph.add(obj, TYPE, definition.range)
+                    graph.add(subject, mapping.property, obj)
+        return graph
+
+    def active_schema(self, peer_id: str) -> ActiveSchema:
+        """The advertisement: every mapped property *can* be populated,
+        regardless of current row counts — the virtual scenario."""
+        paths = []
+        for mapping in self.mappings:
+            definition = self.schema.property_def(mapping.property)
+            paths.append(SchemaPath(definition.domain, definition.uri, definition.range))
+        return ActiveSchema(self.schema.namespace.uri, paths, peer_id=peer_id)

@@ -1,0 +1,149 @@
+"""A miniature XML store with RDF/S mapping rules.
+
+The second legacy-base flavour the paper's virtual scenario covers:
+peers holding semistructured (XML) data expose an RDF/S image of it
+through element-path mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import MappingError
+from ..rdf.graph import Graph
+from ..rdf.schema import Schema
+from ..rdf.terms import Literal, URI
+from ..rdf.vocabulary import LITERAL_CLASS, TYPE
+from ..rql.pattern import SchemaPath
+from ..rvl.active_schema import ActiveSchema
+
+
+class XMLElement:
+    """A node of a simple XML tree (tag, attributes, text, children)."""
+
+    def __init__(
+        self,
+        tag: str,
+        attributes: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ):
+        self.tag = tag
+        self.attributes = dict(attributes or {})
+        self.text = text
+        self.children: List["XMLElement"] = []
+
+    def append(self, child: "XMLElement") -> "XMLElement":
+        self.children.append(child)
+        return child
+
+    def find_all(self, path: Sequence[str]) -> Iterator["XMLElement"]:
+        """All descendants along a tag path (``("course", "lecturer")``
+        means: children tagged ``course``, then their children tagged
+        ``lecturer``)."""
+        if not path:
+            yield self
+            return
+        head, *rest = path
+        for child in self.children:
+            if child.tag == head:
+                yield from child.find_all(rest)
+
+    def __repr__(self) -> str:
+        return f"XMLElement(<{self.tag}>, children={len(self.children)})"
+
+
+class XMLStore:
+    """A forest of XML documents."""
+
+    def __init__(self):
+        self.documents: List[XMLElement] = []
+
+    def add_document(self, root: XMLElement) -> XMLElement:
+        self.documents.append(root)
+        return root
+
+    def find_all(self, path: Sequence[str]) -> Iterator[XMLElement]:
+        for document in self.documents:
+            if document.tag == path[0]:
+                yield from document.find_all(path[1:])
+
+
+@dataclass(frozen=True)
+class ElementMapping:
+    """Map an element path to a property statement.
+
+    Attributes:
+        path: Tag path selecting the *object* elements.
+        subject_attribute: Attribute (on the element ``levels_up``
+            ancestors above) identifying the subject.
+        object_attribute: Attribute identifying the object resource, or
+            ``None`` to use the element text as a literal.
+        property: Target property.
+        uri_prefix: Prefix for minted URIs.
+    """
+
+    path: Tuple[str, ...]
+    subject_attribute: str
+    property: URI
+    uri_prefix: str
+    object_attribute: Optional[str] = None
+
+
+class XMLPeerMapping:
+    """The RDF/S virtualisation of an XML store."""
+
+    def __init__(
+        self,
+        store: XMLStore,
+        schema: Schema,
+        mappings: Iterable[ElementMapping] = (),
+    ):
+        self.store = store
+        self.schema = schema
+        self.mappings: List[ElementMapping] = []
+        for mapping in mappings:
+            self.add_mapping(mapping)
+
+    def add_mapping(self, mapping: ElementMapping) -> None:
+        if not self.schema.has_property(mapping.property):
+            raise MappingError(f"mapping targets undeclared property {mapping.property}")
+        range_ = self.schema.range_of(mapping.property)
+        wants_literal = mapping.object_attribute is None
+        if wants_literal != (range_ == LITERAL_CLASS):
+            raise MappingError(
+                f"mapping literal-ness disagrees with range of {mapping.property}"
+            )
+        if len(mapping.path) < 1:
+            raise MappingError("element path must not be empty")
+        self.mappings.append(mapping)
+
+    def virtual_graph(self) -> Graph:
+        """Materialise the RDF/S image of the XML forest."""
+        graph = Graph()
+        for mapping in self.mappings:
+            definition = self.schema.property_def(mapping.property)
+            for element in self.store.find_all(list(mapping.path)):
+                subject_id = element.attributes.get(mapping.subject_attribute)
+                if subject_id is None:
+                    continue
+                subject = URI(f"{mapping.uri_prefix}{subject_id}")
+                graph.add(subject, TYPE, definition.domain)
+                if mapping.object_attribute is None:
+                    graph.add(subject, mapping.property, Literal(element.text))
+                else:
+                    object_id = element.attributes.get(mapping.object_attribute)
+                    if object_id is None:
+                        continue
+                    obj = URI(f"{mapping.uri_prefix}{object_id}")
+                    graph.add(obj, TYPE, definition.range)
+                    graph.add(subject, mapping.property, obj)
+        return graph
+
+    def active_schema(self, peer_id: str) -> ActiveSchema:
+        """Advertisement of what the mappings can populate."""
+        paths = []
+        for mapping in self.mappings:
+            definition = self.schema.property_def(mapping.property)
+            paths.append(SchemaPath(definition.domain, definition.uri, definition.range))
+        return ActiveSchema(self.schema.namespace.uri, paths, peer_id=peer_id)

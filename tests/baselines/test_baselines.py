@@ -1,0 +1,174 @@
+"""Tests for the baseline comparators (flooding, coarse ads, indexing)."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    FloodingPeer,
+    run_active_schema_advertisements,
+    run_churn,
+    run_global_advertisements,
+    son_routing_contacts,
+)
+from repro.net import Network, random_neighbour_graph
+from repro.peers.base import PeerBase
+from repro.rdf import Graph
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def pattern(schema):
+    return paper_query_pattern(schema)
+
+
+def build_flooding_network(schema, extra_empty_peers=6):
+    """The four paper peers plus empty peers in a random graph."""
+    bases = paper_peer_bases()
+    ids = sorted(bases) + [f"E{i}" for i in range(extra_empty_peers)]
+    adjacency = random_neighbour_graph(ids, 3, random.Random(0))
+    network = Network()
+    peers = {}
+    for peer_id in ids:
+        graph = bases.get(peer_id, Graph())
+        peer = FloodingPeer(peer_id, PeerBase(graph, schema), adjacency[peer_id])
+        peer.join(network)
+        peers[peer_id] = peer
+    return network, peers
+
+
+class TestFlooding:
+    def test_flood_reaches_relevant_peers(self, schema, pattern):
+        network, peers = build_flooding_network(schema)
+        origin = peers["E0"]
+        origin.flood("q1", pattern, ttl=8)
+        network.run()
+        assert origin.hits["q1"] == {"P1", "P2", "P3", "P4"}
+
+    def test_flood_message_count_far_exceeds_son(self, schema, pattern):
+        network, peers = build_flooding_network(schema)
+        peers["E0"].flood("q1", pattern, ttl=8)
+        network.run()
+        flood_messages = network.metrics.messages_total
+        son_peers = son_routing_contacts(
+            pattern, list(paper_active_schemas(schema).values()), schema
+        )
+        # SON: one request + one reply per relevant peer
+        son_messages = 2 * len(son_peers)
+        assert flood_messages > son_messages
+
+    def test_ttl_limits_reach(self, schema, pattern):
+        network, peers = build_flooding_network(schema)
+        peers["E0"].flood("q1", pattern, ttl=1)
+        network.run()
+        # ttl=1 stops forwarding at first hop: not everything is reached
+        assert network.metrics.messages_total < 30
+
+    def test_duplicate_floods_suppressed(self, schema, pattern):
+        network, peers = build_flooding_network(schema)
+        peers["E0"].flood("q1", pattern, ttl=8)
+        network.run()
+        first = network.metrics.messages_total
+        peers["E0"].flood("q1", pattern, ttl=8)  # same id: peers have seen it
+        network.run()
+        assert network.metrics.messages_total < first * 2
+
+    def test_irrelevant_peers_counted(self, schema, pattern):
+        network, peers = build_flooding_network(schema)
+        peers["E0"].flood("q1", pattern, ttl=8)
+        network.run()
+        assert sum(network.metrics.irrelevant_queries.values()) > 0
+
+    def test_son_contacts_exactly_annotated(self, schema, pattern):
+        contacts = son_routing_contacts(
+            pattern, list(paper_active_schemas(schema).values()), schema
+        )
+        assert contacts == {"P1", "P2", "P3", "P4"}
+
+
+class TestAdvertisementPolicies:
+    def test_global_forwards_to_everyone(self, schema, pattern):
+        ads = paper_active_schemas(schema)
+        outcome = run_global_advertisements([pattern] * 5, ads, schema)
+        assert outcome.queries_forwarded == 5 * len(ads)
+
+    def test_active_forwards_to_relevant_only(self, schema, pattern):
+        ads = paper_active_schemas(schema)
+        outcome = run_active_schema_advertisements([pattern] * 5, ads, schema)
+        assert outcome.queries_forwarded == 5 * 4  # all four are relevant here
+        assert outcome.irrelevant_processed == 0
+
+    def test_global_wastes_on_irrelevant_peers(self, schema, pattern):
+        ads = dict(paper_active_schemas(schema))
+        # add peers with an unrelated footprint
+        from repro.rql.pattern import SchemaPath
+
+        for i in range(4):
+            ads[f"X{i}"] = ActiveSchema(
+                schema.namespace.uri,
+                [SchemaPath(N1.C3, N1.prop3, N1.C4)],
+                peer_id=f"X{i}",
+            )
+        global_outcome = run_global_advertisements([pattern] * 5, ads, schema)
+        active_outcome = run_active_schema_advertisements([pattern] * 5, ads, schema)
+        assert global_outcome.wasted_fraction > 0
+        assert active_outcome.wasted_fraction == 0
+        assert active_outcome.queries_forwarded < global_outcome.queries_forwarded
+
+    def test_per_peer_load_smaller_under_active(self, schema, pattern):
+        ads = dict(paper_active_schemas(schema))
+        from repro.rql.pattern import SchemaPath
+
+        ads["X0"] = ActiveSchema(
+            schema.namespace.uri, [SchemaPath(N1.C3, N1.prop3, N1.C4)], peer_id="X0"
+        )
+        global_outcome = run_global_advertisements([pattern] * 10, ads, schema)
+        active_outcome = run_active_schema_advertisements([pattern] * 10, ads, schema)
+        assert active_outcome.per_peer_load.get("X0", 0) == 0
+        assert global_outcome.per_peer_load["X0"] == 10
+
+    def test_advertisement_bytes_tradeoff(self, schema, pattern):
+        """Active-schemas cost more advertisement bytes — the price of
+        fine-grained routing."""
+        ads = paper_active_schemas(schema)
+        global_outcome = run_global_advertisements([pattern], ads, schema)
+        active_outcome = run_active_schema_advertisements([pattern], ads, schema)
+        assert active_outcome.advertisement_bytes > global_outcome.advertisement_bytes
+
+
+class TestIndexMaintenance:
+    def test_full_index_pays_per_update(self, schema):
+        result = run_churn(Graph(), schema, updates=100, seed=0)
+        assert result.full_index_cost.update_messages == 100
+
+    def test_active_schema_pays_rarely(self, schema):
+        result = run_churn(Graph(), schema, updates=200, seed=1)
+        assert result.active_schema_cost.update_messages < 40
+
+    def test_ratio_grows_with_stable_footprint(self, schema):
+        """Once every property is populated, churn is free for
+        active-schemas: the ratio grows with the update count."""
+        short = run_churn(Graph(), schema, updates=50, seed=2)
+        long = run_churn(Graph(), schema, updates=1000, seed=2)
+        assert long.message_ratio > short.message_ratio
+
+    def test_zero_updates(self, schema):
+        result = run_churn(Graph(), schema, updates=0, seed=0)
+        assert result.full_index_cost.update_messages == 0
+        assert result.active_schema_cost.update_messages == 0
+
+    def test_negative_updates_rejected(self, schema):
+        with pytest.raises(ValueError):
+            run_churn(Graph(), schema, updates=-1)

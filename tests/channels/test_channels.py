@@ -1,0 +1,139 @@
+"""Tests for the channel construct and its manager."""
+
+import pytest
+
+from repro.channels import (
+    Channel,
+    ChannelManager,
+    ChannelState,
+    DataPacket,
+    SubPlanPacket,
+)
+from repro.core.algebra import Scan
+from repro.errors import ChannelError
+from repro.net import Message, Network
+from repro.rql.bindings import BindingTable
+from repro.workloads.paper import paper_query_pattern, paper_schema
+
+
+class _Sink:
+    """A registered node that records deliveries."""
+
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+        self.received = []
+
+    def receive(self, message, network):
+        self.received.append(message)
+
+
+@pytest.fixture
+def scan():
+    return Scan((paper_query_pattern(paper_schema()).root,), "P2")
+
+
+@pytest.fixture
+def wired():
+    network = Network()
+    root, dest = _Sink("P1"), _Sink("P2")
+    network.register(root)
+    network.register(dest)
+    return network, root, dest
+
+
+class TestChannel:
+    def test_initial_state_open(self, scan):
+        channel = Channel("P1#1", "P1", "P2", scan)
+        assert channel.is_open
+        assert channel.state is ChannelState.OPEN
+
+    def test_close_only_from_open(self, scan):
+        channel = Channel("P1#1", "P1", "P2", scan)
+        channel.fail()
+        channel.close()
+        assert channel.state is ChannelState.FAILED
+
+    def test_tuples_accumulate(self, scan):
+        channel = Channel("P1#1", "P1", "P2", scan)
+        channel.record_tuples(3)
+        channel.record_tuples(4)
+        assert channel.tuples_received == 7
+
+
+class TestManager:
+    def test_open_sends_subplan(self, wired, scan):
+        network, root, dest = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        network.run()
+        assert channel.channel_id == "P1#1"
+        assert len(dest.received) == 1
+        packet = dest.received[0].payload
+        assert isinstance(packet, SubPlanPacket)
+        assert packet.channel_id == "P1#1"
+
+    def test_ids_unique(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        c1 = manager.open(network, "P2", scan, lambda t, f: None)
+        c2 = manager.open(network, "P2", scan, lambda t, f: None)
+        assert c1.channel_id != c2.channel_id
+
+    def test_final_data_invokes_callback_and_closes(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        table = BindingTable(("X",))
+        manager.on_data(DataPacket(channel.channel_id, table, final=True))
+        assert results == [(table, None)]
+        assert channel.state is ChannelState.CLOSED
+
+    def test_failure_packet_reports_peer(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        manager.on_data(
+            DataPacket(channel.channel_id, BindingTable(()), failed_peer="P9")
+        )
+        assert results == [(None, "P9")]
+        assert channel.state is ChannelState.FAILED
+
+    def test_transport_failure(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        manager.on_failure(channel.channel_id)
+        assert results == [(None, "P2")]
+
+    def test_discard_suppresses_callback(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        manager.discard(channel.channel_id)
+        manager.on_data(DataPacket(channel.channel_id, BindingTable(()), final=True))
+        assert results == []
+
+    def test_discard_all_counts_open(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        manager.open(network, "P2", scan, lambda t, f: None)
+        manager.open(network, "P2", scan, lambda t, f: None)
+        assert manager.discard_all() == 2
+        assert manager.open_channels() == {}
+
+    def test_late_packet_for_unknown_channel_dropped(self):
+        manager = ChannelManager("P1")
+        manager.on_data(DataPacket("P1#99", BindingTable(()), final=True))  # no raise
+
+    def test_unknown_channel_lookup_raises(self):
+        with pytest.raises(ChannelError):
+            ChannelManager("P1").channel("nope")
+
+    def test_packet_sizes_positive(self, scan):
+        assert SubPlanPacket("c", scan).size_bytes() > 0
+        assert DataPacket("c", BindingTable(("X",))).size_bytes() > 0

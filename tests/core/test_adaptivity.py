@@ -1,0 +1,96 @@
+"""Tests for run-time plan adaptation (paper Section 2.5)."""
+
+import pytest
+
+from repro.core import replan
+from repro.core.adaptivity import ChannelMonitor
+from repro.workloads.paper import (
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def pattern(schema):
+    return paper_query_pattern(schema)
+
+
+@pytest.fixture
+def advertisements(schema):
+    return paper_active_schemas(schema)
+
+
+class TestReplan:
+    def test_excludes_failed_peer(self, schema, pattern, advertisements):
+        result = replan(pattern, advertisements.values(), {"P1"}, schema)
+        assert result.repaired
+        assert "P1" not in result.plan.peers()
+
+    def test_survives_redundant_failures(self, schema, pattern, advertisements):
+        result = replan(pattern, advertisements.values(), {"P2", "P3"}, schema)
+        assert result.repaired  # P1 and P4 still cover both patterns
+
+    def test_unrepairable_when_pattern_uncovered(self, schema, pattern, advertisements):
+        result = replan(pattern, advertisements.values(), {"P1", "P3", "P4"}, schema)
+        assert not result.repaired
+        assert result.plan is None
+        assert result.annotated.unannotated_patterns()
+
+    def test_records_discards(self, schema, pattern, advertisements):
+        result = replan(
+            pattern, advertisements.values(), {"P1"}, schema, discarded_results=3
+        )
+        assert result.discarded_results == 3
+
+    def test_no_failures_is_full_plan(self, schema, pattern, advertisements):
+        result = replan(pattern, advertisements.values(), set(), schema)
+        assert result.repaired
+        assert result.plan.peers() == {"P1", "P2", "P3", "P4"}
+
+    def test_repr_mentions_state(self, schema, pattern, advertisements):
+        good = replan(pattern, advertisements.values(), {"P1"}, schema)
+        bad = replan(pattern, advertisements.values(), {"P1", "P2", "P4"}, schema)
+        assert "repaired" in repr(good)
+        assert "unrepairable" in repr(bad)
+
+
+class TestChannelMonitor:
+    def test_healthy_channel_not_flagged(self):
+        monitor = ChannelMonitor(minimum_ratio=0.5)
+        monitor.expect("c1", 100)
+        monitor.observe("c1", 80)
+        assert monitor.underperforming() == []
+
+    def test_starved_channel_flagged(self):
+        monitor = ChannelMonitor(minimum_ratio=0.5)
+        monitor.expect("c1", 100)
+        monitor.observe("c1", 10)
+        assert monitor.underperforming() == ["c1"]
+
+    def test_ratio_computation(self):
+        monitor = ChannelMonitor()
+        monitor.expect("c1", 200)
+        monitor.observe("c1", 50)
+        assert monitor.throughput_ratio("c1") == 0.25
+
+    def test_unknown_channel_ratio_is_one(self):
+        assert ChannelMonitor().throughput_ratio("nope") == 1.0
+
+    def test_observations_accumulate(self):
+        monitor = ChannelMonitor(minimum_ratio=0.5)
+        monitor.expect("c1", 100)
+        monitor.observe("c1", 30)
+        monitor.observe("c1", 30)
+        assert monitor.underperforming() == []
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelMonitor(minimum_ratio=0.0)
+        with pytest.raises(ValueError):
+            ChannelMonitor(minimum_ratio=1.5)

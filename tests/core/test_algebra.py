@@ -1,0 +1,151 @@
+"""Tests for the plan algebra."""
+
+import pytest
+
+from repro.core.algebra import (
+    Hole,
+    Join,
+    Scan,
+    Union,
+    count_scans,
+    depth,
+    flatten,
+    join_of,
+    substitute_hole,
+    union_of,
+)
+from repro.errors import PlanningError
+from repro.workloads.paper import paper_query_pattern, paper_schema
+
+
+@pytest.fixture
+def patterns():
+    return paper_query_pattern(paper_schema()).patterns
+
+
+@pytest.fixture
+def q1(patterns):
+    return patterns[0]
+
+
+@pytest.fixture
+def q2(patterns):
+    return patterns[1]
+
+
+class TestLeaves:
+    def test_scan_render(self, q1):
+        assert Scan((q1,), "P2").render() == "Q1@P2"
+
+    def test_composite_scan_render(self, q1, q2):
+        assert Scan((q1, q2), "P1").render() == "(Q1∪Q2)@P1"
+
+    def test_scan_requires_patterns(self):
+        with pytest.raises(PlanningError):
+            Scan((), "P1")
+
+    def test_scan_requires_peer(self, q1):
+        with pytest.raises(PlanningError):
+            Scan((q1,), "")
+
+    def test_hole_render(self, q2):
+        assert Hole(q2).render() == "Q2@?"
+
+    def test_hole_is_incomplete(self, q2):
+        assert not Hole(q2).is_complete()
+        assert Hole(q2).holes() == (Hole(q2),)
+
+    def test_scan_is_complete(self, q1):
+        assert Scan((q1,), "P1").is_complete()
+
+    def test_value_equality(self, q1):
+        assert Scan((q1,), "P1") == Scan((q1,), "P1")
+        assert Scan((q1,), "P1") != Scan((q1,), "P2")
+        assert hash(Scan((q1,), "P1")) == hash(Scan((q1,), "P1"))
+
+
+class TestInnerNodes:
+    def test_paper_plan_render(self, q1, q2):
+        plan = Join([
+            Union([Scan((q1,), "P1"), Scan((q1,), "P2"), Scan((q1,), "P4")]),
+            Union([Scan((q2,), "P1"), Scan((q2,), "P3"), Scan((q2,), "P4")]),
+        ])
+        assert plan.render() == (
+            "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))"
+        )
+
+    def test_peers_collected(self, q1, q2):
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P3")])
+        assert plan.peers() == {"P1", "P3"}
+
+    def test_patterns_collected(self, q1, q2):
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P3")])
+        assert plan.patterns() == (q1, q2)
+
+    def test_variables(self, q1, q2):
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P3")])
+        assert plan.variables() == ("X", "Y", "Z")
+
+    def test_walk_preorder(self, q1, q2):
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P3")])
+        kinds = [type(n).__name__ for n in plan.walk()]
+        assert kinds == ["Join", "Scan", "Scan"]
+
+    def test_empty_inner_rejected(self):
+        with pytest.raises(PlanningError):
+            Join([])
+
+    def test_non_plan_child_rejected(self, q1):
+        with pytest.raises(PlanningError):
+            Join([Scan((q1,), "P1"), "nope"])
+
+
+class TestHelpers:
+    def test_union_of_collapses_singleton(self, q1):
+        scan = Scan((q1,), "P1")
+        assert union_of([scan]) is scan
+        assert isinstance(union_of([scan, scan]), Union)
+
+    def test_join_of_collapses_singleton(self, q1):
+        scan = Scan((q1,), "P1")
+        assert join_of([scan]) is scan
+
+    def test_flatten_nested_joins(self, q1, q2):
+        nested = Join([Join([Scan((q1,), "P1"), Scan((q2,), "P2")]), Scan((q2,), "P3")])
+        flat = flatten(nested)
+        assert isinstance(flat, Join)
+        assert len(flat.children()) == 3
+
+    def test_flatten_nested_unions(self, q1):
+        nested = Union([Union([Scan((q1,), "P1"), Scan((q1,), "P2")]), Scan((q1,), "P3")])
+        assert len(flatten(nested).children()) == 3
+
+    def test_flatten_preserves_mixed(self, q1, q2):
+        plan = Join([Union([Scan((q1,), "P1"), Scan((q1,), "P2")]), Scan((q2,), "P3")])
+        flat = flatten(plan)
+        assert isinstance(flat.children()[0], Union)
+
+    def test_substitute_hole(self, q1, q2):
+        hole = Hole(q2)
+        plan = Join([Scan((q1,), "P1"), hole])
+        filled = substitute_hole(plan, hole, Scan((q2,), "P5"))
+        assert filled.is_complete()
+        assert "Q2@P5" in filled.render()
+
+    def test_substitute_leaves_other_nodes(self, q1, q2):
+        hole = Hole(q2)
+        plan = Join([Scan((q1,), "P1"), hole])
+        filled = substitute_hole(plan, hole, Scan((q2,), "P5"))
+        assert "Q1@P1" in filled.render()
+
+    def test_count_scans(self, q1, q2):
+        plan = Join([
+            Union([Scan((q1,), "P1"), Scan((q1,), "P2")]),
+            Scan((q2,), "P3"),
+        ])
+        assert count_scans(plan) == 3
+
+    def test_depth(self, q1, q2):
+        plan = Join([Union([Scan((q1,), "P1"), Scan((q1,), "P2")]), Scan((q2,), "P3")])
+        assert depth(plan) == 3
+        assert depth(Scan((q1,), "P1")) == 1

@@ -1,0 +1,127 @@
+"""Tests for Top-N / broadcast constraints (paper Section 5 future work)."""
+
+import pytest
+
+from repro.core import (
+    QueryConstraints,
+    Statistics,
+    UNCONSTRAINED,
+    apply_peer_bound,
+    route_query,
+)
+from repro.systems import HybridSystem
+from repro.workloads.paper import (
+    N1,
+    PAPER_QUERY,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def annotated(schema):
+    pattern = paper_query_pattern(schema)
+    return route_query(pattern, paper_active_schemas(schema).values(), schema)
+
+
+class TestQueryConstraints:
+    def test_unconstrained(self):
+        assert UNCONSTRAINED.is_unconstrained()
+        assert QueryConstraints(max_peers_per_pattern=2).is_unconstrained() is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryConstraints(max_peers_per_pattern=0)
+        with pytest.raises(ValueError):
+            QueryConstraints(max_results=0)
+
+    def test_immutable(self):
+        constraints = QueryConstraints(max_results=5)
+        with pytest.raises(AttributeError):
+            constraints.max_results = 10
+
+    def test_equality(self):
+        assert QueryConstraints(2, 5) == QueryConstraints(2, 5)
+        assert QueryConstraints(2, 5) != QueryConstraints(2, 6)
+
+
+class TestPeerBound:
+    def test_no_bound_is_identity(self, annotated):
+        trimmed = apply_peer_bound(annotated, UNCONSTRAINED)
+        for pattern in annotated.query_pattern:
+            assert trimmed.peers_for(pattern) == annotated.peers_for(pattern)
+
+    def test_bound_limits_each_pattern(self, annotated):
+        trimmed = apply_peer_bound(annotated, QueryConstraints(max_peers_per_pattern=2))
+        for pattern in annotated.query_pattern:
+            assert len(trimmed.peers_for(pattern)) == 2
+
+    def test_exact_matches_preferred(self, annotated):
+        """P4 matches Q1 only via subsumption: with bound 2 the exact
+        peers P1 and P2 win."""
+        trimmed = apply_peer_bound(annotated, QueryConstraints(max_peers_per_pattern=2))
+        q1 = annotated.query_pattern.root
+        assert set(trimmed.peers_for(q1)) == {"P1", "P2"}
+
+    def test_statistics_break_ties(self, annotated):
+        stats = Statistics()
+        stats.set_cardinality("P2", N1.prop1, 1000)
+        stats.set_cardinality("P1", N1.prop1, 1)
+        trimmed = apply_peer_bound(
+            annotated, QueryConstraints(max_peers_per_pattern=1), stats
+        )
+        q1 = annotated.query_pattern.root
+        assert trimmed.peers_for(q1) == ("P2",)  # biggest contributor first
+
+    def test_bound_of_one_still_covers(self, annotated):
+        trimmed = apply_peer_bound(annotated, QueryConstraints(max_peers_per_pattern=1))
+        assert trimmed.is_fully_annotated()
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def system(self, schema):
+        system = HybridSystem(schema)
+        system.add_super_peer("SP1")
+        for peer_id, graph in paper_peer_bases().items():
+            system.add_peer(peer_id, graph, "SP1")
+        return system
+
+    def test_unbounded_full_answer(self, system):
+        assert len(system.query("P1", PAPER_QUERY)) == 9
+
+    def test_limit_truncates(self, system):
+        table = system.query("P1", PAPER_QUERY, limit=4)
+        assert len(table) == 4
+
+    def test_limit_larger_than_answer(self, system):
+        table = system.query("P1", PAPER_QUERY, limit=100)
+        assert len(table) == 9
+
+    def test_max_peers_trades_completeness_for_load(self, schema):
+        def run(max_peers):
+            system = HybridSystem(schema)
+            system.add_super_peer("SP1")
+            for peer_id, graph in paper_peer_bases().items():
+                system.add_peer(peer_id, graph, "SP1")
+            table = system.query("P1", PAPER_QUERY, max_peers=max_peers)
+            return len(table), system.network.metrics.messages_total
+
+        rows_bounded, messages_bounded = run(1)
+        rows_full, messages_full = run(None)
+        assert rows_bounded <= rows_full
+        assert messages_bounded <= messages_full
+
+    def test_bounded_answer_is_sound(self, system):
+        full = system.query("P1", PAPER_QUERY)
+        bounded = system.query("P1", PAPER_QUERY, max_peers=2)
+        full_rows = {tuple(t.n3() for t in row) for row in full.rows}
+        bounded_rows = {tuple(t.n3() for t in row) for row in bounded.rows}
+        assert bounded_rows <= full_rows

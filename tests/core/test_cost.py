@@ -1,0 +1,117 @@
+"""Tests for statistics and the cost model."""
+
+import pytest
+
+from repro.core import CostModel, Statistics, build_plan, route_query
+from repro.core.algebra import Hole, Join, Scan, Union
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def patterns(schema):
+    return paper_query_pattern(schema).patterns
+
+
+@pytest.fixture
+def stats():
+    s = Statistics(default_cardinality=100, join_selectivity=0.01)
+    s.set_cardinality("P1", N1.prop1, 50)
+    s.set_cardinality("P2", N1.prop1, 200)
+    s.set_link_cost("P1", "P2", 2.0)
+    s.set_load("P2", load=4, slots=2)
+    return s
+
+
+class TestStatistics:
+    def test_recorded_cardinality(self, stats):
+        assert stats.cardinality("P1", N1.prop1) == 50
+
+    def test_default_cardinality(self, stats):
+        assert stats.cardinality("P9", N1.prop1) == 100
+
+    def test_link_cost_symmetric(self, stats):
+        assert stats.link_cost("P1", "P2") == 2.0
+        assert stats.link_cost("P2", "P1") == 2.0
+
+    def test_self_link_free(self, stats):
+        assert stats.link_cost("P1", "P1") == 0.0
+
+    def test_default_link_cost(self, stats):
+        assert stats.link_cost("P1", "P9") == 1.0
+
+    def test_load_factor(self, stats):
+        assert stats.load_factor("P2") == 3.0  # 1 + 4/2
+        assert stats.load_factor("P9") == 1.0
+
+    def test_known_peers(self, stats):
+        assert "P1" in stats.known_peers()
+        assert "P2" in stats.known_peers()
+
+
+class TestCardinalityEstimation:
+    def test_scan(self, stats, patterns):
+        model = CostModel(stats)
+        assert model.cardinality(Scan((patterns[0],), "P1")) == 50
+
+    def test_composite_scan_applies_selectivity(self, stats, patterns):
+        model = CostModel(stats)
+        composite = Scan((patterns[0], patterns[1]), "P1")
+        assert model.cardinality(composite) == pytest.approx(50 * 100 * 0.01)
+
+    def test_union_sums(self, stats, patterns):
+        model = CostModel(stats)
+        union = Union([Scan((patterns[0],), "P1"), Scan((patterns[0],), "P2")])
+        assert model.cardinality(union) == 250
+
+    def test_join_scales_by_selectivity(self, stats, patterns):
+        model = CostModel(stats)
+        join = Join([Scan((patterns[0],), "P1"), Scan((patterns[1],), "P3")])
+        assert model.cardinality(join) == pytest.approx(50 * 100 * 0.01)
+
+    def test_hole_is_zero(self, patterns):
+        assert CostModel().cardinality(Hole(patterns[0])) == 0.0
+
+
+class TestPlanCost:
+    def test_local_scan_ships_nothing(self, stats, patterns):
+        model = CostModel(stats)
+        estimate = model.plan_cost(Scan((patterns[0],), "P1"), "P1")
+        assert estimate.bytes_shipped > 0  # payload accounted
+        # but time has no transfer component (link cost 0)
+        assert estimate.time < 1.0
+
+    def test_remote_scan_costs_more(self, stats, patterns):
+        model = CostModel(stats)
+        local = model.plan_cost(Scan((patterns[0],), "P1"), "P1")
+        remote = model.plan_cost(Scan((patterns[0],), "P1"), "P2")
+        assert remote.time > local.time
+
+    def test_bigger_plan_more_messages(self, schema, stats):
+        model = CostModel(stats)
+        pattern = paper_query_pattern(schema)
+        ads = paper_active_schemas(schema)
+        plan = build_plan(route_query(pattern, ads.values(), schema))
+        estimate = model.plan_cost(plan, "P1")
+        assert estimate.messages == 12  # 6 scans x 2
+
+    def test_intermediate_rows(self, stats, patterns):
+        model = CostModel(stats)
+        plan = Union([Scan((patterns[0],), "P1"), Scan((patterns[0],), "P2")])
+        assert model.intermediate_result_rows(plan) == 250
+
+    def test_estimate_total_monotone_in_time(self):
+        from repro.core.cost import CostEstimate
+
+        fast = CostEstimate(100.0, 2, 1.0)
+        slow = CostEstimate(100.0, 2, 9.0)
+        assert slow.total > fast.total

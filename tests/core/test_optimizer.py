@@ -1,0 +1,148 @@
+"""Tests for compile-time optimisation (paper Section 2.5, Figure 4)."""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Statistics,
+    build_plan,
+    distribute_joins_over_unions,
+    merge_same_peer_scans,
+    optimize,
+    route_query,
+)
+from repro.core.algebra import Join, Scan, Union, flatten
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def plan1(schema):
+    pattern = paper_query_pattern(schema)
+    ads = paper_active_schemas(schema)
+    return build_plan(route_query(pattern, ads.values(), schema))
+
+
+class TestDistribution:
+    def test_plan2_shape(self, plan1):
+        """Figure 4's Plan 2: a union of nine pairwise joins."""
+        plan2 = distribute_joins_over_unions(plan1)
+        assert isinstance(plan2, Union)
+        assert len(plan2.children()) == 9
+        assert all(isinstance(c, Join) for c in plan2.children())
+
+    def test_plan2_contains_pairings(self, plan1):
+        rendered = distribute_joins_over_unions(plan1).render()
+        assert "⋈(Q1@P1, Q2@P1)" in rendered
+        assert "⋈(Q1@P2, Q2@P3)" in rendered
+        assert "⋈(Q1@P4, Q2@P4)" in rendered
+
+    def test_distribution_without_unions_is_identity(self, schema):
+        pattern = paper_query_pattern(schema)
+        q1, q2 = pattern.patterns
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P3")])
+        assert distribute_joins_over_unions(plan) == flatten(plan)
+
+    def test_max_terms_guard(self, plan1):
+        untouched = distribute_joins_over_unions(plan1, max_terms=4)
+        assert isinstance(untouched, Join)
+
+    def test_cost_guard_blocks_unprofitable(self, plan1):
+        """With join selectivity 1 the join is never smaller than its
+        inputs, so the paper's 'beneficial' condition fails."""
+        stats = Statistics(join_selectivity=1.0)
+        model = CostModel(stats)
+        plan = distribute_joins_over_unions(plan1, model)
+        assert isinstance(plan, Join)
+
+    def test_cost_guard_allows_profitable(self, plan1):
+        stats = Statistics(join_selectivity=0.0001)
+        model = CostModel(stats)
+        plan = distribute_joins_over_unions(plan1, model)
+        assert isinstance(plan, Union)
+
+
+class TestSamePeerMerging:
+    def test_plan3_merges_p1_and_p4(self, plan1):
+        """Figure 4's Plan 3: the prop1⋈prop2 joins are pushed into P1
+        and P4 as composite subqueries."""
+        plan3 = merge_same_peer_scans(distribute_joins_over_unions(plan1))
+        rendered = plan3.render()
+        assert "(Q1∪Q2)@P1" in rendered
+        assert "(Q1∪Q2)@P4" in rendered
+
+    def test_plan3_keeps_cross_peer_joins(self, plan1):
+        plan3 = merge_same_peer_scans(distribute_joins_over_unions(plan1))
+        rendered = plan3.render()
+        assert "⋈(Q1@P2, Q2@P3)" in rendered
+
+    def test_tr1_full_collapse(self, schema):
+        """⋈(Q1@P, Q2@P) → (Q1∪Q2)@P (Transformation Rule 1)."""
+        pattern = paper_query_pattern(schema)
+        q1, q2 = pattern.patterns
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P1")])
+        merged = merge_same_peer_scans(plan)
+        assert isinstance(merged, Scan)
+        assert merged.render() == "(Q1∪Q2)@P1"
+
+    def test_tr2_partial_merge(self, schema):
+        """⋈(⋈(QP, Q1@Pi), Q2@Pi) → ⋈(QP, (Q1∪Q2)@Pi) (Rule 2)."""
+        pattern = paper_query_pattern(schema)
+        q1, q2 = pattern.patterns
+        inner = Join([Scan((q1,), "P3"), Scan((q1,), "P2")])
+        plan = Join([Join([inner, Scan((q1,), "P1")]), Scan((q2,), "P1")])
+        merged = merge_same_peer_scans(plan)
+        assert "(Q1∪Q2)@P1" in merged.render()
+
+    def test_merge_preserves_pattern_order(self, schema):
+        pattern = paper_query_pattern(schema)
+        q1, q2 = pattern.patterns
+        plan = Join([Scan((q2,), "P1"), Scan((q1,), "P1")])
+        merged = merge_same_peer_scans(plan)
+        assert merged.patterns() == (q1, q2)
+
+    def test_scan_count_drops(self, plan1):
+        plan2 = distribute_joins_over_unions(plan1)
+        plan3 = merge_same_peer_scans(plan2)
+        from repro.core.algebra import count_scans
+
+        assert count_scans(plan3) < count_scans(plan2)
+
+
+class TestPipeline:
+    def test_trace_records_three_steps(self, plan1):
+        trace = optimize(plan1)
+        names = [rule for rule, _ in trace]
+        assert names[0] == "input"
+        assert "distribute joins/unions" in names
+        assert "merge same-peer (TR1/TR2)" in names
+
+    def test_trace_result_is_last(self, plan1):
+        trace = optimize(plan1)
+        assert trace.result == trace.steps[-1][1]
+
+    def test_disable_distribute(self, plan1):
+        trace = optimize(plan1, distribute=False)
+        assert isinstance(trace.result, Join)
+
+    def test_disable_merge(self, plan1):
+        trace = optimize(plan1, merge=False)
+        assert "(Q1∪Q2)" not in trace.result.render()
+
+    def test_noop_steps_not_recorded(self, schema):
+        pattern = paper_query_pattern(schema)
+        scan = Scan((pattern.root,), "P1")
+        trace = optimize(scan)
+        assert len(trace.steps) == 1
+
+    def test_optimized_plan_equivalent_peers(self, plan1):
+        assert optimize(plan1).result.peers() == plan1.peers()

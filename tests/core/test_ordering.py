@@ -1,0 +1,93 @@
+"""Tests for ORDER BY + Top-N / Bottom-N result bounds."""
+
+import pytest
+
+from repro.core import QueryConstraints
+from repro.rdf import Graph, LITERAL_CLASS, Literal, TYPE
+from repro.rql.bindings import BindingTable
+from repro.systems import HybridSystem
+from repro.workloads.paper import DATA, N1, paper_schema
+
+
+class TestApplyResultBounds:
+    def table(self):
+        return BindingTable(
+            ("X", "N"),
+            [
+                (DATA.a, Literal(30)),
+                (DATA.b, Literal(10)),
+                (DATA.c, Literal(20)),
+            ],
+        )
+
+    def test_ascending_order(self):
+        constraints = QueryConstraints(order_by="N")
+        out = constraints.apply_result_bounds(self.table())
+        assert [t.to_python() for t in out.column("N")] == [10, 20, 30]
+
+    def test_descending_order(self):
+        constraints = QueryConstraints(order_by="N", descending=True)
+        out = constraints.apply_result_bounds(self.table())
+        assert [t.to_python() for t in out.column("N")] == [30, 20, 10]
+
+    def test_top_n(self):
+        constraints = QueryConstraints(order_by="N", descending=True, max_results=2)
+        out = constraints.apply_result_bounds(self.table())
+        assert [t.to_python() for t in out.column("N")] == [30, 20]
+
+    def test_bottom_n(self):
+        constraints = QueryConstraints(order_by="N", max_results=1)
+        out = constraints.apply_result_bounds(self.table())
+        assert [t.to_python() for t in out.column("N")] == [10]
+
+    def test_order_by_uri_column(self):
+        constraints = QueryConstraints(order_by="X")
+        out = constraints.apply_result_bounds(self.table())
+        assert [t.local_name for t in out.column("X")] == ["a", "b", "c"]
+
+    def test_missing_column_ignored(self):
+        constraints = QueryConstraints(order_by="Z", max_results=2)
+        out = constraints.apply_result_bounds(self.table())
+        assert len(out) == 2  # limit still applied
+
+    def test_mixed_types_stable(self):
+        mixed = BindingTable(
+            ("V",), [(Literal("zeta"),), (Literal(5),), (DATA.x,)]
+        )
+        out = QueryConstraints(order_by="V").apply_result_bounds(mixed)
+        values = out.column("V")
+        assert values[0].to_python() == 5  # numbers first
+        assert values[-1] == DATA.x  # URIs last
+
+
+class TestEndToEndOrdering:
+    @pytest.fixture
+    def system(self):
+        schema = paper_schema()
+        schema.add_property(N1.year, N1.C1, LITERAL_CLASS)
+        graph = Graph()
+        for i, year in enumerate((1999, 2004, 2001)):
+            resource = DATA[f"doc{i}"]
+            graph.add(resource, TYPE, N1.C1)
+            graph.add(resource, N1.year, Literal(year))
+        system = HybridSystem(schema)
+        system.add_super_peer("SP1")
+        system.add_peer("P1", graph, "SP1")
+        return system
+
+    QUERY = (
+        "SELECT X, Y FROM {X} n1:year {Y} "
+        f"USING NAMESPACE n1 = &{N1.uri}&"
+    )
+
+    def test_top1_latest(self, system):
+        table = system.query("P1", self.QUERY, order_by="Y", descending=True, limit=1)
+        assert table.column("Y")[0].to_python() == 2004
+
+    def test_bottom1_earliest(self, system):
+        table = system.query("P1", self.QUERY, order_by="Y", limit=1)
+        assert table.column("Y")[0].to_python() == 1999
+
+    def test_full_ordering(self, system):
+        table = system.query("P1", self.QUERY, order_by="Y")
+        assert [t.to_python() for t in table.column("Y")] == [1999, 2001, 2004]

@@ -1,0 +1,106 @@
+"""Tests for the Query-Processing Algorithm (paper Section 2.4, Figure 3)."""
+
+import pytest
+
+from repro.core import build_plan, plan_is_executable, route_query
+from repro.core.algebra import Hole, Join, Scan, Union
+from repro.rql.pattern import pattern_from_text
+from repro.workloads.paper import (
+    N1,
+    PAPER_QUERY,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def pattern(schema):
+    return paper_query_pattern(schema)
+
+
+@pytest.fixture
+def advertisements(schema):
+    return paper_active_schemas(schema)
+
+
+class TestFigure3:
+    def test_paper_plan_shape(self, schema, pattern, advertisements):
+        """build_plan reproduces Figure 3's Plan 1 exactly."""
+        annotated = route_query(pattern, advertisements.values(), schema)
+        plan = build_plan(annotated)
+        assert plan.render() == (
+            "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))"
+        )
+
+    def test_horizontal_distribution_is_union(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        plan = build_plan(annotated)
+        assert isinstance(plan, Join)
+        assert all(isinstance(c, Union) for c in plan.children())
+
+    def test_plan_is_executable(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        assert plan_is_executable(build_plan(annotated))
+
+
+class TestHoles:
+    def test_uncovered_pattern_becomes_hole(self, schema, pattern, advertisements):
+        """Figure 7's Plan 1: no peer for Q2 yields Q2@?."""
+        annotated = route_query(pattern, [advertisements["P2"]], schema)
+        plan = build_plan(annotated)
+        assert not plan.is_complete()
+        assert any(isinstance(n, Hole) for n in plan.walk())
+        assert plan.render() == "⋈(Q1@P2, Q2@?)"
+
+    def test_all_uncovered(self, schema, pattern):
+        annotated = route_query(pattern, [], schema)
+        plan = build_plan(annotated)
+        assert len(plan.holes()) == 2
+
+
+class TestShapes:
+    def test_single_pattern_single_peer_is_scan(self, schema, advertisements):
+        single = pattern_from_text(
+            f"SELECT X FROM {{X}} n1:prop2 {{Y}} USING NAMESPACE n1 = &{N1.uri}&",
+            schema,
+        )
+        annotated = route_query(single, [advertisements["P3"]], schema)
+        plan = build_plan(annotated)
+        assert isinstance(plan, Scan)
+        assert plan.render() == "Q1@P3"
+
+    def test_single_pattern_many_peers_is_union(self, schema, advertisements):
+        single = pattern_from_text(
+            f"SELECT X FROM {{X}} n1:prop2 {{Y}} USING NAMESPACE n1 = &{N1.uri}&",
+            schema,
+        )
+        annotated = route_query(single, advertisements.values(), schema)
+        plan = build_plan(annotated)
+        assert isinstance(plan, Union)
+        assert len(plan.children()) == 3  # P1, P3, P4
+
+    def test_three_hop_chain_nests_joins(self, schema, advertisements):
+        text = (
+            f"SELECT X FROM {{X}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}}, "
+            f"{{Z}} n1:prop3 {{W}} USING NAMESPACE n1 = &{N1.uri}&"
+        )
+        chain = pattern_from_text(text, schema)
+        annotated = route_query(chain, advertisements.values(), schema)
+        plan = build_plan(annotated)
+        # Q3 (prop3) has no peer: the plan carries a hole at depth 2
+        assert "Q3@?" in plan.render()
+
+    def test_every_annotated_peer_appears(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        plan = build_plan(annotated)
+        assert plan.peers() == {"P1", "P2", "P3", "P4"}
+
+    def test_deterministic_order(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        assert build_plan(annotated).render() == build_plan(annotated).render()

@@ -1,0 +1,113 @@
+"""Tests for the Query-Routing Algorithm (paper Section 2.3, Figure 2)."""
+
+import pytest
+
+from repro.core import route_query
+from repro.errors import RoutingError
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def pattern(schema):
+    return paper_query_pattern(schema)
+
+
+@pytest.fixture
+def advertisements(schema):
+    return paper_active_schemas(schema)
+
+
+class TestFigure2:
+    """The exact annotation outcome the paper's Figure 2 shows."""
+
+    def test_q1_annotation(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        assert annotated.peers_for(pattern.root) == ("P1", "P2", "P4")
+
+    def test_q2_annotation(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        assert annotated.peers_for(pattern.patterns[1]) == ("P1", "P3", "P4")
+
+    def test_fully_annotated(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        assert annotated.is_fully_annotated()
+        assert annotated.all_peers() == ("P1", "P2", "P3", "P4")
+
+    def test_p4_annotation_is_subsumption_not_exact(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        by_peer = {a.peer_id: a for a in annotated.annotations(pattern.root)}
+        assert by_peer["P4"].exact is False
+        assert by_peer["P1"].exact is True
+
+    def test_p4_rewrite_narrows_classes(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        rewritten = annotated.rewritten_for(pattern.root, "P4")
+        assert rewritten.schema_path.domain == N1.C5
+        assert rewritten.schema_path.range == N1.C6
+
+
+class TestEdgeCases:
+    def test_no_advertisements(self, schema, pattern):
+        annotated = route_query(pattern, [], schema)
+        assert not annotated.is_fully_annotated()
+        assert annotated.unannotated_patterns() == pattern.patterns
+
+    def test_partial_coverage(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, [advertisements["P2"]], schema)
+        assert annotated.peers_for(pattern.root) == ("P2",)
+        assert annotated.unannotated_patterns() == (pattern.patterns[1],)
+
+    def test_advertisement_without_peer_id_rejected(self, schema, pattern):
+        anonymous = ActiveSchema(
+            schema.namespace.uri, [SchemaPath(N1.C1, N1.prop1, N1.C2)]
+        )
+        with pytest.raises(RoutingError):
+            route_query(pattern, [anonymous], schema)
+
+    def test_foreign_schema_ignored(self, schema, pattern):
+        foreign = ActiveSchema(
+            "http://other-son#", [SchemaPath(N1.C1, N1.prop1, N1.C2)], peer_id="PX"
+        )
+        annotated = route_query(pattern, [foreign], schema)
+        assert not annotated.is_fully_annotated()
+
+    def test_duplicate_advertisements_annotate_once(self, schema, pattern, advertisements):
+        doubled = [advertisements["P2"], advertisements["P2"]]
+        annotated = route_query(pattern, doubled, schema)
+        assert annotated.peers_for(pattern.root) == ("P2",)
+
+
+class TestAnnotatedPatternOperations:
+    def test_without_peers(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        reduced = annotated.without_peers({"P1", "P4"})
+        assert reduced.peers_for(pattern.root) == ("P2",)
+        assert reduced.peers_for(pattern.patterns[1]) == ("P3",)
+
+    def test_without_all_peers_leaves_holes(self, schema, pattern, advertisements):
+        annotated = route_query(pattern, advertisements.values(), schema)
+        reduced = annotated.without_peers({"P1", "P2", "P3", "P4"})
+        assert not reduced.is_fully_annotated()
+
+    def test_merge_combines_knowledge(self, schema, pattern, advertisements):
+        left = route_query(pattern, [advertisements["P2"]], schema)
+        right = route_query(pattern, [advertisements["P3"]], schema)
+        merged = left.merge(right)
+        assert merged.is_fully_annotated()
+        assert merged.all_peers() == ("P2", "P3")
+
+    def test_str_mentions_unannotated(self, schema, pattern):
+        annotated = route_query(pattern, [], schema)
+        assert "?" in str(annotated)

@@ -1,0 +1,111 @@
+"""Tests for the property-bucket routing index."""
+
+import pytest
+
+from repro.core import route_query
+from repro.core.routing_index import RoutingIndex
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def index(schema):
+    idx = RoutingIndex(schema)
+    for advertisement in paper_active_schemas(schema).values():
+        idx.add(advertisement)
+    return idx
+
+
+class TestMaintenance:
+    def test_add_and_contains(self, index):
+        assert "P1" in index
+        assert len(index) == 4
+
+    def test_refile_replaces(self, schema, index):
+        updated = ActiveSchema(
+            schema.namespace.uri, [SchemaPath(N1.C3, N1.prop3, N1.C4)], peer_id="P2"
+        )
+        index.add(updated)
+        assert len(index) == 4
+        assert not any(a.peer_id == "P2" for a in index.candidates(N1.prop1))
+        assert any(a.peer_id == "P2" for a in index.candidates(N1.prop3))
+
+    def test_remove(self, index):
+        index.remove("P4")
+        assert "P4" not in index
+        assert not any(a.peer_id == "P4" for a in index.candidates(N1.prop1))
+
+    def test_remove_unknown_noop(self, index):
+        index.remove("ghost")
+        assert len(index) == 4
+
+    def test_anonymous_rejected(self, schema):
+        with pytest.raises(ValueError):
+            RoutingIndex(schema).add(ActiveSchema(schema.namespace.uri))
+
+
+class TestSubsumptionBuckets:
+    def test_prop4_advertiser_in_prop1_bucket(self, index):
+        peers = {a.peer_id for a in index.candidates(N1.prop1)}
+        assert peers == {"P1", "P2", "P4"}
+
+    def test_prop4_bucket_excludes_prop1_only_peers(self, index):
+        peers = {a.peer_id for a in index.candidates(N1.prop4)}
+        assert peers == {"P4"}
+
+    def test_empty_bucket(self, index):
+        assert index.candidates(N1.prop3) == []
+
+
+class TestEquivalenceWithExhaustiveScan:
+    def test_paper_scenario(self, schema, index):
+        pattern = paper_query_pattern(schema)
+        via_index = index.route(pattern)
+        exhaustive = route_query(
+            pattern, paper_active_schemas(schema).values(), schema
+        )
+        for path_pattern in pattern:
+            assert via_index.peers_for(path_pattern) == exhaustive.peers_for(
+                path_pattern
+            )
+
+    def test_random_populations(self, schema):
+        """Index routing equals exhaustive routing over random ad sets."""
+        import random
+
+        from repro.workloads.data_gen import Distribution, generate_bases
+        from repro.workloads.schema_gen import generate_schema
+        from repro.workloads.query_gen import chain_query
+        from repro.rql.pattern import pattern_from_text
+
+        synth = generate_schema(chain_length=4, refinement_fraction=0.6, seed=9)
+        peers = [f"R{i}" for i in range(25)]
+        gen = generate_bases(synth, peers, Distribution.MIXED, seed=10)
+        ads = [
+            ActiveSchema.from_base(graph, synth.schema, peer)
+            for peer, graph in gen.bases.items()
+        ]
+        idx = RoutingIndex(synth.schema)
+        for advertisement in ads:
+            idx.add(advertisement)
+        for start in range(3):
+            pattern = pattern_from_text(
+                chain_query(synth, start, 2), synth.schema
+            )
+            via_index = idx.route(pattern)
+            exhaustive = route_query(pattern, ads, synth.schema)
+            for path_pattern in pattern:
+                assert via_index.peers_for(path_pattern) == exhaustive.peers_for(
+                    path_pattern
+                )

@@ -1,0 +1,113 @@
+"""Tests for data/query/hybrid shipping decisions (paper Figure 5)."""
+
+import pytest
+
+from repro.core import CostModel, Statistics, assign_sites, compare_policies
+from repro.core.algebra import Join, Scan, Union
+from repro.core.shipping import ShippingPolicy
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+
+@pytest.fixture
+def patterns():
+    return paper_query_pattern(paper_schema()).patterns
+
+
+@pytest.fixture
+def figure5_plan(patterns):
+    """P1 coordinates; Q2 answered by P2, Q3 (modelled by the second
+    pattern at P3) joins with it — the Figure 5 set-up."""
+    q1, q2 = patterns
+    return Join([Scan((q1,), "P2"), Scan((q2,), "P3")])
+
+
+class TestAssignment:
+    def test_all_local_stays_at_coordinator(self, patterns):
+        q1, q2 = patterns
+        plan = Join([Scan((q1,), "P1"), Scan((q2,), "P1")])
+        assignment = assign_sites(plan, "P1")
+        assert assignment.policy() is ShippingPolicy.DATA
+        assert assignment.site_of(()) == "P1"
+
+    def test_scan_sites_are_their_peers(self, figure5_plan):
+        assignment = assign_sites(figure5_plan, "P1")
+        assert assignment.site_of((0,)) == "P2"
+        assert assignment.site_of((1,)) == "P3"
+
+    def test_cheap_remote_link_pushes_join(self, figure5_plan):
+        """Figure 5 right: P2—P3 fast, P1—P3 slow → query shipping via P2."""
+        stats = Statistics(default_cardinality=1000)
+        stats.set_link_cost("P1", "P3", 50.0)
+        stats.set_link_cost("P1", "P2", 1.0)
+        stats.set_link_cost("P2", "P3", 0.01)
+        stats.join_selectivity = 0.0001  # small join result: worth pushing
+        assignment = assign_sites(figure5_plan, "P1", CostModel(stats))
+        assert assignment.site_of(()) in ("P2", "P3")
+        assert assignment.policy() is ShippingPolicy.QUERY
+
+    def test_loaded_peer_keeps_join_at_coordinator(self, figure5_plan):
+        """Figure 5 left: P2 heavily loaded → data shipping at P1."""
+        stats = Statistics(default_cardinality=10)
+        stats.set_load("P2", load=100, slots=1)
+        stats.set_load("P3", load=100, slots=1)
+        assignment = assign_sites(figure5_plan, "P1", CostModel(stats))
+        assert assignment.site_of(()) == "P1"
+        assert assignment.policy() is ShippingPolicy.DATA
+
+    def test_describe_lists_every_node(self, figure5_plan):
+        assignment = assign_sites(figure5_plan, "P1")
+        description = assignment.describe()
+        assert "root" in description
+        assert description.count("@") >= 3
+
+
+class TestComparePolicies:
+    def test_returns_all_three(self, figure5_plan):
+        out = compare_policies(figure5_plan, "P1")
+        assert set(out) == {
+            ShippingPolicy.DATA,
+            ShippingPolicy.QUERY,
+            ShippingPolicy.HYBRID,
+        }
+
+    def test_hybrid_never_worse(self, figure5_plan):
+        """The optimal assignment is at most the best pure policy."""
+        stats = Statistics(default_cardinality=500)
+        stats.set_link_cost("P1", "P3", 10.0)
+        out = compare_policies(figure5_plan, "P1", CostModel(stats))
+        best_pure = min(
+            out[ShippingPolicy.DATA].total, out[ShippingPolicy.QUERY].total
+        )
+        assert out[ShippingPolicy.HYBRID].total <= best_pure + 1e-6
+
+    def test_crossover_with_link_cost(self, figure5_plan):
+        """Sweeping the P1—P3 link cost flips the winning policy."""
+        def winner(link_cost):
+            stats = Statistics(default_cardinality=1000, join_selectivity=0.0001)
+            stats.set_link_cost("P1", "P2", link_cost)
+            stats.set_link_cost("P1", "P3", link_cost)
+            stats.set_link_cost("P2", "P3", 0.01)
+            out = compare_policies(figure5_plan, "P1", CostModel(stats))
+            return min(
+                (ShippingPolicy.DATA, ShippingPolicy.QUERY),
+                key=lambda p: out[p].total,
+            )
+
+        assert winner(0.001) is ShippingPolicy.DATA
+        assert winner(100.0) is ShippingPolicy.QUERY
+
+    def test_mixed_plan_can_be_hybrid(self, patterns):
+        q1, q2 = patterns
+        plan = Join([
+            Union([Scan((q1,), "P2"), Scan((q1,), "P4")]),
+            Scan((q2,), "P3"),
+        ])
+        stats = Statistics(default_cardinality=100)
+        stats.set_link_cost("P1", "P3", 30.0)
+        stats.set_link_cost("P2", "P3", 0.01)
+        assignment = assign_sites(plan, "P1", CostModel(stats))
+        assert assignment.policy() in (
+            ShippingPolicy.HYBRID,
+            ShippingPolicy.QUERY,
+            ShippingPolicy.DATA,
+        )

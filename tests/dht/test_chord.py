@@ -1,0 +1,117 @@
+"""Tests for the Chord-style ring."""
+
+import pytest
+
+from repro.dht import ChordRing, chord_hash
+from repro.errors import NetworkError
+
+
+@pytest.fixture
+def ring():
+    r = ChordRing(bits=16)
+    for i in range(10):
+        r.join(f"P{i}")
+    return r
+
+
+class TestMembership:
+    def test_join_and_len(self):
+        ring = ChordRing()
+        ring.join("A")
+        ring.join("B")
+        assert len(ring) == 2
+
+    def test_duplicate_join_rejected(self, ring):
+        with pytest.raises(NetworkError):
+            ring.join("P0")
+
+    def test_leave_removes(self, ring):
+        ring.leave("P3")
+        assert len(ring) == 9
+
+    def test_leave_unknown_is_noop(self, ring):
+        ring.leave("ghost")
+        assert len(ring) == 10
+
+    def test_bits_validated(self):
+        with pytest.raises(NetworkError):
+            ChordRing(bits=2)
+
+
+class TestLookup:
+    def test_owner_matches_bruteforce(self, ring):
+        for key in ("alpha", "beta", "gamma", "http://p#prop1"):
+            key_id = chord_hash(key, ring.bits)
+            owner, _ = ring.lookup(key)
+            brute = min(
+                (n for n in ring._ordered),
+                key=lambda n: (n.node_id - key_id) % (1 << ring.bits)
+                if n.node_id != key_id
+                else 0,
+            )
+            # brute: the first node at or after key_id going clockwise
+            candidates = sorted(ring._ordered, key=lambda n: n.node_id)
+            expected = next(
+                (n for n in candidates if n.node_id >= key_id), candidates[0]
+            )
+            assert owner is expected
+
+    def test_lookup_from_any_start_same_owner(self, ring):
+        owners = {ring.lookup("somekey", start=f"P{i}")[0].name for i in range(10)}
+        assert len(owners) == 1
+
+    def test_hops_bounded_logarithmically(self):
+        ring = ChordRing(bits=16)
+        for i in range(64):
+            ring.join(f"N{i:03d}")
+        worst = max(ring.lookup(f"key{k}", start="N000")[1] for k in range(50))
+        assert worst <= 2 * 16  # and typically ~log2(64)=6
+        typical = sum(ring.lookup(f"key{k}", start="N000")[1] for k in range(50)) / 50
+        assert typical <= 10
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(NetworkError):
+            ChordRing().lookup("x")
+
+
+class TestStorage:
+    def test_put_get_roundtrip(self, ring):
+        ring.put("key", "value1")
+        ring.put("key", "value2")
+        values, _ = ring.get("key")
+        assert values == {"value1", "value2"}
+
+    def test_get_missing_is_empty(self, ring):
+        values, _ = ring.get("missing")
+        assert values == set()
+
+    def test_keys_move_on_join(self):
+        ring = ChordRing(bits=16)
+        ring.join("A")
+        for k in range(30):
+            ring.put(f"key{k}", f"v{k}")
+        for i in range(6):
+            ring.join(f"B{i}")
+        # every key still resolves to its value at the correct owner
+        for k in range(30):
+            values, _ = ring.get(f"key{k}")
+            assert values == {f"v{k}"}
+
+    def test_keys_move_on_leave(self):
+        ring = ChordRing(bits=16)
+        for i in range(8):
+            ring.join(f"N{i}")
+        for k in range(20):
+            ring.put(f"key{k}", f"v{k}")
+        for i in range(4):
+            ring.leave(f"N{i}")
+        for k in range(20):
+            values, _ = ring.get(f"key{k}")
+            assert values == {f"v{k}"}
+
+    def test_remove_value(self, ring):
+        ring.put("key", "v1")
+        ring.put("key", "v2")
+        ring.remove_value("key", "v1")
+        values, _ = ring.get("key")
+        assert values == {"v2"}

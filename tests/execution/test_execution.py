@@ -1,0 +1,199 @@
+"""Tests for operators, local scans, and the distributed executor."""
+
+import pytest
+
+from repro.core.algebra import Hole, Join, Scan, Union
+from repro.errors import EvaluationError, PlanningError
+from repro.execution import (
+    PlanExecutor,
+    apply_conditions,
+    evaluate_scan,
+    finalize,
+    join_all,
+    union_all,
+)
+from repro.net import Network
+from repro.peers.base import Peer, PeerBase
+from repro.rdf import Graph, Literal, Namespace
+from repro.rql.ast import Condition
+from repro.rql.bindings import BindingTable
+from repro.workloads.paper import (
+    N1,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+EX = Namespace("http://e/")
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def patterns(schema):
+    return paper_query_pattern(schema).patterns
+
+
+class TestOperators:
+    def test_union_all_single(self):
+        t = BindingTable(("X",), [(EX.a,)])
+        assert union_all([t]) == t
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            union_all([])
+
+    def test_join_all_chains(self):
+        a = BindingTable(("X", "Y"), [(EX.a, EX.b)])
+        b = BindingTable(("Y", "Z"), [(EX.b, EX.c)])
+        c = BindingTable(("Z", "W"), [(EX.c, EX.d)])
+        out = join_all([a, b, c])
+        assert len(out) == 1
+        assert set(out.columns) == {"X", "Y", "Z", "W"}
+
+    def test_apply_conditions_filters(self):
+        t = BindingTable(("X",), [(Literal(1),), (Literal(5),)])
+        out = apply_conditions(t, [Condition("X", ">", Literal(3))])
+        assert len(out) == 1
+
+    def test_apply_conditions_skips_missing_columns(self):
+        t = BindingTable(("X",), [(Literal(1),)])
+        out = apply_conditions(t, [Condition("Z", ">", Literal(3))])
+        assert len(out) == 1  # untouched
+
+    def test_finalize_projects_and_dedups(self):
+        t = BindingTable(("X", "Y"), [(EX.a, EX.b), (EX.a, EX.c)])
+        out = finalize(t, ["X"])
+        assert out.columns == ("X",)
+        assert len(out) == 1
+
+
+class TestLocalScan:
+    def test_single_pattern(self, schema, patterns):
+        bases = paper_peer_bases()
+        table = evaluate_scan(Scan((patterns[0],), "P2"), bases["P2"], schema)
+        assert len(table) == 4
+        assert set(table.columns) == {"X", "Y"}
+
+    def test_composite_scan_joins_locally(self, schema, patterns):
+        bases = paper_peer_bases()
+        table = evaluate_scan(Scan(tuple(patterns), "P1"), bases["P1"], schema)
+        assert len(table) == 3  # P1's complete chains
+        assert set(table.columns) == {"X", "Y", "Z"}
+
+    def test_subsumption_at_p4(self, schema, patterns):
+        bases = paper_peer_bases()
+        table = evaluate_scan(Scan((patterns[0],), "P4"), bases["P4"], schema)
+        assert len(table) == 2  # prop4 statements answer the prop1 scan
+
+
+class _HostPeer(Peer):
+    """A real peer wired into a network for executor tests."""
+
+
+def _network_with_paper_peers(schema):
+    network = Network()
+    bases = paper_peer_bases()
+    peers = {}
+    for peer_id in ("P1", "P2", "P3", "P4"):
+        peer = _HostPeer(peer_id, PeerBase(bases[peer_id], schema))
+        peer.join(network)
+        peers[peer_id] = peer
+    coordinator = _HostPeer("C", None)
+    coordinator.join(network)
+    return network, peers, coordinator
+
+
+class TestPlanExecutor:
+    def run_plan(self, plan, schema):
+        network, peers, coordinator = _network_with_paper_peers(schema)
+        outcome = {}
+
+        def on_complete(table, failed):
+            outcome["table"] = table
+            outcome["failed"] = failed
+
+        PlanExecutor(coordinator, network, plan, on_complete=on_complete).start()
+        network.run()
+        return outcome, network
+
+    def test_remote_scan(self, schema, patterns):
+        outcome, _ = self.run_plan(Scan((patterns[0],), "P2"), schema)
+        assert outcome["failed"] is None
+        assert len(outcome["table"]) == 4
+
+    def test_union_across_peers(self, schema, patterns):
+        plan = Union([Scan((patterns[0],), "P2"), Scan((patterns[0],), "P4")])
+        outcome, _ = self.run_plan(plan, schema)
+        assert len(outcome["table"]) == 6  # 4 + 2
+
+    def test_cross_peer_join(self, schema, patterns):
+        plan = Join([Scan((patterns[0],), "P2"), Scan((patterns[1],), "P3")])
+        outcome, _ = self.run_plan(plan, schema)
+        assert len(outcome["table"]) == 4  # the bridge resources join
+
+    def test_full_paper_plan(self, schema, patterns):
+        plan = Join([
+            Union([Scan((patterns[0],), p) for p in ("P1", "P2", "P4")]),
+            Union([Scan((patterns[1],), p) for p in ("P1", "P3", "P4")]),
+        ])
+        outcome, _ = self.run_plan(plan, schema)
+        table = outcome["table"]
+        # chains: P1 local (3), P2->P3 bridge (4), P4 local (2)
+        projected = table.project(("X", "Y")).distinct()
+        assert len(projected) == 9
+
+    def test_hole_raises(self, schema, patterns):
+        network, peers, coordinator = _network_with_paper_peers(schema)
+        executor = PlanExecutor(coordinator, network, Hole(patterns[0]))
+        with pytest.raises(PlanningError):
+            executor.start()
+
+    def test_failed_peer_reported(self, schema, patterns):
+        network, peers, coordinator = _network_with_paper_peers(schema)
+        network.fail_peer("P2")
+        outcome = {}
+
+        def on_complete(table, failed):
+            outcome["failed"] = failed
+
+        plan = Join([Scan((patterns[0],), "P2"), Scan((patterns[1],), "P3")])
+        PlanExecutor(coordinator, network, plan, on_complete=on_complete).start()
+        network.run()
+        assert outcome["failed"] == "P2"
+
+    def test_abort_suppresses_completion(self, schema, patterns):
+        network, peers, coordinator = _network_with_paper_peers(schema)
+        calls = []
+        executor = PlanExecutor(
+            coordinator,
+            network,
+            Scan((patterns[0],), "P2"),
+            on_complete=lambda t, f: calls.append(1),
+        )
+        executor.start()
+        executor.abort()
+        network.run()
+        assert calls == []
+
+    def test_query_shipping_site(self, schema, patterns):
+        """Pushing the join to P2 still yields the same answer."""
+        plan = Join([Scan((patterns[0],), "P2"), Scan((patterns[1],), "P3")])
+        network, peers, coordinator = _network_with_paper_peers(schema)
+        outcome = {}
+
+        def on_complete(table, failed):
+            outcome["table"] = table
+
+        PlanExecutor(
+            coordinator,
+            network,
+            plan,
+            sites={(): "P2"},
+            on_complete=on_complete,
+        ).start()
+        network.run()
+        assert len(outcome["table"]) == 4

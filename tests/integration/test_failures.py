@@ -1,0 +1,106 @@
+"""Failure injection: run-time adaptation end to end (Section 2.5)."""
+
+import pytest
+
+from repro.errors import PeerError
+from repro.systems import HybridSystem
+from repro.workloads.data_gen import Distribution, generate_bases
+from repro.workloads.query_gen import chain_query
+from repro.workloads.schema_gen import generate_schema
+from repro.workloads.paper import PAPER_QUERY, hybrid_scenario
+
+
+def redundant_system(seed=0):
+    """A hybrid SON where every chain segment is held by 3 peers —
+    any single failure is survivable."""
+    synth = generate_schema(chain_length=2, refinement_fraction=0.0, seed=seed)
+    peers = [f"P{i}" for i in range(6)]
+    gen = generate_bases(
+        synth, peers, Distribution.HORIZONTAL, statements_per_segment=10, seed=seed
+    )
+    system = HybridSystem(synth.schema)
+    system.add_super_peer("SP1")
+    for peer_id, graph in gen.bases.items():
+        system.add_peer(peer_id, graph, "SP1")
+    return system, synth
+
+
+class TestSingleFailure:
+    def test_replan_survives_one_peer_loss(self):
+        system, synth = redundant_system()
+        system.run()
+        system.network.fail_peer("P3")
+        table = system.query("P0", chain_query(synth, 0, 2))
+        assert len(table) > 0
+
+    def test_replan_excludes_failed_peer_channels(self):
+        system, synth = redundant_system()
+        system.run()
+        system.network.fail_peer("P3")
+        system.query("P0", chain_query(synth, 0, 2))
+        # after adaptation no open channel targets the dead peer
+        coordinator = system.peers["P0"]
+        open_destinations = {
+            ch.destination for ch in coordinator.channels.open_channels().values()
+        }
+        assert "P3" not in open_destinations
+
+    def test_multiple_failures_until_unrepairable(self):
+        scenario = hybrid_scenario()
+        system = HybridSystem.from_scenario(scenario)
+        system.run()
+        system.network.fail_peer("P2")
+        system.network.fail_peer("P3")  # both Q1 providers gone
+        with pytest.raises(PeerError) as err:
+            system.query("P1", PAPER_QUERY)
+        assert "failed" in str(err.value) or "no relevant peers" in str(err.value)
+
+
+class TestReplanBudget:
+    def test_max_replans_respected(self):
+        system, synth = redundant_system()
+        system.run()
+        # kill every other data holder so each replan hits a new corpse
+        for peer_id in ("P1", "P2", "P3", "P4", "P5"):
+            system.network.fail_peer(peer_id)
+        with pytest.raises(PeerError):
+            system.query("P0", chain_query(synth, 0, 2))
+
+    def test_failure_after_success_does_not_retrigger(self):
+        system, synth = redundant_system()
+        system.run()
+        text = chain_query(synth, 0, 2)
+        table = system.query("P0", text)
+        system.network.fail_peer("P5")
+        table2 = system.query("P0", text)
+        # both queries answered (second with adaptation if P5 was used)
+        assert len(table) >= len(table2) >= 0
+
+
+class TestDiscardSemantics:
+    def test_partial_results_discarded_on_replan(self):
+        """The ubQL policy: a replanned query never mixes results from
+        the failed attempt — equivalently, the final answer equals a
+        fresh evaluation excluding the dead peer."""
+        system, synth = redundant_system(seed=4)
+        system.run()
+        text = chain_query(synth, 0, 2)
+        baseline = system.query("P0", text)
+
+        system2, synth2 = redundant_system(seed=4)
+        system2.run()
+        system2.network.fail_peer("P1")
+        adapted = system2.query("P0", chain_query(synth2, 0, 2))
+        # the adapted answer is exactly the no-P1 evaluation
+        from repro.rdf import Graph
+        from repro.rql import query as local_query
+
+        merged = Graph()
+        for peer_id, peer in system2.peers.items():
+            if peer_id != "P1":
+                merged.update(peer.base.graph)
+        expected = local_query(
+            chain_query(synth2, 0, 2), merged, synth2.schema
+        ).distinct()
+        assert adapted == expected
+        assert len(baseline) >= len(adapted)

@@ -1,0 +1,178 @@
+"""End-to-end reproduction of every figure's scenario (Figures 1–7).
+
+These are the repository's ground-truth checks: each test asserts the
+exact artefact the corresponding paper figure shows.
+"""
+
+import pytest
+
+from repro.core import (
+    CostModel,
+    Statistics,
+    assign_sites,
+    build_plan,
+    compare_policies,
+    optimize,
+    route_query,
+)
+from repro.core.shipping import ShippingPolicy
+from repro.rql import parse_query, pattern_from_text
+from repro.rvl import ActiveSchema, parse_view
+from repro.systems import AdhocSystem, HybridSystem
+from repro.workloads.paper import (
+    N1,
+    PAPER_QUERY,
+    PAPER_VIEW,
+    adhoc_scenario,
+    hybrid_scenario,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestFigure1:
+    """Schema, query pattern and RVL advertisement of Figure 1."""
+
+    def test_schema(self, schema):
+        assert schema.is_subclass(N1.C5, N1.C1)
+        assert schema.is_subclass(N1.C6, N1.C2)
+        assert schema.is_subproperty(N1.prop4, N1.prop1)
+        assert schema.domain_of(N1.prop1) == N1.C1
+        assert schema.range_of(N1.prop2) == N1.C3
+
+    def test_query_pattern_endpoints_from_schema(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        q1, q2 = pattern.patterns
+        assert (q1.schema_path.domain, q1.schema_path.range) == (N1.C1, N1.C2)
+        assert (q2.schema_path.domain, q2.schema_path.range) == (N1.C2, N1.C3)
+        assert q1.projected == ("X", "Y")
+
+    def test_view_active_schema(self, schema):
+        advertisement = ActiveSchema.from_view(parse_view(PAPER_VIEW), schema, "P")
+        assert advertisement.covers_property(N1.prop4)
+        assert {c.local_name for c in advertisement.classes} == {"C5", "C6"}
+
+
+class TestFigure2:
+    def test_annotations(self, schema):
+        pattern = paper_query_pattern(schema)
+        annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+        assert annotated.peers_for(pattern.root) == ("P1", "P2", "P4")
+        assert annotated.peers_for(pattern.patterns[1]) == ("P1", "P3", "P4")
+
+
+class TestFigure3:
+    def test_plan(self, schema):
+        pattern = paper_query_pattern(schema)
+        annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+        plan = build_plan(annotated)
+        assert plan.render() == (
+            "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))"
+        )
+
+
+class TestFigure4:
+    def test_three_plans(self, schema):
+        pattern = paper_query_pattern(schema)
+        annotated = route_query(pattern, paper_active_schemas(schema).values(), schema)
+        trace = optimize(build_plan(annotated))
+        plans = [plan for _, plan in trace]
+        assert len(plans) == 3
+        plan2, plan3 = plans[1], plans[2]
+        assert len(plan2.children()) == 9
+        assert "(Q1∪Q2)@P1" in plan3.render()
+        assert "(Q1∪Q2)@P4" in plan3.render()
+        assert "⋈(Q1@P2, Q2@P3)" in plan3.render()
+
+
+class TestFigure5:
+    def test_policy_crossover(self, schema):
+        from repro.core.algebra import Join, Scan
+
+        q1, q2 = paper_query_pattern(schema).patterns
+        plan = Join([Scan((q1,), "P2"), Scan((q2,), "P3")])
+
+        # fast P2—P3 link and slow links to P1: query shipping wins
+        stats = Statistics(default_cardinality=1000, join_selectivity=0.0001)
+        stats.set_link_cost("P1", "P2", 10.0)
+        stats.set_link_cost("P1", "P3", 10.0)
+        stats.set_link_cost("P2", "P3", 0.01)
+        assignment = assign_sites(plan, "P1", CostModel(stats))
+        assert assignment.policy() is ShippingPolicy.QUERY
+
+        # heavy load at P2/P3: data shipping wins
+        stats2 = Statistics(default_cardinality=10)
+        stats2.set_load("P2", load=100, slots=1)
+        stats2.set_load("P3", load=100, slots=1)
+        assignment2 = assign_sites(plan, "P1", CostModel(stats2))
+        assert assignment2.policy() is ShippingPolicy.DATA
+
+
+class TestFigure6:
+    def test_hybrid_flow(self):
+        system = HybridSystem.from_scenario(hybrid_scenario())
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) == 6
+        kinds = system.network.metrics.messages_by_kind
+        assert kinds["RouteRequest"] == 1  # routing exclusively at SP1
+        assert kinds["SubPlanPacket"] == 3  # channels to P2, P3, P5
+
+
+class TestFigure7:
+    def test_adhoc_flow(self):
+        system = AdhocSystem.from_scenario(adhoc_scenario())
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) == 6
+        kinds = system.network.metrics.messages_by_kind
+        assert kinds["PartialPlan"] == 2  # to P2 and P3
+        assert kinds["DelegatedResult"] >= 2  # P2 completes, P3 declines
+
+    def test_plan1_shape_at_root(self, schema):
+        """P1's partial plan is exactly the paper's Plan 1."""
+        scenario = adhoc_scenario()
+        ads = [
+            ActiveSchema.from_base(scenario.bases[p], schema, p)
+            for p in ("P2", "P3", "P4")
+        ]
+        pattern = paper_query_pattern(schema)
+        annotated = route_query(pattern, ads, schema)
+        plan = optimize(build_plan(annotated)).result
+        assert plan.render() == "∪(⋈(Q1@P2, Q2@?), ⋈(Q1@P3, Q2@?))"
+
+
+class TestDistributedAnswerCorrectness:
+    """Distributed execution returns exactly the centralised answer."""
+
+    def test_paper_peers(self, schema):
+        from repro.rdf import Graph
+        from repro.rql import query as local_query
+        from repro.peers.base import PeerBase
+        from repro.peers.client import ClientPeer
+        from repro.peers.simple import SimplePeer
+        from repro.net import Network
+
+        bases = paper_peer_bases()
+        merged = Graph()
+        for graph in bases.values():
+            merged.update(graph)
+        expected = local_query(PAPER_QUERY, merged, schema).distinct()
+
+        network = Network()
+        coordinator = SimplePeer("P1", PeerBase(bases["P1"], schema))
+        coordinator.join(network)
+        for peer_id in ("P2", "P3", "P4"):
+            peer = SimplePeer(peer_id, PeerBase(bases[peer_id], schema))
+            peer.join(network)
+            coordinator.remember_advertisement(peer.own_advertisement())
+        client = ClientPeer("C")
+        client.join(network)
+        qid = client.submit("P1", PAPER_QUERY)
+        network.run()
+        assert client.result(qid).table == expected

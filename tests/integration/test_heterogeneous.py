@@ -1,0 +1,102 @@
+"""Heterogeneous SONs: relational and XML peers behind virtual views,
+queried together with native RDF peers (Section 2.2's virtual scenario
+plus the SWIM reformulation role)."""
+
+import pytest
+
+from repro.peers.base import PeerBase
+from repro.rvl import parse_view
+from repro.systems import HybridSystem
+from repro.rdf import Graph, TYPE
+from repro.workloads.paper import N1, PAPER_QUERY, DATA, paper_schema
+from repro.wrappers import (
+    ElementMapping,
+    PropertyMapping,
+    RelationalPeerMapping,
+    RelationalStore,
+    XMLElement,
+    XMLPeerMapping,
+    XMLStore,
+)
+
+PREFIX = str(DATA)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+def relational_prop1_graph(schema):
+    """A legacy relational peer exposing prop1 pairs."""
+    store = RelationalStore()
+    table = store.create_table("links", ["src", "dst"])
+    for i in range(3):
+        table.insert(f"rx{i}", f"shared{i}")
+    mapping = RelationalPeerMapping(
+        store, schema, [PropertyMapping("links", "src", "dst", N1.prop1, PREFIX)]
+    )
+    return mapping.virtual_graph()
+
+
+def xml_prop2_graph(schema):
+    """A legacy XML peer exposing prop2 pairs continuing the chain."""
+    store = XMLStore()
+    root = XMLElement("doc")
+    for i in range(3):
+        root.append(XMLElement("link", {"id": f"shared{i}", "next": f"xz{i}"}))
+    store.add_document(root)
+    mapping = XMLPeerMapping(
+        store,
+        schema,
+        [
+            ElementMapping(
+                path=("doc", "link"),
+                subject_attribute="id",
+                property=N1.prop2,
+                uri_prefix=PREFIX,
+                object_attribute="next",
+            )
+        ],
+    )
+    return mapping.virtual_graph()
+
+
+class TestHeterogeneousSON:
+    def test_relational_and_xml_peers_answer_together(self, schema):
+        system = HybridSystem(schema)
+        system.add_super_peer("SP1")
+        system.add_peer("REL", relational_prop1_graph(schema), "SP1")
+        system.add_peer("XML", xml_prop2_graph(schema), "SP1")
+        system.add_peer("ASK", Graph(), "SP1")
+        table = system.query("ASK", PAPER_QUERY)
+        assert len(table) == 3  # rx_i joins shared_i -> xz_i across stores
+
+    def test_mixed_with_native_rdf_peer(self, schema):
+        native = Graph()
+        x, y, z = DATA.nx, DATA.ny, DATA.nz
+        native.add(x, TYPE, N1.C1)
+        native.add(y, TYPE, N1.C2)
+        native.add(x, N1.prop1, y)
+        native.add(y, N1.prop2, z)
+        system = HybridSystem(schema)
+        system.add_super_peer("SP1")
+        system.add_peer("REL", relational_prop1_graph(schema), "SP1")
+        system.add_peer("XML", xml_prop2_graph(schema), "SP1")
+        system.add_peer("RDF", native, "SP1")
+        table = system.query("RDF", PAPER_QUERY)
+        assert len(table) == 4  # 3 cross-store + 1 native chain
+
+
+class TestVirtualViewAdvertisement:
+    def test_view_defined_base_advertises_view_footprint(self, schema):
+        """A peer whose base is defined by an RVL view advertises the
+        view's intensional footprint even while the base is empty."""
+        view_text = (
+            f"VIEW n1:prop4(X, Y) FROM {{X}} n1:prop4 {{Y}} "
+            f"USING NAMESPACE n1 = &{N1.uri}&"
+        )
+        base = PeerBase(Graph(), schema, views=[parse_view(view_text)])
+        advertisement = base.active_schema("V")
+        assert advertisement.covers_property(N1.prop4)
+        assert len(base.graph) == 0

@@ -1,0 +1,169 @@
+"""Tests for schema articulations and super-peer mediation (Section 3.1)."""
+
+import pytest
+
+from repro.errors import MappingError, PeerError
+from repro.mappings import Articulation
+from repro.rdf import Graph, Namespace, Schema, TYPE
+from repro.systems import HybridSystem
+from repro.workloads.paper import N1, paper_schema
+
+# a "foreign" community schema describing the same domain differently
+M2 = Namespace("http://ics.forth.gr/sqpeer/m2#")
+DATA = Namespace("http://ics.forth.gr/sqpeer/shared-data#")
+
+
+def foreign_schema() -> Schema:
+    schema = Schema(M2, "m2")
+    for name in ("Thing", "Item", "Detail"):
+        schema.add_class(M2[name])
+    schema.add_property(M2.linksTo, M2.Thing, M2.Item)
+    schema.add_property(M2.describes, M2.Item, M2.Detail)
+    return schema
+
+
+def articulation(source=None, target=None) -> Articulation:
+    source = source or paper_schema()
+    target = target or foreign_schema()
+    return Articulation(
+        source,
+        target,
+        class_map={N1.C1: M2.Thing, N1.C2: M2.Item, N1.C3: M2.Detail},
+        property_map={N1.prop1: M2.linksTo, N1.prop2: M2.describes},
+    )
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestArticulation:
+    def test_validation(self, schema):
+        with pytest.raises(MappingError):
+            Articulation(schema, foreign_schema(), class_map={N1.C1: M2.Nope})
+        with pytest.raises(MappingError):
+            Articulation(schema, foreign_schema(), property_map={N1.nope: M2.linksTo})
+
+    def test_reformulate_path(self, schema):
+        from repro.workloads.paper import paper_query_pattern
+
+        art = articulation(schema)
+        pattern = paper_query_pattern(schema)
+        mapped = art.reformulate_path(pattern.root)
+        assert mapped.schema_path.property == M2.linksTo
+        assert mapped.schema_path.domain == M2.Thing
+        assert mapped.subject_var == "X"
+        assert mapped.label == "Q1"
+
+    def test_reformulate_whole_pattern(self, schema):
+        from repro.workloads.paper import paper_query_pattern
+
+        art = articulation(schema)
+        mapped = art.reformulate(paper_query_pattern(schema))
+        assert mapped is not None
+        assert [p.schema_path.property for p in mapped] == [M2.linksTo, M2.describes]
+        assert mapped.projections == ("X", "Y")
+
+    def test_unmapped_property_blocks_reformulation(self, schema):
+        from repro.rql.pattern import pattern_from_text
+
+        art = Articulation(
+            schema, foreign_schema(), property_map={N1.prop1: M2.linksTo}
+        )
+        pattern = pattern_from_text(
+            f"SELECT X FROM {{X}} n1:prop3 {{Y}} USING NAMESPACE n1 = &{N1.uri}&",
+            schema,
+        )
+        assert art.reformulate(pattern) is None
+        assert not art.covers(pattern)
+
+    def test_unmapped_class_defaults_to_target_definition(self, schema):
+        from repro.workloads.paper import paper_query_pattern
+
+        art = Articulation(
+            schema,
+            foreign_schema(),
+            property_map={N1.prop1: M2.linksTo, N1.prop2: M2.describes},
+        )
+        mapped = art.reformulate(paper_query_pattern(schema))
+        assert mapped.root.schema_path.domain == M2.Thing  # from linksTo's domain
+
+    def test_inverse(self, schema):
+        art = articulation(schema)
+        inverse = art.inverse()
+        assert inverse.map_property(M2.linksTo) == N1.prop1
+        assert inverse.map_class(M2.Item) == N1.C2
+
+    def test_non_injective_not_invertible(self, schema):
+        art = Articulation(
+            schema,
+            foreign_schema(),
+            class_map={N1.C1: M2.Thing, N1.C5: M2.Thing},
+        )
+        with pytest.raises(MappingError):
+            art.inverse()
+
+
+class TestMediatedQueries:
+    """A query in n1 vocabulary answered by peers of the m2 SON."""
+
+    @pytest.fixture
+    def system(self, schema):
+        target = foreign_schema()
+        system = HybridSystem(schema)
+        super_peer = system.add_super_peer("SP1")
+        super_peer.add_articulation(articulation(schema, target))
+
+        # native n1 peer with one chain
+        native = Graph()
+        native.add(DATA.nx, TYPE, N1.C1)
+        native.add(DATA.shared_item, TYPE, N1.C2)
+        native.add(DATA.nx, N1.prop1, DATA.shared_item)
+        native.add(DATA.shared_item, N1.prop2, DATA.nz)
+        native.add(DATA.nz, TYPE, N1.C3)
+        system.add_peer("native", native, "SP1")
+
+        # foreign m2 peer whose data continues a shared resource
+        foreign = Graph()
+        foreign.add(DATA.fx, TYPE, M2.Thing)
+        foreign.add(DATA.shared_item, TYPE, M2.Item)
+        foreign.add(DATA.fx, M2.linksTo, DATA.shared_item)
+        foreign.add(DATA.shared_item, M2.describes, DATA.fz)
+        foreign.add(DATA.fz, TYPE, M2.Detail)
+        system.add_peer("foreign", foreign, "SP1", schema=target)
+        return system
+
+    QUERY = (
+        "SELECT X, Y FROM {X} n1:prop1 {Y}, {Y} n1:prop2 {Z} "
+        f"USING NAMESPACE n1 = &{N1.uri}&"
+    )
+
+    def test_cross_son_answers(self, system):
+        table = system.query("native", self.QUERY)
+        xs = {x.local_name for x, _ in table.rows}
+        # native chain, foreign chain, and the two cross-SON chains
+        # joining on the shared item
+        assert xs == {"nx", "fx"}
+        assert len(table) == 2
+
+    def test_cross_son_join_on_shared_resource(self, system):
+        table = system.query("native", self.QUERY)
+        rows = {(x.local_name, y.local_name) for x, y in table.rows}
+        assert ("nx", "shared_item") in rows
+        assert ("fx", "shared_item") in rows
+
+    def test_without_articulation_only_native(self, schema):
+        target = foreign_schema()
+        system = HybridSystem(schema)
+        system.add_super_peer("SP1")
+        native = Graph()
+        native.add(DATA.nx, N1.prop1, DATA.ny)
+        native.add(DATA.ny, N1.prop2, DATA.nz)
+        system.add_peer("native", native, "SP1")
+        foreign = Graph()
+        foreign.add(DATA.fx, M2.linksTo, DATA.fy)
+        foreign.add(DATA.fy, M2.describes, DATA.fz)
+        system.add_peer("foreign", foreign, "SP1", schema=target)
+        table = system.query("native", self.QUERY)
+        assert {x.local_name for x, _ in table.rows} == {"nx"}

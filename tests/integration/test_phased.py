@@ -1,0 +1,81 @@
+"""Tests for the phased execution policy vs the ubQL discard policy.
+
+The paper (Section 2.5) contrasts two ways of handling partial results
+when a running plan changes: ubQL discards everything (SQPeer's
+choice), [Ives02] enters a new phase and reuses completed subresults.
+Both are implemented; these tests check the phased variant reuses
+shipped scans after a failure while producing the same answers.
+"""
+
+import pytest
+
+from repro.systems import HybridSystem
+from repro.workloads.data_gen import Distribution, generate_bases
+from repro.workloads.query_gen import chain_query
+from repro.workloads.schema_gen import generate_schema
+
+
+def build(failure_policy: str, seed: int = 0):
+    synth = generate_schema(chain_length=2, refinement_fraction=0.0, seed=seed)
+    peers = [f"P{i}" for i in range(6)]
+    gen = generate_bases(
+        synth, peers, Distribution.HORIZONTAL, statements_per_segment=8, seed=seed
+    )
+    system = HybridSystem(synth.schema, failure_policy=failure_policy)
+    system.add_super_peer("SP1")
+    for peer_id, graph in gen.bases.items():
+        system.add_peer(peer_id, graph, "SP1")
+    system.run()
+    return system, synth
+
+
+class TestPolicies:
+    def test_invalid_policy_rejected(self):
+        from repro.peers.simple import SimplePeer
+
+        with pytest.raises(ValueError):
+            SimplePeer("X", failure_policy="yolo")
+
+    def test_same_answers_without_failures(self):
+        discard_system, synth = build("discard")
+        phased_system, _ = build("phased")
+        text = chain_query(synth, 0, 2)
+        assert discard_system.query("P0", text) == phased_system.query("P0", text)
+
+    def test_same_answers_under_failure(self):
+        discard_system, synth = build("discard", seed=1)
+        phased_system, _ = build("phased", seed=1)
+        text = chain_query(synth, 0, 2)
+        discard_system.network.fail_peer("P3")
+        phased_system.network.fail_peer("P3")
+        assert discard_system.query("P0", text) == phased_system.query("P0", text)
+
+    def test_phased_reuses_subresults(self):
+        """After a failure, the phased replan answers cached scans
+        locally instead of re-shipping them."""
+        phased_system, synth = build("phased", seed=2)
+        text = chain_query(synth, 0, 2)
+        phased_system.network.fail_peer("P2")
+        phased_system.query("P0", text)
+        coordinator = phased_system.peers["P0"]
+        # reuse accounting comes from completed queries' pending records:
+        # run a second failing scenario and inspect metrics instead
+        kinds = phased_system.network.metrics.messages_by_kind
+
+        discard_system, _ = build("discard", seed=2)
+        discard_system.network.fail_peer("P2")
+        discard_system.query("P0", text)
+        discard_kinds = discard_system.network.metrics.messages_by_kind
+        # the phased run ships strictly fewer subplans on the retry
+        assert kinds["SubPlanPacket"] < discard_kinds["SubPlanPacket"]
+
+    def test_discard_reships_everything(self):
+        discard_system, synth = build("discard", seed=3)
+        text = chain_query(synth, 0, 2)
+        baseline_system, _ = build("discard", seed=3)
+        baseline_system.query("P0", text)
+        baseline = baseline_system.network.metrics.messages_by_kind["SubPlanPacket"]
+        discard_system.network.fail_peer("P4")
+        discard_system.query("P0", text)
+        retried = discard_system.network.metrics.messages_by_kind["SubPlanPacket"]
+        assert retried > baseline  # the failed attempt's work repeats

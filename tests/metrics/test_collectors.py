@@ -1,0 +1,53 @@
+"""Tests for metric collection."""
+
+from repro.metrics import MetricSet
+
+
+class TestMetricSet:
+    def test_record_message(self):
+        metrics = MetricSet()
+        metrics.record_message("QuerySubmit", "A", "B", 100)
+        assert metrics.messages_total == 1
+        assert metrics.bytes_total == 100
+        assert metrics.messages_by_kind["QuerySubmit"] == 1
+        assert metrics.bytes_by_kind["QuerySubmit"] == 100
+        assert metrics.messages_sent["A"] == 1
+        assert metrics.messages_received["B"] == 1
+
+    def test_query_load_tracking(self):
+        metrics = MetricSet()
+        metrics.record_query_processed("A", relevant=True)
+        metrics.record_query_processed("A", relevant=False)
+        assert metrics.queries_processed["A"] == 2
+        assert metrics.irrelevant_queries["A"] == 1
+        assert metrics.peak_peer_load() == 2
+
+    def test_latency(self):
+        metrics = MetricSet()
+        metrics.query_started("q1", 10.0)
+        metrics.query_finished("q1", 14.0)
+        assert metrics.query_latency["q1"] == 4.0
+        assert metrics.mean_latency() == 4.0
+
+    def test_finish_without_start_ignored(self):
+        metrics = MetricSet()
+        metrics.query_finished("ghost", 5.0)
+        assert "ghost" not in metrics.query_latency
+
+    def test_mean_latency_empty(self):
+        assert MetricSet().mean_latency() is None
+
+    def test_snapshot_delta(self):
+        metrics = MetricSet()
+        metrics.record_message("X", "A", "B", 10)
+        snapshot = metrics.snapshot()
+        metrics.record_message("X", "A", "B", 20)
+        metrics.record_message("X", "A", "B", 30)
+        assert metrics.delta(snapshot) == (2, 50)
+
+    def test_summary_keys(self):
+        summary = MetricSet().summary()
+        assert set(summary) >= {"messages", "bytes", "queries_processed"}
+
+    def test_peak_load_empty(self):
+        assert MetricSet().peak_peer_load() == 0

@@ -1,0 +1,80 @@
+"""Tests for topology builders."""
+
+import random
+
+import pytest
+
+from repro.net import Network, random_neighbour_graph, star, uniform_mesh
+
+
+class _Stub:
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+
+    def receive(self, message, network):
+        pass
+
+
+class TestUniformMesh:
+    def test_all_pairs_configured(self):
+        network = Network()
+        ids = ["A", "B", "C"]
+        uniform_mesh(network, ids, latency=3.0)
+        assert network.link("A", "B").latency == 3.0
+        assert network.link("B", "C").latency == 3.0
+        assert network.link("A", "C").latency == 3.0
+
+
+class TestStar:
+    def test_hub_fast_leaves_slow(self):
+        network = Network()
+        star(network, "SP", ["A", "B"], hub_latency=1.0, leaf_latency=9.0)
+        assert network.link("SP", "A").latency == 1.0
+        assert network.link("A", "SP").latency == 1.0
+        assert network.link("A", "B").latency == 9.0
+
+
+class TestRandomNeighbourGraph:
+    def test_symmetry(self):
+        rng = random.Random(0)
+        adjacency = random_neighbour_graph([f"P{i}" for i in range(20)], 3, rng)
+        for peer, neighbours in adjacency.items():
+            for other in neighbours:
+                assert peer in adjacency[other]
+
+    def test_no_self_loops(self):
+        rng = random.Random(1)
+        adjacency = random_neighbour_graph([f"P{i}" for i in range(20)], 3, rng)
+        for peer, neighbours in adjacency.items():
+            assert peer not in neighbours
+
+    def test_connected(self):
+        rng = random.Random(2)
+        ids = [f"P{i}" for i in range(30)]
+        adjacency = random_neighbour_graph(ids, 2, rng)
+        seen = set()
+        stack = [ids[0]]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node])
+        assert seen == set(ids)
+
+    def test_deterministic_for_seed(self):
+        ids = [f"P{i}" for i in range(15)]
+        a = random_neighbour_graph(ids, 3, random.Random(5))
+        b = random_neighbour_graph(ids, 3, random.Random(5))
+        assert a == b
+
+    def test_degree_roughly_matches(self):
+        rng = random.Random(3)
+        ids = [f"P{i}" for i in range(40)]
+        adjacency = random_neighbour_graph(ids, 4, rng)
+        mean_degree = sum(len(n) for n in adjacency.values()) / len(ids)
+        assert 3.0 <= mean_degree <= 5.0
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            random_neighbour_graph(["A", "B"], 0, random.Random(0))

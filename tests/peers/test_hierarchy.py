@@ -1,0 +1,102 @@
+"""Tests for the multi-layered super-peer hierarchy (Section 3.1)."""
+
+import pytest
+
+from repro.net import Network
+from repro.peers import SimplePeer, SuperPeer
+from repro.peers.base import PeerBase
+from repro.peers.protocol import Advertise, RouteRequest
+from repro.rdf import Graph
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+
+@pytest.fixture
+def network():
+    return Network()
+
+
+def full_advertisement(schema, peer_id):
+    return ActiveSchema(
+        schema.namespace.uri,
+        [SchemaPath(N1.C1, N1.prop1, N1.C2), SchemaPath(N1.C2, N1.prop2, N1.C3)],
+        peer_id=peer_id,
+    )
+
+
+class TestHierarchy:
+    def test_escalation_to_parent(self, network):
+        """A leaf super-peer with an empty directory escalates unknown
+        schemas to its parent, which resolves them."""
+        schema = paper_schema()
+        # two ISOLATED directories: the leaf layer knows nothing
+        root = SuperPeer("ROOT", schemas=[schema], backbone_directory={})
+        leaf = SuperPeer("LEAF", schemas=[], backbone_directory={}, parent="ROOT")
+        root.join(network)
+        leaf.join(network)
+        requester = SimplePeer("A", PeerBase(Graph(), schema))
+        requester.join(network)
+        from repro.net.message import Message
+
+        root.receive(
+            Message("B", "ROOT", Advertise(full_advertisement(schema, "B"))), network
+        )
+        replies = []
+        requester.handle_RouteReply = lambda m: replies.append(m.payload)
+        requester.send("LEAF", RouteRequest("q1", paper_query_pattern(schema), "A"))
+        network.run()
+        assert len(replies) == 1
+        assert replies[0].annotated.is_fully_annotated()
+
+    def test_no_parent_no_directory_gives_empty(self, network):
+        schema = paper_schema()
+        leaf = SuperPeer("LEAF", schemas=[], backbone_directory={})
+        leaf.join(network)
+        requester = SimplePeer("A", PeerBase(Graph(), schema))
+        requester.join(network)
+        replies = []
+        requester.handle_RouteReply = lambda m: replies.append(m.payload)
+        requester.send("LEAF", RouteRequest("q1", paper_query_pattern(schema), "A"))
+        network.run()
+        assert not replies[0].annotated.is_fully_annotated()
+
+    def test_two_level_escalation(self, network):
+        """leaf -> mid -> root: hops accumulate, the answer returns
+        directly to the requester."""
+        schema = paper_schema()
+        root = SuperPeer("ROOT", schemas=[schema], backbone_directory={})
+        mid = SuperPeer("MID", schemas=[], backbone_directory={}, parent="ROOT")
+        leaf = SuperPeer("LEAF", schemas=[], backbone_directory={}, parent="MID")
+        for sp in (root, mid, leaf):
+            sp.join(network)
+        requester = SimplePeer("A", PeerBase(Graph(), schema))
+        requester.join(network)
+        from repro.net.message import Message
+
+        root.receive(
+            Message("B", "ROOT", Advertise(full_advertisement(schema, "B"))), network
+        )
+        replies = []
+        requester.handle_RouteReply = lambda m: replies.append(m.payload)
+        requester.send("LEAF", RouteRequest("q1", paper_query_pattern(schema), "A"))
+        network.run()
+        assert replies[0].annotated.is_fully_annotated()
+        # the escalation crossed LEAF and MID
+        assert network.metrics.messages_by_kind["RouteRequest"] == 3
+
+    def test_escalation_loop_bounded(self, network):
+        """Mutually-parented super-peers cannot circulate forever."""
+        schema = paper_schema()
+        sp1 = SuperPeer("S1", schemas=[], backbone_directory={}, parent="S2")
+        sp2 = SuperPeer("S2", schemas=[], backbone_directory={}, parent="S1")
+        sp1.join(network)
+        sp2.join(network)
+        requester = SimplePeer("A", PeerBase(Graph(), schema))
+        requester.join(network)
+        replies = []
+        requester.handle_RouteReply = lambda m: replies.append(m.payload)
+        requester.send("S1", RouteRequest("q1", paper_query_pattern(schema), "A"))
+        network.run()
+        assert len(replies) == 1  # answered (empty), not looped
+        assert not replies[0].annotated.is_fully_annotated()

@@ -1,0 +1,41 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, Literal, Triple, URI
+
+#: A small closed world of resources keeps join probability high.
+RESOURCES = [URI(f"http://w/r{i}") for i in range(12)]
+PREDICATES = [URI(f"http://w/p{i}") for i in range(4)]
+
+uris = st.sampled_from(RESOURCES)
+predicates = st.sampled_from(PREDICATES)
+
+literal_texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",)), max_size=20
+)
+literals = st.one_of(
+    literal_texts.map(Literal),
+    st.integers(-1000, 1000).map(Literal),
+    st.booleans().map(Literal),
+    st.tuples(literal_texts, st.sampled_from(["en", "fr", "el"])).map(
+        lambda pair: Literal(pair[0], language=pair[1])
+    ),
+)
+
+objects = st.one_of(uris, literals)
+
+triples = st.builds(Triple, uris, predicates, objects)
+
+
+@st.composite
+def graphs(draw, max_size: int = 30) -> Graph:
+    """A random graph over the closed world."""
+    return Graph(draw(st.lists(triples, max_size=max_size)))
+
+
+@st.composite
+def binding_rows(draw, width: int):
+    return tuple(draw(uris) for _ in range(width))

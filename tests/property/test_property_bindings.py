@@ -1,0 +1,102 @@
+"""Property-based tests for the binding-table algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rql.bindings import BindingTable
+
+from .strategies import uris
+
+
+def tables(columns):
+    row = st.tuples(*[uris for _ in columns])
+    return st.lists(row, max_size=12).map(lambda rows: BindingTable(columns, rows))
+
+
+XY = tables(("X", "Y"))
+YZ = tables(("Y", "Z"))
+ZW = tables(("Z", "W"))
+X = tables(("X",))
+
+
+def as_row_set(table):
+    return sorted(
+        tuple(r[table.column_index(c)].n3() for c in sorted(table.columns))
+        for r in table.rows
+    )
+
+
+class TestJoin:
+    @given(XY, YZ)
+    def test_commutative(self, a, b):
+        assert a.join(b) == b.join(a)
+
+    @given(XY, YZ, ZW)
+    @settings(max_examples=40)
+    def test_associative(self, a, b, c):
+        left = a.join(b).join(c)
+        right = a.join(b.join(c))
+        assert left == right
+
+    @given(XY)
+    def test_unit_identity(self, a):
+        assert BindingTable.unit().join(a) == a
+
+    @given(XY)
+    def test_self_join_is_distinct_multiset(self, a):
+        """Joining a table with itself keeps exactly the rows that
+        match themselves — every original row appears."""
+        joined = a.join(BindingTable(a.columns, a.rows))
+        assert set(a.rows) <= set(joined.rows)
+
+    @given(XY, YZ)
+    def test_join_subset_of_product(self, a, b):
+        assert len(a.join(b)) <= len(a) * len(b)
+
+    @given(XY, YZ)
+    def test_join_rows_agree_on_shared(self, a, b):
+        out = a.join(b)
+        y = out.column_index("Y") if "Y" in out.columns else None
+        for binding in out.bindings():
+            assert any(r[a.column_index("Y")] == binding["Y"] for r in a.rows)
+            assert any(r[b.column_index("Y")] == binding["Y"] for r in b.rows)
+
+
+class TestUnion:
+    @given(X, X)
+    def test_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(X, X, X)
+    def test_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(X, X)
+    def test_size_adds(self, a, b):
+        assert len(a.union(b)) == len(a) + len(b)
+
+    @given(XY)
+    def test_union_with_empty_identity(self, a):
+        assert a.union(BindingTable(("Y", "X"))) == a
+
+
+class TestProjectDistinct:
+    @given(XY)
+    def test_project_idempotent(self, a):
+        once = a.project(("X",))
+        assert once.project(("X",)) == once
+
+    @given(XY)
+    def test_distinct_idempotent(self, a):
+        assert a.distinct().distinct() == a.distinct()
+
+    @given(XY)
+    def test_distinct_no_smaller_than_set(self, a):
+        assert len(a.distinct()) == len(set(a.rows))
+
+    @given(XY, YZ)
+    def test_join_then_project_contains_matching(self, a, b):
+        """Every X surviving the join appears in the projection."""
+        joined = a.join(b)
+        projected = set(joined.project(("X",)).column("X"))
+        assert projected == {r[joined.column_index("X")] for r in joined.rows}

@@ -1,0 +1,79 @@
+"""Property-based tests for the Chord ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht import ChordRing, chord_hash
+
+names = st.lists(
+    st.text(alphabet="abcdefghij", min_size=1, max_size=6),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+keys = st.lists(
+    st.text(alphabet="klmnopqrst", min_size=1, max_size=8),
+    min_size=1,
+    max_size=15,
+    unique=True,
+)
+
+
+class TestRingProperties:
+    @given(names, keys)
+    @settings(max_examples=40, deadline=None)
+    def test_every_key_retrievable_after_joins(self, members, key_list):
+        ring = ChordRing(bits=16)
+        for name in members:
+            ring.join(name)
+        for key in key_list:
+            ring.put(key, f"v-{key}")
+        for key in key_list:
+            values, _ = ring.get(key)
+            assert values == {f"v-{key}"}
+
+    @given(names, keys)
+    @settings(max_examples=40, deadline=None)
+    def test_keys_survive_interleaved_membership(self, members, key_list):
+        ring = ChordRing(bits=16)
+        ring.join("anchor")
+        for key in key_list:
+            ring.put(key, f"v-{key}")
+        for index, name in enumerate(members):
+            ring.join(name)
+            if index % 2 == 1:
+                ring.leave(name)
+        for key in key_list:
+            values, _ = ring.get(key)
+            assert values == {f"v-{key}"}
+
+    @given(names, st.text(alphabet="uvwxyz", min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_owner_consistent_from_every_start(self, members, key):
+        ring = ChordRing(bits=16)
+        for name in members:
+            ring.join(name)
+        owners = {ring.lookup(key, start=name)[0].name for name in members}
+        assert len(owners) == 1
+
+    @given(names, st.text(alphabet="uvwxyz", min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_owner_is_clockwise_successor(self, members, key):
+        ring = ChordRing(bits=16)
+        for name in members:
+            ring.join(name)
+        owner, _ = ring.lookup(key)
+        key_id = chord_hash(key, ring.bits)
+        ordered = sorted(n.node_id for n in ring._ordered)
+        expected = next((i for i in ordered if i >= key_id), ordered[0])
+        assert owner.node_id == expected
+
+    @given(names)
+    @settings(max_examples=40, deadline=None)
+    def test_hops_never_exceed_bound(self, members):
+        ring = ChordRing(bits=16)
+        for name in members:
+            ring.join(name)
+        for probe in ("k1", "k2", "k3"):
+            _, hops = ring.lookup(probe, start=members[0])
+            assert hops <= 2 * ring.bits

@@ -1,0 +1,69 @@
+"""Property-based tests for the RDF substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import Graph, deserialize, serialize
+
+from .strategies import graphs, triples
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    def test_length_matches_iteration(self, graph):
+        assert len(graph) == len(list(graph))
+
+    @given(graphs(), triples)
+    def test_add_then_contains(self, graph, triple):
+        graph.add_triple(triple)
+        assert triple in graph
+
+    @given(graphs(), triples)
+    def test_add_idempotent(self, graph, triple):
+        graph.add_triple(triple)
+        size = len(graph)
+        graph.add_triple(triple)
+        assert len(graph) == size
+
+    @given(graphs(), triples)
+    def test_remove_inverts_add(self, graph, triple):
+        graph.add_triple(triple)
+        assert graph.remove_triple(triple)
+        assert triple not in graph
+
+    @given(graphs())
+    def test_indexes_agree_with_bruteforce(self, graph):
+        """Every single-slot index lookup equals the brute-force scan."""
+        for triple in list(graph)[:5]:
+            by_s = set(graph.triples(subject=triple.subject))
+            brute_s = {t for t in graph if t.subject == triple.subject}
+            assert by_s == brute_s
+            by_p = set(graph.triples(predicate=triple.predicate))
+            brute_p = {t for t in graph if t.predicate == triple.predicate}
+            assert by_p == brute_p
+            by_o = set(graph.triples(obj=triple.object))
+            brute_o = {t for t in graph if t.object == triple.object}
+            assert by_o == brute_o
+
+    @given(graphs(), graphs())
+    def test_union_is_set_union(self, a, b):
+        assert set(a | b) == set(a) | set(b)
+
+    @given(graphs())
+    def test_copy_equal_but_independent(self, graph):
+        clone = graph.copy()
+        assert set(clone) == set(graph)
+        clone.clear()
+        assert len(clone) == 0  # original untouched by clearing the copy
+        assert set(graph) == set(graph)
+
+
+class TestSerializerRoundTrip:
+    @given(graphs(max_size=20))
+    @settings(max_examples=60)
+    def test_roundtrip_identity(self, graph):
+        assert set(deserialize(serialize(graph))) == set(graph)
+
+    @given(graphs(max_size=15))
+    def test_serialisation_deterministic(self, graph):
+        assert serialize(graph) == serialize(Graph(list(graph)))

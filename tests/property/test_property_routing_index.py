@@ -1,0 +1,83 @@
+"""Property tests: indexed routing ≡ exhaustive routing, and bounded
+routing is a sound restriction of full routing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueryConstraints, apply_peer_bound, route_query
+from repro.core.routing_index import RoutingIndex
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+SCHEMA = paper_schema()
+PATTERN = paper_query_pattern(SCHEMA)
+
+#: all declared schema paths an advertisement may contain
+ALL_PATHS = [
+    SchemaPath(SCHEMA.domain_of(p), p, SCHEMA.range_of(p))
+    for p in sorted(SCHEMA.properties)
+]
+
+
+@st.composite
+def advertisement_sets(draw):
+    count = draw(st.integers(1, 12))
+    ads = []
+    for i in range(count):
+        subset = draw(
+            st.lists(st.sampled_from(ALL_PATHS), min_size=0, max_size=3, unique=True)
+        )
+        ads.append(
+            ActiveSchema(SCHEMA.namespace.uri, subset, peer_id=f"H{i:02d}")
+        )
+    return ads
+
+
+class TestIndexEquivalence:
+    @given(advertisement_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_index_matches_exhaustive(self, ads):
+        index = RoutingIndex(SCHEMA)
+        for advertisement in ads:
+            index.add(advertisement)
+        via_index = index.route(PATTERN)
+        exhaustive = route_query(PATTERN, ads, SCHEMA)
+        for path_pattern in PATTERN:
+            assert via_index.peers_for(path_pattern) == exhaustive.peers_for(
+                path_pattern
+            )
+
+    @given(advertisement_sets(), st.integers(0, 11))
+    @settings(max_examples=40, deadline=None)
+    def test_index_survives_removal(self, ads, victim_index):
+        index = RoutingIndex(SCHEMA)
+        for advertisement in ads:
+            index.add(advertisement)
+        victim = ads[victim_index % len(ads)].peer_id
+        index.remove(victim)
+        survivors = [a for a in ads if a.peer_id != victim]
+        via_index = index.route(PATTERN)
+        exhaustive = route_query(PATTERN, survivors, SCHEMA)
+        for path_pattern in PATTERN:
+            assert via_index.peers_for(path_pattern) == exhaustive.peers_for(
+                path_pattern
+            )
+
+
+class TestBoundSoundness:
+    @given(advertisement_sets(), st.integers(1, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_peers_are_subset(self, ads, bound):
+        annotated = route_query(PATTERN, ads, SCHEMA)
+        trimmed = apply_peer_bound(
+            annotated, QueryConstraints(max_peers_per_pattern=bound)
+        )
+        for path_pattern in PATTERN:
+            full = set(annotated.peers_for(path_pattern))
+            bounded = set(trimmed.peers_for(path_pattern))
+            assert bounded <= full
+            assert len(bounded) <= bound
+            # the bound never empties a pattern that had any peer
+            if full:
+                assert bounded

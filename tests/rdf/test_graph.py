@@ -1,0 +1,122 @@
+"""Tests for the indexed triple store."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, Triple, TYPE, URI
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add(EX.a, EX.knows, EX.b)
+    g.add(EX.a, EX.knows, EX.c)
+    g.add(EX.b, EX.knows, EX.c)
+    g.add(EX.a, EX.name, Literal("alice"))
+    g.add(EX.a, TYPE, EX.Person)
+    return g
+
+
+class TestMutation:
+    def test_add_returns_triple(self):
+        g = Graph()
+        t = g.add(EX.a, EX.p, EX.b)
+        assert t == Triple(EX.a, EX.p, EX.b)
+        assert t in g
+
+    def test_add_idempotent(self, graph):
+        size = len(graph)
+        graph.add(EX.a, EX.knows, EX.b)
+        assert len(graph) == size
+
+    def test_remove_present(self, graph):
+        t = Triple(EX.a, EX.knows, EX.b)
+        assert graph.remove_triple(t) is True
+        assert t not in graph
+
+    def test_remove_absent(self, graph):
+        assert graph.remove_triple(Triple(EX.z, EX.p, EX.z)) is False
+
+    def test_remove_cleans_indexes(self):
+        g = Graph()
+        t = g.add(EX.a, EX.p, EX.b)
+        g.remove_triple(t)
+        assert list(g.triples(EX.a, None, None)) == []
+        assert list(g.triples(None, EX.p, None)) == []
+        assert list(g.triples(None, None, EX.b)) == []
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert list(graph.triples(None, None, None)) == []
+
+    def test_update(self):
+        g = Graph()
+        g.update([Triple(EX.a, EX.p, EX.b), Triple(EX.c, EX.p, EX.d)])
+        assert len(g) == 2
+
+    def test_predicate_must_be_uri(self):
+        with pytest.raises(TypeError):
+            Triple(EX.a, Literal("p"), EX.b)
+
+
+class TestPatternMatching:
+    def test_all_wildcards(self, graph):
+        assert len(list(graph.triples())) == len(graph)
+
+    def test_by_subject(self, graph):
+        assert len(list(graph.triples(EX.a, None, None))) == 4
+
+    def test_by_predicate(self, graph):
+        assert len(list(graph.triples(None, EX.knows, None))) == 3
+
+    def test_by_object(self, graph):
+        assert len(list(graph.triples(None, None, EX.c))) == 2
+
+    def test_fully_bound_hit(self, graph):
+        assert len(list(graph.triples(EX.a, EX.knows, EX.b))) == 1
+
+    def test_fully_bound_miss(self, graph):
+        assert list(graph.triples(EX.a, EX.knows, EX.z)) == []
+
+    def test_two_bound_slots(self, graph):
+        assert len(list(graph.triples(EX.a, EX.knows, None))) == 2
+
+    def test_subjects_distinct(self, graph):
+        assert set(graph.subjects(EX.knows)) == {EX.a, EX.b}
+
+    def test_objects_distinct(self, graph):
+        assert set(graph.objects(EX.a, EX.knows)) == {EX.b, EX.c}
+
+    def test_predicates(self, graph):
+        assert set(graph.predicates()) == {EX.knows, EX.name, TYPE}
+
+    def test_instances_of(self, graph):
+        assert set(graph.instances_of(EX.Person)) == {EX.a}
+
+    def test_count(self, graph):
+        assert graph.count(None, EX.knows, None) == 3
+        assert graph.count() == len(graph)
+
+
+class TestProtocol:
+    def test_bool(self, graph, ):
+        assert graph
+        assert not Graph()
+
+    def test_copy_independent(self, graph):
+        clone = graph.copy()
+        clone.add(EX.z, EX.p, EX.z)
+        assert len(clone) == len(graph) + 1
+
+    def test_union_operator(self):
+        g1, g2 = Graph(), Graph()
+        g1.add(EX.a, EX.p, EX.b)
+        g2.add(EX.c, EX.p, EX.d)
+        merged = g1 | g2
+        assert len(merged) == 2
+        assert len(g1) == 1
+
+    def test_iteration_yields_all(self, graph):
+        assert set(graph) == set(graph.triples())

@@ -1,0 +1,103 @@
+"""Tests for RDFS entailment: the semantics subsumption routing relies on."""
+
+import pytest
+
+from repro.rdf import Graph, InferredView, Namespace, TYPE, materialize_closure
+from repro.workloads.paper import N1, paper_schema
+
+DATA = Namespace("http://d/")
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def base():
+    """x --prop4--> y (the subproperty), plus one direct prop1 pair."""
+    g = Graph()
+    g.add(DATA.x, N1.prop4, DATA.y)
+    g.add(DATA.u, N1.prop1, DATA.v)
+    g.add(DATA.u, TYPE, N1.C1)
+    return g
+
+
+@pytest.fixture
+def view(base, schema):
+    return InferredView(base, schema)
+
+
+class TestPropertyEntailment:
+    def test_query_on_superproperty_sees_subproperty(self, view):
+        triples = list(view.triples(None, N1.prop1, None))
+        subjects = {t.subject for t in triples}
+        assert subjects == {DATA.x, DATA.u}
+
+    def test_asserted_predicate_preserved(self, view):
+        by_subject = {t.subject: t.predicate for t in view.triples(None, N1.prop1, None)}
+        assert by_subject[DATA.x] == N1.prop4
+        assert by_subject[DATA.u] == N1.prop1
+
+    def test_query_on_subproperty_excludes_superproperty(self, view):
+        subjects = {t.subject for t in view.triples(None, N1.prop4, None)}
+        assert subjects == {DATA.x}
+
+    def test_unknown_predicate_falls_through(self, view, base):
+        base.add(DATA.a, DATA.oddball, DATA.b)
+        assert len(list(view.triples(None, DATA.oddball, None))) == 1
+
+
+class TestTypeEntailment:
+    def test_domain_entailment(self, view):
+        # x is a C5 instance via prop4's domain, hence also C1
+        assert view.is_instance_of(DATA.x, N1.C5)
+        assert view.is_instance_of(DATA.x, N1.C1)
+
+    def test_range_entailment(self, view):
+        assert view.is_instance_of(DATA.y, N1.C6)
+        assert view.is_instance_of(DATA.y, N1.C2)
+
+    def test_asserted_type_with_subclass(self, view, base):
+        base.add(DATA.w, TYPE, N1.C5)
+        assert view.is_instance_of(DATA.w, N1.C1)
+        assert not view.is_instance_of(DATA.w, N1.C2)
+
+    def test_instances_of_superclass(self, view):
+        assert DATA.x in set(view.instances_of(N1.C1))
+        assert DATA.u in set(view.instances_of(N1.C1))
+
+    def test_instances_of_subclass_excludes_broader(self, view):
+        # u is only known to be C1; it must not show up as C5
+        assert DATA.u not in set(view.instances_of(N1.C5))
+
+    def test_type_triples_query(self, view):
+        members = {t.subject for t in view.triples(None, TYPE, N1.C2)}
+        assert DATA.y in members
+        assert DATA.v in members
+
+
+class TestMaterializedClosure:
+    def test_closure_adds_superproperty_statement(self, base, schema):
+        closed = materialize_closure(base, schema)
+        assert closed.count(DATA.x, N1.prop1, DATA.y) == 1
+
+    def test_closure_adds_types(self, base, schema):
+        closed = materialize_closure(base, schema)
+        assert closed.count(DATA.x, TYPE, N1.C5) == 1
+        assert closed.count(DATA.x, TYPE, N1.C1) == 1
+        assert closed.count(DATA.y, TYPE, N1.C2) == 1
+
+    def test_closure_preserves_base(self, base, schema):
+        before = len(base)
+        materialize_closure(base, schema)
+        assert len(base) == before
+
+    def test_closure_is_superset(self, base, schema):
+        closed = materialize_closure(base, schema)
+        assert all(t in closed for t in base)
+
+    def test_closure_idempotent(self, base, schema):
+        once = materialize_closure(base, schema)
+        twice = materialize_closure(once, schema)
+        assert len(once) == len(twice)

@@ -1,0 +1,131 @@
+"""Tests for the RDF/S schema model and subsumption reasoning."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rdf import LITERAL_CLASS, Namespace, RESOURCE, Schema
+from repro.workloads.paper import N1, paper_schema
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestConstruction:
+    def test_classes_declared(self, schema):
+        assert N1.C1 in schema.classes
+        assert N1.C6 in schema.classes
+        assert len(schema.classes) == 6
+
+    def test_properties_declared(self, schema):
+        assert schema.has_property(N1.prop1)
+        assert schema.has_property(N1.prop4)
+        assert not schema.has_property(N1.nope)
+
+    def test_property_def(self, schema):
+        definition = schema.property_def(N1.prop1)
+        assert definition.domain == N1.C1
+        assert definition.range == N1.C2
+
+    def test_undeclared_property_def_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.property_def(N1.nope)
+
+    def test_subclass_requires_declared_classes(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_subclass(N1.C1, N1.Unknown)
+
+    def test_subproperty_requires_declared_properties(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_subproperty(N1.prop1, N1.unknown)
+
+    def test_property_domain_must_exist(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_property(N1.p9, N1.Unknown, N1.C1)
+
+    def test_literal_range_allowed(self, schema):
+        schema.add_property(N1.title, N1.C1, LITERAL_CLASS)
+        assert schema.range_of(N1.title) == LITERAL_CLASS
+
+    def test_self_subclass_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_subclass(N1.C1, N1.C1)
+
+    def test_cyclic_class_hierarchy_rejected(self, schema):
+        # C5 < C1 already; adding C1 < C5 would form a cycle
+        with pytest.raises(SchemaError):
+            schema.add_subclass(N1.C1, N1.C5)
+
+    def test_cyclic_property_hierarchy_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            schema.add_subproperty(N1.prop1, N1.prop4)
+
+
+class TestSubsumption:
+    def test_is_subclass_reflexive(self, schema):
+        assert schema.is_subclass(N1.C1, N1.C1)
+
+    def test_is_subclass_direct(self, schema):
+        assert schema.is_subclass(N1.C5, N1.C1)
+        assert not schema.is_subclass(N1.C1, N1.C5)
+
+    def test_is_subclass_unrelated(self, schema):
+        assert not schema.is_subclass(N1.C3, N1.C1)
+
+    def test_resource_is_top(self, schema):
+        assert schema.is_subclass(N1.C3, RESOURCE)
+
+    def test_transitive_chain(self):
+        ns = Namespace("http://t#")
+        s = Schema(ns)
+        for name in ("A", "B", "C"):
+            s.add_class(ns[name])
+        s.add_subclass(ns.B, ns.A)
+        s.add_subclass(ns.C, ns.B)
+        assert s.is_subclass(ns.C, ns.A)
+
+    def test_is_subproperty(self, schema):
+        assert schema.is_subproperty(N1.prop4, N1.prop1)
+        assert schema.is_subproperty(N1.prop1, N1.prop1)
+        assert not schema.is_subproperty(N1.prop1, N1.prop4)
+        assert not schema.is_subproperty(N1.prop2, N1.prop1)
+
+    def test_superclasses_contains_self(self, schema):
+        assert schema.superclasses(N1.C5) == frozenset({N1.C5, N1.C1})
+
+    def test_subclasses(self, schema):
+        assert schema.subclasses(N1.C1) == frozenset({N1.C1, N1.C5})
+
+    def test_subproperties(self, schema):
+        assert schema.subproperties(N1.prop1) == frozenset({N1.prop1, N1.prop4})
+
+    def test_multiple_inheritance(self):
+        ns = Namespace("http://t#")
+        s = Schema(ns)
+        for name in ("A", "B", "C"):
+            s.add_class(ns[name])
+        s.add_subclass(ns.C, ns.A)
+        s.add_subclass(ns.C, ns.B)
+        assert s.is_subclass(ns.C, ns.A)
+        assert s.is_subclass(ns.C, ns.B)
+
+    def test_cache_invalidated_on_update(self, schema):
+        assert not schema.is_subclass(N1.C3, N1.C1)
+        schema.add_subclass(N1.C3, N1.C1)
+        assert schema.is_subclass(N1.C3, N1.C1)
+
+
+class TestRoundTrip:
+    def test_to_graph_from_graph(self, schema):
+        graph = schema.to_graph()
+        rebuilt = Schema.from_graph(graph, schema.namespace, schema.name)
+        assert rebuilt.classes == schema.classes
+        assert rebuilt.properties == schema.properties
+        assert rebuilt.is_subclass(N1.C5, N1.C1)
+        assert rebuilt.is_subproperty(N1.prop4, N1.prop1)
+        assert rebuilt.domain_of(N1.prop2) == N1.C2
+
+    def test_iteration_yields_property_defs(self, schema):
+        names = {d.uri.local_name for d in schema}
+        assert names == {"prop1", "prop2", "prop3", "prop4"}

@@ -1,0 +1,116 @@
+"""Tests for N-Triples serialisation."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    Namespace,
+    URI,
+    deserialize,
+    graph_size_bytes,
+    serialize,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def roundtrip(graph: Graph) -> Graph:
+    return deserialize(serialize(graph))
+
+
+class TestRoundTrip:
+    def test_uris(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.b)
+        assert roundtrip(g) is not g
+        assert set(roundtrip(g)) == set(g)
+
+    def test_plain_literal(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal("hello world"))
+        assert set(roundtrip(g)) == set(g)
+
+    def test_typed_literal(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal(42))
+        back = roundtrip(g)
+        (triple,) = list(back)
+        assert triple.object.to_python() == 42
+
+    def test_language_literal(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal("bonjour", language="fr"))
+        (triple,) = list(roundtrip(g))
+        assert triple.object.language == "fr"
+
+    def test_escaped_literal(self):
+        g = Graph()
+        g.add(EX.a, EX.p, Literal('say "hi"\nplease'))
+        assert set(roundtrip(g)) == set(g)
+
+    def test_bnodes(self):
+        g = Graph()
+        g.add(BNode("n1"), EX.p, BNode("n2"))
+        assert set(roundtrip(g)) == set(g)
+
+    def test_empty_graph(self):
+        assert serialize(Graph()) == ""
+        assert len(deserialize("")) == 0
+
+    def test_multiline(self):
+        g = Graph()
+        for i in range(10):
+            g.add(EX[f"s{i}"], EX.p, EX[f"o{i}"])
+        assert len(roundtrip(g)) == 10
+
+    def test_deterministic_output(self):
+        g = Graph()
+        g.add(EX.b, EX.p, EX.x)
+        g.add(EX.a, EX.p, EX.x)
+        assert serialize(g) == serialize(g.copy())
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\n<http://a> <http://p> <http://b> .\n"
+        assert len(deserialize(text)) == 1
+
+    def test_unterminated_uri(self):
+        with pytest.raises(ParseError):
+            deserialize("<http://a <http://p> <http://b> .")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            deserialize("<http://a> <http://p> <http://b>")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            deserialize('<http://a> "p" <http://b> .')
+
+    def test_unterminated_literal(self):
+        with pytest.raises(ParseError):
+            deserialize('<http://a> <http://p> "open .')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            deserialize("???")
+
+
+class TestSize:
+    def test_size_positive(self):
+        g = Graph()
+        g.add(EX.a, EX.p, EX.b)
+        assert graph_size_bytes(g) > 0
+
+    def test_size_grows_with_content(self):
+        g1, g2 = Graph(), Graph()
+        g1.add(EX.a, EX.p, EX.b)
+        g2.add(EX.a, EX.p, EX.b)
+        g2.add(EX.c, EX.p, EX.d)
+        assert graph_size_bytes(g2) > graph_size_bytes(g1)
+
+    def test_empty_size_zero(self):
+        assert graph_size_bytes(Graph()) == 0

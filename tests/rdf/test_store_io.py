@@ -1,0 +1,56 @@
+"""Tests for graph/schema persistence."""
+
+import pytest
+
+from repro.rdf import Graph, Literal
+from repro.rdf.store_io import load_graph, load_schema, save_graph, save_schema
+from repro.workloads.paper import DATA, N1, paper_peer_bases, paper_schema
+
+
+class TestGraphRoundTrip:
+    def test_save_load(self, tmp_path):
+        graph = paper_peer_bases()["P1"]
+        path = tmp_path / "p1.nt"
+        count = save_graph(graph, str(path))
+        assert count == len(graph)
+        loaded = load_graph(str(path))
+        assert set(loaded) == set(graph)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.nt"
+        save_graph(Graph(), str(path))
+        assert len(load_graph(str(path))) == 0
+
+    def test_literals_survive(self, tmp_path):
+        graph = Graph()
+        graph.add(DATA.x, N1.prop1, Literal('tricky "text"\nwith lines'))
+        path = tmp_path / "lit.nt"
+        save_graph(graph, str(path))
+        assert set(load_graph(str(path))) == set(graph)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(str(tmp_path / "nope.nt"))
+
+
+class TestSchemaRoundTrip:
+    def test_save_load(self, tmp_path):
+        schema = paper_schema()
+        path = tmp_path / "schema.nt"
+        save_schema(schema, str(path))
+        loaded = load_schema(str(path), schema.namespace.uri, "n1")
+        assert loaded.classes == schema.classes
+        assert loaded.properties == schema.properties
+        assert loaded.is_subproperty(N1.prop4, N1.prop1)
+        assert loaded.is_subclass(N1.C5, N1.C1)
+
+    def test_loaded_schema_supports_queries(self, tmp_path):
+        from repro.rql import query
+        from repro.workloads.paper import PAPER_QUERY
+
+        schema = paper_schema()
+        path = tmp_path / "schema.nt"
+        save_schema(schema, str(path))
+        loaded = load_schema(str(path), schema.namespace.uri)
+        base = paper_peer_bases()["P1"]
+        assert len(query(PAPER_QUERY, base, loaded)) == 3

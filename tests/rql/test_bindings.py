@@ -1,0 +1,149 @@
+"""Tests for binding tables (the distributed operators' operand type)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.rdf import Literal, Namespace, URI
+from repro.rql.bindings import BindingTable
+
+EX = Namespace("http://e/")
+
+
+def table(columns, rows):
+    return BindingTable(columns, rows)
+
+
+class TestConstruction:
+    def test_empty(self):
+        t = BindingTable.empty(("X",))
+        assert len(t) == 0
+        assert not t
+
+    def test_unit_is_join_identity(self):
+        t = table(("X",), [(EX.a,)])
+        assert BindingTable.unit().join(t) == t
+        assert t.join(BindingTable.unit()) == t
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            BindingTable(("X", "X"))
+
+    def test_row_width_checked(self):
+        t = BindingTable(("X", "Y"))
+        with pytest.raises(EvaluationError):
+            t.append((EX.a,))
+
+    def test_append_binding(self):
+        t = BindingTable(("X", "Y"))
+        t.append_binding({"Y": EX.b, "X": EX.a})
+        assert t.rows == [(EX.a, EX.b)]
+
+    def test_bindings_iteration(self):
+        t = table(("X",), [(EX.a,)])
+        assert list(t.bindings()) == [{"X": EX.a}]
+
+
+class TestJoin:
+    def test_shared_column_join(self):
+        left = table(("X", "Y"), [(EX.a, EX.b), (EX.c, EX.d)])
+        right = table(("Y", "Z"), [(EX.b, EX.z1), (EX.b, EX.z2)])
+        out = left.join(right)
+        assert set(out.columns) == {"X", "Y", "Z"}
+        assert len(out) == 2
+        assert all(row[out.column_index("X")] == EX.a for row in out)
+
+    def test_no_match_empty(self):
+        left = table(("X", "Y"), [(EX.a, EX.b)])
+        right = table(("Y", "Z"), [(EX.q, EX.z)])
+        assert len(left.join(right)) == 0
+
+    def test_cartesian_product_without_shared(self):
+        left = table(("X",), [(EX.a,), (EX.b,)])
+        right = table(("Y",), [(EX.c,), (EX.d,)])
+        assert len(left.join(right)) == 4
+
+    def test_join_commutative_on_content(self):
+        left = table(("X", "Y"), [(EX.a, EX.b)])
+        right = table(("Y", "Z"), [(EX.b, EX.z)])
+        assert left.join(right) == right.join(left)
+
+    def test_multi_column_join_key(self):
+        left = table(("X", "Y"), [(EX.a, EX.b), (EX.a, EX.c)])
+        right = table(("X", "Y"), [(EX.a, EX.b)])
+        assert len(left.join(right)) == 1
+
+    def test_join_empty_right(self):
+        left = table(("X", "Y"), [(EX.a, EX.b)])
+        right = BindingTable(("Y", "Z"))
+        assert len(left.join(right)) == 0
+
+
+class TestUnion:
+    def test_same_columns(self):
+        a = table(("X",), [(EX.a,)])
+        b = table(("X",), [(EX.b,)])
+        assert len(a.union(b)) == 2
+
+    def test_column_permutation_aligned(self):
+        a = table(("X", "Y"), [(EX.a, EX.b)])
+        b = table(("Y", "X"), [(EX.b, EX.a)])
+        out = a.union(b)
+        assert len(out) == 2
+        assert out.rows[0] == out.rows[1]
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            table(("X",), []).union(table(("Y",), []))
+
+    def test_bag_semantics(self):
+        a = table(("X",), [(EX.a,)])
+        assert len(a.union(a)) == 2
+
+
+class TestProjectSelectDistinct:
+    def test_project(self):
+        t = table(("X", "Y"), [(EX.a, EX.b)])
+        out = t.project(["Y"])
+        assert out.columns == ("Y",)
+        assert out.rows == [(EX.b,)]
+
+    def test_project_unknown_column(self):
+        with pytest.raises(EvaluationError):
+            table(("X",), []).project(["Z"])
+
+    def test_select(self):
+        t = table(("X",), [(EX.a,), (EX.b,)])
+        out = t.select(lambda b: b["X"] == EX.a)
+        assert out.rows == [(EX.a,)]
+
+    def test_distinct(self):
+        t = table(("X",), [(EX.a,), (EX.a,), (EX.b,)])
+        assert len(t.distinct()) == 2
+
+    def test_column_values(self):
+        t = table(("X", "Y"), [(EX.a, EX.b), (EX.c, EX.b)])
+        assert t.column("Y") == [EX.b, EX.b]
+
+
+class TestEqualityAndSize:
+    def test_equality_ignores_column_order(self):
+        a = table(("X", "Y"), [(EX.a, EX.b)])
+        b = table(("Y", "X"), [(EX.b, EX.a)])
+        assert a == b
+
+    def test_equality_ignores_row_order(self):
+        a = table(("X",), [(EX.a,), (EX.b,)])
+        b = table(("X",), [(EX.b,), (EX.a,)])
+        assert a == b
+
+    def test_inequality_different_rows(self):
+        assert table(("X",), [(EX.a,)]) != table(("X",), [(EX.b,)])
+
+    def test_size_bytes_grows(self):
+        small = table(("X",), [(EX.a,)])
+        big = table(("X",), [(EX.a,)] * 10)
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_size_counts_literals(self):
+        t = table(("X",), [(Literal("a long literal value"),)])
+        assert t.size_bytes() > 20

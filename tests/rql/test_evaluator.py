@@ -1,0 +1,130 @@
+"""Tests for local RQL evaluation with RDFS entailment."""
+
+import pytest
+
+from repro.rdf import Graph, InferredView, Literal, Namespace, TYPE
+from repro.rdf.vocabulary import LITERAL_CLASS
+from repro.rql import evaluate_path_pattern, pattern_from_text, query
+from repro.workloads.paper import N1, PAPER_QUERY, paper_schema
+
+DATA = Namespace("http://d/")
+NS = f"USING NAMESPACE n1 = &{N1.uri}&"
+
+
+@pytest.fixture
+def schema():
+    s = paper_schema()
+    s.add_property(N1.title, N1.C1, LITERAL_CLASS)
+    return s
+
+
+@pytest.fixture
+def base(schema):
+    g = Graph()
+    # chain x0 -prop1-> y0 -prop2-> z0
+    g.add(DATA.x0, TYPE, N1.C1)
+    g.add(DATA.y0, TYPE, N1.C2)
+    g.add(DATA.z0, TYPE, N1.C3)
+    g.add(DATA.x0, N1.prop1, DATA.y0)
+    g.add(DATA.y0, N1.prop2, DATA.z0)
+    # subproperty chain x1 -prop4-> y1 -prop2-> z1
+    g.add(DATA.x1, N1.prop4, DATA.y1)
+    g.add(DATA.y1, N1.prop2, DATA.z1)
+    # a literal-valued statement
+    g.add(DATA.x0, N1.title, Literal("intro"))
+    g.add(DATA.x1, N1.title, Literal("advanced"))
+    return g
+
+
+class TestPathPatternEvaluation:
+    def test_direct_property(self, base, schema):
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:prop2 {{Y}} {NS}", schema)
+        table = evaluate_path_pattern(pattern.root, InferredView(base, schema))
+        assert set(table.column("X")) == {DATA.y0, DATA.y1}
+
+    def test_subproperty_included(self, base, schema):
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:prop1 {{Y}} {NS}", schema)
+        table = evaluate_path_pattern(pattern.root, InferredView(base, schema))
+        assert set(table.column("X")) == {DATA.x0, DATA.x1}
+
+    def test_subclass_filter_excludes_broader(self, base, schema):
+        pattern = pattern_from_text(
+            f"SELECT X FROM {{X;n1:C5}} n1:prop1 {{Y}} {NS}", schema
+        )
+        table = evaluate_path_pattern(pattern.root, InferredView(base, schema))
+        # only x1 (a prop4 subject, hence C5) qualifies
+        assert set(table.column("X")) == {DATA.x1}
+
+    def test_anonymous_endpoint_unbound(self, base, schema):
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:prop1 {{}} {NS}", schema)
+        table = evaluate_path_pattern(pattern.root, InferredView(base, schema))
+        assert table.columns == ("X",)
+        assert len(table) == 2
+
+    def test_literal_range_pattern(self, base, schema):
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:title {{T}} {NS}", schema)
+        table = evaluate_path_pattern(pattern.root, InferredView(base, schema))
+        assert len(table) == 2
+        assert all(isinstance(t, Literal) for t in table.column("T"))
+
+    def test_literal_object_rejected_for_resource_range(self, schema):
+        g = Graph()
+        g.add(DATA.x, N1.prop1, Literal("oops"))
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:prop1 {{Y}} {NS}", schema)
+        table = evaluate_path_pattern(pattern.root, InferredView(g, schema))
+        assert len(table) == 0
+
+
+class TestFullQueries:
+    def test_paper_query_joins(self, base, schema):
+        table = query(PAPER_QUERY, base, schema)
+        assert set(table.rows) == {(DATA.x0, DATA.y0), (DATA.x1, DATA.y1)}
+
+    def test_projection_applied(self, base, schema):
+        table = query(f"SELECT Y FROM {{X}} n1:prop1 {{Y}} {NS}", base, schema)
+        assert table.columns == ("Y",)
+
+    def test_select_star(self, base, schema):
+        table = query(f"SELECT * FROM {{X}} n1:prop1 {{Y}} {NS}", base, schema)
+        assert set(table.columns) == {"X", "Y"}
+
+    def test_where_equality(self, base, schema):
+        table = query(
+            f'SELECT X FROM {{X}} n1:title {{T}} WHERE T = "intro" {NS}', base, schema
+        )
+        assert table.rows == [(DATA.x0,)]
+
+    def test_where_like(self, base, schema):
+        table = query(
+            f'SELECT X FROM {{X}} n1:title {{T}} WHERE T LIKE "adv" {NS}', base, schema
+        )
+        assert table.rows == [(DATA.x1,)]
+
+    def test_where_inequality_numbers(self, schema):
+        g = Graph()
+        schema.add_property(N1.year, N1.C1, LITERAL_CLASS)
+        g.add(DATA.a, N1.year, Literal(1999))
+        g.add(DATA.b, N1.year, Literal(2004))
+        table = query(
+            f"SELECT X FROM {{X}} n1:year {{Y}} WHERE Y > 2000 {NS}", g, schema
+        )
+        assert table.rows == [(DATA.b,)]
+
+    def test_where_variable_comparison(self, base, schema):
+        text = (
+            f"SELECT X FROM {{X}} n1:prop1 {{Y}}, {{X}} n1:prop1 {{Z}} "
+            f"WHERE Y = Z {NS}"
+        )
+        table = query(text, base, schema)
+        assert len(table) == 2  # each x relates to exactly one y
+
+    def test_empty_base(self, schema):
+        table = query(PAPER_QUERY, Graph(), schema)
+        assert len(table) == 0
+        assert set(table.columns) == {"X", "Y"}
+
+    def test_incomparable_condition_rejects_row(self, base, schema):
+        table = query(
+            f"SELECT X FROM {{X}} n1:title {{T}} WHERE T > 100 {NS}", base, schema
+        )
+        assert len(table) == 0

@@ -1,0 +1,134 @@
+"""Tests for the RQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import Literal
+from repro.rql import parse_query
+
+NS = "USING NAMESPACE n1 = &http://a#&"
+
+
+class TestSkeleton:
+    def test_minimal_query(self):
+        q = parse_query(f"SELECT X FROM {{X}} n1:p {{Y}} {NS}")
+        assert q.projections == ("X",)
+        assert len(q.paths) == 1
+        assert q.namespaces == {"n1": "http://a#"}
+
+    def test_select_star(self):
+        q = parse_query(f"SELECT * FROM {{X}} n1:p {{Y}} {NS}")
+        assert q.projections == ()
+        assert q.effective_projections() == ("X", "Y")
+
+    def test_multiple_projections(self):
+        q = parse_query(f"SELECT X, Y FROM {{X}} n1:p {{Y}} {NS}")
+        assert q.projections == ("X", "Y")
+
+    def test_paper_query(self):
+        q = parse_query(
+            f"SELECT X, Y FROM {{X}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}} {NS}"
+        )
+        assert len(q.paths) == 2
+        assert q.paths[0].property_name == "n1:prop1"
+        assert q.paths[1].subject.variable == "Y"
+        assert q.variables() == ("X", "Y", "Z")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT X")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_query(f"SELECT X FROM {{X}} n1:p {{Y}} {NS} bogus")
+
+
+class TestNodes:
+    def test_class_filter_after_semicolon(self):
+        q = parse_query(f"SELECT X FROM {{X;n1:C1}} n1:p {{Y}} {NS}")
+        assert q.paths[0].subject.class_name == "n1:C1"
+
+    def test_class_only_node(self):
+        q = parse_query(f"SELECT Y FROM {{n1:C1}} n1:p {{Y}} {NS}")
+        assert q.paths[0].subject.variable is None
+        assert q.paths[0].subject.class_name == "n1:C1"
+
+    def test_anonymous_node(self):
+        q = parse_query(f"SELECT X FROM {{X}} n1:p {{}} {NS}")
+        assert q.paths[0].object.variable is None
+
+    def test_node_requires_braces(self):
+        with pytest.raises(ParseError):
+            parse_query(f"SELECT X FROM X n1:p {{Y}} {NS}")
+
+
+class TestWhere:
+    def test_string_condition(self):
+        q = parse_query(f'SELECT X FROM {{X}} n1:p {{Z}} WHERE Z = "v" {NS}')
+        (cond,) = q.conditions
+        assert cond.variable == "Z"
+        assert cond.operator == "="
+        assert cond.value == Literal("v")
+
+    def test_numeric_condition(self):
+        q = parse_query(f"SELECT X FROM {{X}} n1:p {{Z}} WHERE Z > 5 {NS}")
+        assert q.conditions[0].value == Literal(5)
+
+    def test_float_condition(self):
+        q = parse_query(f"SELECT X FROM {{X}} n1:p {{Z}} WHERE Z <= 2.5 {NS}")
+        assert q.conditions[0].value == Literal(2.5)
+
+    def test_variable_comparison(self):
+        q = parse_query(
+            f"SELECT X FROM {{X}} n1:p {{Y}}, {{X}} n1:p {{Z}} WHERE Y != Z {NS}"
+        )
+        cond = q.conditions[0]
+        assert cond.value_is_variable
+        assert cond.value == "Z"
+
+    def test_like_condition(self):
+        q = parse_query(f'SELECT X FROM {{X}} n1:p {{Z}} WHERE Z LIKE "sub" {NS}')
+        assert q.conditions[0].operator == "like"
+
+    def test_conjunction(self):
+        q = parse_query(
+            f'SELECT X FROM {{X}} n1:p {{Z}} WHERE Z > 1 AND Z < 9 {NS}'
+        )
+        assert len(q.conditions) == 2
+
+
+class TestValidation:
+    def test_unbound_projection_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(f"SELECT W FROM {{X}} n1:p {{Y}} {NS}")
+
+    def test_unbound_filter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(f"SELECT X FROM {{X}} n1:p {{Y}} WHERE W = 1 {NS}")
+
+    def test_unbound_comparison_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query(f"SELECT X FROM {{X}} n1:p {{Y}} WHERE X = W {NS}")
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT X FROM {X} n1:p {Y}, {Y} n2:q {Z} "
+                        "USING NAMESPACE n1 = &http://a#&")
+
+    def test_no_namespace_clause_allowed(self):
+        # defaults may be supplied at pattern-extraction time instead
+        q = parse_query("SELECT X FROM {X} n1:p {Y}")
+        assert q.namespaces == {}
+
+
+class TestRendering:
+    def test_str_roundtrip_parses(self):
+        text = (
+            f'SELECT X, Y FROM {{X;n1:C1}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}} '
+            f'WHERE Z = "v" {NS}'
+        )
+        q = parse_query(text)
+        again = parse_query(str(q))
+        assert again.projections == q.projections
+        assert again.paths == q.paths
+        assert again.conditions == q.conditions

@@ -1,0 +1,148 @@
+"""Tests for semantic query pattern extraction (paper Section 2.1)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rql import parse_query
+from repro.rql.pattern import (
+    PathPattern,
+    QueryPattern,
+    SchemaPath,
+    extract_pattern,
+    pattern_from_text,
+    resolve_qname,
+)
+from repro.workloads.paper import N1, PAPER_QUERY, paper_schema
+
+NS = f"USING NAMESPACE n1 = &{N1.uri}&"
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestExtraction:
+    def test_paper_query_pattern(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert len(pattern) == 2
+        q1, q2 = pattern.patterns
+        assert q1.label == "Q1"
+        assert q1.schema_path == SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert q2.schema_path == SchemaPath(N1.C2, N1.prop2, N1.C3)
+
+    def test_endpoint_classes_from_schema(self, schema):
+        """Classes omitted in the text come from property definitions."""
+        pattern = pattern_from_text(f"SELECT X FROM {{X}} n1:prop2 {{Y}} {NS}", schema)
+        assert pattern.root.schema_path.domain == N1.C2
+        assert pattern.root.schema_path.range == N1.C3
+
+    def test_explicit_class_filter_narrows(self, schema):
+        pattern = pattern_from_text(
+            f"SELECT X FROM {{X;n1:C5}} n1:prop1 {{Y}} {NS}", schema
+        )
+        assert pattern.root.schema_path.domain == N1.C5
+
+    def test_projection_marks(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert pattern.root.projected == ("X", "Y")
+        assert pattern.patterns[1].projected == ("Y",)
+
+    def test_undeclared_property_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            pattern_from_text(f"SELECT X FROM {{X}} n1:nope {{Y}} {NS}", schema)
+
+    def test_undeclared_class_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            pattern_from_text(f"SELECT X FROM {{X;n1:Nope}} n1:prop1 {{Y}} {NS}", schema)
+
+    def test_default_namespaces(self, schema):
+        query = parse_query("SELECT X FROM {X} n1:prop1 {Y}")
+        pattern = extract_pattern(query, schema, {"n1": N1.uri})
+        assert pattern.root.schema_path.property == N1.prop1
+
+    def test_missing_prefix_raises(self, schema):
+        query = parse_query("SELECT X FROM {X} zz:prop1 {Y}")
+        with pytest.raises(SchemaError):
+            extract_pattern(query, schema, {"n1": N1.uri})
+
+
+class TestTree:
+    def test_root_is_first_pattern(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert pattern.root.label == "Q1"
+
+    def test_children_via_shared_variable(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        children = pattern.children(pattern.root)
+        assert [c.label for c in children] == ["Q2"]
+        assert pattern.children(children[0]) == ()
+
+    def test_three_hop_chain(self, schema):
+        text = (
+            f"SELECT X FROM {{X}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}}, "
+            f"{{Z}} n1:prop3 {{W}} {NS}"
+        )
+        pattern = pattern_from_text(text, schema)
+        q1 = pattern.root
+        (q2,) = pattern.children(q1)
+        (q3,) = pattern.children(q2)
+        assert (q1.label, q2.label, q3.label) == ("Q1", "Q2", "Q3")
+
+    def test_star_join_children(self, schema):
+        """Two patterns sharing the root's variable both become children."""
+        text = (
+            f"SELECT X FROM {{X}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}}, "
+            f"{{Y}} n1:prop2 {{W}} {NS}"
+        )
+        pattern = pattern_from_text(text, schema)
+        labels = {c.label for c in pattern.children(pattern.root)}
+        assert labels == {"Q2", "Q3"}
+
+    def test_disconnected_component_attaches_to_root(self, schema):
+        text = (
+            f"SELECT X FROM {{X}} n1:prop1 {{Y}}, {{A}} n1:prop3 {{B}} {NS}"
+        )
+        pattern = pattern_from_text(text, schema)
+        assert {c.label for c in pattern.children(pattern.root)} == {"Q2"}
+
+    def test_pattern_by_label(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert pattern.pattern_by_label("Q2").schema_path.property == N1.prop2
+        with pytest.raises(KeyError):
+            pattern.pattern_by_label("Q9")
+
+    def test_variables_in_order(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert pattern.variables() == ("X", "Y", "Z")
+
+
+class TestValueSemantics:
+    def test_schema_path_equality(self):
+        a = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        b = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_schema_path_immutable(self):
+        path = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        with pytest.raises(AttributeError):
+            path.domain = N1.C3
+
+    def test_path_pattern_shares_variable(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        q1, q2 = pattern.patterns
+        assert q1.shares_variable_with(q2)
+
+    def test_pattern_rendering_mentions_stars(self, schema):
+        pattern = pattern_from_text(PAPER_QUERY, schema)
+        assert "X*" in str(pattern.root)
+
+    def test_resolve_qname(self):
+        assert resolve_qname("n1:C1", {"n1": N1.uri}) == N1.C1
+        with pytest.raises(SchemaError):
+            resolve_qname("plain", {"n1": N1.uri})
+
+    def test_empty_pattern_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            QueryPattern([], (), schema)

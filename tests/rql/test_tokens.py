@@ -1,0 +1,101 @@
+"""Tests for the RQL/RVL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rql.tokens import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier(self):
+        assert kinds("X") == ["IDENT"]
+
+    def test_qname(self):
+        tokens = tokenize("n1:prop1")
+        assert tokens[0].kind == "QNAME"
+        assert tokens[0].value == "n1:prop1"
+
+    def test_qname_with_underscores(self):
+        assert tokenize("my_ns:my_prop")[0].value == "my_ns:my_prop"
+
+    def test_punctuation(self):
+        assert kinds("{ } ; , ( ) * @") == [
+            "LBRACE", "RBRACE", "SEMI", "COMMA", "LPAREN", "RPAREN", "STAR", "AT",
+        ]
+
+    def test_operators(self):
+        assert values("= != < <= > >=") == ["=", "!=", "<", "<=", ">", ">="]
+
+    def test_two_char_operators_greedy(self):
+        assert values("<=") == ["<="]
+
+
+class TestLiterals:
+    def test_string(self):
+        (token,) = tokenize('"hello"')
+        assert token.kind == "STRING"
+        assert token.value == "hello"
+
+    def test_string_with_escape(self):
+        (token,) = tokenize('"a\\"b"')
+        assert token.value == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"open')
+
+    def test_integer(self):
+        (token,) = tokenize("42")
+        assert token.kind == "NUMBER"
+        assert token.value == "42"
+
+    def test_negative_number(self):
+        assert tokenize("-7")[0].value == "-7"
+
+    def test_decimal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_uri_in_ampersands(self):
+        (token,) = tokenize("&http://example.org/ns#&")
+        assert token.kind == "URI"
+        assert token.value == "http://example.org/ns#"
+
+    def test_unterminated_uri(self):
+        with pytest.raises(ParseError):
+            tokenize("&http://nope")
+
+
+class TestFullQuery:
+    def test_paper_query_tokenizes(self):
+        text = (
+            "SELECT X, Y FROM {X} n1:prop1 {Y}, {Y} n1:prop2 {Z} "
+            "USING NAMESPACE n1 = &http://a#&"
+        )
+        token_kinds = kinds(text)
+        assert token_kinds[0] == "SELECT"
+        assert "QNAME" in token_kinds
+        assert token_kinds[-1] == "URI"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT X")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("SELECT %")
+        assert err.value.position == 7
+
+    def test_whitespace_insensitive(self):
+        assert kinds("{X}n1:p{Y}") == kinds("{ X } n1:p { Y }")

@@ -1,0 +1,92 @@
+"""Tests for active-schema advertisements (paper Section 2.2)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.rdf import Graph, Namespace, TYPE
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema, parse_view
+from repro.workloads.paper import N1, PAPER_VIEW, paper_schema
+
+DATA = Namespace("http://d/")
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestFromView:
+    def test_paper_view_footprint(self, schema):
+        advertisement = ActiveSchema.from_view(parse_view(PAPER_VIEW), schema, "P4")
+        assert advertisement.peer_id == "P4"
+        assert advertisement.paths == frozenset(
+            {SchemaPath(N1.C5, N1.prop4, N1.C6)}
+        )
+        assert N1.C5 in advertisement.classes
+        assert N1.C6 in advertisement.classes
+
+    def test_covers_property(self, schema):
+        advertisement = ActiveSchema.from_view(parse_view(PAPER_VIEW), schema, "P4")
+        assert advertisement.covers_property(N1.prop4)
+        assert not advertisement.covers_property(N1.prop1)
+
+
+class TestFromBase:
+    def test_materialised_scan(self, schema):
+        g = Graph()
+        g.add(DATA.a, N1.prop1, DATA.b)
+        g.add(DATA.c, TYPE, N1.C3)
+        advertisement = ActiveSchema.from_base(g, schema, "P1")
+        assert advertisement.covers_property(N1.prop1)
+        assert not advertisement.covers_property(N1.prop2)
+        assert N1.C3 in advertisement.classes
+
+    def test_empty_base_empty_advertisement(self, schema):
+        advertisement = ActiveSchema.from_base(Graph(), schema, "P")
+        assert advertisement.is_empty()
+
+    def test_unknown_properties_ignored(self, schema):
+        g = Graph()
+        g.add(DATA.a, DATA.oddball, DATA.b)
+        advertisement = ActiveSchema.from_base(g, schema, "P")
+        assert advertisement.is_empty()
+
+
+class TestMerge:
+    def test_merge_unions_paths(self, schema):
+        uri = schema.namespace.uri
+        a = ActiveSchema(uri, [SchemaPath(N1.C1, N1.prop1, N1.C2)], peer_id="P")
+        b = ActiveSchema(uri, [SchemaPath(N1.C2, N1.prop2, N1.C3)], peer_id="P")
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.peer_id == "P"
+
+    def test_merge_different_schema_rejected(self, schema):
+        a = ActiveSchema("http://one#", peer_id="P")
+        b = ActiveSchema("http://two#", peer_id="P")
+        with pytest.raises(SchemaError):
+            a.merge(b)
+
+
+class TestWireFormat:
+    def test_roundtrip(self, schema):
+        original = ActiveSchema.from_view(parse_view(PAPER_VIEW), schema, "P4")
+        rebuilt = ActiveSchema.from_dict(original.to_dict())
+        assert rebuilt == original
+        assert rebuilt.peer_id == "P4"
+
+    def test_size_grows_with_paths(self, schema):
+        uri = schema.namespace.uri
+        small = ActiveSchema(uri, [SchemaPath(N1.C1, N1.prop1, N1.C2)], peer_id="P")
+        big = small.merge(
+            ActiveSchema(uri, [SchemaPath(N1.C2, N1.prop2, N1.C3)], peer_id="P")
+        )
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_equality_and_hash(self, schema):
+        uri = schema.namespace.uri
+        a = ActiveSchema(uri, [SchemaPath(N1.C1, N1.prop1, N1.C2)])
+        b = ActiveSchema(uri, [SchemaPath(N1.C1, N1.prop1, N1.C2)])
+        assert a == b
+        assert len({a, b}) == 1

@@ -1,0 +1,125 @@
+"""Tests for RVL view parsing and materialisation."""
+
+import pytest
+
+from repro.errors import MappingError, ParseError, SchemaError
+from repro.rdf import Graph, Namespace, TYPE
+from repro.rvl import parse_view
+from repro.rvl.view import ViewAtom
+from repro.workloads.paper import N1, PAPER_VIEW, paper_schema
+
+DATA = Namespace("http://d/")
+NS = f"USING NAMESPACE n1 = &{N1.uri}&"
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestParsing:
+    def test_paper_view(self):
+        view = parse_view(PAPER_VIEW)
+        assert len(view.atoms) == 3
+        assert view.atoms[0].name == "n1:C5"
+        assert view.atoms[2].arguments == ("X", "Y")
+        assert len(view.paths) == 1
+
+    def test_create_keyword_optional(self):
+        text = f"CREATE VIEW n1:C1(X) FROM {{X}} n1:prop1 {{Y}} {NS}"
+        assert len(parse_view(text).atoms) == 1
+
+    def test_where_clause(self):
+        text = (
+            f'VIEW n1:C1(X) FROM {{X}} n1:prop1 {{Y}} WHERE X != Y {NS}'
+        )
+        view = parse_view(text)
+        assert len(view.conditions) == 1
+
+    def test_atom_arity_validated(self):
+        with pytest.raises((ParseError, SchemaError)):
+            parse_view(f"VIEW n1:C1(X, Y, Z) FROM {{X}} n1:prop1 {{Y}} {NS}")
+
+    def test_unbound_atom_argument_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view(f"VIEW n1:C1(W) FROM {{X}} n1:prop1 {{Y}} {NS}")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_view("VIEW n1:C1(X)")
+
+    def test_str_roundtrip(self):
+        view = parse_view(PAPER_VIEW)
+        again = parse_view(str(view))
+        assert again.atoms == view.atoms
+        assert again.paths == view.paths
+
+
+class TestHeadResolution:
+    def test_head_terms(self, schema):
+        view = parse_view(PAPER_VIEW)
+        classes, properties = view.head_terms(schema)
+        assert classes == {N1.C5: "X", N1.C6: "Y"}
+        assert properties == {N1.prop4: ("X", "Y")}
+
+    def test_undeclared_class_rejected(self, schema):
+        view = parse_view(f"VIEW n1:Nope(X) FROM {{X}} n1:prop1 {{Y}} {NS}")
+        with pytest.raises(MappingError):
+            view.head_terms(schema)
+
+    def test_undeclared_property_rejected(self, schema):
+        view = parse_view(f"VIEW n1:nope(X, Y) FROM {{X}} n1:prop1 {{Y}} {NS}")
+        with pytest.raises(MappingError):
+            view.head_terms(schema)
+
+    def test_class_atom_must_not_name_property(self, schema):
+        view = parse_view(f"VIEW n1:prop1(X) FROM {{X}} n1:prop1 {{Y}} {NS}")
+        with pytest.raises(MappingError):
+            view.head_terms(schema)
+
+
+class TestMaterialisation:
+    def test_populates_head(self, schema):
+        source = Graph()
+        source.add(DATA.a, N1.prop4, DATA.b)
+        view = parse_view(PAPER_VIEW)
+        out = view.materialize(source, schema)
+        assert out.count(DATA.a, TYPE, N1.C5) == 1
+        assert out.count(DATA.b, TYPE, N1.C6) == 1
+        assert out.count(DATA.a, N1.prop4, DATA.b) == 1
+
+    def test_empty_source_empty_view(self, schema):
+        view = parse_view(PAPER_VIEW)
+        assert len(view.materialize(Graph(), schema)) == 0
+
+    def test_where_clause_filters(self, schema):
+        source = Graph()
+        source.add(DATA.a, N1.prop4, DATA.b)
+        source.add(DATA.c, N1.prop4, DATA.c)
+        text = (
+            f"VIEW n1:prop4(X, Y) FROM {{X}} n1:prop4 {{Y}} WHERE X != Y {NS}"
+        )
+        out = parse_view(text).materialize(source, schema)
+        assert out.count(DATA.a, N1.prop4, DATA.b) == 1
+        assert out.count(DATA.c, N1.prop4, DATA.c) == 0
+
+    def test_body_join(self, schema):
+        source = Graph()
+        source.add(DATA.a, N1.prop1, DATA.b)
+        source.add(DATA.b, N1.prop2, DATA.c)
+        source.add(DATA.q, N1.prop1, DATA.lonely)
+        text = (
+            f"VIEW n1:C1(X) FROM {{X}} n1:prop1 {{Y}}, {{Y}} n1:prop2 {{Z}} {NS}"
+        )
+        out = parse_view(text).materialize(source, schema)
+        assert set(out.instances_of(N1.C1)) == {DATA.a}
+
+
+class TestViewAtom:
+    def test_is_class_atom(self):
+        assert ViewAtom("n1:C1", ("X",)).is_class_atom
+        assert not ViewAtom("n1:p", ("X", "Y")).is_class_atom
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            ViewAtom("n1:C1", ())

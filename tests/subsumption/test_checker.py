@@ -1,0 +1,102 @@
+"""Tests for the isSubsumed routing check (paper Section 2.3)."""
+
+import pytest
+
+from repro.rql.pattern import SchemaPath
+from repro.rdf.vocabulary import LITERAL_CLASS
+from repro.subsumption import can_answer, class_compatible, covers_pattern, is_subsumed
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def q1(schema):
+    return paper_query_pattern(schema).root
+
+
+@pytest.fixture
+def q2(schema):
+    return paper_query_pattern(schema).patterns[1]
+
+
+class TestIsSubsumed:
+    def test_exact_match(self, schema):
+        path = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert is_subsumed(path, path, schema)
+
+    def test_subproperty_subsumed(self, schema):
+        """Figure 2: P4's prop4 path is subsumed by Q1's prop1 path."""
+        advertised = SchemaPath(N1.C5, N1.prop4, N1.C6)
+        queried = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert is_subsumed(advertised, queried, schema)
+
+    def test_superproperty_not_subsumed(self, schema):
+        advertised = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        queried = SchemaPath(N1.C5, N1.prop4, N1.C6)
+        assert not is_subsumed(advertised, queried, schema)
+
+    def test_unrelated_property(self, schema):
+        advertised = SchemaPath(N1.C2, N1.prop2, N1.C3)
+        queried = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert not is_subsumed(advertised, queried, schema)
+
+    def test_broader_advertised_class_accepted(self, schema):
+        """A peer populating the broad class may hold narrow instances."""
+        advertised = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        queried = SchemaPath(N1.C5, N1.prop1, N1.C2)
+        assert is_subsumed(advertised, queried, schema)
+
+    def test_incomparable_classes_rejected(self, schema):
+        advertised = SchemaPath(N1.C3, N1.prop1, N1.C2)
+        queried = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert not is_subsumed(advertised, queried, schema)
+
+    def test_literal_ranges_must_match(self, schema):
+        a = SchemaPath(N1.C1, N1.prop1, LITERAL_CLASS)
+        q = SchemaPath(N1.C1, N1.prop1, N1.C2)
+        assert not is_subsumed(a, q, schema)
+        assert is_subsumed(
+            SchemaPath(N1.C1, N1.prop1, LITERAL_CLASS),
+            SchemaPath(N1.C1, N1.prop1, LITERAL_CLASS),
+            schema,
+        )
+
+
+class TestClassCompatible:
+    def test_reflexive(self, schema):
+        assert class_compatible(N1.C1, N1.C1, schema)
+
+    def test_both_directions(self, schema):
+        assert class_compatible(N1.C5, N1.C1, schema)
+        assert class_compatible(N1.C1, N1.C5, schema)
+
+    def test_siblings_incompatible(self, schema):
+        assert not class_compatible(N1.C3, N1.C1, schema)
+
+
+class TestFigure2Annotations:
+    """The full annotation table of Figure 2."""
+
+    def test_q1_peers(self, schema, q1):
+        ads = paper_active_schemas(schema)
+        relevant = {p for p, a in ads.items() if can_answer(a, q1, schema)}
+        assert relevant == {"P1", "P2", "P4"}
+
+    def test_q2_peers(self, schema, q2):
+        ads = paper_active_schemas(schema)
+        relevant = {p for p, a in ads.items() if can_answer(a, q2, schema)}
+        assert relevant == {"P1", "P3", "P4"}
+
+    def test_covers_pattern(self, schema, q1):
+        ads = paper_active_schemas(schema)
+        assert covers_pattern(ads.values(), q1, schema)
+        assert not covers_pattern([ads["P3"]], q1, schema)

@@ -1,0 +1,77 @@
+"""Tests for per-peer query rewriting."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.rql.pattern import SchemaPath
+from repro.rvl import ActiveSchema
+from repro.subsumption import narrow_class, rewrite_for_peer
+from repro.workloads.paper import N1, paper_query_pattern, paper_schema
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def q1(schema):
+    return paper_query_pattern(schema).root
+
+
+def advertisement(schema, *paths, peer="P"):
+    return ActiveSchema(schema.namespace.uri, paths, peer_id=peer)
+
+
+class TestNarrowClass:
+    def test_keeps_narrower_advertised(self, schema):
+        assert narrow_class(N1.C5, N1.C1, schema) == N1.C5
+
+    def test_keeps_narrower_queried(self, schema):
+        assert narrow_class(N1.C1, N1.C5, schema) == N1.C5
+
+    def test_equal_classes(self, schema):
+        assert narrow_class(N1.C1, N1.C1, schema) == N1.C1
+
+    def test_incomparable_raises(self, schema):
+        with pytest.raises(RoutingError):
+            narrow_class(N1.C3, N1.C1, schema)
+
+
+class TestRewrite:
+    def test_irrelevant_peer_returns_none(self, schema, q1):
+        ad = advertisement(schema, SchemaPath(N1.C2, N1.prop2, N1.C3))
+        assert rewrite_for_peer(q1, ad, schema) is None
+
+    def test_exact_match_unchanged(self, schema, q1):
+        ad = advertisement(schema, SchemaPath(N1.C1, N1.prop1, N1.C2))
+        rewritten = rewrite_for_peer(q1, ad, schema)
+        assert rewritten is not None
+        assert rewritten.schema_path == q1.schema_path
+
+    def test_subsumed_narrows_classes(self, schema, q1):
+        """P4's rewrite: Q1's classes narrow to C5/C6 but the property
+        stays prop1 (entailment finds the prop4 statements)."""
+        ad = advertisement(schema, SchemaPath(N1.C5, N1.prop4, N1.C6))
+        rewritten = rewrite_for_peer(q1, ad, schema)
+        assert rewritten.schema_path.domain == N1.C5
+        assert rewritten.schema_path.range == N1.C6
+        assert rewritten.schema_path.property == N1.prop1
+
+    def test_variables_preserved(self, schema, q1):
+        ad = advertisement(schema, SchemaPath(N1.C5, N1.prop4, N1.C6))
+        rewritten = rewrite_for_peer(q1, ad, schema)
+        assert rewritten.subject_var == q1.subject_var
+        assert rewritten.object_var == q1.object_var
+        assert rewritten.projected == q1.projected
+        assert rewritten.label == q1.label
+
+    def test_multiple_matching_paths_keep_query_classes(self, schema, q1):
+        """A peer with prop1 *and* prop4: one general subquery covers both."""
+        ad = advertisement(
+            schema,
+            SchemaPath(N1.C1, N1.prop1, N1.C2),
+            SchemaPath(N1.C5, N1.prop4, N1.C6),
+        )
+        rewritten = rewrite_for_peer(q1, ad, schema)
+        assert rewritten.schema_path == q1.schema_path

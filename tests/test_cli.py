@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.rdf import save_graph, save_schema
+from repro.workloads.paper import N1, paper_peer_bases, paper_schema
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "⋈(∪(Q1@P1, Q1@P2, Q1@P4), ∪(Q2@P1, Q2@P3, Q2@P4))" in out
+        assert "answer (9 rows):" in out
+
+
+class TestFigures:
+    def test_figures_match_paper(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1<-[P1, P2, P4] Q2<-[P1, P3, P4]" in out
+        assert "∪(⋈(Q1@P2, Q2@?), ⋈(Q1@P3, Q2@?))" in out
+
+
+class TestQuery:
+    @pytest.fixture
+    def files(self, tmp_path):
+        schema = paper_schema()
+        schema_path = tmp_path / "schema.nt"
+        save_schema(schema, str(schema_path))
+        peer_paths = {}
+        for peer_id, graph in paper_peer_bases().items():
+            path = tmp_path / f"{peer_id}.nt"
+            save_graph(graph, str(path))
+            peer_paths[peer_id] = str(path)
+        return str(schema_path), peer_paths
+
+    def _args(self, files, extra=()):
+        schema_path, peer_paths = files
+        args = ["query", "--schema", schema_path, "--namespace", N1.uri]
+        for peer_id, path in peer_paths.items():
+            args += ["--peer", f"{peer_id}={path}"]
+        args += ["--via", "P1", *extra]
+        args.append(
+            "SELECT X, Y FROM {X} n1:prop1 {Y}, {Y} n1:prop2 {Z} "
+            f"USING NAMESPACE n1 = &{N1.uri}&"
+        )
+        return args
+
+    def test_query_from_files(self, files, capsys):
+        assert main(self._args(files)) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines()[0] == "X\tY"
+        assert "# 9 rows" in captured.err
+
+    def test_limit_flag(self, files, capsys):
+        assert main(self._args(files, extra=["--limit", "3"])) == 0
+        assert "# 3 rows" in capsys.readouterr().err
+
+    def test_bad_peer_spec(self, files, capsys):
+        schema_path, peer_paths = files
+        args = [
+            "query", "--schema", schema_path, "--namespace", N1.uri,
+            "--peer", "broken-spec", "--via", "P1", "SELECT X FROM {X} n1:prop1 {Y}",
+        ]
+        assert main(args) == 2
+
+    def test_unknown_via(self, files):
+        schema_path, peer_paths = files
+        path = next(iter(peer_paths.values()))
+        args = [
+            "query", "--schema", schema_path, "--namespace", N1.uri,
+            "--peer", f"P1={path}", "--via", "ZZZ",
+            "SELECT X FROM {X} n1:prop1 {Y}",
+        ]
+        assert main(args) == 2
+
+    def test_failing_query_exit_code(self, files, capsys):
+        schema_path, peer_paths = files
+        path = next(iter(peer_paths.values()))
+        args = [
+            "query", "--schema", schema_path, "--namespace", N1.uri,
+            "--peer", f"P1={path}", "--via", "P1",
+            "THIS IS NOT RQL",
+        ]
+        assert main(args) == 1
+        assert "query failed" in capsys.readouterr().err

@@ -1,0 +1,23 @@
+"""Smoke tests: every example script runs to completion and prints the
+outputs its walkthrough promises."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    ("examples/quickstart.py", "distributed answer (9 rows)"),
+    ("examples/elearning_hybrid.py", "presents h_sem0"),
+    ("examples/adhoc_discovery.py", "Q2@?"),
+    ("examples/optimizer_walkthrough.py", "chosen: query"),
+    ("examples/heterogeneous_peers.py", "dave     reads stephenson"),
+    ("examples/advanced_features.py", "stalled P2 detected"),
+]
+
+
+@pytest.mark.parametrize("path,marker", EXAMPLES, ids=[p for p, _ in EXAMPLES])
+def test_example_runs(path, marker, capsys):
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert marker in out

@@ -1,0 +1,190 @@
+"""Tests for the paper fixtures and synthetic generators."""
+
+import pytest
+
+from repro.rdf import TYPE
+from repro.rql import pattern_from_text, query
+from repro.rvl import ActiveSchema
+from repro.workloads.data_gen import Distribution, generate_bases, populate_with_refinements
+from repro.workloads.paper import (
+    N1,
+    PAPER_QUERY,
+    adhoc_scenario,
+    hybrid_scenario,
+    paper_active_schemas,
+    paper_peer_bases,
+    paper_query_pattern,
+    paper_schema,
+)
+from repro.workloads.query_gen import chain_query, random_queries
+from repro.workloads.schema_gen import generate_schema
+
+
+class TestPaperFixtures:
+    def test_schema_shape(self):
+        schema = paper_schema()
+        assert len(schema.classes) == 6
+        assert len(schema.properties) == 4
+        assert schema.is_subproperty(N1.prop4, N1.prop1)
+
+    def test_bases_match_advertisements(self):
+        schema = paper_schema()
+        bases = paper_peer_bases()
+        expected = paper_active_schemas(schema)
+        for peer_id, graph in bases.items():
+            scanned = ActiveSchema.from_base(graph, schema, peer_id)
+            assert scanned.paths == expected[peer_id].paths, peer_id
+
+    def test_cross_peer_joins_possible(self):
+        """P2's prop1 objects appear as P3's prop2 subjects."""
+        bases = paper_peer_bases()
+        p2_objects = {t.object for t in bases["P2"].triples(None, N1.prop1, None)}
+        p3_subjects = {t.subject for t in bases["P3"].triples(None, N1.prop2, None)}
+        assert p2_objects == p3_subjects
+
+    def test_hybrid_scenario_consistent(self):
+        scenario = hybrid_scenario()
+        assert set(scenario.bases) == set(scenario.simple_peers)
+        assert all(sp in scenario.super_peers or True for sp in scenario.home_super_peer.values())
+        # P2/P3 hold prop1; P5 holds prop2
+        assert scenario.bases["P2"].count(None, N1.prop1, None) == 3
+        assert scenario.bases["P5"].count(None, N1.prop2, None) == 3
+
+    def test_adhoc_scenario_neighbours_symmetric(self):
+        scenario = adhoc_scenario()
+        for peer, neighbours in scenario.neighbours.items():
+            for other in neighbours:
+                assert peer in scenario.neighbours[other], (peer, other)
+
+    def test_paper_query_parses(self):
+        pattern = paper_query_pattern()
+        assert [p.label for p in pattern] == ["Q1", "Q2"]
+
+
+class TestSchemaGen:
+    def test_chain_structure(self):
+        synth = generate_schema(chain_length=5, seed=0)
+        assert len(synth.chain_properties) == 5
+        schema = synth.schema
+        for i, prop in enumerate(synth.chain_properties):
+            definition = schema.property_def(prop)
+            assert definition.domain.local_name == f"K{i}"
+            assert definition.range.local_name == f"K{i + 1}"
+
+    def test_refinements_are_subproperties(self):
+        synth = generate_schema(chain_length=4, refinement_fraction=1.0, seed=1)
+        assert len(synth.refined_properties) == 4
+        for sub_prop, sub_domain, sub_range in synth.refined_properties:
+            parent = synth.chain_properties[
+                int(sub_prop.local_name.replace("chain", "").replace("sub", ""))
+            ]
+            assert synth.schema.is_subproperty(sub_prop, parent)
+            assert synth.schema.is_subclass(sub_domain, synth.schema.domain_of(parent))
+
+    def test_no_refinements(self):
+        synth = generate_schema(refinement_fraction=0.0, seed=2)
+        assert synth.refined_properties == ()
+
+    def test_deterministic(self):
+        a = generate_schema(seed=9)
+        b = generate_schema(seed=9)
+        assert a.schema.classes == b.schema.classes
+        assert a.chain_properties == b.chain_properties
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            generate_schema(chain_length=0)
+        with pytest.raises(ValueError):
+            generate_schema(refinement_fraction=2.0)
+
+
+class TestDataGen:
+    @pytest.fixture
+    def synth(self):
+        return generate_schema(chain_length=3, refinement_fraction=0.0, seed=0)
+
+    def test_vertical_coverage_disjoint_segments(self, synth):
+        peers = [f"P{i}" for i in range(3)]
+        gen = generate_bases(synth, peers, Distribution.VERTICAL, seed=1)
+        assert gen.coverage == {"P0": (0,), "P1": (1,), "P2": (2,)}
+
+    def test_horizontal_coverage_full(self, synth):
+        gen = generate_bases(synth, ["A", "B"], Distribution.HORIZONTAL, seed=1)
+        assert gen.coverage["A"] == (0, 1, 2)
+        assert gen.coverage["B"] == (0, 1, 2)
+
+    def test_mixed_coverage_nonempty(self, synth):
+        gen = generate_bases(synth, [f"P{i}" for i in range(5)], Distribution.MIXED, seed=1)
+        assert all(coverage for coverage in gen.coverage.values())
+
+    def test_bases_populated_consistently(self, synth):
+        gen = generate_bases(synth, ["A"], Distribution.HORIZONTAL,
+                             statements_per_segment=10, seed=3)
+        graph = gen.bases["A"]
+        for prop in synth.chain_properties:
+            assert graph.count(None, prop, None) >= 1
+
+    def test_vertical_chain_joinable_across_peers(self, synth):
+        """The shared pool guarantees cross-peer joins for chain queries."""
+        peers = ["A", "B", "C"]
+        gen = generate_bases(
+            synth, peers, Distribution.VERTICAL, statements_per_segment=40,
+            shared_pool=5, seed=4,
+        )
+        from repro.rdf import Graph
+
+        merged = Graph()
+        for graph in gen.bases.values():
+            merged.update(graph)
+        table = query(chain_query(synth, 0, 3), merged, synth.schema)
+        assert len(table) > 0
+
+    def test_deterministic(self, synth):
+        a = generate_bases(synth, ["A", "B"], Distribution.MIXED, seed=5)
+        b = generate_bases(synth, ["A", "B"], Distribution.MIXED, seed=5)
+        assert a.coverage == b.coverage
+        assert all(set(a.bases[p]) == set(b.bases[p]) for p in a.bases)
+
+    def test_refinement_population(self, synth):
+        refined = generate_schema(chain_length=3, refinement_fraction=1.0, seed=0)
+        gen = generate_bases(refined, ["A"], Distribution.HORIZONTAL, seed=0)
+        graph = gen.bases["A"]
+        before = len(graph)
+        populate_with_refinements(refined, graph, statements=5, seed=0)
+        assert len(graph) > before
+        sub_prop = refined.refined_properties[0][0]
+        assert graph.count(None, sub_prop, None) == 5
+
+    def test_validation(self, synth):
+        with pytest.raises(ValueError):
+            generate_bases(synth, [], Distribution.MIXED)
+        with pytest.raises(ValueError):
+            generate_bases(synth, ["A"], Distribution.MIXED, shared_pool=0)
+
+
+class TestQueryGen:
+    @pytest.fixture
+    def synth(self):
+        return generate_schema(chain_length=4, seed=0)
+
+    def test_chain_query_parses_and_extracts(self, synth):
+        text = chain_query(synth, 1, 2)
+        pattern = pattern_from_text(text, synth.schema)
+        assert len(pattern) == 2
+        assert pattern.root.schema_path.property == synth.chain_properties[1]
+
+    def test_out_of_range_rejected(self, synth):
+        with pytest.raises(ValueError):
+            chain_query(synth, 3, 4)
+
+    def test_random_queries_all_valid(self, synth):
+        for text in random_queries(synth, 20, seed=1):
+            pattern = pattern_from_text(text, synth.schema)
+            assert 1 <= len(pattern) <= 3
+
+    def test_random_queries_deterministic(self, synth):
+        assert random_queries(synth, 5, seed=2) == random_queries(synth, 5, seed=2)
+
+    def test_negative_count_rejected(self, synth):
+        with pytest.raises(ValueError):
+            random_queries(synth, -1)

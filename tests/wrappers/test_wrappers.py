@@ -1,0 +1,200 @@
+"""Tests for the legacy-store wrappers (virtual peer bases)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.rdf import TYPE
+from repro.rql import query
+from repro.wrappers import (
+    ElementMapping,
+    PropertyMapping,
+    RelationalPeerMapping,
+    RelationalStore,
+    XMLElement,
+    XMLPeerMapping,
+    XMLStore,
+)
+from repro.workloads.paper import N1, paper_schema
+
+PREFIX = "http://legacy/"
+NS = f"USING NAMESPACE n1 = &{N1.uri}&"
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+class TestRelationalStore:
+    def test_create_and_insert(self):
+        store = RelationalStore()
+        table = store.create_table("t", ["a", "b"])
+        table.insert(1, 2)
+        assert len(table) == 1
+
+    def test_duplicate_table_rejected(self):
+        store = RelationalStore()
+        store.create_table("t", ["a"])
+        with pytest.raises(MappingError):
+            store.create_table("t", ["a"])
+
+    def test_wrong_arity_rejected(self):
+        store = RelationalStore()
+        table = store.create_table("t", ["a", "b"])
+        with pytest.raises(MappingError):
+            table.insert(1)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(MappingError):
+            RelationalStore().table("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(MappingError):
+            RelationalStore().create_table("t", ["a", "a"])
+
+
+class TestRelationalMapping:
+    @pytest.fixture
+    def mapping(self, schema):
+        store = RelationalStore()
+        enrol = store.create_table("enrol", ["student", "course"])
+        enrol.insert("s1", "c1")
+        enrol.insert("s2", "c1")
+        return RelationalPeerMapping(
+            store,
+            schema,
+            [PropertyMapping("enrol", "student", "course", N1.prop1, PREFIX)],
+        )
+
+    def test_virtual_graph_content(self, mapping):
+        graph = mapping.virtual_graph()
+        assert graph.count(None, N1.prop1, None) == 2
+        assert graph.count(None, TYPE, N1.C1) == 2
+        assert graph.count(None, TYPE, N1.C2) == 1
+
+    def test_virtual_graph_queryable(self, mapping, schema):
+        graph = mapping.virtual_graph()
+        table = query(f"SELECT X FROM {{X}} n1:prop1 {{Y}} {NS}", graph, schema)
+        assert len(table) == 2
+
+    def test_active_schema_from_mappings(self, mapping):
+        advertisement = mapping.active_schema("PR")
+        assert advertisement.covers_property(N1.prop1)
+        assert not advertisement.covers_property(N1.prop2)
+
+    def test_undeclared_property_rejected(self, schema):
+        store = RelationalStore()
+        store.create_table("t", ["a", "b"])
+        with pytest.raises(MappingError):
+            RelationalPeerMapping(
+                store, schema, [PropertyMapping("t", "a", "b", N1.nope, PREFIX)]
+            )
+
+    def test_unknown_column_rejected(self, schema):
+        store = RelationalStore()
+        store.create_table("t", ["a", "b"])
+        with pytest.raises(MappingError):
+            RelationalPeerMapping(
+                store, schema, [PropertyMapping("t", "a", "zz", N1.prop1, PREFIX)]
+            )
+
+    def test_literal_mismatch_rejected(self, schema):
+        store = RelationalStore()
+        store.create_table("t", ["a", "b"])
+        with pytest.raises(MappingError):
+            RelationalPeerMapping(
+                store,
+                schema,
+                [PropertyMapping("t", "a", "b", N1.prop1, PREFIX, object_is_literal=True)],
+            )
+
+
+class TestXMLStore:
+    @pytest.fixture
+    def store(self):
+        store = XMLStore()
+        catalog = XMLElement("catalog")
+        course = catalog.append(XMLElement("course", {"id": "c1"}))
+        course.append(XMLElement("follows", {"id": "c1", "next": "c2"}))
+        course2 = catalog.append(XMLElement("course", {"id": "c2"}))
+        course2.append(XMLElement("follows", {"id": "c2", "next": "c3"}))
+        store.add_document(catalog)
+        return store
+
+    def test_find_all_path(self, store):
+        follows = list(store.find_all(["catalog", "course", "follows"]))
+        assert len(follows) == 2
+
+    def test_find_all_missing_path(self, store):
+        assert list(store.find_all(["catalog", "nope"])) == []
+
+    def test_mapping_produces_graph(self, store, schema):
+        mapping = XMLPeerMapping(
+            store,
+            schema,
+            [
+                ElementMapping(
+                    path=("catalog", "course", "follows"),
+                    subject_attribute="id",
+                    property=N1.prop2,
+                    uri_prefix=PREFIX,
+                    object_attribute="next",
+                )
+            ],
+        )
+        graph = mapping.virtual_graph()
+        assert graph.count(None, N1.prop2, None) == 2
+        table = query(f"SELECT X FROM {{X}} n1:prop2 {{Y}} {NS}", graph, schema)
+        assert len(table) == 2
+
+    def test_mapping_validation(self, store, schema):
+        with pytest.raises(MappingError):
+            XMLPeerMapping(
+                store,
+                schema,
+                [
+                    ElementMapping(
+                        path=(),
+                        subject_attribute="id",
+                        property=N1.prop2,
+                        uri_prefix=PREFIX,
+                        object_attribute="next",
+                    )
+                ],
+            )
+
+    def test_active_schema(self, store, schema):
+        mapping = XMLPeerMapping(
+            store,
+            schema,
+            [
+                ElementMapping(
+                    path=("catalog", "course", "follows"),
+                    subject_attribute="id",
+                    property=N1.prop2,
+                    uri_prefix=PREFIX,
+                    object_attribute="next",
+                )
+            ],
+        )
+        assert mapping.active_schema("PX").covers_property(N1.prop2)
+
+    def test_elements_missing_attributes_skipped(self, schema):
+        store = XMLStore()
+        root = XMLElement("catalog")
+        root.append(XMLElement("follows", {}))  # no ids at all
+        store.add_document(root)
+        mapping = XMLPeerMapping(
+            store,
+            schema,
+            [
+                ElementMapping(
+                    path=("catalog", "follows"),
+                    subject_attribute="id",
+                    property=N1.prop2,
+                    uri_prefix=PREFIX,
+                    object_attribute="next",
+                )
+            ],
+        )
+        assert len(mapping.virtual_graph()) == 0
