@@ -92,6 +92,15 @@ COMMENTARY = {
         "message per update while advertisements refresh only on "
         "intensional changes (12x at 100 updates, >700x at 10k).",
     ),
+    "routing-cache": (
+        "repro.cache (extension) — routing/plan caching under churn",
+        "Warm signature-keyed lookups answer repeated (even alpha-renamed) "
+        "queries orders of magnitude faster than cold routing, while "
+        "scoped invalidation confines churn cost to the entries a "
+        "mutation can actually affect; coherence is property-tested "
+        "against cold routing over arbitrary join/Goodbye/refresh "
+        "interleavings.",
+    ),
     "adapt": (
         "Section 2.5 — run-time adaptability",
         "Shape holds: with replanning the query survives 1–3 peer "

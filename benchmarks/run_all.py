@@ -26,6 +26,7 @@ MODULES = [
     "bench_son_vs_flooding",
     "bench_advertisement",
     "bench_index_maintenance",
+    "bench_routing_cache",
     "bench_adaptivity",
     "bench_adhoc_depth",
     "bench_optimizer_scaling",

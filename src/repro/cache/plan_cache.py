@@ -1,0 +1,86 @@
+"""The plan cache: compiled + optimised plans, layered on routing.
+
+Plan compilation (Section 2.4's recursion plus Figure 4's algebraic
+rewrites) is deterministic in three inputs: the query pattern, its
+routing annotation, and the optimiser's statistics.  The cache keys on
+exactly those — ``(annotation fingerprint, statistics version)``,
+where the fingerprint already embeds the pattern signature — so a
+cached plan is only ever served when a fresh compile would reproduce
+it bit for bit.
+
+Unlike routing annotations, a compiled plan embeds the query's actual
+labels and variables (its scans become wire subqueries), so reuse
+additionally requires the stored pattern to *equal* the incoming one —
+an isomorphic-but-renamed query is a miss here even though it hits the
+routing cache.  Plans are immutable once built; sharing one across
+executions is safe.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..core.algebra import PlanNode
+from ..core.annotations import AnnotatedQueryPattern
+from ..rql.pattern import QueryPattern
+from .routing_cache import CacheStats
+from .signature import annotation_fingerprint
+
+
+class PlanCache:
+    """LRU cache of compiled plans keyed by routing + statistics state.
+
+    Args:
+        max_entries: LRU bound; plan reuse is an optimisation, eviction
+            only costs a recompile.
+    """
+
+    def __init__(self, max_entries: int = 512):
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self.metrics = None  # optionally a MetricSet, via bind_metrics()
+        self._entries: "OrderedDict[Tuple, Tuple[QueryPattern, PlanNode]]" = (
+            OrderedDict()
+        )
+
+    def bind_metrics(self, metrics) -> None:
+        self.metrics = metrics
+
+    def _key(self, annotated: AnnotatedQueryPattern, version: int) -> Tuple:
+        return (annotation_fingerprint(annotated), version)
+
+    def get(
+        self, annotated: AnnotatedQueryPattern, version: int = 0
+    ) -> Optional[PlanNode]:
+        """A plan a fresh compile would reproduce, or ``None``."""
+        key = self._key(annotated, version)
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] == annotated.query_pattern:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if self.metrics is not None:
+                self.metrics.record_cache_hit()
+            return entry[1]
+        self.stats.misses += 1
+        if self.metrics is not None:
+            self.metrics.record_cache_miss()
+        return None
+
+    def put(
+        self, annotated: AnnotatedQueryPattern, plan: PlanNode, version: int = 0
+    ) -> None:
+        key = self._key(annotated, version)
+        self._entries[key] = (annotated.query_pattern, plan)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"PlanCache(entries={len(self._entries)}, {self.stats})"

@@ -1,0 +1,134 @@
+"""Canonical pattern signatures.
+
+Routing annotations depend only on a query pattern's *semantic*
+content: which schema paths it touches, how its path patterns share
+variables, and which community schema it commits to.  Variable names
+and FROM-clause ordering are presentation; two queries differing only
+there route identically.  :func:`pattern_signature` normalises both
+away — path patterns are reordered into a canonical order and
+variables renamed by first occurrence in that order — yielding a
+stable hashable key plus the permutation needed to re-target cached
+annotations onto a fresh :class:`~repro.rql.pattern.QueryPattern`
+instance.
+
+Ties between path patterns that are structurally identical (same
+schema path, same variable shape) are broken by FROM-clause position.
+Two such patterns carry identical annotations (annotation content is a
+function of the schema path alone), so an arbitrary-but-deterministic
+tiebreak never produces an unsound reuse — at worst a reordering of
+interchangeable patterns misses the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.annotations import AnnotatedQueryPattern
+from ..rql.pattern import QueryPattern
+
+
+class Signature:
+    """A query pattern's canonical identity.
+
+    Attributes:
+        key: Stable hashable key — equal for patterns identical up to
+            variable renaming and path-pattern reordering.
+        order: Canonical permutation: ``order[i]`` is the index into
+            ``pattern.patterns`` of the path pattern at canonical
+            position ``i``.  Two patterns with equal ``key`` have
+            corresponding path patterns at equal canonical positions.
+    """
+
+    __slots__ = ("key", "order")
+
+    def __init__(self, key: Tuple, order: Tuple[int, ...]):
+        self.key = key
+        self.order = order
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Signature) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __repr__(self) -> str:
+        return f"Signature({hash(self.key):#x}, order={self.order})"
+
+
+def _structural_key(pattern) -> Tuple:
+    """The variable-name-independent shape of one path pattern."""
+    path = pattern.schema_path
+    return (
+        path.domain.value,
+        path.property.value,
+        path.range.value,
+        pattern.subject_var is not None,
+        pattern.object_var is not None,
+        pattern.subject_var is not None and pattern.subject_var == pattern.object_var,
+        pattern.subject_var in pattern.projected,
+        pattern.object_var in pattern.projected,
+    )
+
+
+def pattern_signature(pattern: QueryPattern) -> Signature:
+    """Compute the canonical signature of a query pattern.
+
+    The canonical order sorts path patterns by structural key (schema
+    path, variable shape, projection shape); canonical variable ids are
+    assigned by first occurrence along that order, so any consistent
+    alpha-renaming of the query yields the same key.
+    """
+    structs = [_structural_key(p) for p in pattern.patterns]
+    order = tuple(sorted(range(len(structs)), key=lambda j: structs[j]))
+    var_ids: Dict[str, int] = {}
+
+    def canonical(var: Optional[str]) -> int:
+        if var is None:
+            return -1
+        if var not in var_ids:
+            var_ids[var] = len(var_ids)
+        return var_ids[var]
+
+    parts = tuple(
+        structs[j]
+        + (
+            canonical(pattern.patterns[j].subject_var),
+            canonical(pattern.patterns[j].object_var),
+        )
+        for j in order
+    )
+    projections = tuple(sorted(var_ids.get(v, -1) for v in pattern.projections))
+    key = (pattern.schema.namespace.uri, parts, projections)
+    return Signature(key, order)
+
+
+def annotation_fingerprint(
+    annotated: AnnotatedQueryPattern, signature: Optional[Signature] = None
+) -> Tuple:
+    """A stable hashable digest of an annotation's routing content.
+
+    Two annotated patterns with equal fingerprints name the same peers
+    with the same rewritten schema paths at every canonical position —
+    the precondition for reusing a compiled plan.
+    """
+    if signature is None:
+        signature = pattern_signature(annotated.query_pattern)
+    patterns = annotated.query_pattern.patterns
+    parts = []
+    for j in signature.order:
+        pattern = patterns[j]
+        parts.append(
+            tuple(
+                sorted(
+                    (
+                        a.peer_id,
+                        a.rewritten.schema_path.domain.value,
+                        a.rewritten.schema_path.property.value,
+                        a.rewritten.schema_path.range.value,
+                        a.exact,
+                    )
+                    for a in annotated.annotations(pattern)
+                )
+            )
+        )
+    return (signature.key, tuple(parts))

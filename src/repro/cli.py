@@ -59,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--limit", type=int, default=None, help="Top-N bound")
     query.add_argument("--max-peers", type=int, default=None,
                        help="broadcast bound per path pattern")
+    query.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the routing/plan caches and request coalescing "
+        "(cold per-query routing, as in the paper)",
+    )
     query.add_argument("text", help="RQL query text")
     return parser
 
@@ -114,7 +120,7 @@ def _cmd_figures() -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     schema = load_schema(args.schema, args.namespace)
-    system = HybridSystem(schema)
+    system = HybridSystem(schema, cache_enabled=not args.no_cache)
     system.add_super_peer("SP")
     names = []
     for spec in args.peer:

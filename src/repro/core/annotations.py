@@ -66,6 +66,13 @@ class AnnotatedQueryPattern:
         if all(a.peer_id != annotation.peer_id for a in existing):
             existing.append(annotation)
 
+    def extend_trusted(self, pattern: PathPattern, annotations) -> None:
+        """Bulk-add annotations already known to be unique per peer —
+        skips :meth:`annotate`'s per-item duplicate scan.  Only for
+        callers replaying a previously deduplicated annotation set
+        (the routing cache's hit path)."""
+        self._annotations[pattern].extend(annotations)
+
     def annotations(self, pattern: PathPattern) -> Tuple[PeerAnnotation, ...]:
         """The annotations of one path pattern, sorted by peer id."""
         return tuple(sorted(self._annotations[pattern], key=lambda a: a.peer_id))
@@ -95,6 +102,15 @@ class AnnotatedQueryPattern:
     def is_fully_annotated(self) -> bool:
         """True when every path pattern has at least one relevant peer."""
         return not self.unannotated_patterns()
+
+    def same_annotations(self, other: "AnnotatedQueryPattern") -> bool:
+        """True when both annotate the same query pattern identically
+        (used to check cache-served answers against cold routing)."""
+        if self.query_pattern != other.query_pattern:
+            return False
+        return all(
+            self.annotations(p) == other.annotations(p) for p in self.query_pattern
+        )
 
     def merge(self, other: "AnnotatedQueryPattern") -> "AnnotatedQueryPattern":
         """Combine annotations from another routing pass over the same

@@ -44,6 +44,9 @@ class Statistics:
         self.default_link_cost = default_link_cost
         self.join_selectivity = join_selectivity
         self.row_bytes = row_bytes
+        #: bumped on every recorded change; plan caches key on it so a
+        #: cached plan is only reused while its cost inputs still hold
+        self.version = 0
         self._cardinality: Dict[Tuple[str, URI], int] = {}
         self._link_cost: Dict[Tuple[str, str], float] = {}
         self._load: Dict[str, int] = {}
@@ -54,15 +57,21 @@ class Statistics:
     # ------------------------------------------------------------------
     def set_cardinality(self, peer_id: str, prop: URI, rows: int) -> None:
         """Record that ``peer_id`` returns ``rows`` bindings for ``prop``."""
+        if self._cardinality.get((peer_id, prop)) != rows:
+            self.version += 1
         self._cardinality[(peer_id, prop)] = rows
 
     def set_link_cost(self, a: str, b: str, cost: float) -> None:
         """Record the per-byte cost of the (symmetric) link ``a — b``."""
+        if self._link_cost.get((a, b)) != cost:
+            self.version += 1
         self._link_cost[(a, b)] = cost
         self._link_cost[(b, a)] = cost
 
     def set_load(self, peer_id: str, load: int, slots: int = 1) -> None:
         """Record a peer's current processing load and its slot count."""
+        if (self._load.get(peer_id), self._slots.get(peer_id)) != (load, max(1, slots)):
+            self.version += 1
         self._load[peer_id] = load
         self._slots[peer_id] = max(1, slots)
 

@@ -54,6 +54,11 @@ def route_query(
     """
     schema = schema or query_pattern.schema
     annotated = AnnotatedQueryPattern(query_pattern)
+    advertisements = list(advertisements)
+    if not advertisements:
+        # nothing to annotate: skip the subsumption loop entirely (the
+        # common churn/negative case; callers cache the empty answer)
+        return annotated
     for pattern in query_pattern:
         for advertisement in advertisements:
             if advertisement.peer_id is None:

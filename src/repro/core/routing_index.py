@@ -28,10 +28,27 @@ class RoutingIndex:
 
     Args:
         schema: The community schema (supplies the subsumption closure).
+        cache: A :class:`~repro.cache.routing_cache.RoutingCache` to
+            layer over the index, or ``None`` to build one (the
+            default).  Every registry mutation flows through
+            :meth:`add` / :meth:`remove`, so the index can keep its
+            cache coherent with scoped invalidation on its own.
+        use_cache: Set False to run uncached (the ``--no-cache``
+            escape hatch; also handy for benchmarking the cold path).
     """
 
-    def __init__(self, schema: Schema):
+    def __init__(
+        self,
+        schema: Schema,
+        cache=None,
+        use_cache: bool = True,
+    ):
         self.schema = schema
+        if cache is None and use_cache:
+            from ..cache.routing_cache import RoutingCache
+
+            cache = RoutingCache([schema])
+        self.cache = cache
         self._buckets: Dict[URI, Set[str]] = {}
         self._advertisements: Dict[str, ActiveSchema] = {}
 
@@ -52,13 +69,23 @@ class RoutingIndex:
         peer_id = advertisement.peer_id
         if peer_id is None:
             raise ValueError("advertisement must carry a peer id")
-        self.remove(peer_id)
+        previous = self._advertisements.get(peer_id)
+        self._unfile(peer_id)
         self._advertisements[peer_id] = advertisement
         for key in self._keys_for(advertisement):
             self._buckets.setdefault(key, set()).add(peer_id)
+        if self.cache is not None:
+            self.cache.on_advertise(advertisement, previous)
 
     def remove(self, peer_id: str) -> None:
         """Drop a departed peer."""
+        if peer_id not in self._advertisements:
+            return
+        self._unfile(peer_id)
+        if self.cache is not None:
+            self.cache.on_goodbye(peer_id)
+
+    def _unfile(self, peer_id: str) -> None:
         advertisement = self._advertisements.pop(peer_id, None)
         if advertisement is None:
             return
@@ -79,14 +106,27 @@ class RoutingIndex:
 
     def route(self, pattern: QueryPattern) -> AnnotatedQueryPattern:
         """Routing over bucket candidates only; result identical to the
-        exhaustive :func:`~repro.core.routing.route_query` scan."""
+        exhaustive :func:`~repro.core.routing.route_query` scan.
+
+        With a cache attached, a repeated (or alpha-renamed) pattern is
+        answered from the cache; unanswerable patterns — including the
+        empty-registry case — are cached negatively and revived by the
+        next relevant :meth:`add`.
+        """
+        if self.cache is not None:
+            cached = self.cache.get(pattern)
+            if cached is not None:
+                return cached
         candidate_peers: Set[str] = set()
         for path_pattern in pattern:
             candidate_peers.update(
                 self._buckets.get(path_pattern.schema_path.property, ())
             )
         candidates = [self._advertisements[p] for p in sorted(candidate_peers)]
-        return route_query(pattern, candidates, self.schema)
+        annotated = route_query(pattern, candidates, self.schema)
+        if self.cache is not None:
+            self.cache.put(pattern, annotated)
+        return annotated
 
     def advertisements(self) -> List[ActiveSchema]:
         """All filed advertisements, sorted by peer id."""

@@ -3,7 +3,22 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
+
+
+class MetricSnapshot(NamedTuple):
+    """A point-in-time reading of the cumulative counters.
+
+    The first two fields keep the historical ``(messages, bytes)``
+    layout; the cache subsystem's counters ride behind them.
+    """
+
+    messages: int
+    bytes: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    coalesced_queries: int = 0
 
 
 class MetricSet:
@@ -24,6 +39,12 @@ class MetricSet:
         self.irrelevant_queries: Counter = Counter()  # per peer
         self.query_latency: Dict[str, float] = {}
         self._query_started: Dict[str, float] = {}
+        # cache subsystem (repro.cache): routing/plan cache traffic and
+        # singleflight coalescing across every peer on the network
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_invalidations = 0
+        self.coalesced_queries = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -41,6 +62,18 @@ class MetricSet:
         if not relevant:
             self.irrelevant_queries[peer_id] += 1
 
+    def record_cache_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        self.cache_misses += 1
+
+    def record_cache_invalidation(self, count: int = 1) -> None:
+        self.cache_invalidations += count
+
+    def record_coalesced_query(self) -> None:
+        self.coalesced_queries += 1
+
     def query_started(self, query_id: str, time: float) -> None:
         self._query_started[query_id] = time
 
@@ -52,15 +85,33 @@ class MetricSet:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def snapshot(self) -> Tuple[int, int]:
-        """``(messages, bytes)`` so far."""
-        return (self.messages_total, self.bytes_total)
+    def snapshot(self) -> MetricSnapshot:
+        """All cumulative counters so far (``[:2]`` is the historical
+        ``(messages, bytes)`` pair)."""
+        return MetricSnapshot(
+            self.messages_total,
+            self.bytes_total,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_invalidations,
+            self.coalesced_queries,
+        )
 
-    def delta(self, snapshot: Tuple[int, int]) -> Tuple[int, int]:
-        """Messages/bytes since a snapshot."""
-        return (
-            self.messages_total - snapshot[0],
-            self.bytes_total - snapshot[1],
+    def delta(self, snapshot: Tuple) -> MetricSnapshot:
+        """Counter movement since a snapshot.
+
+        Accepts a full :class:`MetricSnapshot` or the historical bare
+        ``(messages, bytes)`` pair (cache counters then delta against
+        zero).
+        """
+        base = MetricSnapshot(*snapshot)
+        return MetricSnapshot(
+            self.messages_total - base.messages,
+            self.bytes_total - base.bytes,
+            self.cache_hits - base.cache_hits,
+            self.cache_misses - base.cache_misses,
+            self.cache_invalidations - base.cache_invalidations,
+            self.coalesced_queries - base.coalesced_queries,
         )
 
     def peak_peer_load(self) -> int:
@@ -80,6 +131,10 @@ class MetricSet:
             "queries_processed": sum(self.queries_processed.values()),
             "irrelevant_queries": sum(self.irrelevant_queries.values()),
             "mean_latency": self.mean_latency() or 0.0,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_invalidations": self.cache_invalidations,
+            "coalesced_queries": self.coalesced_queries,
         }
 
     def __repr__(self) -> str:

@@ -14,6 +14,9 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Set
 
+from ..cache.coalescer import QueryCoalescer
+from ..cache.plan_cache import PlanCache
+from ..cache.routing_cache import RoutingCache
 from ..core.algebra import PlanNode
 from ..core.annotations import AnnotatedQueryPattern
 from ..core.constraints import QueryConstraints, UNCONSTRAINED, apply_peer_bound
@@ -90,6 +93,9 @@ class SimplePeer(Peer):
             intermediate results are thrown away) or ``"phased"`` (the
             [Ives02] alternative: completed subresults carry over into
             the next phase and are combined at cleanup).
+        cache_enabled: Run the :mod:`repro.cache` subsystem — routing
+            cache, plan cache and request coalescing.  Off reproduces
+            the paper's cold per-query routing exactly (``--no-cache``).
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class SimplePeer(Peer):
         statistics: Optional[Statistics] = None,
         failure_policy: str = "discard",
         secondary_bases=(),
+        cache_enabled: bool = True,
     ):
         super().__init__(peer_id, base, secondary_bases=secondary_bases)
         if failure_policy not in ("discard", "phased"):
@@ -133,6 +140,22 @@ class SimplePeer(Peer):
         self._pending: Dict[str, PendingQuery] = {}
         self._query_counter = itertools.count(1)
         self._tracker = AdvertisementTracker(base) if base is not None else None
+        #: the repro.cache subsystem (None of each when disabled)
+        self.cache_enabled = cache_enabled
+        schemas = [b.schema for b in self.all_bases()]
+        self.routing_cache = RoutingCache(schemas) if cache_enabled else None
+        self.plan_cache = PlanCache() if cache_enabled else None
+        self._coalescer = QueryCoalescer() if cache_enabled else None
+        #: the own-advertisement set the cache's entries were routed
+        #: with; silent base drift is detected against it per query
+        self._cached_own_ads: Optional[tuple] = None
+
+    def join(self, network) -> None:
+        super().join(network)
+        if self.routing_cache is not None:
+            self.routing_cache.bind_metrics(network.metrics)
+        if self.plan_cache is not None:
+            self.plan_cache.bind_metrics(network.metrics)
 
     # ------------------------------------------------------------------
     # advertisements
@@ -159,7 +182,10 @@ class SimplePeer(Peer):
 
     def remember_advertisement(self, advertisement: ActiveSchema) -> None:
         if advertisement.peer_id and advertisement.peer_id != self.peer_id:
+            previous = self.known_advertisements.get(advertisement.peer_id)
             self.known_advertisements[advertisement.peer_id] = advertisement
+            if self.routing_cache is not None:
+                self.routing_cache.on_advertise(advertisement, previous)
 
     def handle_Advertise(self, message: Message) -> None:
         self.remember_advertisement(message.payload.active_schema)
@@ -203,6 +229,8 @@ class SimplePeer(Peer):
 
     def handle_Goodbye(self, message: Message) -> None:
         self.known_advertisements.pop(message.payload.peer_id, None)
+        if self.routing_cache is not None:
+            self.routing_cache.on_goodbye(message.payload.peer_id)
 
     def _routing_knowledge(self) -> List[ActiveSchema]:
         """Everything this peer can route with: its own advertisement
@@ -210,6 +238,32 @@ class SimplePeer(Peer):
         knowledge = list(self.known_advertisements.values())
         knowledge.extend(self.own_advertisements())
         return knowledge
+
+    def _route_local(self, pattern: QueryPattern) -> AnnotatedQueryPattern:
+        """Route ``pattern`` from local knowledge, through the routing
+        cache when enabled.
+
+        Remote advertisements invalidate eagerly (``handle_Advertise``
+        / ``handle_Goodbye``), but this peer's *own* advertisement is
+        recomputed from the base on every call — the base can mutate
+        silently between queries — so drift against the footprint the
+        cache was filled under is detected here, per query.
+        """
+        if self.routing_cache is None:
+            return route_query(pattern, self._routing_knowledge(), self.schema)
+        own = tuple(self.own_advertisements())
+        if self._cached_own_ads is not None and own != self._cached_own_ads:
+            self.routing_cache.invalidate_peer(self.peer_id)
+            for advertisement in own:
+                self.routing_cache.on_advertise(advertisement)
+        self._cached_own_ads = own
+        cached = self.routing_cache.get(pattern)
+        if cached is not None:
+            return cached
+        knowledge = list(self.known_advertisements.values()) + list(own)
+        annotated = route_query(pattern, knowledge, self.schema)
+        self.routing_cache.put(pattern, annotated)
+        return annotated
 
     # ------------------------------------------------------------------
     # query coordination
@@ -228,6 +282,22 @@ class SimplePeer(Peer):
         except (ParseError, SchemaError) as exc:
             self.send(submit.reply_to, QueryResult(submit.query_id, None, str(exc)))
             return
+        if self._coalescer is not None:
+            # singleflight: identical queries in flight share the
+            # leader's routing/planning pass; the key is the exact text
+            # plus every result-shaping knob (constraints live outside
+            # the query pattern, so the signature alone is not enough)
+            key = (
+                submit.text,
+                submit.max_peers,
+                submit.limit,
+                submit.order_by,
+                submit.descending,
+            )
+            leader = self._coalescer.admit(key, submit.query_id, submit)
+            if leader is not None:
+                network.metrics.record_coalesced_query()
+                return  # parked behind the leader; answered in _finish
         constraints = QueryConstraints(
             max_peers_per_pattern=submit.max_peers,
             max_results=submit.limit,
@@ -258,7 +328,7 @@ class SimplePeer(Peer):
     def _obtain_routing(self, pending: PendingQuery) -> None:
         """Acquire the annotated query pattern.  Base behaviour: route
         from local knowledge (subclasses ask super-peers or interleave)."""
-        annotated = route_query(pending.pattern, self._routing_knowledge(), self.schema)
+        annotated = self._route_local(pending.pattern)
         self._on_annotated(pending, annotated)
 
     def _on_annotated(self, pending: PendingQuery, annotated: AnnotatedQueryPattern) -> None:
@@ -272,9 +342,16 @@ class SimplePeer(Peer):
             self._handle_incomplete(pending, plan, annotated)
 
     def _compile(self, annotated: AnnotatedQueryPattern) -> PlanNode:
+        if self.plan_cache is not None:
+            version = self.statistics.version
+            plan = self.plan_cache.get(annotated, version)
+            if plan is not None:
+                return plan
         plan = build_plan(annotated)
         if self.optimize_plans:
             plan = optimize(plan, CostModel(self.statistics)).result
+        if self.plan_cache is not None:
+            self.plan_cache.put(annotated, plan, version)
         return plan
 
     def _handle_incomplete(
@@ -428,10 +505,19 @@ class SimplePeer(Peer):
         del self._pending[pending.query_id]
         network = self._require_network()
         network.metrics.query_finished(pending.query_id, network.now)
-        if pending.reply_to == self.peer_id:
-            # locally submitted (tests drive peers directly)
+        if pending.reply_to != self.peer_id:
+            # locally submitted queries (tests drive peers directly)
+            # get no reply message
+            self.send(pending.reply_to, result)
+        if self._coalescer is None:
             return
-        self.send(pending.reply_to, result)
+        for follower in self._coalescer.complete(pending.query_id):
+            network.metrics.query_finished(follower.query_id, network.now)
+            if follower.reply_to != self.peer_id:
+                self.send(
+                    follower.reply_to,
+                    QueryResult(follower.query_id, result.table, result.error),
+                )
 
     # ------------------------------------------------------------------
     # convenience

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set
 
 from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
-from ..core.routing import route_query
 from ..core.routing_index import RoutingIndex
 from ..errors import PeerError
 from ..mappings.articulation import Articulation
@@ -41,6 +40,8 @@ class SuperPeer(Peer):
             hierarchical organisation of Section 3.1: requests for
             schemas unknown to this layer escalate upward instead of
             failing.
+        cache_enabled: Layer a routing cache over every per-SON index
+            (scoped invalidation keeps it coherent under churn).
     """
 
     def __init__(
@@ -49,9 +50,11 @@ class SuperPeer(Peer):
         schemas: Iterable[Schema] = (),
         backbone_directory: Optional[Dict[str, str]] = None,
         parent: Optional[str] = None,
+        cache_enabled: bool = True,
     ):
         super().__init__(peer_id, base=None)
         self.parent = parent
+        self.cache_enabled = cache_enabled
         self.schemas: Dict[str, Schema] = {s.namespace.uri: s for s in schemas}
         self.backbone_directory = (
             backbone_directory if backbone_directory is not None else {}
@@ -63,9 +66,16 @@ class SuperPeer(Peer):
         }
         #: per-SON property-bucket indices for O(candidates) routing
         self.indices: Dict[str, RoutingIndex] = {
-            uri: RoutingIndex(schema) for uri, schema in self.schemas.items()
+            uri: RoutingIndex(schema, use_cache=cache_enabled)
+            for uri, schema in self.schemas.items()
         }
         self.articulations: List[Articulation] = []
+
+    def join(self, network) -> None:
+        super().join(network)
+        for index in self.indices.values():
+            if index.cache is not None:
+                index.cache.bind_metrics(network.metrics)
 
     def add_articulation(self, articulation: Articulation) -> None:
         """Register a mediation mapping.  The super-peer must manage
@@ -81,7 +91,10 @@ class SuperPeer(Peer):
                 self.schemas[uri] = schema
                 self.backbone_directory[uri] = self.peer_id
                 self.registry.setdefault(uri, {})
-                self.indices.setdefault(uri, RoutingIndex(schema))
+                index = RoutingIndex(schema, use_cache=self.cache_enabled)
+                if index.cache is not None and self.network is not None:
+                    index.cache.bind_metrics(self.network.metrics)
+                self.indices.setdefault(uri, index)
         self.articulations.append(articulation)
 
     # ------------------------------------------------------------------
@@ -139,8 +152,14 @@ class SuperPeer(Peer):
             # multi-layer hierarchy: escalate to the parent layer
             responsible = self.parent
         if responsible is None or request.hops >= MAX_BACKBONE_HOPS:
-            # nobody reachable owns this schema: empty annotation
-            annotated = route_query(request.pattern, [], request.pattern.schema)
+            # nobody reachable owns this schema: empty annotation,
+            # constructed directly — no advertisement scan to run.  Not
+            # cached: the backbone directory is shared state mutated
+            # outside this peer, so a negative entry here could go
+            # stale without any invalidation signal.  (The per-SON
+            # empty-registry case IS cached negatively, one layer down
+            # in RoutingIndex.route.)
+            annotated = AnnotatedQueryPattern(request.pattern)
             self.send(request.requester, RouteReply(request.query_id, annotated))
             return
         self.send(

@@ -20,7 +20,6 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
 from ..core.algebra import PlanNode, Scan
 from ..core.cost import Statistics
-from ..core.routing import route_query
 from ..errors import PeerError
 from ..net.message import Message
 from ..net.simulator import Network
@@ -189,7 +188,10 @@ class AdhocPeer(SimplePeer):
             self._decline(partial)
             return
         self._seen_partials.add(guard)
-        merged = self._merge_knowledge(partial)
+        # one local routing pass (cached when the cache is on) feeds
+        # both the knowledge merge and the forward-candidate choice
+        local = self._route_local(partial.pattern)
+        merged = self._merge_knowledge(partial, local)
         plan = self._compile(merged)
         if plan.is_complete():
             self._execute_delegated(partial, plan)
@@ -197,7 +199,6 @@ class AdhocPeer(SimplePeer):
         # candidates must come from *this peer's own* knowledge — the
         # plan already names peers the root knew about, and Figure 7's
         # P3 fails precisely because it knows no new peer itself
-        local = route_query(partial.pattern, self._routing_knowledge(), self.schema)
         visited = set(partial.visited) | {self.peer_id}
         candidates = self._forward_candidates(local, visited)
         if not candidates:
@@ -229,10 +230,15 @@ class AdhocPeer(SimplePeer):
                 ),
             )
 
-    def _merge_knowledge(self, partial: PartialPlan) -> AnnotatedQueryPattern:
+    def _merge_knowledge(
+        self,
+        partial: PartialPlan,
+        local: Optional[AnnotatedQueryPattern] = None,
+    ) -> AnnotatedQueryPattern:
         """Annotations from the incoming plan's scans plus this peer's
         own routing knowledge — the interleaving step."""
-        local = route_query(partial.pattern, self._routing_knowledge(), self.schema)
+        if local is None:
+            local = self._route_local(partial.pattern)
         from_plan = AnnotatedQueryPattern(partial.pattern)
         for node in partial.plan.walk():
             if not isinstance(node, Scan):
@@ -322,12 +328,15 @@ class AdhocSystem:
         default_latency: float = 1.0,
         statistics: Optional[Statistics] = None,
         use_dht: bool = False,
+        cache_enabled: bool = True,
         **peer_options,
     ):
         self.schema = schema
         self.network = Network(seed=seed, default_latency=default_latency)
         self.statistics = statistics
-        self.peer_options = peer_options
+        self.cache_enabled = cache_enabled
+        self.peer_options = dict(peer_options)
+        self.peer_options.setdefault("cache_enabled", cache_enabled)
         self.peers: Dict[str, AdhocPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
         self._client_counter = itertools.count(1)

@@ -93,12 +93,17 @@ class HybridSystem:
         seed: int = 0,
         default_latency: float = 1.0,
         statistics: Optional[Statistics] = None,
+        cache_enabled: bool = True,
         **peer_options,
     ):
         self.schema = schema
         self.network = Network(seed=seed, default_latency=default_latency)
         self.statistics = statistics
-        self.peer_options = peer_options
+        self.cache_enabled = cache_enabled
+        self.peer_options = dict(peer_options)
+        # deployment-wide switch (--no-cache): every super-peer index
+        # and simple peer runs cold unless a peer option overrides it
+        self.peer_options.setdefault("cache_enabled", cache_enabled)
         self.super_peers: Dict[str, SuperPeer] = {}
         self.peers: Dict[str, HybridPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
@@ -115,6 +120,7 @@ class HybridSystem:
             peer_id,
             schemas=list(schemas) if schemas is not None else [self.schema],
             backbone_directory=self._backbone_directory,
+            cache_enabled=self.cache_enabled,
         )
         super_peer.join(self.network)
         self.super_peers[peer_id] = super_peer

@@ -1,0 +1,83 @@
+"""Tests for the plan cache: exact reuse keyed on routing + statistics."""
+
+import pytest
+
+from repro.cache import PlanCache
+from repro.core import build_plan, optimize, route_query
+from repro.core.cost import CostModel, Statistics
+from repro.rql.pattern import pattern_from_text
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+SCHEMA = paper_schema()
+ADS = list(paper_active_schemas(SCHEMA).values())
+
+
+def _annotated(pattern=None):
+    pattern = pattern if pattern is not None else paper_query_pattern(SCHEMA)
+    return route_query(pattern, ADS, SCHEMA)
+
+
+def _compile(annotated, statistics=None):
+    return optimize(
+        build_plan(annotated), CostModel(statistics or Statistics())
+    ).result
+
+
+class TestPlanCache:
+    def test_miss_then_hit_returns_same_plan_object(self):
+        cache = PlanCache()
+        annotated = _annotated()
+        assert cache.get(annotated) is None
+        plan = _compile(annotated)
+        cache.put(annotated, plan)
+        assert cache.get(_annotated()) is plan
+
+    def test_statistics_version_invalidates(self):
+        cache = PlanCache()
+        statistics = Statistics()
+        annotated = _annotated()
+        plan = _compile(annotated, statistics)
+        cache.put(annotated, plan, statistics.version)
+        statistics.set_cardinality("P2", N1.prop1, 5)
+        assert cache.get(annotated, statistics.version) is None
+
+    def test_unchanged_statistics_record_keeps_version(self):
+        statistics = Statistics()
+        statistics.set_cardinality("P2", N1.prop1, 5)
+        version = statistics.version
+        statistics.set_cardinality("P2", N1.prop1, 5)  # same value
+        assert statistics.version == version
+
+    def test_renamed_pattern_is_a_miss(self):
+        """Plans embed the query's labels and variables: an isomorphic
+        but renamed query must recompile."""
+        cache = PlanCache()
+        annotated = _annotated()
+        cache.put(annotated, _compile(annotated))
+        renamed = pattern_from_text(
+            "SELECT A, B FROM {A} n1:prop1 {B}, {B} n1:prop2 {C} "
+            f"USING NAMESPACE n1 = &{N1.uri}&",
+            SCHEMA,
+        )
+        assert cache.get(_annotated(renamed)) is None
+
+    def test_different_routing_is_a_miss(self):
+        cache = PlanCache()
+        annotated = _annotated()
+        cache.put(annotated, _compile(annotated))
+        narrowed = annotated.without_peers({"P2"})
+        assert cache.get(narrowed) is None
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_entries=1)
+        annotated = _annotated()
+        cache.put(annotated, _compile(annotated), version=0)
+        cache.put(annotated, _compile(annotated), version=1)
+        assert len(cache) == 1
+        assert cache.get(annotated, version=0) is None
+        assert cache.get(annotated, version=1) is not None

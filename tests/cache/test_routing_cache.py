@@ -1,0 +1,216 @@
+"""Tests for the routing cache: hits, re-targeting, scoped invalidation."""
+
+import pytest
+
+from repro.cache import RoutingCache, pattern_signature
+from repro.core import route_query
+from repro.core.routing_index import RoutingIndex
+from repro.rql.pattern import SchemaPath, pattern_from_text
+from repro.rvl import ActiveSchema
+from repro.workloads.paper import (
+    N1,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+SCHEMA = paper_schema()
+URI = SCHEMA.namespace.uri
+
+
+def _q(body, select="X, Y"):
+    return pattern_from_text(
+        f"SELECT {select} FROM {body} USING NAMESPACE n1 = &{N1.uri}&", SCHEMA
+    )
+
+
+def _ad(peer_id, *props):
+    paths = []
+    for prop in props:
+        definition = SCHEMA.property_def(prop)
+        paths.append(SchemaPath(definition.domain, prop, definition.range))
+    return ActiveSchema(URI, paths, peer_id=peer_id)
+
+
+@pytest.fixture
+def pattern():
+    return paper_query_pattern(SCHEMA)
+
+
+@pytest.fixture
+def ads():
+    return paper_active_schemas(SCHEMA)
+
+
+@pytest.fixture
+def cache():
+    return RoutingCache([SCHEMA])
+
+
+class TestHitAndRetarget:
+    def test_miss_then_hit(self, cache, pattern, ads):
+        assert cache.get(pattern) is None
+        annotated = route_query(pattern, ads.values(), SCHEMA)
+        cache.put(pattern, annotated)
+        cached = cache.get(pattern)
+        assert cached is not None
+        assert cached.same_annotations(annotated)
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_alpha_renamed_hit_matches_cold_route(self, cache, pattern, ads):
+        """A hit on a renamed query is indistinguishable from routing
+        the renamed query cold."""
+        cache.put(pattern, route_query(pattern, ads.values(), SCHEMA))
+        renamed = _q("{A} n1:prop1 {B}, {B} n1:prop2 {C}", select="A, B")
+        served = cache.get(renamed)
+        assert served is not None
+        cold = route_query(renamed, ads.values(), SCHEMA)
+        assert served.same_annotations(cold)
+
+    def test_reordered_hit_matches_cold_route(self, cache, pattern, ads):
+        cache.put(pattern, route_query(pattern, ads.values(), SCHEMA))
+        reordered = _q("{Y} n1:prop2 {Z}, {X} n1:prop1 {Y}")
+        served = cache.get(reordered)
+        assert served is not None
+        assert served.same_annotations(route_query(reordered, ads.values(), SCHEMA))
+
+    def test_negative_entry(self, cache, pattern):
+        cache.put(pattern, route_query(pattern, [], SCHEMA))
+        served = cache.get(pattern)
+        assert served is not None
+        assert not served.all_peers()
+        assert cache.stats.negative_hits == 1
+
+
+class TestScopedInvalidation:
+    def _warm(self, cache, ads):
+        """Two entries: the prop1⋈prop2 join and a prop3 singleton
+        answered by a disjoint peer."""
+        join = paper_query_pattern(SCHEMA)
+        solo = _q("{X} n1:prop3 {Y}")
+        p9 = _ad("P9", N1.prop3)
+        everything = list(ads.values()) + [p9]
+        cache.put(join, route_query(join, everything, SCHEMA))
+        cache.put(solo, route_query(solo, everything, SCHEMA))
+        return join, solo
+
+    def test_goodbye_touches_only_annotating_entries(self, cache, ads):
+        join, solo = self._warm(cache, ads)
+        dropped = cache.on_goodbye("P9")
+        assert dropped == 1
+        assert cache.get(solo) is None  # P9 annotated it: gone
+        assert cache.get(join) is not None  # untouched
+
+    def test_goodbye_of_unannotated_peer_is_noop(self, cache, ads):
+        join, solo = self._warm(cache, ads)
+        assert cache.on_goodbye("stranger") == 0
+        assert cache.get(join) is not None
+        assert cache.get(solo) is not None
+
+    def test_new_advertisement_invalidates_by_property_closure(self, cache, ads):
+        """An ad for prop4 ⊑ prop1 can extend prop1 entries, so the
+        join entry drops; the prop3 entry survives."""
+        join, solo = self._warm(cache, ads)
+        cache.on_advertise(_ad("P10", N1.prop4))
+        assert cache.get(join) is None
+        assert cache.get(solo) is not None
+
+    def test_unchanged_readvertise_is_noop(self, cache, ads):
+        join, solo = self._warm(cache, ads)
+        epoch = cache.epoch
+        assert cache.on_advertise(ads["P2"], previous=ads["P2"]) == 0
+        assert cache.epoch == epoch
+        assert cache.get(join) is not None
+
+    def test_refresh_invalidates_old_footprint_entries(self, cache, ads):
+        """A refresh dropping a property still invalidates entries the
+        peer annotates (its rewrites may be stale)."""
+        join, solo = self._warm(cache, ads)
+        narrowed = _ad("P1", N1.prop2)  # P1 stops advertising prop1
+        cache.on_advertise(narrowed, previous=ads["P1"])
+        assert cache.get(join) is None
+
+    def test_negative_entry_revived_by_relevant_advertise(self, cache):
+        pattern = _q("{X} n1:prop3 {Y}")
+        cache.put(pattern, route_query(pattern, [], SCHEMA))
+        assert cache.get(pattern) is not None
+        cache.on_advertise(_ad("P9", N1.prop3))
+        assert cache.get(pattern) is None  # must be recomputed
+
+    def test_epoch_bumps_on_mutation(self, cache, ads):
+        before = cache.epoch
+        cache.on_advertise(ads["P2"])
+        cache.on_goodbye("P2")
+        assert cache.epoch == before + 2
+
+    def test_unknown_schema_flushes_conservatively(self, pattern, ads):
+        bare = RoutingCache()  # no schema closure registered
+        bare.put(pattern, route_query(pattern, ads.values(), SCHEMA))
+        # prop3 does not subsume prop1/prop2, but without the closure
+        # the cache cannot know that: the schema's entries all drop
+        bare.on_advertise(_ad("P9", N1.prop3))
+        assert bare.get(pattern) is None
+
+
+class TestCapacity:
+    def test_eviction_at_max_entries(self, ads):
+        cache = RoutingCache([SCHEMA], max_entries=1)
+        first = _q("{X} n1:prop1 {Y}")
+        second = _q("{X} n1:prop2 {Y}")
+        cache.put(first, route_query(first, ads.values(), SCHEMA))
+        cache.put(second, route_query(second, ads.values(), SCHEMA))
+        assert len(cache) == 1
+        assert cache.get(second) is not None
+
+    def test_clear(self, cache, pattern, ads):
+        cache.put(pattern, route_query(pattern, ads.values(), SCHEMA))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRoutingIndexIntegration:
+    def test_warm_route_equals_cold(self, pattern, ads):
+        index = RoutingIndex(SCHEMA)
+        for advertisement in ads.values():
+            index.add(advertisement)
+        cold = index.route(pattern)
+        warm = index.route(pattern)
+        assert warm.same_annotations(cold)
+        assert index.cache.stats.hits == 1
+
+    def test_empty_registry_cached_negatively(self, pattern):
+        index = RoutingIndex(SCHEMA)
+        first = index.route(pattern)
+        assert not first.all_peers()
+        index.route(pattern)
+        assert index.cache.stats.negative_hits == 1
+
+    def test_add_after_negative_entry_recomputes(self, pattern, ads):
+        index = RoutingIndex(SCHEMA)
+        index.route(pattern)  # negative
+        index.add(ads["P1"])
+        assert index.route(pattern).all_peers() == ("P1",)
+
+    def test_remove_invalidates(self, pattern, ads):
+        index = RoutingIndex(SCHEMA)
+        for advertisement in ads.values():
+            index.add(advertisement)
+        index.route(pattern)
+        index.remove("P2")
+        rerouted = index.route(pattern)
+        assert "P2" not in rerouted.all_peers()
+
+    def test_use_cache_false_runs_cold(self, pattern, ads):
+        index = RoutingIndex(SCHEMA, use_cache=False)
+        assert index.cache is None
+        for advertisement in ads.values():
+            index.add(advertisement)
+        annotated = index.route(pattern)
+        assert annotated.same_annotations(route_query(pattern, ads.values(), SCHEMA))
+
+    def test_signature_precomputation_matches(self, pattern, ads):
+        cache = RoutingCache([SCHEMA])
+        signature = pattern_signature(pattern)
+        annotated = route_query(pattern, ads.values(), SCHEMA)
+        cache.put(pattern, annotated, signature=signature)
+        assert cache.get(pattern, signature=signature).same_annotations(annotated)

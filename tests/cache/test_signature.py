@@ -1,0 +1,112 @@
+"""Tests for canonical pattern signatures and annotation fingerprints."""
+
+import pytest
+
+from repro.cache import annotation_fingerprint, pattern_signature
+from repro.core import route_query
+from repro.rql.pattern import pattern_from_text
+from repro.workloads.paper import (
+    N1,
+    PAPER_QUERY,
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+SCHEMA = paper_schema()
+
+
+def _pattern(text):
+    return pattern_from_text(text, SCHEMA)
+
+
+def _q(body, select="X, Y"):
+    return _pattern(
+        f"SELECT {select} FROM {body} USING NAMESPACE n1 = &{N1.uri}&"
+    )
+
+
+@pytest.fixture
+def pattern():
+    return paper_query_pattern(SCHEMA)
+
+
+class TestSignatureEquivalence:
+    def test_identical_patterns_share_key(self, pattern):
+        again = paper_query_pattern(SCHEMA)
+        assert pattern_signature(pattern) == pattern_signature(again)
+        assert pattern_signature(pattern).key == pattern_signature(again).key
+
+    def test_alpha_renaming_shares_key(self, pattern):
+        renamed = _q("{A} n1:prop1 {B}, {B} n1:prop2 {C}", select="A, B")
+        assert pattern_signature(renamed).key == pattern_signature(pattern).key
+
+    def test_from_clause_reordering_shares_key(self, pattern):
+        reordered = _q("{Y} n1:prop2 {Z}, {X} n1:prop1 {Y}")
+        assert pattern_signature(reordered).key == pattern_signature(pattern).key
+
+    def test_reordered_and_renamed_shares_key(self, pattern):
+        both = _q("{B} n1:prop2 {C}, {A} n1:prop1 {B}", select="A, B")
+        assert pattern_signature(both).key == pattern_signature(pattern).key
+
+
+class TestSignatureDiscrimination:
+    def test_different_property_differs(self, pattern):
+        other = _q("{X} n1:prop1 {Y}, {Y} n1:prop3 {Z}")
+        assert pattern_signature(other).key != pattern_signature(pattern).key
+
+    def test_different_projection_differs(self, pattern):
+        other = _q("{X} n1:prop1 {Y}, {Y} n1:prop2 {Z}", select="X")
+        assert pattern_signature(other).key != pattern_signature(pattern).key
+
+    def test_different_join_shape_differs(self, pattern):
+        # join on X instead of Y: same properties, different sharing
+        other = _q("{X} n1:prop1 {Y}, {X} n1:prop2 {Z}")
+        assert pattern_signature(other).key != pattern_signature(pattern).key
+
+    def test_single_vs_two_patterns_differ(self, pattern):
+        single = _q("{X} n1:prop1 {Y}")
+        assert pattern_signature(single).key != pattern_signature(pattern).key
+
+
+class TestCanonicalOrder:
+    def test_order_is_a_permutation(self, pattern):
+        signature = pattern_signature(pattern)
+        assert sorted(signature.order) == list(range(len(pattern.patterns)))
+
+    def test_order_aligns_equal_keys(self, pattern):
+        """Canonical position i points at structurally matching path
+        patterns in every pattern sharing the key."""
+        reordered = _q("{Y} n1:prop2 {Z}, {X} n1:prop1 {Y}")
+        sig_a = pattern_signature(pattern)
+        sig_b = pattern_signature(reordered)
+        for position in range(len(pattern.patterns)):
+            a = pattern.patterns[sig_a.order[position]]
+            b = reordered.patterns[sig_b.order[position]]
+            assert a.schema_path == b.schema_path
+
+
+class TestAnnotationFingerprint:
+    def test_same_routing_same_fingerprint(self, pattern):
+        ads = list(paper_active_schemas(SCHEMA).values())
+        first = route_query(pattern, ads, SCHEMA)
+        second = route_query(paper_query_pattern(SCHEMA), ads, SCHEMA)
+        assert annotation_fingerprint(first) == annotation_fingerprint(second)
+
+    def test_missing_peer_changes_fingerprint(self, pattern):
+        ads = paper_active_schemas(SCHEMA)
+        full = route_query(pattern, ads.values(), SCHEMA)
+        partial = route_query(
+            pattern, [a for p, a in ads.items() if p != "P2"], SCHEMA
+        )
+        assert annotation_fingerprint(full) != annotation_fingerprint(partial)
+
+    def test_renamed_query_same_fingerprint(self, pattern):
+        """Routing content is name-independent, so fingerprints agree
+        across alpha-renaming (the plan cache adds the exact-pattern
+        equality check on top)."""
+        ads = list(paper_active_schemas(SCHEMA).values())
+        renamed = _q("{A} n1:prop1 {B}, {B} n1:prop2 {C}", select="A, B")
+        assert annotation_fingerprint(
+            route_query(pattern, ads, SCHEMA)
+        ) == annotation_fingerprint(route_query(renamed, ads, SCHEMA))

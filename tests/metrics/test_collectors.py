@@ -43,11 +43,44 @@ class TestMetricSet:
         snapshot = metrics.snapshot()
         metrics.record_message("X", "A", "B", 20)
         metrics.record_message("X", "A", "B", 30)
-        assert metrics.delta(snapshot) == (2, 50)
+        delta = metrics.delta(snapshot)
+        assert delta[:2] == (2, 50)
+        assert delta.messages == 2
+        assert delta.bytes == 50
+
+    def test_delta_accepts_legacy_pair(self):
+        metrics = MetricSet()
+        metrics.record_message("X", "A", "B", 10)
+        metrics.record_cache_hit()
+        delta = metrics.delta((0, 0))
+        assert delta.messages == 1
+        assert delta.bytes == 10
+        assert delta.cache_hits == 1
+
+    def test_cache_counters(self):
+        metrics = MetricSet()
+        snapshot = metrics.snapshot()
+        metrics.record_cache_hit()
+        metrics.record_cache_miss()
+        metrics.record_cache_invalidation(3)
+        metrics.record_coalesced_query()
+        delta = metrics.delta(snapshot)
+        assert delta.cache_hits == 1
+        assert delta.cache_misses == 1
+        assert delta.cache_invalidations == 3
+        assert delta.coalesced_queries == 1
 
     def test_summary_keys(self):
         summary = MetricSet().summary()
-        assert set(summary) >= {"messages", "bytes", "queries_processed"}
+        assert set(summary) >= {
+            "messages",
+            "bytes",
+            "queries_processed",
+            "cache_hits",
+            "cache_misses",
+            "cache_invalidations",
+            "coalesced_queries",
+        }
 
     def test_peak_load_empty(self):
         assert MetricSet().peak_peer_load() == 0
