@@ -36,6 +36,7 @@ MODULES = [
     "bench_churn_system",
     "bench_pipelining",
     "bench_local_evaluation",
+    "bench_chaos",
 ]
 
 

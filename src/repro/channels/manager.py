@@ -8,12 +8,13 @@ failures to the continuation registered when the channel was opened.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Set
 
 from ..core.algebra import PlanNode
 from ..errors import ChannelError
 from ..net.message import Message
 from ..net.simulator import Network
+from ..resilience.retry import RetryPolicy
 from ..rql.bindings import BindingTable
 from .channel import Channel
 from .packets import DataPacket, SubPlanPacket, TreePath
@@ -38,6 +39,8 @@ class ChannelManager:
         self._buffers: Dict[str, BindingTable] = {}  # streamed chunks
         self._progress: Dict[str, ProgressCallback] = {}  # pipelined channels
         self._counter = itertools.count(1)
+        self._received_seqs: Dict[str, Set[int]] = {}  # packet dedup
+        self._activity: Dict[str, int] = {}  # packets seen (timeout resets)
 
     # ------------------------------------------------------------------
     # root side
@@ -51,6 +54,7 @@ class ChannelManager:
         sites: Optional[Dict[TreePath, str]] = None,
         query_id: str = "",
         progress: Optional[ProgressCallback] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Channel:
         """Open a channel: ship ``plan`` to ``destination`` and register
         the continuation for its results.
@@ -60,6 +64,12 @@ class ChannelManager:
         ``progress`` immediately, no buffering happens, and the
         completion ``callback`` fires with an empty table — a pure
         done-signal.
+
+        With ``retry`` set, the channel is guarded by a deadline: if no
+        packet arrives within the attempt's timeout the subplan is
+        retransmitted (exponential backoff), and when attempts run out
+        the channel fails as if the destination had bounced — the
+        timeout-based detection a non-omniscient network requires.
         """
         channel_id = f"{self.owner}#{next(self._counter)}"
         channel = Channel(channel_id, self.owner, destination, plan, query_id)
@@ -75,7 +85,43 @@ class ChannelManager:
             query_id=query_id,
         )
         network.send(Message(self.owner, destination, packet))
+        if retry is not None:
+            self._arm_timeout(network, channel_id, packet, destination, retry, 1)
         return channel
+
+    def _arm_timeout(
+        self,
+        network: Network,
+        channel_id: str,
+        packet: SubPlanPacket,
+        destination: str,
+        retry: RetryPolicy,
+        attempt: int,
+    ) -> None:
+        """Arm one attempt's deadline for an open channel."""
+        progress_mark = self._activity.get(channel_id, 0)
+
+        def check() -> None:
+            channel = self._channels.get(channel_id)
+            if channel is None or not channel.is_open:
+                return
+            if self._activity.get(channel_id, 0) > progress_mark:
+                # packets flowed during the window: the destination is
+                # alive, keep waiting without burning an attempt
+                self._arm_timeout(
+                    network, channel_id, packet, destination, retry, attempt
+                )
+                return
+            if retry.attempts_left(attempt + 1):
+                network.metrics.record_retransmit()
+                network.send(Message(self.owner, destination, packet))
+                self._arm_timeout(
+                    network, channel_id, packet, destination, retry, attempt + 1
+                )
+            else:
+                self.on_failure(channel_id)
+
+        network.call_later(retry.timeout(attempt), check)
 
     def on_data(self, packet: DataPacket) -> None:
         """Dispatch a data packet to the channel's continuation."""
@@ -85,6 +131,13 @@ class ChannelManager:
             return
         if not channel.is_open:
             return
+        seen = self._received_seqs.setdefault(packet.channel_id, set())
+        if packet.seq in seen:
+            # duplicated in flight, or replayed after a retransmit the
+            # original answer raced: never union the same rows twice
+            return
+        seen.add(packet.seq)
+        self._activity[packet.channel_id] = self._activity.get(packet.channel_id, 0) + 1
         channel.record_tuples(len(packet.table))
         if packet.failed_peer is not None:
             channel.fail()
@@ -118,6 +171,8 @@ class ChannelManager:
         self._finish(channel_id, None, channel.destination)
 
     def _finish(self, channel_id: str, table, failed_peer) -> None:
+        self._received_seqs.pop(channel_id, None)
+        self._activity.pop(channel_id, None)
         callback = self._callbacks.pop(channel_id, None)
         if callback is not None:
             callback(table, failed_peer)
@@ -144,6 +199,8 @@ class ChannelManager:
         self._callbacks.pop(channel_id, None)
         self._buffers.pop(channel_id, None)
         self._progress.pop(channel_id, None)
+        self._received_seqs.pop(channel_id, None)
+        self._activity.pop(channel_id, None)
 
     def discard_all(self) -> int:
         """Discard every open channel; returns how many were open."""

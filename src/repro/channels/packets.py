@@ -53,12 +53,16 @@ class DataPacket:
         final: True when no more packets will follow on this channel.
         failed_peer: When execution below the destination failed, the
             peer that caused it (the root replans; ubQL failure info).
+        seq: Position of this packet in the channel's stream.  The root
+            deduplicates on it, so duplicated or retransmitted packets
+            never union the same rows twice.
     """
 
     channel_id: str
     table: BindingTable
     final: bool = True
     failed_peer: Optional[str] = None
+    seq: int = 0
 
     def size_bytes(self) -> int:
         return 64 + self.table.size_bytes()

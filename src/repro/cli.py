@@ -14,6 +14,12 @@ Three subcommands::
         --peer NAME=base.nt [--peer ...] --via NAME "SELECT ..."
         Load a community schema and peer bases from N-Triples files,
         deploy them as a hybrid SON and evaluate the query.
+
+    python -m repro chaos [--loss 0.1] [--queries 8] [--seed 7]
+        Run the paper's running example as a query stream over an
+        adverse network (message loss, duplication, jitter, a peer
+        crash/recover cycle) with the resilience layer on, and print
+        every query's fate plus the retry/suspicion counters.
 """
 
 from __future__ import annotations
@@ -66,6 +72,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "(cold per-query routing, as in the paper)",
     )
     query.add_argument("text", help="RQL query text")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the running example under an adverse network "
+        "(loss, duplication, jitter, crash/recovery) with resilience on",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seed for the network and the fault plan")
+    chaos.add_argument("--loss", type=float, default=0.10,
+                       help="message drop probability")
+    chaos.add_argument("--duplicate", type=float, default=0.05,
+                       help="message duplication probability")
+    chaos.add_argument("--queries", type=int, default=8,
+                       help="how many times the running query is posed")
+    chaos.add_argument(
+        "--crash",
+        default="P2@6:600",
+        metavar="PEER@AT[:RECOVER]",
+        help="crash schedule (empty string disables the crash)",
+    )
     return parser
 
 
@@ -147,6 +173,61 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str):
+    """``PEER@AT[:RECOVER]`` → :class:`CrashEvent`, or ``None``."""
+    from .resilience import CrashEvent
+
+    if not spec:
+        return None
+    peer, _, times = spec.partition("@")
+    if not times:
+        raise ValueError(f"--crash expects PEER@AT[:RECOVER], got {spec!r}")
+    at, _, recover = times.partition(":")
+    return CrashEvent(
+        at=float(at), peer_id=peer, recover_at=float(recover) if recover else None
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .resilience import FaultPlan, ResilienceConfig, run_chaos
+
+    try:
+        crash = _parse_crash(args.crash)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    schema = paper_schema()
+    system = HybridSystem(schema, seed=args.seed)
+    system.add_super_peer("SP1")
+    for peer_id, graph in paper_peer_bases().items():
+        system.add_peer(peer_id, graph, "SP1")
+    system.run()
+    system.enable_resilience(ResilienceConfig.default(args.seed))
+    plan = FaultPlan(
+        seed=args.seed + 1,
+        drop_rate=args.loss,
+        duplicate_rate=args.duplicate,
+        jitter=0.5,
+        spike_rate=0.05,
+        spike_latency=8.0,
+        crashes=(crash,) if crash is not None else (),
+    )
+    chaos = run_chaos(system, [("P1", PAPER_QUERY)] * args.queries, plan)
+    print(f"fault plan : loss={args.loss:.0%} duplicate={args.duplicate:.0%} "
+          f"crash={args.crash or 'none'} seed={args.seed}")
+    for outcome in chaos.outcomes:
+        detail = outcome.error or outcome.coverage or f"{outcome.rows} rows"
+        print(f"  {outcome.query_id:<12} {outcome.status:<9} {detail}")
+    snap = chaos.snapshot
+    print(chaos.summary())
+    print(
+        f"resilience : retries={snap.retries} retransmits={snap.retransmits} "
+        f"suspicions={snap.suspicions} partial={snap.partial_results} "
+        f"dropped={snap.dropped_messages} duplicated={snap.duplicated_messages}"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -156,6 +237,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figures()
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -91,6 +91,53 @@ def replan(
     return ReplanResult(plan, annotated, excluded, discarded_results)
 
 
+class ReplanBudget:
+    """Bounds the run-time adaptation loop of a query root.
+
+    Round ``n`` is the n-th execution attempt (1-based).  The budget
+    answers whether another replan round is allowed after attempt ``n``
+    failed, and how long to back off before starting it — a failing
+    region gets geometrically more breathing room instead of a tight
+    replan storm.
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = 3,
+        base_delay: float = 0.0,
+        backoff: float = 2.0,
+        max_delay: float = 120.0,
+    ):
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.max_rounds = max_rounds
+        self.base_delay = base_delay
+        self.backoff = backoff
+        self.max_delay = max_delay
+
+    def exhausted(self, attempts: int) -> bool:
+        """True when ``attempts`` executions have used up the budget
+        (``max_rounds`` replans on top of the initial attempt)."""
+        return attempts > self.max_rounds
+
+    def delay(self, attempts: int) -> float:
+        """Back-off delay before the replan following attempt
+        ``attempts`` (0 when no base delay is configured)."""
+        if not self.base_delay:
+            return 0.0
+        return min(
+            self.base_delay * (self.backoff ** max(0, attempts - 1)), self.max_delay
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplanBudget(rounds={self.max_rounds}, base={self.base_delay}, "
+            f"backoff={self.backoff})"
+        )
+
+
 class ChannelMonitor:
     """Throughput watchdog for a running channel (Section 2.5).
 

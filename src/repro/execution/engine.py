@@ -59,6 +59,8 @@ class PlanExecutor:
             mapping to the replanned execution so completed subresults
             are reused instead of re-shipped (the "cleanup phase"
             combines sub-results from earlier phases).
+        retry: Ack/retransmit policy applied to every channel this
+            executor opens (``None`` keeps fire-and-forget channels).
     """
 
     def __init__(
@@ -71,6 +73,7 @@ class PlanExecutor:
         on_complete: Optional[Completion] = None,
         scan_cache: Optional[Dict[Scan, BindingTable]] = None,
         pipelined: bool = False,
+        retry=None,
     ):
         self.host = host
         self.network = network
@@ -80,6 +83,7 @@ class PlanExecutor:
         self.on_complete = on_complete or (lambda table, failed: None)
         self.scan_cache = scan_cache
         self.pipelined = pipelined
+        self.retry = retry
         #: virtual time of the first output rows (pipelined mode)
         self.first_output_at: Optional[float] = None
         self.reused_rows = 0
@@ -300,6 +304,7 @@ class PlanExecutor:
             on_channel,
             query_id=self.query_id,
             progress=on_progress,
+            retry=self.retry,
         )
         self._open_channel_ids.append(channel.channel_id)
 
@@ -342,7 +347,13 @@ class PlanExecutor:
                 k(table)
 
         channel = self.host.channels.open(
-            self.network, site, node, on_channel, sites=sub_sites, query_id=self.query_id
+            self.network,
+            site,
+            node,
+            on_channel,
+            sites=sub_sites,
+            query_id=self.query_id,
+            retry=self.retry,
         )
         self._open_channel_ids.append(channel.channel_id)
 

@@ -19,6 +19,12 @@ class MetricSnapshot(NamedTuple):
     cache_misses: int = 0
     cache_invalidations: int = 0
     coalesced_queries: int = 0
+    retries: int = 0
+    retransmits: int = 0
+    suspicions: int = 0
+    partial_results: int = 0
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
 
 
 class MetricSet:
@@ -45,6 +51,13 @@ class MetricSet:
         self.cache_misses = 0
         self.cache_invalidations = 0
         self.coalesced_queries = 0
+        # resilience subsystem (repro.resilience): retry/fault traffic
+        self.retries = 0
+        self.retransmits = 0
+        self.suspicions = 0
+        self.partial_results = 0
+        self.dropped_messages = 0
+        self.duplicated_messages = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -74,6 +87,24 @@ class MetricSet:
     def record_coalesced_query(self) -> None:
         self.coalesced_queries += 1
 
+    def record_retry(self) -> None:
+        self.retries += 1
+
+    def record_retransmit(self) -> None:
+        self.retransmits += 1
+
+    def record_suspicion(self) -> None:
+        self.suspicions += 1
+
+    def record_partial_result(self) -> None:
+        self.partial_results += 1
+
+    def record_dropped_message(self) -> None:
+        self.dropped_messages += 1
+
+    def record_duplicated_message(self) -> None:
+        self.duplicated_messages += 1
+
     def query_started(self, query_id: str, time: float) -> None:
         self._query_started[query_id] = time
 
@@ -95,6 +126,12 @@ class MetricSet:
             self.cache_misses,
             self.cache_invalidations,
             self.coalesced_queries,
+            self.retries,
+            self.retransmits,
+            self.suspicions,
+            self.partial_results,
+            self.dropped_messages,
+            self.duplicated_messages,
         )
 
     def delta(self, snapshot: Tuple) -> MetricSnapshot:
@@ -112,6 +149,12 @@ class MetricSet:
             self.cache_misses - base.cache_misses,
             self.cache_invalidations - base.cache_invalidations,
             self.coalesced_queries - base.coalesced_queries,
+            self.retries - base.retries,
+            self.retransmits - base.retransmits,
+            self.suspicions - base.suspicions,
+            self.partial_results - base.partial_results,
+            self.dropped_messages - base.dropped_messages,
+            self.duplicated_messages - base.duplicated_messages,
         )
 
     def peak_peer_load(self) -> int:
@@ -135,6 +178,12 @@ class MetricSet:
             "cache_misses": self.cache_misses,
             "cache_invalidations": self.cache_invalidations,
             "coalesced_queries": self.coalesced_queries,
+            "retries": self.retries,
+            "retransmits": self.retransmits,
+            "suspicions": self.suspicions,
+            "partial_results": self.partial_results,
+            "dropped_messages": self.dropped_messages,
+            "duplicated_messages": self.duplicated_messages,
         }
 
     def __repr__(self) -> str:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 from ..errors import NetworkError
 from ..metrics.collectors import MetricSet
+from ..resilience.faults import FaultInjector, FaultPlan
 from .message import DeliveryFailure, Message
 
 
@@ -66,6 +67,11 @@ class Network:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self.now = 0.0
+        # fault model (repro.resilience): no injector means the friendly
+        # seed regime — no loss, and failures bounce omnisciently
+        self.faults: Optional[FaultInjector] = None
+        self.omniscient_bounces = True
+        self._liveness_listeners: List[Callable[[str, bool], None]] = []
 
     # ------------------------------------------------------------------
     # topology
@@ -100,15 +106,57 @@ class Network:
     # failures
     # ------------------------------------------------------------------
     def fail_peer(self, peer_id: str) -> None:
-        """Mark a peer as down; messages to it bounce back as
-        :class:`DeliveryFailure` notifications."""
+        """Mark a peer as down.  With omniscient bounces (the seed
+        regime) messages to it come back as :class:`DeliveryFailure`
+        notifications; under a realistic :class:`FaultPlan` they simply
+        vanish and senders must time out."""
+        if peer_id in self._down:
+            return
         self._down.add(peer_id)
+        self._notify_liveness(peer_id, alive=False)
 
     def recover_peer(self, peer_id: str) -> None:
+        if peer_id not in self._down:
+            return
         self._down.discard(peer_id)
+        self._notify_liveness(peer_id, alive=True)
 
     def is_down(self, peer_id: str) -> bool:
         return peer_id in self._down
+
+    def add_liveness_listener(self, listener: Callable[[str, bool], None]) -> None:
+        """Subscribe to ``(peer_id, alive)`` transitions from
+        :meth:`fail_peer` / :meth:`recover_peer`.  This models control
+        out-of-band of the data plane (an operator marking a node dead),
+        used to keep caches honest — peers still *learn* liveness from
+        observation when the fault plan is non-omniscient."""
+        self._liveness_listeners.append(listener)
+
+    def _notify_liveness(self, peer_id: str, alive: bool) -> None:
+        for listener in self._liveness_listeners:
+            listener(peer_id, alive)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Arm a fault plan: hook the injector into message delivery and
+        schedule its crash/recover events.  Returns the injector (its
+        counters feed chaos reports)."""
+        injector = FaultInjector(plan)
+        self.faults = injector
+        self.omniscient_bounces = plan.omniscient
+        for crash in plan.crashes:
+            self.call_later(
+                max(0.0, crash.at - self.now),
+                lambda p=crash.peer_id: self.fail_peer(p),
+            )
+            if crash.recover_at is not None:
+                self.call_later(
+                    max(0.0, crash.recover_at - self.now),
+                    lambda p=crash.peer_id: self.recover_peer(p),
+                )
+        return injector
 
     # ------------------------------------------------------------------
     # messaging
@@ -122,19 +170,41 @@ class Network:
         link = self.link(message.src, message.dst)
         delay = link.delay(message.size)
         self.metrics.record_message(message.kind, message.src, message.dst, message.size)
-        if message.dst in self._down:
-            bounce = Message(message.dst, message.src, DeliveryFailure(message))
-            self._schedule(delay, lambda: self._deliver(bounce))
+        faults = self.faults
+        if faults is not None:
+            if faults.partitioned(message.src, message.dst, self.now) or faults.drops(
+                message
+            ):
+                self.metrics.record_dropped_message()
+                return
+            delay += faults.extra_delay()
+        if message.dst in self._down and self.omniscient_bounces:
+            self._bounce(message, delay)
             return
         self._schedule(delay, lambda: self._deliver(message))
+        if faults is not None and faults.duplicates(message):
+            self.metrics.record_duplicated_message()
+            self._schedule(delay + faults.extra_delay(), lambda: self._deliver(message))
+
+    def _bounce(self, message: Message, delay: Optional[float] = None) -> None:
+        """Schedule a metered :class:`DeliveryFailure` back to the sender
+        (failure traffic counts against the messaging experiments just
+        like any other message)."""
+        bounce = Message(message.dst, message.src, DeliveryFailure(message))
+        if delay is None:
+            delay = self.link(message.dst, message.src).delay(bounce.size)
+        self.metrics.record_message(bounce.kind, bounce.src, bounce.dst, bounce.size)
+        self._schedule(delay, lambda: self._deliver(bounce))
 
     def _deliver(self, message: Message) -> None:
         if message.dst in self._down:
             # destination failed while the message was in flight
-            if not isinstance(message.payload, DeliveryFailure):
-                bounce = Message(message.dst, message.src, DeliveryFailure(message))
-                link = self.link(message.dst, message.src)
-                self._schedule(link.delay(bounce.size), lambda: self._deliver(bounce))
+            if isinstance(message.payload, DeliveryFailure):
+                return
+            if self.omniscient_bounces:
+                self._bounce(message)
+            else:
+                self.metrics.record_dropped_message()
             return
         self._nodes[message.dst].receive(message, self)
 

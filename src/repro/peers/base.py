@@ -9,7 +9,7 @@ and message dispatch.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 from ..channels.manager import ChannelManager
 from ..channels.packets import DataPacket, StatsPacket, SubPlanPacket
@@ -81,6 +81,8 @@ class Peer:
     stream_chunk_rows: Optional[int] = None
     #: virtual-time spacing between streamed chunks
     stream_interval: float = 2.0
+    #: completed subplans remembered for retransmit replay (per peer)
+    subplan_replay_limit: int = 128
 
     def __init__(
         self,
@@ -99,6 +101,17 @@ class Peer:
         self.network: Optional[Network] = None
         #: channel ids whose roots changed plans: stop streaming to them
         self._cancelled_streams: set = set()
+        #: ack/retransmit policy for channels this peer roots (None
+        #: keeps the seed's fire-and-forget channels)
+        self.channel_retry = None
+        #: heartbeat-based failure detector, when resilience is enabled
+        self.failure_detector = None
+        #: channels whose subplan is still executing (duplicate packets
+        #: are ignored; the in-flight run will answer)
+        self._executing_subplans: set = set()
+        #: channel id -> the exact reply payloads of a completed subplan,
+        #: replayed verbatim when a retransmitted SubPlanPacket arrives
+        self._subplan_replay: Dict[str, List] = {}
 
     def all_bases(self) -> tuple:
         """Primary base first, then the secondary ones."""
@@ -164,20 +177,34 @@ class Peer:
         """
         packet: SubPlanPacket = message.payload
         root = message.src
+        channel_id = packet.channel_id
+        if channel_id in self._executing_subplans:
+            return  # retransmit raced the in-flight execution: it will answer
+        replay = self._subplan_replay.get(channel_id)
+        if replay is not None:
+            # retransmitted request for a subplan already answered: resend
+            # the exact same packets (the root deduplicates on seq)
+            for payload in replay:
+                self.send(root, payload)
+            return
+        self._executing_subplans.add(channel_id)
 
         def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
+            self._executing_subplans.discard(channel_id)
             if failed is None and table is not None:
-                stats = self._local_cardinalities(packet)
-                self.send(
-                    root,
-                    StatsPacket(packet.channel_id, len(table), stats),
+                stats = StatsPacket(
+                    channel_id, len(table), self._local_cardinalities(packet)
                 )
-                self._send_result(root, packet.channel_id, table)
+                data_packets = self._result_packets(channel_id, table)
+                self._remember_subplan(channel_id, [stats] + data_packets)
+                self.send(root, stats)
+                self._stream_packets(root, channel_id, data_packets)
                 return
+            # failures are not remembered: a retransmit retries execution
             self.send(
                 root,
                 DataPacket(
-                    channel_id=packet.channel_id,
+                    channel_id=channel_id,
                     table=table if table is not None else BindingTable(()),
                     final=True,
                     failed_peer=failed,
@@ -191,31 +218,49 @@ class Peer:
             sites=packet.sites,
             query_id=packet.query_id,
             on_complete=on_complete,
+            retry=self.channel_retry,
         )
         executor.start()
 
-    def _send_result(self, root: str, channel_id: str, table: BindingTable) -> None:
-        """Ship a subplan result: one packet, or a paced chunk stream
-        when :attr:`stream_chunk_rows` is set."""
+    def _result_packets(self, channel_id: str, table: BindingTable) -> list:
+        """A subplan result as sequence-numbered packets: one, or a
+        chunk series when :attr:`stream_chunk_rows` is set."""
         chunk = self.stream_chunk_rows
         if not chunk or len(table) <= chunk:
-            self.send(root, DataPacket(channel_id, table, final=True))
+            return [DataPacket(channel_id, table, final=True, seq=0)]
+        return [
+            DataPacket(
+                channel_id,
+                BindingTable(table.columns, table.rows[start : start + chunk]),
+                final=start + chunk >= len(table),
+                seq=index,
+            )
+            for index, start in enumerate(range(0, len(table), chunk))
+        ]
+
+    def _stream_packets(self, root: str, channel_id: str, packets: list) -> None:
+        """Ship result packets: immediately for a single packet, paced
+        by :attr:`stream_interval` for a chunk stream."""
+        if len(packets) == 1:
+            self.send(root, packets[0])
             return
         network = self._require_network()
-        batches = [
-            BindingTable(table.columns, table.rows[i : i + chunk])
-            for i in range(0, len(table), chunk)
-        ]
 
         def send_batch(index: int) -> None:
             if channel_id in self._cancelled_streams:
                 return  # the root changed plans: terminate this stream
-            final = index == len(batches) - 1
-            self.send(root, DataPacket(channel_id, batches[index], final=final))
-            if not final:
+            self.send(root, packets[index])
+            if index + 1 < len(packets):
                 network.call_later(self.stream_interval, lambda: send_batch(index + 1))
 
         send_batch(0)
+
+    def _remember_subplan(self, channel_id: str, payloads: list) -> None:
+        """Cache a completed subplan's replies for retransmit replay
+        (bounded FIFO so long-lived peers don't grow without limit)."""
+        self._subplan_replay[channel_id] = payloads
+        while len(self._subplan_replay) > self.subplan_replay_limit:
+            self._subplan_replay.pop(next(iter(self._subplan_replay)))
 
     def _local_cardinalities(self, packet: SubPlanPacket) -> Dict[str, int]:
         """Entailed statement counts for the subplan's properties in the
@@ -245,6 +290,11 @@ class Peer:
 
     def handle_StatsPacket(self, message: Message) -> None:
         """Base peers ignore statistics; coordinators override."""
+
+    def handle_Heartbeat(self, message: Message) -> None:
+        """Feed liveness beacons to the failure detector, if one runs."""
+        if self.failure_detector is not None:
+            self.failure_detector.beat(message.payload.sender)
 
     def handle_DeliveryFailure(self, message: Message) -> None:
         """A message we sent bounced: if it opened a channel, fail it."""

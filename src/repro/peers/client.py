@@ -30,6 +30,10 @@ class ClientPeer(Peer):
         super().__init__(peer_id, base=None)
         self.results: Dict[str, QueryResult] = {}
         self._counter = itertools.count(1)
+        #: resubmit policy when no result arrives (None: wait forever,
+        #: the seed behaviour); coordinators answer duplicate submits
+        #: idempotently, so resubmission is always safe
+        self.submit_retry = None
 
     def submit(
         self,
@@ -53,13 +57,34 @@ class ClientPeer(Peer):
             descending: Sort direction for ``order_by``.
         """
         query_id = f"{self.peer_id}-q{next(self._counter)}"
-        self.send(
-            via_peer,
-            QuerySubmit(
-                query_id, text, self.peer_id, max_peers, limit, order_by, descending
-            ),
+        submit = QuerySubmit(
+            query_id, text, self.peer_id, max_peers, limit, order_by, descending
         )
+        self.send(via_peer, submit)
+        if self.submit_retry is not None:
+            self._arm_resubmit(via_peer, submit, 1)
         return query_id
+
+    def _arm_resubmit(self, via_peer: str, submit: QuerySubmit, attempt: int) -> None:
+        network = self._require_network()
+        retry = self.submit_retry
+
+        def check() -> None:
+            if submit.query_id in self.results:
+                return
+            if retry.attempts_left(attempt + 1):
+                network.metrics.record_retry()
+                self.send(via_peer, submit)
+                self._arm_resubmit(via_peer, submit, attempt + 1)
+            else:
+                self.results.setdefault(
+                    submit.query_id,
+                    QueryResult(
+                        submit.query_id, None, f"no reply from {via_peer}"
+                    ),
+                )
+
+        network.call_later(retry.timeout(attempt), check)
 
     def handle_QueryResult(self, message: Message) -> None:
         result: QueryResult = message.payload

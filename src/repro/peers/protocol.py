@@ -41,14 +41,30 @@ class QuerySubmit:
 
 @dataclass(frozen=True)
 class QueryResult:
-    """Coordinator → client: the final answer (or an error)."""
+    """Coordinator → client: the final answer (or an error).
+
+    ``coverage`` is set when the answer is a graceful degradation: the
+    coordinator could not repair the plan for every path pattern and
+    returns what was answerable, annotated with exactly which patterns
+    made it (:class:`repro.resilience.partial.Coverage`).
+    """
 
     query_id: str
     table: Optional[BindingTable]
     error: Optional[str] = None
+    coverage: Optional[object] = None
+
+    @property
+    def is_partial(self) -> bool:
+        return self.coverage is not None and not self.coverage.is_complete
 
     def size_bytes(self) -> int:
-        return 64 + (self.table.size_bytes() if self.table is not None else len(self.error or ""))
+        size = 64 + (
+            self.table.size_bytes() if self.table is not None else len(self.error or "")
+        )
+        if self.coverage is not None:
+            size += self.coverage.size_bytes()
+        return size
 
 
 @dataclass(frozen=True)
@@ -123,12 +139,16 @@ class DelegatedResult:
     Carries the *raw* (unprojected) bindings so the root applies the
     original query's filters and projection; or an error when the
     receiving peer could not fill the plan's holes either.
+
+    ``token`` identifies the logical result so the root's outstanding-
+    delegation accounting survives duplicate deliveries.
     """
 
     query_id: str
     table: Optional[BindingTable]
     from_peer: str
     error: Optional[str] = None
+    token: str = ""
 
     def size_bytes(self) -> int:
         if self.table is None:
@@ -142,7 +162,9 @@ class PartialPlan:
 
     Carries a plan with holes plus coordination context (ad-hoc
     interleaved routing/processing, Section 3.2).  ``visited`` prevents
-    forwarding loops.
+    forwarding loops; ``token`` identifies the logical forward so a
+    receiver can tell a duplicate delivery (same token: already
+    answered, drop) from a fresh forward round (new token: decline).
     """
 
     query_id: str
@@ -152,6 +174,7 @@ class PartialPlan:
     reply_to: str
     visited: Tuple[str, ...] = ()
     conditions_text: str = ""
+    token: str = ""
 
     def size_bytes(self) -> int:
         return 160 + 96 * count_scans(self.plan) + 16 * len(self.visited)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Set
 from ..cache.coalescer import QueryCoalescer
 from ..cache.plan_cache import PlanCache
 from ..cache.routing_cache import RoutingCache
+from ..core.adaptivity import ReplanBudget
 from ..core.algebra import PlanNode
 from ..core.annotations import AnnotatedQueryPattern
 from ..core.constraints import QueryConstraints, UNCONSTRAINED, apply_peer_bound
@@ -30,6 +31,8 @@ from ..execution.engine import PlanExecutor
 from ..execution.operators import finalize
 from ..net.message import Message
 from ..rdf.schema import Schema
+from ..resilience.detector import PeerQuarantine
+from ..resilience.partial import Coverage, restrict_to_answerable
 from ..rql.ast import RQLQuery
 from ..rql.bindings import BindingTable
 from ..rql.parser import parse_query
@@ -70,6 +73,11 @@ class PendingQuery:
         #: scan-result cache carried across phases (phased policy only)
         self.scan_cache: Dict = {}
         self.reused_rows = 0
+        #: routing round-trips attempted (hybrid RouteRequest retries)
+        self.routing_attempts = 0
+        #: True while a RouteReply is awaited (stale/duplicate replies
+        #: and timeouts check against this)
+        self.awaiting_routing = False
 
 
 class SimplePeer(Peer):
@@ -149,6 +157,17 @@ class SimplePeer(Peer):
         #: the own-advertisement set the cache's entries were routed
         #: with; silent base drift is detected against it per query
         self._cached_own_ads: Optional[tuple] = None
+        #: resilience (repro.resilience) — all off by default so the
+        #: seed's omniscient-failure behaviour is reproduced exactly
+        self.quarantine = PeerQuarantine()
+        self.quarantine_enabled = False
+        self.partial_results = False
+        self.routing_retry = None
+        self.replan_budget: Optional[ReplanBudget] = None
+        #: answered queries remembered so duplicate QuerySubmits are
+        #: served idempotently instead of re-coordinated
+        self._completed: Dict[str, QueryResult] = {}
+        self.completed_query_limit = 128
 
     def join(self, network) -> None:
         super().join(network)
@@ -156,6 +175,39 @@ class SimplePeer(Peer):
             self.routing_cache.bind_metrics(network.metrics)
         if self.plan_cache is not None:
             self.plan_cache.bind_metrics(network.metrics)
+        # liveness control events keep the routing cache honest: cached
+        # annotations must never resurrect a peer known to be down
+        network.add_liveness_listener(self._on_liveness)
+
+    # ------------------------------------------------------------------
+    # liveness / suspicion
+    # ------------------------------------------------------------------
+    def _on_liveness(self, peer_id: str, alive: bool) -> None:
+        if peer_id == self.peer_id:
+            return
+        if alive:
+            self.quarantine.restore(peer_id)
+        elif self.routing_cache is not None:
+            self.routing_cache.invalidate_peer(peer_id)
+
+    def suspect_peer(self, peer_id: str) -> None:
+        """An observation (timeout, missed heartbeats, bounced channel)
+        says ``peer_id`` may be dead: invalidate its cached routing and,
+        when quarantine is on, exclude it from future routing."""
+        if peer_id == self.peer_id:
+            return
+        network = self._require_network()
+        network.metrics.record_suspicion()
+        if self.routing_cache is not None:
+            self.routing_cache.invalidate_peer(peer_id)
+        if self.quarantine_enabled:
+            self.quarantine.record_failure(peer_id)
+
+    def restore_peer(self, peer_id: str) -> None:
+        """The peer was heard from again: lift its quarantine and drop
+        routing entries computed while it was excluded."""
+        if self.quarantine.restore(peer_id) and self.routing_cache is not None:
+            self.routing_cache.invalidate_peer(peer_id)
 
     # ------------------------------------------------------------------
     # advertisements
@@ -275,6 +327,15 @@ class SimplePeer(Peer):
     def handle_QuerySubmit(self, message: Message) -> None:
         submit: QuerySubmit = message.payload
         network = self._require_network()
+        if submit.query_id in self._pending:
+            return  # duplicate delivery: the in-flight coordination answers
+        done = self._completed.get(submit.query_id)
+        if done is not None:
+            # duplicate of an already-answered query (client resubmit
+            # after a lost reply): resend the remembered result
+            if submit.reply_to != self.peer_id:
+                self.send(submit.reply_to, done)
+            return
         network.metrics.query_started(submit.query_id, network.now)
         try:
             query = parse_query(submit.text)
@@ -332,7 +393,7 @@ class SimplePeer(Peer):
         self._on_annotated(pending, annotated)
 
     def _on_annotated(self, pending: PendingQuery, annotated: AnnotatedQueryPattern) -> None:
-        annotated = annotated.without_peers(pending.excluded)
+        annotated = annotated.without_peers(self._excluded_for(pending))
         annotated = apply_peer_bound(annotated, pending.constraints, self.statistics)
         pending.annotated = annotated
         plan = self._compile(annotated)
@@ -354,13 +415,23 @@ class SimplePeer(Peer):
             self.plan_cache.put(annotated, plan, version)
         return plan
 
+    def _excluded_for(self, pending: PendingQuery) -> Set[str]:
+        """Peers excluded from this query's routing: those observed to
+        fail during it plus (when enabled) the quarantined ones."""
+        excluded = set(pending.excluded)
+        if self.quarantine_enabled:
+            excluded |= self.quarantine.peers
+        return excluded
+
     def _handle_incomplete(
         self, pending: PendingQuery, plan: PlanNode, annotated: AnnotatedQueryPattern
     ) -> None:
         """No peer is known for some path pattern.  Base behaviour:
-        give up (the ad-hoc subclass forwards partial plans instead)."""
+        give up — an error, or a coverage-annotated partial answer when
+        degradation is on (the ad-hoc subclass forwards partial plans
+        instead)."""
         holes = ", ".join(h.render() for h in plan.holes())
-        self._reply_error(pending, f"no relevant peers for: {holes}")
+        self._give_up(pending, f"no relevant peers for: {holes}")
 
     # ------------------------------------------------------------------
     # execution + adaptation
@@ -392,6 +463,7 @@ class SimplePeer(Peer):
             on_complete=on_complete,
             scan_cache=pending.scan_cache if self.failure_policy == "phased" else None,
             pipelined=self.pipelined_execution,
+            retry=self.channel_retry,
         )
         pending.executor.start()
         if self.monitor_channels and self.adaptive:
@@ -440,12 +512,14 @@ class SimplePeer(Peer):
         partial results, re-route and re-execute (Section 2.5)."""
         pending.excluded.add(failed_peer)
         pending.discarded_results += 1
+        self.suspect_peer(failed_peer)
         if pending.executor is not None:
             # ubQL: discard on-going computation; phased: salvage the
             # old phase's in-flight scan results into the cache
             pending.executor.abort()
-        if not self.adaptive or pending.attempts > self.max_replans:
-            self._reply_error(pending, f"peer {failed_peer} failed")
+        budget = self.replan_budget or ReplanBudget(self.max_replans)
+        if not self.adaptive or budget.exhausted(pending.attempts):
+            self._give_up(pending, f"peer {failed_peer} failed")
             return
         if self.failure_policy == "phased":
             # phase boundary: give the previous phase's completed
@@ -455,6 +529,13 @@ class SimplePeer(Peer):
                 self.phase_settle_time,
                 lambda: self._retry_if_pending(pending.query_id),
             )
+            return
+        delay = budget.delay(pending.attempts)
+        if delay > 0:
+            # back off before the next round: a failing region gets
+            # breathing room instead of a tight replan storm
+            network = self._require_network()
+            network.call_later(delay, lambda: self._retry_if_pending(pending.query_id))
         else:
             self._obtain_routing(pending)
 
@@ -483,6 +564,75 @@ class SimplePeer(Peer):
             )
 
     # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _give_up(self, pending: PendingQuery, reason: str) -> None:
+        """The adaptation loop cannot repair the query.  With
+        ``partial_results`` on, restrict the query to its still-
+        answerable path patterns and return that sub-answer annotated
+        with coverage metadata; otherwise report the error."""
+        if pending.query_id not in self._pending:
+            return
+        if not self.partial_results or pending.annotated is None:
+            self._reply_error(pending, reason)
+            return
+        excluded = self._excluded_for(pending)
+        available = pending.annotated.without_peers(excluded)
+        restricted = restrict_to_answerable(available)
+        if restricted is None:
+            self._reply_error(pending, reason)
+            return
+        coverage = Coverage(
+            answered=tuple(p.label for p in restricted.query_pattern),
+            unanswered=tuple(p.label for p in available.unannotated_patterns()),
+            excluded_peers=tuple(sorted(excluded)),
+            attempts=pending.attempts,
+        )
+        plan = self._compile(restricted)
+        if not plan.is_complete():
+            self._reply_error(pending, reason)
+            return
+
+        def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
+            if failed is not None:
+                # the degraded plan failed too: shrink further (the
+                # annotation set loses at least one peer per round, so
+                # this recursion is bounded)
+                pending.excluded.add(failed)
+                self.suspect_peer(failed)
+                self._give_up(pending, reason)
+            else:
+                assert table is not None
+                self._reply_partial(pending, table, coverage)
+
+        pending.annotated = restricted
+        pending.attempts += 1
+        pending.executor = PlanExecutor(
+            self,
+            self._require_network(),
+            plan,
+            query_id=pending.query_id,
+            on_complete=on_complete,
+            retry=self.channel_retry,
+        )
+        pending.executor.start()
+
+    def _reply_partial(
+        self, pending: PendingQuery, table: BindingTable, coverage: Coverage
+    ) -> None:
+        if pending.query_id not in self._pending:
+            return
+        network = self._require_network()
+        network.metrics.record_partial_result()
+        final = finalize(
+            table,
+            pending.query.effective_projections(),
+            pending.query.conditions,
+        )
+        final = pending.constraints.apply_result_bounds(final)
+        self._finish(pending, QueryResult(pending.query_id, final, coverage=coverage))
+
+    # ------------------------------------------------------------------
     # replies
     # ------------------------------------------------------------------
     def _reply_result(self, pending: PendingQuery, table: BindingTable) -> None:
@@ -503,6 +653,7 @@ class SimplePeer(Peer):
 
     def _finish(self, pending: PendingQuery, result: QueryResult) -> None:
         del self._pending[pending.query_id]
+        self._remember_completed(result)
         network = self._require_network()
         network.metrics.query_finished(pending.query_id, network.now)
         if pending.reply_to != self.peer_id:
@@ -513,11 +664,19 @@ class SimplePeer(Peer):
             return
         for follower in self._coalescer.complete(pending.query_id):
             network.metrics.query_finished(follower.query_id, network.now)
+            shared = QueryResult(
+                follower.query_id, result.table, result.error, result.coverage
+            )
+            self._remember_completed(shared)
             if follower.reply_to != self.peer_id:
-                self.send(
-                    follower.reply_to,
-                    QueryResult(follower.query_id, result.table, result.error),
-                )
+                self.send(follower.reply_to, shared)
+
+    def _remember_completed(self, result: QueryResult) -> None:
+        """Remember an answered query (bounded FIFO) so duplicate
+        submissions are replied to idempotently."""
+        self._completed[result.query_id] = result
+        while len(self._completed) > self.completed_query_limit:
+            self._completed.pop(next(iter(self._completed)))
 
     # ------------------------------------------------------------------
     # convenience

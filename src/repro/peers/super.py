@@ -17,6 +17,7 @@ from ..errors import PeerError
 from ..mappings.articulation import Articulation
 from ..net.message import Message
 from ..rdf.schema import Schema
+from ..resilience.detector import FailureDetector, PeerQuarantine
 from ..rvl.active_schema import ActiveSchema
 from .base import Peer
 from .protocol import Advertise, RouteReply, RouteRequest
@@ -70,12 +71,74 @@ class SuperPeer(Peer):
             for uri, schema in self.schemas.items()
         }
         self.articulations: List[Articulation] = []
+        #: resilience: suspected cluster members are kept out of route
+        #: replies until heard from again (off by default)
+        self.quarantine = PeerQuarantine()
+        self.quarantine_enabled = False
 
     def join(self, network) -> None:
         super().join(network)
         for index in self.indices.values():
             if index.cache is not None:
                 index.cache.bind_metrics(network.metrics)
+        # liveness control events keep the per-SON routing caches
+        # honest: entries must never resurrect a peer known to be down
+        network.add_liveness_listener(self._on_liveness)
+
+    # ------------------------------------------------------------------
+    # liveness / suspicion
+    # ------------------------------------------------------------------
+    def _on_liveness(self, peer_id: str, alive: bool) -> None:
+        if peer_id == self.peer_id:
+            return
+        if alive:
+            self.quarantine.restore(peer_id)
+        else:
+            self._invalidate_routing(peer_id)
+
+    def _invalidate_routing(self, peer_id: str) -> None:
+        for index in self.indices.values():
+            if index.cache is not None:
+                index.cache.invalidate_peer(peer_id)
+
+    def suspect_peer(self, peer_id: str) -> None:
+        """Quarantine a cluster member the failure detector suspects:
+        it disappears from route replies (the advertisement registry is
+        untouched, so a heartbeat restores it without re-advertising)."""
+        if peer_id == self.peer_id:
+            return
+        if self.network is not None:
+            self.network.metrics.record_suspicion()
+        self._invalidate_routing(peer_id)
+        if self.quarantine_enabled:
+            self.quarantine.record_failure(peer_id)
+
+    def restore_peer(self, peer_id: str) -> None:
+        self.quarantine.restore(peer_id)
+
+    def watch_cluster(
+        self, suspicion_timeout: float = 30.0, interval: float = 10.0
+    ) -> FailureDetector:
+        """Run a heartbeat failure detector over every registered
+        cluster member.  The caller drives it (``poll()`` per round, or
+        a bounded ``start(rounds)``); beats arrive automatically via
+        :meth:`handle_Heartbeat`."""
+        network = self.network
+        if network is None:
+            raise PeerError(f"super-peer {self.peer_id} has not joined a network")
+        detector = FailureDetector(
+            self.peer_id,
+            network,
+            suspicion_timeout=suspicion_timeout,
+            interval=interval,
+            on_suspect=self.suspect_peer,
+            on_restore=self.restore_peer,
+        )
+        for son in self.registry.values():
+            for peer_id in son:
+                detector.watch(peer_id)
+        self.failure_detector = detector
+        return detector
 
     def add_articulation(self, articulation: Articulation) -> None:
         """Register a mediation mapping.  The super-peer must manage
@@ -109,6 +172,11 @@ class SuperPeer(Peer):
         index = self.indices.get(advertisement.schema_uri)
         if index is not None:
             index.add(advertisement)
+        # a fresh advertisement is proof of life
+        self.quarantine.restore(advertisement.peer_id)
+        if self.failure_detector is not None:
+            self.failure_detector.watch(advertisement.peer_id)
+            self.failure_detector.beat(advertisement.peer_id)
 
     def deregister(self, peer_id: str) -> None:
         """Drop a departed peer's advertisements from every SON."""
@@ -116,6 +184,8 @@ class SuperPeer(Peer):
             son.pop(peer_id, None)
         for index in self.indices.values():
             index.remove(peer_id)
+        if self.failure_detector is not None:
+            self.failure_detector.unwatch(peer_id)
 
     def handle_Goodbye(self, message: Message) -> None:
         """A clustered peer departs: forget its advertisements."""
@@ -142,6 +212,10 @@ class SuperPeer(Peer):
         if self.is_responsible_for(schema_uri):
             annotated = self.indices[schema_uri].route(request.pattern)
             self._mediate(request, annotated)
+            if self.quarantine_enabled and len(self.quarantine):
+                # filter after the cache layer: entries stay unfiltered,
+                # so lifting a quarantine needs no invalidation
+                annotated = annotated.without_peers(self.quarantine.peers)
             self.send(request.requester, RouteReply(request.query_id, annotated))
             return
         # not responsible: discover the right super-peer via the backbone

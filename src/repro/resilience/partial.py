@@ -1,0 +1,92 @@
+"""Graceful degradation: coverage-annotated partial answers.
+
+When run-time adaptation cannot repair a plan — every provider of some
+path pattern is dead, quarantined or out of replan budget — aborting
+the whole query throws away the answerable part.  Following the
+semantic-loss line of work ("Managing Semantic Loss during Query
+Reformulation in PDMS"), the query root instead *restricts* the query
+to its answerable path patterns, executes that sub-plan, and returns
+the bindings together with a :class:`Coverage` record stating exactly
+which patterns were answered, which were dropped and which peers were
+excluded — an annotated partial answer rather than a failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.annotations import AnnotatedQueryPattern
+from ..rql.pattern import QueryPattern
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """Which parts of a query a (possibly partial) answer covers.
+
+    Attributes:
+        answered: Labels of the path patterns the answer covers.
+        unanswered: Labels of the path patterns dropped from the plan.
+        excluded_peers: Peers excluded as failed/suspected.
+        attempts: Execution attempts spent before degrading.
+    """
+
+    answered: Tuple[str, ...]
+    unanswered: Tuple[str, ...] = ()
+    excluded_peers: Tuple[str, ...] = ()
+    attempts: int = 1
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.unanswered
+
+    @property
+    def ratio(self) -> float:
+        total = len(self.answered) + len(self.unanswered)
+        return len(self.answered) / total if total else 0.0
+
+    def size_bytes(self) -> int:
+        return 16 + 8 * (
+            len(self.answered) + len(self.unanswered) + len(self.excluded_peers)
+        )
+
+    def describe(self) -> str:
+        if self.is_complete:
+            return f"complete ({len(self.answered)} patterns)"
+        return (
+            f"partial {len(self.answered)}/{len(self.answered) + len(self.unanswered)} "
+            f"patterns; missing {', '.join(self.unanswered)}; "
+            f"excluded {', '.join(self.excluded_peers) or '-'}"
+        )
+
+
+def full_coverage(annotated: AnnotatedQueryPattern, attempts: int = 1) -> Coverage:
+    """A coverage record for a fully answered query."""
+    return Coverage(
+        answered=tuple(p.label for p in annotated.query_pattern),
+        attempts=attempts,
+    )
+
+
+def restrict_to_answerable(
+    annotated: AnnotatedQueryPattern,
+) -> Optional[AnnotatedQueryPattern]:
+    """The sub-query restricted to annotated path patterns.
+
+    Returns a new :class:`AnnotatedQueryPattern` over a new
+    :class:`QueryPattern` keeping only the patterns that still have at
+    least one relevant peer (in original FROM order, so the spanning
+    tree is rebuilt over the survivors), or ``None`` when no pattern is
+    answerable at all.
+    """
+    kept = [p for p in annotated.query_pattern if annotated.annotations(p)]
+    if not kept:
+        return None
+    if len(kept) == len(annotated.query_pattern.patterns):
+        return annotated
+    source = annotated.query_pattern
+    restricted_pattern = QueryPattern(kept, source.projections, source.schema)
+    restricted = AnnotatedQueryPattern(restricted_pattern)
+    for pattern in kept:
+        restricted.extend_trusted(pattern, annotated.annotations(pattern))
+    return restricted

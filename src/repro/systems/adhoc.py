@@ -17,6 +17,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.adaptivity import ReplanBudget
 from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
 from ..core.algebra import PlanNode, Scan
 from ..core.cost import Statistics
@@ -34,6 +35,7 @@ from ..peers.protocol import (
 from ..peers.simple import PendingQuery, SimplePeer
 from ..rdf.graph import Graph
 from ..rdf.schema import Schema
+from ..resilience import ResilienceConfig
 from ..rql.bindings import BindingTable
 from ..rql.pattern import QueryPattern
 
@@ -68,10 +70,23 @@ class AdhocPeer(SimplePeer):
         self.max_discovery_depth = max_discovery_depth
         self.discovery_settle_time = discovery_settle_time
         self.dht = dht
+        #: deadline on one round of delegated forwards (None: wait
+        #: forever, the seed behaviour); on expiry the root deepens
+        #: discovery as if every branch had declined
+        self.delegation_timeout: Optional[float] = None
         self._discovery_depth: Dict[str, int] = {}  # per query id
         self._dht_attempted: Set[str] = set()  # query ids
         self._delegations: Dict[str, int] = {}  # outstanding forwards
+        self._delegation_rounds: Dict[str, int] = {}  # deadline guard
         self._seen_partials: Set[Tuple[str, str]] = set()  # (query, my role) guard
+        self._handled_partials: Set[str] = set()  # forward-token dedup
+        self._seen_delegated: Dict[str, Set[str]] = {}  # result-token dedup
+        self._tokens = itertools.count(1)
+
+    def _new_token(self) -> str:
+        """A deployment-unique id for one logical message, so receivers
+        can drop network-duplicated deliveries of it."""
+        return f"{self.peer_id}:{next(self._tokens)}"
 
     # ------------------------------------------------------------------
     # joining: pull the neighbourhood's advertisements
@@ -118,6 +133,8 @@ class AdhocPeer(SimplePeer):
             self._deepen_or_fail(pending)
             return
         self._delegations[pending.query_id] = len(candidates)
+        round_no = self._delegation_rounds.get(pending.query_id, 0) + 1
+        self._delegation_rounds[pending.query_id] = round_no
         for candidate in candidates:
             self.send(
                 candidate,
@@ -128,8 +145,31 @@ class AdhocPeer(SimplePeer):
                     root_peer=self.peer_id,
                     reply_to=self.peer_id,
                     visited=(self.peer_id,),
+                    token=self._new_token(),
                 ),
             )
+        if self.delegation_timeout is not None:
+            self._require_network().call_later(
+                self.delegation_timeout,
+                lambda: self._delegation_deadline(pending.query_id, round_no),
+            )
+
+    def _delegation_deadline(self, query_id: str, round_no: int) -> None:
+        """One round of forwards went unanswered for too long (crashed
+        delegates, lost results): stop waiting and deepen discovery as
+        if every outstanding branch had declined.  Late answers are
+        still accepted — first winner takes the query either way."""
+        pending = self._pending.get(query_id)
+        if pending is None:
+            return  # answered in the meantime
+        if self._delegation_rounds.get(query_id) != round_no:
+            return  # a newer round of forwards superseded this deadline
+        if query_id not in self._delegations:
+            return  # every branch already reported back
+        self._delegations.pop(query_id, None)
+        if self.network is not None:
+            self.network.metrics.record_retry()
+        self._deepen_or_fail(pending)
 
     def _forward_candidates(
         self, annotated: AnnotatedQueryPattern, visited: Set[str]
@@ -149,7 +189,9 @@ class AdhocPeer(SimplePeer):
                 return
         depth = self._discovery_depth.get(pending.query_id, 1) + 1
         if depth > self.max_discovery_depth:
-            self._reply_error(pending, "no relevant peers within discovery depth")
+            # discovery exhausted: degrade to whatever this peer can
+            # answer itself (partial results, when enabled) or error out
+            self._give_up(pending, "no relevant peers within discovery depth")
             return
         self._discovery_depth[pending.query_id] = depth
         self.discover_neighbourhood(depth)
@@ -183,6 +225,15 @@ class AdhocPeer(SimplePeer):
     # ------------------------------------------------------------------
     def handle_PartialPlan(self, message: Message) -> None:
         partial: PartialPlan = message.payload
+        # duplicate delivery of the same forward (network duplication):
+        # the first copy already produced exactly one DelegatedResult,
+        # so answering again would corrupt the root's outstanding-
+        # branches accounting — drop silently.  A fresh forward round
+        # carries a fresh token and still gets its decline below.
+        if partial.token:
+            if partial.token in self._handled_partials:
+                return
+            self._handled_partials.add(partial.token)
         guard = (partial.query_id, self.peer_id)
         if guard in self._seen_partials:
             self._decline(partial)
@@ -215,6 +266,7 @@ class AdhocPeer(SimplePeer):
                     root_peer=partial.root_peer,
                     reply_to=partial.reply_to,
                     visited=tuple(sorted(visited)),
+                    token=self._new_token(),
                 ),
             )
         # this peer neither completed nor declined: the forwards replace
@@ -227,6 +279,7 @@ class AdhocPeer(SimplePeer):
                     None,
                     self.peer_id,
                     error=f"forwarded:{len(candidates) - 1}",
+                    token=self._new_token(),
                 ),
             )
 
@@ -264,21 +317,34 @@ class AdhocPeer(SimplePeer):
 
         def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
             if failed is not None:
+                self.suspect_peer(failed)
                 self.send(
                     partial.reply_to,
                     DelegatedResult(
-                        partial.query_id, None, self.peer_id, error=f"peer {failed} failed"
+                        partial.query_id,
+                        None,
+                        self.peer_id,
+                        error=f"peer {failed} failed",
+                        token=self._new_token(),
                     ),
                 )
             else:
                 assert table is not None
                 self.send(
                     partial.reply_to,
-                    DelegatedResult(partial.query_id, table, self.peer_id),
+                    DelegatedResult(
+                        partial.query_id, table, self.peer_id,
+                        token=self._new_token(),
+                    ),
                 )
 
         executor = PlanExecutor(
-            self, network, plan, query_id=partial.query_id, on_complete=on_complete
+            self,
+            network,
+            plan,
+            query_id=partial.query_id,
+            on_complete=on_complete,
+            retry=self.channel_retry,
         )
         executor.start()
 
@@ -286,7 +352,11 @@ class AdhocPeer(SimplePeer):
         self.send(
             partial.reply_to,
             DelegatedResult(
-                partial.query_id, None, self.peer_id, error="cannot complete plan"
+                partial.query_id,
+                None,
+                self.peer_id,
+                error="cannot complete plan",
+                token=self._new_token(),
             ),
         )
 
@@ -298,9 +368,16 @@ class AdhocPeer(SimplePeer):
         pending = self._pending.get(result.query_id)
         if pending is None:
             return  # already answered: first winner took it
+        if result.token:
+            # a network-duplicated outcome must count exactly once
+            seen = self._seen_delegated.setdefault(result.query_id, set())
+            if result.token in seen:
+                return
+            seen.add(result.token)
         if result.table is not None:
             self._reply_result(pending, result.table)
             self._delegations.pop(result.query_id, None)
+            self._seen_delegated.pop(result.query_id, None)
             return
         outstanding = self._delegations.get(result.query_id, 0)
         if result.error and result.error.startswith("forwarded:"):
@@ -340,11 +417,41 @@ class AdhocSystem:
         self.peers: Dict[str, AdhocPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
         self._client_counter = itertools.count(1)
+        #: set by :meth:`enable_resilience`; later-added peers inherit it
+        self.resilience: Optional[ResilienceConfig] = None
         self.dht = None
         if use_dht:
             from ..dht import ChordRing, SchemaDHT
 
             self.dht = SchemaDHT(ChordRing(), schema)
+
+    # ------------------------------------------------------------------
+    # resilience
+    # ------------------------------------------------------------------
+    def enable_resilience(
+        self, config: Optional[ResilienceConfig] = None
+    ) -> ResilienceConfig:
+        """Turn the resilience layer on deployment-wide.  The ad-hoc
+        architecture has no routing servers to run a failure detector
+        on; its suspicion signal comes from channel timeouts and the
+        delegation deadline instead."""
+        config = config or ResilienceConfig.default()
+        self.resilience = config
+        for peer in self.peers.values():
+            self._apply_resilience_peer(peer)
+        for client in self.clients.values():
+            client.submit_retry = config.client_retry
+        return config
+
+    def _apply_resilience_peer(self, peer: "AdhocPeer") -> None:
+        config = self.resilience
+        peer.channel_retry = config.channel_retry
+        peer.quarantine_enabled = config.quarantine_enabled
+        peer.partial_results = config.partial_results
+        peer.delegation_timeout = config.delegation_timeout
+        peer.replan_budget = ReplanBudget(
+            config.max_replans, config.replan_delay, config.replan_backoff
+        )
 
     def add_peer(
         self,
@@ -364,6 +471,8 @@ class AdhocSystem:
         )
         peer.join(self.network)
         self.peers[peer_id] = peer
+        if self.resilience is not None:
+            self._apply_resilience_peer(peer)
         if self.dht is not None:
             advertisement = peer.own_advertisement()
             if advertisement is not None:
@@ -377,6 +486,8 @@ class AdhocSystem:
         client = ClientPeer(peer_id)
         client.join(self.network)
         self.clients[peer_id] = client
+        if self.resilience is not None:
+            client.submit_retry = self.resilience.client_retry
         return client
 
     def discover_all(self, depth: int = 1) -> None:

@@ -14,10 +14,12 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Iterable, Optional, Sequence
 
+from ..core.adaptivity import ReplanBudget
 from ..core.cost import Statistics
 from ..errors import PeerError
 from ..net.message import Message
 from ..net.simulator import Network
+from ..resilience import HeartbeatEmitter, ResilienceConfig
 from ..peers.base import PeerBase
 from ..peers.client import ClientPeer
 from ..peers.protocol import Advertise, RouteReply, RouteRequest
@@ -63,10 +65,41 @@ class HybridPeer(SimplePeer):
         """Phase 1: ask the super-peer backbone for the annotation —
         the super-peer of the query's schema, when this peer knows it."""
         target = self._home_for(pending.pattern.schema.namespace.uri)
+        pending.awaiting_routing = True
+        pending.routing_attempts += 1
         self.send(
             target,
             RouteRequest(pending.query_id, pending.pattern, self.peer_id),
         )
+        if self.routing_retry is not None:
+            self._arm_routing_timeout(
+                pending.query_id, target, pending.routing_attempts, 1
+            )
+
+    def _arm_routing_timeout(
+        self, query_id: str, target: str, round_no: int, attempt: int
+    ) -> None:
+        """Deadline for one RouteRequest attempt: resend with backoff
+        while the budget lasts, then give up on the routing phase (the
+        super-peer is unreachable — degrade or error)."""
+        network = self._require_network()
+        retry = self.routing_retry
+
+        def check() -> None:
+            pending = self._pending.get(query_id)
+            if pending is None or not pending.awaiting_routing:
+                return
+            if pending.routing_attempts != round_no:
+                return  # a replan already started a newer routing round
+            if retry.attempts_left(attempt + 1):
+                network.metrics.record_retry()
+                self.send(target, RouteRequest(query_id, pending.pattern, self.peer_id))
+                self._arm_routing_timeout(query_id, target, round_no, attempt + 1)
+            else:
+                self.suspect_peer(target)
+                self._give_up(pending, f"routing via {target} timed out")
+
+        network.call_later(retry.timeout(attempt), check)
 
     def handle_RouteReply(self, message: Message) -> None:
         """Phase 2: generate the plan and execute it."""
@@ -74,6 +107,9 @@ class HybridPeer(SimplePeer):
         pending = self._pending.get(reply.query_id)
         if pending is None:
             return  # stale reply for an already-answered query
+        if not pending.awaiting_routing:
+            return  # duplicate delivery of a reply already acted on
+        pending.awaiting_routing = False
         self._on_annotated(pending, reply.annotated)
 
 
@@ -109,6 +145,48 @@ class HybridSystem:
         self.clients: Dict[str, ClientPeer] = {}
         self._backbone_directory: Dict[str, str] = {}
         self._client_counter = itertools.count(1)
+        #: set by :meth:`enable_resilience`; later-added peers inherit it
+        self.resilience: Optional[ResilienceConfig] = None
+        self.heartbeat_emitters: Dict[str, HeartbeatEmitter] = {}
+
+    # ------------------------------------------------------------------
+    # resilience
+    # ------------------------------------------------------------------
+    def enable_resilience(
+        self, config: Optional[ResilienceConfig] = None
+    ) -> ResilienceConfig:
+        """Turn the resilience layer on deployment-wide: channel and
+        routing retries, client resubmits, quarantine-filtered routing,
+        partial results, and a heartbeat failure detector per
+        super-peer (drive it with
+        :func:`~repro.resilience.harness.heartbeat_round`)."""
+        config = config or ResilienceConfig.default()
+        self.resilience = config
+        for super_peer in self.super_peers.values():
+            self._apply_resilience_super(super_peer)
+        for peer in self.peers.values():
+            self._apply_resilience_peer(peer)
+        for client in self.clients.values():
+            client.submit_retry = config.client_retry
+        return config
+
+    def _apply_resilience_peer(self, peer: "HybridPeer") -> None:
+        config = self.resilience
+        peer.channel_retry = config.channel_retry
+        peer.routing_retry = config.routing_retry
+        peer.quarantine_enabled = config.quarantine_enabled
+        peer.partial_results = config.partial_results
+        peer.replan_budget = ReplanBudget(
+            config.max_replans, config.replan_delay, config.replan_backoff
+        )
+        self.heartbeat_emitters[peer.peer_id] = HeartbeatEmitter(
+            peer, peer._advertisement_targets(), interval=config.heartbeat_interval
+        )
+
+    def _apply_resilience_super(self, super_peer: SuperPeer) -> None:
+        config = self.resilience
+        super_peer.quarantine_enabled = config.quarantine_enabled
+        super_peer.watch_cluster(config.suspicion_timeout, config.heartbeat_interval)
 
     # ------------------------------------------------------------------
     # construction
@@ -124,6 +202,8 @@ class HybridSystem:
         )
         super_peer.join(self.network)
         self.super_peers[peer_id] = super_peer
+        if self.resilience is not None:
+            self._apply_resilience_super(super_peer)
         return super_peer
 
     def add_peer(
@@ -162,6 +242,8 @@ class HybridSystem:
         )
         peer.join(self.network)
         self.peers[peer_id] = peer
+        if self.resilience is not None:
+            self._apply_resilience_peer(peer)
         return peer
 
     def add_client(self, peer_id: Optional[str] = None) -> ClientPeer:
@@ -169,6 +251,8 @@ class HybridSystem:
         client = ClientPeer(peer_id)
         client.join(self.network)
         self.clients[peer_id] = client
+        if self.resilience is not None:
+            client.submit_retry = self.resilience.client_retry
         return client
 
     @classmethod

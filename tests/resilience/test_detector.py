@@ -1,0 +1,126 @@
+"""Tests for failure detection (repro.resilience.detector)."""
+
+import pytest
+
+from repro.net import Network
+from repro.resilience import FailureDetector, PeerQuarantine
+
+
+@pytest.fixture
+def network():
+    return Network(seed=0, default_latency=1.0, default_cost_per_byte=0.0)
+
+
+def advance(network, dt):
+    network.call_later(dt, lambda: None)
+    network.run()
+
+
+class TestPeerQuarantine:
+    def test_trips_after_threshold(self):
+        quarantine = PeerQuarantine(trip_threshold=2)
+        assert not quarantine.record_failure("P1")
+        assert quarantine.record_failure("P1")
+        assert "P1" in quarantine
+        assert quarantine.peers == {"P1"}
+
+    def test_restore_closes_and_resets(self):
+        quarantine = PeerQuarantine(trip_threshold=2)
+        quarantine.record_failure("P1")
+        quarantine.record_failure("P1")
+        assert quarantine.restore("P1")
+        assert "P1" not in quarantine
+        # the failure count restarted from zero
+        assert not quarantine.record_failure("P1")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerQuarantine(trip_threshold=0)
+
+
+class TestFailureDetector:
+    def test_silent_peer_suspected(self, network):
+        events = []
+        detector = FailureDetector(
+            "SP", network, suspicion_timeout=30.0, on_suspect=events.append
+        )
+        detector.watch("P1")
+        detector.watch("P2")
+        advance(network, 100.0)
+        detector.beat("P1")  # P1 heard from, P2 silent
+        assert detector.poll() == {"P2"}
+        assert events == ["P2"]
+        assert detector.suspected == {"P2"}
+
+    def test_suspicion_is_watermark_relative(self, network):
+        """A bursty cadence must not suspect live peers: everyone lags
+        the clock, but nobody lags the freshest observation."""
+        detector = FailureDetector("SP", network, suspicion_timeout=30.0)
+        detector.watch("P1")
+        detector.watch("P2")
+        advance(network, 500.0)  # a long quiet gap, then a beat round
+        detector.beat("P1")
+        detector.beat("P2")
+        assert detector.poll() == set()
+
+    def test_beat_restores_with_callback(self, network):
+        restored = []
+        detector = FailureDetector(
+            "SP", network, suspicion_timeout=10.0, on_restore=restored.append
+        )
+        detector.watch("P1")
+        detector.watch("P2")
+        advance(network, 50.0)
+        detector.beat("P2")
+        detector.poll()
+        assert detector.suspected == {"P1"}
+        detector.beat("P1")
+        assert detector.suspected == set()
+        assert restored == ["P1"]
+
+    def test_suspect_fires_once_per_transition(self, network):
+        events = []
+        detector = FailureDetector(
+            "SP", network, suspicion_timeout=10.0, on_suspect=events.append
+        )
+        detector.watch("P1")
+        detector.watch("P2")
+        advance(network, 50.0)
+        detector.beat("P2")
+        detector.poll()
+        detector.poll()
+        assert events == ["P1"]
+
+    def test_unwatch_forgets(self, network):
+        detector = FailureDetector("SP", network, suspicion_timeout=10.0)
+        detector.watch("P1")
+        detector.watch("P2")
+        advance(network, 50.0)
+        detector.beat("P2")
+        detector.unwatch("P1")
+        assert detector.poll() == set()
+        assert detector.watched() == {"P2"}
+
+    def test_bounded_self_scheduling(self, network):
+        """start(rounds) polls periodically and still quiesces."""
+        events = []
+        detector = FailureDetector(
+            "SP",
+            network,
+            suspicion_timeout=5.0,
+            interval=10.0,
+            on_suspect=events.append,
+        )
+        detector.watch("P1")
+        detector.watch("P2")
+        detector.beat("P2")
+        advance(network, 20.0)
+        detector.beat("P2")  # P2 keeps beating, P1 never does
+        detector.start(rounds=3)
+        network.run()
+        assert events == ["P1"]
+        assert network.now == pytest.approx(50.0)
+
+    def test_validation(self, network):
+        with pytest.raises(ValueError):
+            FailureDetector("SP", network, suspicion_timeout=0.0)

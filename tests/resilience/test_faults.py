@@ -1,0 +1,150 @@
+"""Tests for fault injection (repro.resilience.faults) and its
+integration with the network simulator."""
+
+import pytest
+
+from repro.net import Message, Network
+from repro.resilience import CrashEvent, FaultInjector, FaultPlan, LinkPartition
+
+
+class Echo:
+    def __init__(self, peer_id):
+        self.peer_id = peer_id
+        self.received = []
+
+    def receive(self, message, network):
+        self.received.append((network.now, message))
+
+
+def pair(plan=None, seed=7):
+    network = Network(seed=seed, default_latency=1.0, default_cost_per_byte=0.0)
+    a, b = Echo("A"), Echo("B")
+    network.register(a)
+    network.register(b)
+    if plan is not None:
+        network.install_faults(plan)
+    return network, a, b
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_rate=1.5).validate()
+        with pytest.raises(ValueError):
+            FaultPlan(jitter=-1.0).validate()
+        FaultPlan(drop_rate=0.5, duplicate_rate=0.1).validate()
+
+    def test_injector_decisions_replay(self):
+        plan = FaultPlan(seed=3, drop_rate=0.3, duplicate_rate=0.3, jitter=2.0)
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)
+        decisions = [
+            (first.drops(None), first.duplicates(None), first.extra_delay())
+            for _ in range(50)
+        ]
+        replayed = [
+            (second.drops(None), second.duplicates(None), second.extra_delay())
+            for _ in range(50)
+        ]
+        assert decisions == replayed
+        assert first.dropped > 0 and first.duplicated > 0
+
+    def test_partition_window(self):
+        partition = LinkPartition(
+            frozenset({"A"}), frozenset({"B"}), start=10.0, end=20.0
+        )
+        assert not partition.cuts("A", "B", 5.0)
+        assert partition.cuts("A", "B", 10.0)
+        assert partition.cuts("B", "A", 15.0)  # symmetric
+        assert not partition.cuts("A", "B", 20.0)
+        assert not partition.cuts("A", "C", 15.0)
+
+
+class TestNetworkFaults:
+    def test_loss_drops_messages_and_meters_them(self):
+        network, _, b = pair(FaultPlan(seed=1, drop_rate=1.0))
+        network.send(Message("A", "B", "x"))
+        network.run()
+        assert b.received == []
+        assert network.metrics.dropped_messages == 1
+
+    def test_duplication_delivers_twice(self):
+        network, _, b = pair(FaultPlan(seed=1, duplicate_rate=1.0))
+        network.send(Message("A", "B", "x"))
+        network.run()
+        assert len(b.received) == 2
+        assert network.metrics.duplicated_messages == 1
+
+    def test_jitter_delays_delivery(self):
+        network, _, b = pair(FaultPlan(seed=1, jitter=5.0))
+        network.send(Message("A", "B", "x"))
+        network.run()
+        (when, _), = b.received
+        assert 1.0 <= when <= 6.0
+
+    def test_partition_silently_cuts_link(self):
+        plan = FaultPlan(
+            partitions=(
+                LinkPartition(frozenset({"A"}), frozenset({"B"}), 0.0, 10.0),
+            )
+        )
+        network, a, b = pair(plan)
+        network.send(Message("A", "B", "x"))
+        network.run()
+        assert b.received == []
+        assert a.received == []  # no omniscient bounce
+        # after the window the link heals
+        network.call_later(12.0 - network.now, lambda: None)
+        network.run()
+        network.send(Message("A", "B", "y"))
+        network.run()
+        assert len(b.received) == 1
+
+    def test_crash_schedule_fires(self):
+        plan = FaultPlan(crashes=(CrashEvent(at=5.0, peer_id="B", recover_at=9.0),))
+        network, _, b = pair(plan)
+        transitions = []
+        network.add_liveness_listener(
+            lambda peer_id, alive: transitions.append((network.now, peer_id, alive))
+        )
+        network.run()
+        assert transitions == [(5.0, "B", False), (9.0, "B", True)]
+        assert not network.is_down("B")
+
+    def test_down_peer_drops_silently_without_omniscience(self):
+        network, a, b = pair(FaultPlan())
+        network.fail_peer("B")
+        network.send(Message("A", "B", "x"))
+        network.run()
+        assert b.received == []
+        assert a.received == []  # sender not told: must time out instead
+        assert network.metrics.dropped_messages == 1
+
+    def test_omniscient_plan_keeps_legacy_bounces(self):
+        network, a, b = pair(FaultPlan(omniscient=True))
+        network.fail_peer("B")
+        network.send(Message("A", "B", "x"))
+        network.run()
+        assert b.received == []
+        assert len(a.received) == 1  # DeliveryFailure bounce
+
+    def test_bounces_are_metered(self):
+        network, a, _ = pair(FaultPlan(omniscient=True))
+        network.fail_peer("B")
+        before = network.metrics.messages_total
+        network.send(Message("A", "B", "x"))
+        network.run()
+        # the request AND its DeliveryFailure bounce both count
+        assert network.metrics.messages_total == before + 2
+
+    def test_same_seed_same_delivery_trace(self):
+        def trace():
+            network, _, b = pair(
+                FaultPlan(seed=5, drop_rate=0.3, duplicate_rate=0.2, jitter=1.0)
+            )
+            for index in range(30):
+                network.send(Message("A", "B", f"m{index}"))
+            network.run()
+            return [(when, message.payload) for when, message in b.received]
+
+        assert trace() == trace()

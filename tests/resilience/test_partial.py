@@ -1,0 +1,69 @@
+"""Tests for graceful degradation (repro.resilience.partial)."""
+
+import pytest
+
+from repro.core import route_query
+from repro.resilience import Coverage, full_coverage, restrict_to_answerable
+from repro.workloads.paper import (
+    paper_active_schemas,
+    paper_query_pattern,
+    paper_schema,
+)
+
+
+@pytest.fixture
+def schema():
+    return paper_schema()
+
+
+@pytest.fixture
+def annotated(schema):
+    pattern = paper_query_pattern(schema)
+    return route_query(pattern, paper_active_schemas(schema).values(), schema)
+
+
+class TestCoverage:
+    def test_complete(self):
+        coverage = Coverage(answered=("Q1", "Q2"))
+        assert coverage.is_complete
+        assert coverage.ratio == 1.0
+        assert "complete" in coverage.describe()
+
+    def test_partial(self):
+        coverage = Coverage(
+            answered=("Q1",), unanswered=("Q2",), excluded_peers=("P5",), attempts=3
+        )
+        assert not coverage.is_complete
+        assert coverage.ratio == 0.5
+        description = coverage.describe()
+        assert "Q2" in description and "P5" in description
+
+    def test_full_coverage_helper(self, annotated):
+        coverage = full_coverage(annotated, attempts=2)
+        assert coverage.is_complete
+        assert len(coverage.answered) == len(annotated.query_pattern.patterns)
+        assert coverage.attempts == 2
+
+
+class TestRestrictToAnswerable:
+    def test_fully_annotated_returned_unchanged(self, annotated):
+        assert restrict_to_answerable(annotated) is annotated
+
+    def test_restricts_to_surviving_patterns(self, annotated):
+        # kill every provider of Q2 (P1, P3, P4) — Q1 survives via P2
+        reduced = annotated.without_peers({"P1", "P3", "P4"})
+        restricted = restrict_to_answerable(reduced)
+        assert restricted is not None
+        labels = [p.label for p in restricted.query_pattern]
+        assert len(labels) == len(annotated.query_pattern.patterns) - 1
+        for pattern in restricted.query_pattern:
+            assert restricted.annotations(pattern)
+        # projections survive so the answer stays schema-compatible
+        assert (
+            restricted.query_pattern.projections
+            == annotated.query_pattern.projections
+        )
+
+    def test_nothing_answerable_returns_none(self, annotated):
+        reduced = annotated.without_peers(set(annotated.all_peers()))
+        assert restrict_to_answerable(reduced) is None

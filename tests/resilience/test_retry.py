@@ -1,0 +1,64 @@
+"""Tests for retry policies (repro.resilience.retry)."""
+
+import pytest
+
+from repro.resilience import RetryPolicy, stable_seed
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("P1", 7) == stable_seed("P1", 7)
+
+    def test_varies_with_parts(self):
+        assert stable_seed("P1", 7) != stable_seed("P2", 7)
+        assert stable_seed("P1", 7) != stable_seed("P1", 8)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(max_attempts=4, base_timeout=10.0, backoff=2.0)
+        assert policy.timeout(1) == 10.0
+        assert policy.timeout(2) == 20.0
+        assert policy.timeout(3) == 40.0
+
+    def test_timeout_capped(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_timeout=10.0, backoff=10.0, max_timeout=50.0
+        )
+        assert policy.timeout(5) == 50.0
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3, base_timeout=1.0)
+        assert policy.attempts_left(1)
+        assert policy.attempts_left(3)
+        assert not policy.attempts_left(4)
+
+    def test_attempts_are_one_based(self):
+        policy = RetryPolicy(max_attempts=3, base_timeout=1.0)
+        with pytest.raises(ValueError):
+            policy.timeout(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_timeout=0.0)
+
+    def test_jitter_bounded_and_deterministic(self):
+        first = RetryPolicy(max_attempts=3, base_timeout=10.0, jitter=0.2, seed=5)
+        second = RetryPolicy(max_attempts=3, base_timeout=10.0, jitter=0.2, seed=5)
+        deadlines = [first.timeout(1) for _ in range(10)]
+        assert deadlines == [second.timeout(1) for _ in range(10)]
+        assert all(10.0 <= d <= 12.0 for d in deadlines)
+        assert len(set(deadlines)) > 1  # jitter actually varies
+
+    def test_for_peer_derives_distinct_streams(self):
+        base = RetryPolicy(max_attempts=3, base_timeout=10.0, jitter=0.5)
+        p1 = base.for_peer("P1")
+        p2 = base.for_peer("P2")
+        assert p1.max_attempts == base.max_attempts
+        seq1 = [p1.timeout(1) for _ in range(5)]
+        seq2 = [p2.timeout(1) for _ in range(5)]
+        assert seq1 != seq2
+        replay = base.for_peer("P1")
+        assert seq1 == [replay.timeout(1) for _ in range(5)]
