@@ -136,7 +136,16 @@ def report() -> str:
         ),
         rows,
     )
-    return write_report("chaos", text)
+    return write_report(
+        "chaos",
+        text,
+        params={
+            "seed": 7,
+            "queries": 8,
+            "loss_rates": [0.0, 0.10, 0.20],
+            "crash_victim": VICTIM,
+        },
+    )
 
 
 # ----------------------------------------------------------------------

@@ -41,7 +41,12 @@ def report() -> str:
         "routing happens exclusively at super-peers and yields complete plans; "
         "only relevant peers receive the query",
     ) + format_table(("item", "paper", "measured"), rows)
-    return write_report("fig6", text)
+    return write_report(
+        "fig6",
+        text,
+        params={"architecture": "hybrid", "query": "PAPER_QUERY", "queries": 1},
+        metrics=system.network.metrics.summary(),
+    )
 
 
 def bench_hybrid_end_to_end(benchmark):

@@ -67,7 +67,12 @@ def report() -> str:
         "peers interleave routing and processing; the first peer filling all "
         "holes executes the plan and returns results to the root",
     ) + format_table(("item", "paper", "measured"), rows)
-    return write_report("fig7", text)
+    return write_report(
+        "fig7",
+        text,
+        params={"architecture": "adhoc", "query": "PAPER_QUERY", "queries": 1},
+        metrics=system.network.metrics.summary(),
+    )
 
 
 def bench_adhoc_end_to_end(benchmark):

@@ -1,0 +1,216 @@
+"""Experiment obs-overhead — cost of default-on observability.
+
+Tracing and histogram metrics are on by default (``observability=True``
+on every system).  Two properties keep that defensible:
+
+* **Zero perturbation** — trace contexts ride messages as uncharged
+  simulator metadata, so enabling tracing changes *no* simulated
+  quantity: message counts, byte totals, answer rows and virtual-time
+  latencies are bit-identical with the recorder on or off.  Asserted
+  here, not assumed.
+* **Bounded wall-clock overhead** — the disabled path goes through
+  no-op ``NULL_TRACER``/``NULL_SPAN`` singletons; the enabled path
+  mints real spans and feeds stage histograms.  This experiment times
+  the Figure 6 hybrid experiment — deployment build plus the paper
+  query, the run that traces every stage including subsumption and
+  optimiser rewrites — both ways.  The estimator is built for noisy
+  shared runners: **CPU time** (``time.process_time``, so preemption
+  by sibling load is never charged), garbage collection forced before
+  and disabled during each batch (GC pauses otherwise land lumpily on
+  whichever batch trips the allocation threshold), modes alternating
+  batch-by-batch in flipped order, and the **median of per-pair
+  ratios** as the verdict — adjacent batches see the same machine
+  state, so slow drift (frequency scaling) cancels out of each ratio.
+  Wall-clock best-of-large-batches was tried first and swings ±30 %
+  on shared runners — far above the ~3 % effect being measured.
+
+``python -m benchmarks.bench_obs_overhead --smoke`` asserts both
+properties (overhead < 5 %) for CI.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import sys
+import time
+
+from repro.systems import HybridSystem
+from repro.workloads.paper import PAPER_QUERY, hybrid_scenario
+
+from ._common import banner, format_table, write_report
+
+#: full Figure 6 experiments (deployment build + paper query) per batch
+ITERATIONS = 10
+#: alternating (disabled, enabled) batch pairs; median-of-ratios verdict
+PAIRS = 25
+#: CI bound on the median of per-pair enabled/disabled CPU-time ratios
+MAX_OVERHEAD = 0.05
+
+
+def _timed_run(observability: bool, iterations: int = ITERATIONS):
+    """Time one batch of ``iterations`` complete Figure 6 experiments.
+
+    GC runs before — and is off during — the batch, so collection
+    pauses are never charged to an arbitrary victim batch.
+
+    Returns (CPU seconds, last system, last answer table).
+    """
+    system = table = None
+    gc.collect()
+    gc.disable()
+    started = time.process_time()
+    for _ in range(iterations):
+        system = HybridSystem.from_scenario(
+            hybrid_scenario(), observability=observability
+        )
+        table = system.query("P1", PAPER_QUERY)
+    elapsed = time.process_time() - started
+    gc.enable()
+    return elapsed, system, table
+
+
+def _measure(iterations: int = ITERATIONS, pairs: int = PAIRS):
+    """Median enabled/disabled overhead over paired adjacent batches.
+
+    Returns (overhead, best batch time per mode, systems, tables).
+    Pair order flips every iteration so neither mode systematically
+    runs first; the per-pair ratio cancels machine-speed drift.
+    """
+    _timed_run(True, 1)  # warm imports and scenario caches, untimed
+    ratios = []
+    best = {True: float("inf"), False: float("inf")}
+    systems = {}
+    tables = {}
+    for pair in range(pairs):
+        sample = {}
+        order = (False, True) if pair % 2 == 0 else (True, False)
+        for enabled in order:
+            elapsed, system, table = _timed_run(enabled, iterations)
+            sample[enabled] = elapsed
+            best[enabled] = min(best[enabled], elapsed)
+            systems[enabled] = system
+            tables[enabled] = table
+        ratios.append(sample[True] / sample[False])
+    overhead = statistics.median(ratios) - 1.0
+    return overhead, best, systems, tables
+
+
+def _perturbation_diffs(systems, tables) -> list:
+    """Simulated quantities that differ between enabled and disabled
+    runs (must be empty: tracing is uncharged metadata)."""
+    on, off = systems[True].network.metrics, systems[False].network.metrics
+    diffs = []
+    for item, a, b in (
+        ("messages_total", on.messages_total, off.messages_total),
+        ("bytes_total", on.bytes_total, off.bytes_total),
+        ("messages_by_kind", dict(on.messages_by_kind), dict(off.messages_by_kind)),
+        ("answer rows", len(tables[True]), len(tables[False])),
+        ("virtual time", systems[True].network.now, systems[False].network.now),
+    ):
+        if a != b:
+            diffs.append(f"{item}: enabled={a} disabled={b}")
+    return diffs
+
+
+def report() -> str:
+    overhead, best, systems, tables = _measure()
+    diffs = _perturbation_diffs(systems, tables)
+    on = systems[True]
+    rows = [
+        ("recorder disabled (best batch)", f"{best[False] * 1e3:.1f} ms",
+         "baseline"),
+        ("recorder enabled (best batch)", f"{best[True] * 1e3:.1f} ms",
+         f"{overhead:+.1%} CPU (median of pairs)"),
+        ("simulated quantities perturbed", "none",
+         "none" if not diffs else "; ".join(diffs)),
+        ("spans collected (enabled, per run)", "~14",
+         len(on.network.trace_collector)),
+        ("traces retained", f"≤ {on.network.trace_collector.max_traces}",
+         len(on.network.trace_collector.trace_ids())),
+    ]
+    text = banner(
+        "obs-overhead",
+        "observability tax: Figure 6 workload with tracing on vs off",
+        "default-on tracing must not perturb the simulation and must stay "
+        "cheap enough to leave enabled",
+    ) + format_table(("item", "expectation", "measured"), rows)
+    return write_report(
+        "obs-overhead",
+        text,
+        params={
+            "architecture": "hybrid",
+            "iterations": ITERATIONS,
+            "pairs": PAIRS,
+            "max_overhead": MAX_OVERHEAD,
+        },
+        metrics=on.network.metrics.summary(),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_observability_enabled(benchmark):
+    elapsed, system, table = benchmark(lambda: _timed_run(True, iterations=2))
+    assert len(table) == 6
+    assert len(system.network.trace_collector) > 0
+
+
+def bench_observability_disabled(benchmark):
+    elapsed, system, table = benchmark(lambda: _timed_run(False, iterations=2))
+    assert len(table) == 6
+    assert system.network.trace_collector is None
+
+
+def bench_tracing_does_not_perturb(benchmark):
+    def run():
+        _, _, systems, tables = _measure(iterations=2, pairs=1)
+        return _perturbation_diffs(systems, tables)
+
+    diffs = benchmark(run)
+    assert diffs == []
+
+
+# ----------------------------------------------------------------------
+# CI smoke mode
+# ----------------------------------------------------------------------
+def smoke() -> int:
+    overhead, best, systems, tables = _measure()
+    diffs = _perturbation_diffs(systems, tables)
+    print(
+        f"observability overhead: best batch disabled {best[False] * 1e3:.1f} ms "
+        f"/ enabled {best[True] * 1e3:.1f} ms; median of {PAIRS} pairs "
+        f"{overhead:+.1%} (bound {MAX_OVERHEAD:.0%})"
+    )
+    if overhead > MAX_OVERHEAD and not diffs:
+        # a borderline reading on a noisy runner: the true overhead is
+        # ~3%, so escalate once to 3x the samples for the verdict
+        print(f"borderline — re-measuring with {3 * PAIRS} pairs")
+        overhead, best, systems, tables = _measure(pairs=3 * PAIRS)
+        diffs = _perturbation_diffs(systems, tables)
+        print(
+            f"re-measured: median of {3 * PAIRS} pairs {overhead:+.1%} "
+            f"(bound {MAX_OVERHEAD:.0%})"
+        )
+    failed = False
+    if diffs:
+        print("FAIL: tracing perturbed the simulation: " + "; ".join(diffs))
+        failed = True
+    if overhead > MAX_OVERHEAD:
+        print("FAIL: CPU-time overhead exceeds bound")
+        failed = True
+    if not failed:
+        print("OK: no simulated-quantity drift, overhead within bound")
+    return 1 if failed else 0
+
+
+def main(argv) -> int:
+    if "--smoke" in argv:
+        return smoke()
+    print(report())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

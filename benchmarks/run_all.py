@@ -37,6 +37,7 @@ MODULES = [
     "bench_pipelining",
     "bench_local_evaluation",
     "bench_chaos",
+    "bench_obs_overhead",
 ]
 
 

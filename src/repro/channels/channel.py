@@ -31,6 +31,9 @@ class Channel:
         state: Lifecycle state.
         tuples_received: Result tuples seen so far (the throughput
             signal run-time adaptation watches).
+        span: The root-side tracing span covering the channel's
+            open-transfer-close lifetime (``None`` outside a traced
+            network).
     """
 
     __slots__ = (
@@ -41,6 +44,7 @@ class Channel:
         "state",
         "tuples_received",
         "query_id",
+        "span",
     )
 
     def __init__(
@@ -50,6 +54,7 @@ class Channel:
         destination: str,
         plan: Optional[PlanNode],
         query_id: str = "",
+        span=None,
     ):
         self.channel_id = channel_id
         self.root = root
@@ -58,6 +63,7 @@ class Channel:
         self.state = ChannelState.OPEN
         self.tuples_received = 0
         self.query_id = query_id
+        self.span = span
 
     @property
     def is_open(self) -> bool:
@@ -69,8 +75,14 @@ class Channel:
     def close(self) -> None:
         if self.state is ChannelState.OPEN:
             self.state = ChannelState.CLOSED
+            if self.span is not None:
+                self.span.set(tuples=self.tuples_received)
+                self.span.finish()
 
     def fail(self) -> None:
+        if self.span is not None and self.state is ChannelState.OPEN:
+            self.span.set(tuples=self.tuples_received)
+            self.span.finish("failed")
         self.state = ChannelState.FAILED
 
     def __repr__(self) -> str:

@@ -55,9 +55,15 @@ class ChannelManager:
         query_id: str = "",
         progress: Optional[ProgressCallback] = None,
         retry: Optional[RetryPolicy] = None,
+        trace=None,
     ) -> Channel:
         """Open a channel: ship ``plan`` to ``destination`` and register
         the continuation for its results.
+
+        ``trace`` optionally carries the opener's span context: the
+        channel then gets its own ``channel`` span (open to close/fail)
+        and the shipped subplan packet propagates that span's context so
+        the destination's execution stitches underneath it.
 
         With ``progress`` set, the channel runs in *pipelined* mode:
         every arriving chunk (including the final one) is handed to
@@ -72,7 +78,22 @@ class ChannelManager:
         timeout-based detection a non-omniscient network requires.
         """
         channel_id = f"{self.owner}#{next(self._counter)}"
-        channel = Channel(channel_id, self.owner, destination, plan, query_id)
+        span = network.tracer.start_span(
+            "channel",
+            peer=self.owner,
+            parent=trace,
+            channel=channel_id,
+            destination=destination,
+            query=query_id,
+        )
+        channel = Channel(
+            channel_id,
+            self.owner,
+            destination,
+            plan,
+            query_id,
+            span=span if span else None,
+        )
         self._channels[channel_id] = channel
         self._callbacks[channel_id] = callback
         if progress is not None:
@@ -84,7 +105,7 @@ class ChannelManager:
             root_peer=self.owner,
             query_id=query_id,
         )
-        network.send(Message(self.owner, destination, packet))
+        network.send(Message(self.owner, destination, packet, trace=span.context()))
         if retry is not None:
             self._arm_timeout(network, channel_id, packet, destination, retry, 1)
         return channel
@@ -114,7 +135,16 @@ class ChannelManager:
                 return
             if retry.attempts_left(attempt + 1):
                 network.metrics.record_retransmit()
-                network.send(Message(self.owner, destination, packet))
+                if channel.span is not None:
+                    channel.span.annotate(f"retransmit attempt={attempt + 1}")
+                network.send(
+                    Message(
+                        self.owner,
+                        destination,
+                        packet,
+                        trace=channel.span.context() if channel.span else None,
+                    )
+                )
                 self._arm_timeout(
                     network, channel_id, packet, destination, retry, attempt + 1
                 )
@@ -139,6 +169,11 @@ class ChannelManager:
         seen.add(packet.seq)
         self._activity[packet.channel_id] = self._activity.get(packet.channel_id, 0) + 1
         channel.record_tuples(len(packet.table))
+        if channel.span is not None:
+            channel.span.annotate(
+                f"data seq={packet.seq} rows={len(packet.table)}"
+                + (" final" if packet.final else "")
+            )
         if packet.failed_peer is not None:
             channel.fail()
             self._buffers.pop(packet.channel_id, None)

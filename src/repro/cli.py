@@ -20,6 +20,16 @@ Three subcommands::
         adverse network (message loss, duplication, jitter, a peer
         crash/recover cycle) with the resilience layer on, and print
         every query's fate plus the retry/suspicion counters.
+
+    python -m repro trace [--arch hybrid|adhoc] [--json FILE] [--check]
+        Run the paper's query over the Figure 6 (hybrid) or Figure 7
+        (ad-hoc) deployment and render the resulting distributed trace
+        as an ASCII span tree with per-stage durations.
+
+    python -m repro metrics [--arch hybrid|adhoc] [--queries N]
+        Run a small query workload and dump every counter, histogram
+        (p50/p90/p99) and per-peer gauge in Prometheus text exposition
+        format.
 """
 
 from __future__ import annotations
@@ -92,6 +102,41 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PEER@AT[:RECOVER]",
         help="crash schedule (empty string disables the crash)",
     )
+    chaos.add_argument("--trace-export", default=None, metavar="FILE",
+                       help="write every retained trace as JSON")
+    chaos.add_argument("--metrics-export", default=None, metavar="FILE",
+                       help="write the final Prometheus exposition")
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a traced query and render its distributed span tree",
+    )
+    trace.add_argument("text", nargs="?", default=None,
+                       help="RQL query text (default: the paper's query)")
+    trace.add_argument("--arch", choices=("hybrid", "adhoc"), default="hybrid",
+                       help="deployment to trace (Figure 6 or Figure 7)")
+    trace.add_argument("--seed", type=int, default=0, help="network seed")
+    trace.add_argument("--via", default="P1", help="coordinating peer")
+    trace.add_argument("--json", default=None, metavar="FILE",
+                       help="also write the trace export as JSON")
+    trace.add_argument("--no-events", action="store_true",
+                       help="hide span events (retries, packets)")
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the trace (single root, no context gaps, "
+        "causal starts, all spans finished); non-zero exit on problems",
+    )
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="run a workload and print Prometheus-style metrics",
+    )
+    metrics.add_argument("--arch", choices=("hybrid", "adhoc"), default="hybrid",
+                         help="deployment to run")
+    metrics.add_argument("--seed", type=int, default=0, help="network seed")
+    metrics.add_argument("--queries", type=int, default=5,
+                         help="how many times the paper's query is posed")
     return parser
 
 
@@ -213,6 +258,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crashes=(crash,) if crash is not None else (),
     )
     chaos = run_chaos(system, [("P1", PAPER_QUERY)] * args.queries, plan)
+    if args.trace_export and system.network.trace_collector is not None:
+        with open(args.trace_export, "w") as handle:
+            handle.write(system.network.trace_collector.export_json())
+        print(f"traces written to {args.trace_export}", file=sys.stderr)
+    if args.metrics_export:
+        from .obs import render_prometheus, system_gauges
+
+        with open(args.metrics_export, "w") as handle:
+            handle.write(
+                render_prometheus(system.network.metrics, system_gauges(system))
+            )
+        print(f"metrics written to {args.metrics_export}", file=sys.stderr)
     print(f"fault plan : loss={args.loss:.0%} duplicate={args.duplicate:.0%} "
           f"crash={args.crash or 'none'} seed={args.seed}")
     for outcome in chaos.outcomes:
@@ -228,6 +285,66 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_paper_system(arch: str, seed: int):
+    """The Figure 6 (hybrid) or Figure 7 (ad-hoc) deployment."""
+    from .workloads.paper import hybrid_scenario
+
+    if arch == "adhoc":
+        from .systems import AdhocSystem
+
+        return AdhocSystem.from_scenario(adhoc_scenario(), seed=seed)
+    return HybridSystem.from_scenario(hybrid_scenario(), seed=seed)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import render_trace, validate_trace
+
+    system = _build_paper_system(args.arch, args.seed)
+    text = args.text or PAPER_QUERY
+    try:
+        system.query(args.via, text)
+    except Exception as exc:
+        # the trace of a failed query is still worth rendering
+        print(f"query failed: {exc}", file=sys.stderr)
+    collector = system.network.trace_collector
+    trace_id = collector.latest_trace_id()
+    if trace_id is None:
+        print("no trace was recorded", file=sys.stderr)
+        return 1
+    spans = collector.spans(trace_id)
+    print(render_trace(spans, show_events=not args.no_events))
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(collector.export_json(trace_id))
+        print(f"trace written to {args.json}", file=sys.stderr)
+    if args.check:
+        problems = validate_trace(spans)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"trace OK: single root, {len(spans)} spans, "
+            f"{len({s.peer_id for s in spans})} peers, no gaps",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from .obs import render_prometheus, system_gauges
+
+    system = _build_paper_system(args.arch, args.seed)
+    via = "P1"
+    for _ in range(args.queries):
+        try:
+            system.query(via, PAPER_QUERY)
+        except Exception as exc:
+            print(f"query failed: {exc}", file=sys.stderr)
+    print(render_prometheus(system.network.metrics, system_gauges(system)), end="")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -239,6 +356,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_query(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

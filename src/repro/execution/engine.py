@@ -24,6 +24,7 @@ from ..channels.packets import TreePath
 from ..core.algebra import Hole, Join, PlanNode, Scan, Union
 from ..errors import PlanningError
 from ..net.simulator import Network
+from ..obs.tracer import NULL_SPAN
 from ..rql.bindings import BindingTable
 from .operators import join_all, union_all
 
@@ -61,6 +62,10 @@ class PlanExecutor:
             combines sub-results from earlier phases).
         retry: Ack/retransmit policy applied to every channel this
             executor opens (``None`` keeps fire-and-forget channels).
+        trace: Parent :class:`~repro.obs.span.TraceContext`; the
+            executor opens an ``execute`` span underneath it covering
+            its whole lifetime, and every channel it ships stitches
+            under that span.
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class PlanExecutor:
         scan_cache: Optional[Dict[Scan, BindingTable]] = None,
         pipelined: bool = False,
         retry=None,
+        trace=None,
     ):
         self.host = host
         self.network = network
@@ -84,6 +90,8 @@ class PlanExecutor:
         self.scan_cache = scan_cache
         self.pipelined = pipelined
         self.retry = retry
+        self.trace = trace
+        self.span = NULL_SPAN
         #: virtual time of the first output rows (pipelined mode)
         self.first_output_at: Optional[float] = None
         self.reused_rows = 0
@@ -95,6 +103,13 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin execution; completion arrives via ``on_complete``."""
+        self.span = self.network.tracer.start_span(
+            "execute",
+            peer=self.host.peer_id,
+            parent=self.trace,
+            query=self.query_id,
+            pipelined=self.pipelined,
+        )
         if self.pipelined:
             self._start_pipelined()
         else:
@@ -132,6 +147,7 @@ class PlanExecutor:
         in-flight channels are dropped; under the phased policy their
         late results are salvaged into the scan cache."""
         self._finished = True
+        self.span.finish("aborted")
         self._release_channels()
 
     def _release_channels(self) -> None:
@@ -171,11 +187,15 @@ class PlanExecutor:
     def _finish_ok(self, table: BindingTable) -> None:
         if not self._finished:
             self._finished = True
+            self.span.set(rows=len(table), reused_rows=self.reused_rows)
+            self.span.finish()
             self.on_complete(table, None)
 
     def _fail(self, failed_peer: str) -> None:
         if not self._finished:
             self._finished = True
+            self.span.set(failed_peer=failed_peer)
+            self.span.finish("failed")
             self._release_channels()
             self.on_complete(None, failed_peer)
 
@@ -305,6 +325,7 @@ class PlanExecutor:
             query_id=self.query_id,
             progress=on_progress,
             retry=self.retry,
+            trace=self.span.context(),
         )
         self._open_channel_ids.append(channel.channel_id)
 
@@ -354,6 +375,7 @@ class PlanExecutor:
             sites=sub_sites,
             query_id=self.query_id,
             retry=self.retry,
+            trace=self.span.context(),
         )
         self._open_channel_ids.append(channel.channel_id)
 

@@ -1,5 +1,7 @@
 """Measurement utilities shared by the simulator and the benchmarks."""
 
-from .collectors import MetricSet
+from ..obs.exposition import render_prometheus
+from ..obs.histogram import Histogram
+from .collectors import MetricSet, MetricSnapshot
 
-__all__ = ["MetricSet"]
+__all__ = ["Histogram", "MetricSet", "MetricSnapshot", "render_prometheus"]

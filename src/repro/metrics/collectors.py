@@ -3,14 +3,18 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, NamedTuple, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..obs.histogram import Histogram
 
 
 class MetricSnapshot(NamedTuple):
     """A point-in-time reading of the cumulative counters.
 
     The first two fields keep the historical ``(messages, bytes)``
-    layout; the cache subsystem's counters ride behind them.
+    layout; the cache/resilience counters ride behind them, and the
+    per-kind counters bring up the rear so :meth:`MetricSet.delta` can
+    report per-kind movement for a single query.
     """
 
     messages: int
@@ -25,13 +29,19 @@ class MetricSnapshot(NamedTuple):
     partial_results: int = 0
     dropped_messages: int = 0
     duplicated_messages: int = 0
+    messages_by_kind: Counter = Counter()
+    bytes_by_kind: Counter = Counter()
 
 
 class MetricSet:
     """Counters the experiments report: messages, bytes, per-peer load.
 
     All counters are cumulative; :meth:`snapshot` / :meth:`delta` let a
-    benchmark measure one query in isolation.
+    benchmark measure one query in isolation.  Latency is kept as
+    **per-attempt observations** feeding a bucketed
+    :class:`~repro.obs.histogram.Histogram` (p50/p90/p99/max), and
+    every finished tracing span folds its duration into the per-stage
+    histograms via :meth:`observe_stage`.
     """
 
     def __init__(self):
@@ -43,8 +53,22 @@ class MetricSet:
         self.messages_sent: Counter = Counter()  # per peer
         self.queries_processed: Counter = Counter()  # per peer
         self.irrelevant_queries: Counter = Counter()  # per peer
+        #: latest attempt's latency per query id (legacy view — use
+        #: :attr:`query_latencies` for the full per-attempt record)
         self.query_latency: Dict[str, float] = {}
-        self._query_started: Dict[str, float] = {}
+        #: every finished attempt's latency, per query id; idempotent
+        #: resubmits of the same id append instead of clobbering
+        self.query_latencies: Dict[str, List[float]] = {}
+        self._query_started: Dict[str, List[float]] = {}
+        #: all latency observations, bucketed (repro.obs)
+        self.latency_histogram = Histogram()
+        # per-stage span durations; observations queue in _stage_pending
+        # (every span finish pays one list append) and fold into the
+        # histograms on first read of :attr:`stage_latency`
+        self._stage_latency: Dict[str, Histogram] = {}
+        self._stage_pending: List[Tuple[str, float]] = []
+        #: scheduled delivery delay per message kind (repro.obs)
+        self.message_delay_by_kind: Dict[str, Histogram] = {}
         # cache subsystem (repro.cache): routing/plan cache traffic and
         # singleflight coalescing across every peer on the network
         self.cache_hits = 0
@@ -62,13 +86,20 @@ class MetricSet:
     # ------------------------------------------------------------------
     # recording
     # ------------------------------------------------------------------
-    def record_message(self, kind: str, src: str, dst: str, size: int) -> None:
+    def record_message(
+        self, kind: str, src: str, dst: str, size: int, delay: Optional[float] = None
+    ) -> None:
         self.messages_total += 1
         self.bytes_total += size
         self.messages_by_kind[kind] += 1
         self.bytes_by_kind[kind] += size
         self.messages_sent[src] += 1
         self.messages_received[dst] += 1
+        if delay is not None:
+            histogram = self.message_delay_by_kind.get(kind)
+            if histogram is None:
+                histogram = self.message_delay_by_kind[kind] = Histogram()
+            histogram.record(delay)
 
     def record_query_processed(self, peer_id: str, relevant: bool = True) -> None:
         self.queries_processed[peer_id] += 1
@@ -105,13 +136,43 @@ class MetricSet:
     def record_duplicated_message(self) -> None:
         self.duplicated_messages += 1
 
+    def observe_stage(self, stage: str, duration: float) -> None:
+        """Fold one finished span's duration into its stage histogram."""
+        self._stage_pending.append((stage, duration))
+
+    @property
+    def stage_latency(self) -> Dict[str, Histogram]:
+        """Per-stage span durations, keyed by span name (repro.obs)."""
+        pending = self._stage_pending
+        if pending:
+            self._stage_pending = []
+            histograms = self._stage_latency
+            for stage, duration in pending:
+                histogram = histograms.get(stage)
+                if histogram is None:
+                    histogram = histograms[stage] = Histogram()
+                histogram.record(duration)
+        return self._stage_latency
+
     def query_started(self, query_id: str, time: float) -> None:
-        self._query_started[query_id] = time
+        """Open one latency attempt.  Re-submissions of the same query
+        id (idempotent client retries) open *additional* attempts
+        instead of clobbering the outstanding one."""
+        self._query_started.setdefault(query_id, []).append(time)
 
     def query_finished(self, query_id: str, time: float) -> None:
-        started = self._query_started.get(query_id)
-        if started is not None:
-            self.query_latency[query_id] = time - started
+        """Close the oldest outstanding attempt for ``query_id`` and
+        record its latency as one observation."""
+        starts = self._query_started.get(query_id)
+        if not starts:
+            return
+        started = starts.pop(0)
+        if not starts:
+            del self._query_started[query_id]
+        latency = time - started
+        self.query_latencies.setdefault(query_id, []).append(latency)
+        self.query_latency[query_id] = latency
+        self.latency_histogram.record(latency)
 
     # ------------------------------------------------------------------
     # reporting
@@ -132,16 +193,23 @@ class MetricSet:
             self.partial_results,
             self.dropped_messages,
             self.duplicated_messages,
+            Counter(self.messages_by_kind),
+            Counter(self.bytes_by_kind),
         )
 
     def delta(self, snapshot: Tuple) -> MetricSnapshot:
         """Counter movement since a snapshot.
 
         Accepts a full :class:`MetricSnapshot` or the historical bare
-        ``(messages, bytes)`` pair (cache counters then delta against
-        zero).
+        ``(messages, bytes)`` pair (the remaining counters then delta
+        against zero).  The per-kind counters are deltaed too, so one
+        query's message-kind breakdown needs no hand-copied Counter.
         """
         base = MetricSnapshot(*snapshot)
+        kind_messages = Counter(self.messages_by_kind)
+        kind_messages.subtract(base.messages_by_kind)
+        kind_bytes = Counter(self.bytes_by_kind)
+        kind_bytes.subtract(base.bytes_by_kind)
         return MetricSnapshot(
             self.messages_total - base.messages,
             self.bytes_total - base.bytes,
@@ -155,25 +223,58 @@ class MetricSet:
             self.partial_results - base.partial_results,
             self.dropped_messages - base.dropped_messages,
             self.duplicated_messages - base.duplicated_messages,
+            +kind_messages,  # unary + drops zero/negative entries
+            +kind_bytes,
         )
 
     def peak_peer_load(self) -> int:
         """The highest per-peer processed-query count."""
         return max(self.queries_processed.values(), default=0)
 
+    def all_latencies(self) -> List[float]:
+        """Every finished attempt's latency, across all query ids."""
+        return [
+            latency
+            for observations in self.query_latencies.values()
+            for latency in observations
+        ]
+
     def mean_latency(self) -> Optional[float]:
-        if not self.query_latency:
+        observations = self.all_latencies()
+        if not observations:
             return None
-        return sum(self.query_latency.values()) / len(self.query_latency)
+        return sum(observations) / len(observations)
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        """p50/p90/p99/max over every latency observation (zeros when
+        nothing finished yet — stable keys for bench JSON schemas)."""
+        histogram = self.latency_histogram
+        if not histogram.count:
+            return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "p50": histogram.percentile(50),
+            "p90": histogram.percentile(90),
+            "p99": histogram.percentile(99),
+            "max": histogram.max,
+        }
 
     def summary(self) -> Dict[str, float]:
-        """A flat dict of headline numbers for bench output."""
+        """A flat dict of headline numbers for bench output.
+
+        ``mean_latency`` is kept alongside the percentile keys for
+        continuity with older reports.
+        """
+        percentiles = self.latency_percentiles()
         return {
             "messages": self.messages_total,
             "bytes": self.bytes_total,
             "queries_processed": sum(self.queries_processed.values()),
             "irrelevant_queries": sum(self.irrelevant_queries.values()),
             "mean_latency": self.mean_latency() or 0.0,
+            "latency_p50": percentiles["p50"],
+            "latency_p90": percentiles["p90"],
+            "latency_p99": percentiles["p99"],
+            "latency_max": percentiles["max"],
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_invalidations": self.cache_invalidations,

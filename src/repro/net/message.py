@@ -38,15 +38,30 @@ class Message:
         payload: The typed protocol payload.
         size: Wire size in bytes (defaults to the payload estimate).
         id: Monotonic id, unique per process, for tracing.
+        trace: Optional :class:`~repro.obs.span.TraceContext` carried
+            with the message, so spans opened at the receiver stitch
+            under the sender's span (distributed tracing,
+            ``repro.obs``).  Like :attr:`id` it is simulator metadata:
+            its ~50 bytes are *not* charged against link bandwidth, so
+            enabling tracing never perturbs the experiments' byte and
+            virtual-time numbers.
     """
 
-    __slots__ = ("src", "dst", "payload", "size", "id")
+    __slots__ = ("src", "dst", "payload", "size", "id", "trace")
 
-    def __init__(self, src: str, dst: str, payload: Any, size: Optional[int] = None):
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        size: Optional[int] = None,
+        trace=None,
+    ):
         self.src = src
         self.dst = dst
         self.payload = payload
         self.size = payload_size(payload) if size is None else size
+        self.trace = trace
         self.id = next(_sequence)
 
     @property

@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 
 from ..errors import NetworkError
 from ..metrics.collectors import MetricSet
+from ..obs.collect import TraceCollector
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.faults import FaultInjector, FaultPlan
 from .message import DeliveryFailure, Message
 
@@ -50,6 +52,10 @@ class Network:
             randomness draw from :attr:`rng`).
         default_latency: Latency of links not configured explicitly.
         default_cost_per_byte: Transfer delay per byte for such links.
+        observability: Run the ``repro.obs`` tracing layer.  On (the
+            default), :attr:`tracer` mints spans on the virtual clock
+            into a bounded :attr:`trace_collector`; off, it is the
+            shared no-op recorder and the query path runs at seed cost.
     """
 
     def __init__(
@@ -57,9 +63,23 @@ class Network:
         seed: int = 0,
         default_latency: float = 1.0,
         default_cost_per_byte: float = 0.0001,
+        observability: bool = True,
     ):
         self.rng = random.Random(seed)
         self.metrics = MetricSet()
+        # observability (repro.obs): one tracer serves the whole
+        # simulated network, standing in for per-process tracers plus
+        # the collection backend of a real deployment
+        if observability:
+            self.trace_collector: Optional[TraceCollector] = TraceCollector()
+            self.tracer = Tracer(
+                clock=lambda: self.now,
+                collector=self.trace_collector,
+                metrics=self.metrics,
+            )
+        else:
+            self.trace_collector = None
+            self.tracer = NULL_TRACER
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._default_link = Link(default_latency, default_cost_per_byte)
@@ -169,7 +189,9 @@ class Network:
             raise NetworkError(f"unknown destination {message.dst}")
         link = self.link(message.src, message.dst)
         delay = link.delay(message.size)
-        self.metrics.record_message(message.kind, message.src, message.dst, message.size)
+        self.metrics.record_message(
+            message.kind, message.src, message.dst, message.size, delay=delay
+        )
         faults = self.faults
         if faults is not None:
             if faults.partitioned(message.src, message.dst, self.now) or faults.drops(

@@ -1,0 +1,145 @@
+"""Prometheus-style text exposition of the metric set.
+
+``render_prometheus(metrics)`` turns a
+:class:`~repro.metrics.collectors.MetricSet` (plus optional per-peer
+gauges) into the plain-text exposition format: ``# HELP`` / ``# TYPE``
+headers, counter samples, histogram ``_bucket``/``_sum``/``_count``
+series with ``le`` labels, and labelled gauges.  The schema is stable;
+CI archives it as a build artifact and ``python -m repro metrics``
+prints it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .histogram import Histogram
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _counter(
+    lines: List[str], name: str, help_text: str, value, labelled=None
+) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} counter")
+    if labelled is None:
+        lines.append(f"{name} {_fmt(value)}")
+        return
+    label, samples = labelled
+    for key in sorted(samples):
+        lines.append(f'{name}{{{label}="{_escape(str(key))}"}} {_fmt(samples[key])}')
+
+
+def _histogram(
+    lines: List[str],
+    name: str,
+    help_text: str,
+    histograms: Dict[str, Histogram],
+    label: Optional[str] = None,
+) -> None:
+    """One Prometheus histogram family, optionally split by a label."""
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} histogram")
+    for key in sorted(histograms):
+        histogram = histograms[key]
+        prefix = f'{label}="{_escape(str(key))}",' if label else ""
+        for upper, cumulative in histogram.cumulative_buckets():
+            lines.append(f'{name}_bucket{{{prefix}le="{_fmt(upper)}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{{prefix}le="+Inf"}} {histogram.count}')
+        suffix = f'{{{label}="{_escape(str(key))}"}}' if label else ""
+        lines.append(f"{name}_sum{suffix} {_fmt(histogram.total)}")
+        lines.append(f"{name}_count{suffix} {histogram.count}")
+
+
+def render_prometheus(
+    metrics, gauges: Optional[Dict[str, Dict[str, Any]]] = None
+) -> str:
+    """The exposition text for one metric set (and optional gauges)."""
+    lines: List[str] = []
+    _counter(lines, "repro_messages_total", "Messages delivered", metrics.messages_total)
+    _counter(lines, "repro_bytes_total", "Payload bytes shipped", metrics.bytes_total)
+    _counter(
+        lines,
+        "repro_messages_by_kind_total",
+        "Messages by payload kind",
+        None,
+        ("kind", metrics.messages_by_kind),
+    )
+    _counter(
+        lines,
+        "repro_bytes_by_kind_total",
+        "Bytes by payload kind",
+        None,
+        ("kind", metrics.bytes_by_kind),
+    )
+    _counter(
+        lines,
+        "repro_queries_processed_total",
+        "Queries processed per peer",
+        None,
+        ("peer", metrics.queries_processed),
+    )
+    for name, help_text in (
+        ("cache_hits", "Routing/plan cache hits"),
+        ("cache_misses", "Routing/plan cache misses"),
+        ("cache_invalidations", "Cache entries invalidated"),
+        ("coalesced_queries", "Queries parked behind a singleflight leader"),
+        ("retries", "Protocol-level retries"),
+        ("retransmits", "Channel subplan retransmits"),
+        ("suspicions", "Peer suspicions recorded"),
+        ("partial_results", "Coverage-annotated partial answers"),
+        ("dropped_messages", "Messages dropped by the fault plan"),
+        ("duplicated_messages", "Messages duplicated by the fault plan"),
+    ):
+        _counter(lines, f"repro_{name}_total", help_text, getattr(metrics, name))
+    if metrics.latency_histogram.count:
+        _histogram(
+            lines,
+            "repro_query_latency",
+            "End-to-end query latency (virtual time), all attempts",
+            {"": metrics.latency_histogram},
+        )
+        summary = metrics.latency_histogram.summary()
+        lines.append("# HELP repro_query_latency_quantile Query latency percentiles")
+        lines.append("# TYPE repro_query_latency_quantile gauge")
+        for quantile in ("p50", "p90", "p99", "max"):
+            lines.append(
+                f'repro_query_latency_quantile{{quantile="{quantile}"}} '
+                f"{_fmt(summary[quantile])}"
+            )
+    if metrics.stage_latency:
+        _histogram(
+            lines,
+            "repro_stage_duration",
+            "Per-stage span durations (virtual time)",
+            metrics.stage_latency,
+            label="stage",
+        )
+    if metrics.message_delay_by_kind:
+        _histogram(
+            lines,
+            "repro_message_delay",
+            "Scheduled delivery delay per message kind",
+            metrics.message_delay_by_kind,
+            label="kind",
+        )
+    if gauges:
+        lines.append("# HELP repro_peer_gauge Point-in-time per-peer state")
+        lines.append("# TYPE repro_peer_gauge gauge")
+        for peer_id in sorted(gauges):
+            for gauge_name in sorted(gauges[peer_id]):
+                lines.append(
+                    f'repro_peer_gauge{{peer="{_escape(peer_id)}",'
+                    f'gauge="{_escape(gauge_name)}"}} '
+                    f"{_fmt(gauges[peer_id][gauge_name])}"
+                )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,219 @@
+"""HDR-style bucketed histograms for latency/size distributions.
+
+Buckets grow geometrically, so relative error is bounded (~``growth``)
+across the whole dynamic range — microsecond wall-clock samples and
+hundred-unit virtual-time latencies land in the same structure — while
+storage stays sparse (a dict of non-empty buckets).  Percentile reads
+interpolate inside the winning bucket, which keeps small known
+distributions (the test vectors) exact at the bucket resolution.
+
+Recording is write-optimised: ``record`` only appends to a pending
+list (histograms sit on the per-message and per-span hot paths of the
+simulator) and the logarithmic bucket fold runs lazily on the first
+read — or once the pending list hits a bounded size, so memory stays
+O(threshold) between reads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default geometric bucket growth (≈5% relative resolution).
+DEFAULT_GROWTH = 1.05
+#: Values at or below this fall into the underflow bucket.
+MIN_TRACKABLE = 1e-9
+#: Pending samples are folded into buckets at this size even without a
+#: read, bounding memory between reads.
+FLUSH_THRESHOLD = 1024
+
+
+class Histogram:
+    """A bucketed value distribution with percentile reads.
+
+    Args:
+        growth: Geometric factor between bucket boundaries.
+    """
+
+    __slots__ = (
+        "growth",
+        "_log_growth",
+        "_buckets",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_pending",
+    )
+
+    def __init__(self, growth: float = DEFAULT_GROWTH):
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        #: bucket index -> sample count (index < 0 is the underflow bucket)
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        self._total = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        #: recorded but not yet bucketed samples
+        self._pending: List[float] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _index(self, value: float) -> int:
+        if value <= MIN_TRACKABLE:
+            return -1
+        return int(math.log(value / MIN_TRACKABLE) / self._log_growth)
+
+    def _upper_bound(self, index: int) -> float:
+        if index < 0:
+            return MIN_TRACKABLE
+        return MIN_TRACKABLE * self.growth ** (index + 1)
+
+    def _lower_bound(self, index: int) -> float:
+        if index < 0:
+            return 0.0
+        return MIN_TRACKABLE * self.growth**index
+
+    def record(self, value: float) -> None:
+        pending = self._pending
+        pending.append(value)
+        if len(pending) >= FLUSH_THRESHOLD:
+            self._flush()
+
+    def record_many(self, values: Iterable[float]) -> None:
+        self._pending.extend(values)
+        if len(self._pending) >= FLUSH_THRESHOLD:
+            self._flush()
+
+    def _flush(self) -> None:
+        """Fold pending samples into the buckets (deferred from
+        :meth:`record` so the hot path stays a list append)."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        log = math.log
+        log_growth = self._log_growth
+        buckets = self._buckets
+        total = 0.0
+        low = high = pending[0]
+        for value in pending:
+            if value <= MIN_TRACKABLE:
+                index = -1
+            else:
+                index = int(log(value / MIN_TRACKABLE) / log_growth)
+            buckets[index] = buckets.get(index, 0) + 1
+            total += value
+            if value < low:
+                low = value
+            elif value > high:
+                high = value
+        self._count += len(pending)
+        self._total += total
+        self._min = low if self._min is None else min(self._min, low)
+        self._max = high if self._max is None else max(self._max, high)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same growth) into this one."""
+        if other.growth != self.growth:
+            raise ValueError("cannot merge histograms with different growth")
+        self._flush()
+        other._flush()
+        for index, count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + count
+        self._count += other._count
+        self._total += other._total
+        for bound in (other._min, other._max):
+            if bound is not None:
+                self._min = bound if self._min is None else min(self._min, bound)
+                self._max = bound if self._max is None else max(self._max, bound)
+
+    # ------------------------------------------------------------------
+    # reads (each flushes pending samples first)
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        self._flush()
+        return self._count
+
+    @property
+    def total(self) -> float:
+        self._flush()
+        return self._total
+
+    @property
+    def min(self) -> Optional[float]:
+        self._flush()
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        self._flush()
+        return self._max
+
+    @property
+    def mean(self) -> Optional[float]:
+        self._flush()
+        return self._total / self._count if self._count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The value at quantile ``p`` in [0, 100] (linear interpolation
+        within the winning bucket, clamped to the observed min/max)."""
+        if not self.count:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        assert self.min is not None and self.max is not None
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            in_bucket = self._buckets[index]
+            if seen + in_bucket >= rank:
+                low = max(self._lower_bound(index), self.min)
+                high = min(self._upper_bound(index), self.max)
+                if in_bucket == 0:
+                    return high
+                fraction = (rank - seen) / in_bucket
+                return low + (high - low) * min(max(fraction, 0.0), 1.0)
+            seen += in_bucket
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """The headline read: count, mean, p50/p90/p99, min/max."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs for non-empty
+        buckets — the Prometheus histogram exposition shape."""
+        self._flush()
+        out: List[Tuple[float, int]] = []
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            out.append((self._upper_bound(index), seen))
+        return out
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if not self.count:
+            return "Histogram(empty)"
+        return (
+            f"Histogram(n={self.count}, p50={self.percentile(50):.4g}, "
+            f"p99={self.percentile(99):.4g}, max={self.max:.4g})"
+        )

@@ -1,0 +1,77 @@
+"""ASCII rendering of span trees and timelines.
+
+``render_trace(spans)`` draws one query's causal tree — stage name,
+peer, virtual-time window, duration, status, fault/retry annotations —
+plus a proportional timeline bar per span, so "where did this query
+spend its life" is answerable from a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .collect import span_tree
+from .span import Span, _stringify
+
+#: Width of the timeline bar column.
+BAR_WIDTH = 28
+
+
+def _bar(span: Span, t0: float, t1: float) -> str:
+    """A proportional ``[  ▓▓▓   ]`` lane for the span's window."""
+    if t1 <= t0:
+        return "·" * BAR_WIDTH
+    end = span.end if span.end is not None else t1
+    left = int(round((span.start - t0) / (t1 - t0) * (BAR_WIDTH - 1)))
+    right = int(round((end - t0) / (t1 - t0) * (BAR_WIDTH - 1)))
+    right = max(right, left)
+    return " " * left + "#" * (right - left + 1) + " " * (BAR_WIDTH - right - 1)
+
+
+def _label(span: Span) -> str:
+    end = f"{span.end:.1f}" if span.end is not None else "…"
+    duration = f"{span.duration:.1f}" if span.duration is not None else "?"
+    status = "" if span.status == "ok" else f" !{span.status}"
+    attributes = ""
+    if span.attributes:
+        inner = " ".join(
+            f"{k}={_stringify(v)}" for k, v in sorted(span.attributes.items())
+        )
+        attributes = f" ({inner})"
+    return (
+        f"{span.name} @{span.peer_id} [{span.start:.1f}–{end}] "
+        f"{duration}{status}{attributes}"
+    )
+
+
+def render_trace(spans: List[Span], show_events: bool = True) -> str:
+    """The trace as an indented tree with per-span timeline bars."""
+    if not spans:
+        return "(empty trace)"
+    t0 = min(span.start for span in spans)
+    t1 = max(
+        span.end if span.end is not None else span.start for span in spans
+    )
+    tree = span_tree(spans)
+    lines: List[str] = [
+        f"trace {spans[0].trace_id}  "
+        f"[{t0:.1f}–{t1:.1f}]  {len(spans)} spans  "
+        f"({len({s.peer_id for s in spans})} peers)"
+    ]
+
+    def walk(parent: Optional[str], prefix: str) -> None:
+        children = tree.get(parent, [])
+        for index, span in enumerate(children):
+            last = index == len(children) - 1
+            branch = "└─ " if last else "├─ "
+            lines.append(
+                f"{prefix}{branch}{_bar(span, t0, t1)}  {_label(span)}"
+            )
+            deeper = prefix + ("   " if last else "│  ")
+            if show_events:
+                for at, text in span.events or ():
+                    lines.append(f"{deeper}{' ' * (BAR_WIDTH + 2)}· {at:.1f} {text}")
+            walk(span.span_id, deeper)
+
+    walk(None, "")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Tracer: mints spans against the simulator's virtual clock.
+
+One :class:`Tracer` serves a whole simulated network (it plays the
+role a per-process tracer plus an OTLP backend would play in a real
+deployment): peers call ``network.tracer.start_span(...)`` and pass
+the returned span's :class:`~repro.obs.span.TraceContext` along inside
+messages.  Finished spans flow into a
+:class:`~repro.obs.collect.TraceCollector` and their durations feed
+the per-stage histograms of :class:`~repro.metrics.collectors.MetricSet`.
+
+The disabled path is a **no-op recorder**: :data:`NULL_TRACER` returns
+the shared :data:`NULL_SPAN` singleton from every call, whose methods
+do nothing and whose ``context()`` is ``None`` — so messages carry no
+context and the whole query path runs at seed cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+from .span import Span, TraceContext
+
+
+class Tracer:
+    """The recording tracer.
+
+    Args:
+        clock: Returns the current virtual time (``lambda: network.now``).
+        collector: Receives every finished span (optional).
+        metrics: A :class:`~repro.metrics.collectors.MetricSet`; each
+            finished span's duration is folded into the per-stage
+            histogram under the span's name (optional).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        collector=None,
+        metrics=None,
+    ):
+        # bound directly (not wrapped in a method): ``now`` sits on the
+        # hot path of every span start/finish/annotate
+        self.now = clock
+        self.collector = collector
+        self.metrics = metrics
+        self._ids = itertools.count(1)
+
+    def start_span(
+        self,
+        name: str,
+        peer: str,
+        parent: Optional[TraceContext] = None,
+        trace_id: Optional[str] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span.
+
+        With ``parent`` set, the span joins the parent's trace; with
+        ``trace_id`` (and no parent) it roots a new trace under that id
+        — query traces use the query id, keeping exports deterministic
+        across same-seed runs.
+        """
+        if parent is not None:
+            trace = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        else:
+            trace = trace_id if trace_id is not None else f"t{next(self._ids)}"
+            parent_id = None
+        span = Span(
+            self,
+            trace,
+            f"s{next(self._ids)}",
+            parent_id,
+            name,
+            peer,
+            self.now(),
+            attributes,
+        )
+        if self.collector is not None:
+            self.collector.on_started(span)
+        return span
+
+class _NullSpan:
+    """The shared do-nothing span (disabled-observability path)."""
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    peer_id = ""
+    start = 0.0
+    end: Optional[float] = 0.0
+    status = "ok"
+    attributes: dict = {}
+    events: list = []
+    duration: Optional[float] = 0.0
+
+    def context(self) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def annotate(self, text: str) -> None:
+        pass
+
+    def finish(self, status: str = "ok") -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The singleton no-op span every :class:`NullTracer` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The no-op recorder: observability disabled at zero overhead."""
+
+    enabled = False
+    collector = None
+    metrics = None
+
+    def now(self) -> float:
+        return 0.0
+
+    def start_span(self, name, peer, parent=None, trace_id=None, **attributes):
+        return NULL_SPAN
+
+
+#: Shared instance handed to networks built with observability off.
+NULL_TRACER = NullTracer()

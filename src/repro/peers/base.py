@@ -139,9 +139,12 @@ class Peer:
             raise PeerError(f"peer {self.peer_id} has not joined a network")
         return self.network
 
-    def send(self, dst: str, payload) -> None:
+    def send(self, dst: str, payload, trace=None) -> None:
+        """Send a payload; ``trace`` optionally carries a
+        :class:`~repro.obs.span.TraceContext` so spans opened at the
+        receiver stitch under the sender's span."""
         network = self._require_network()
-        network.send(Message(self.peer_id, dst, payload))
+        network.send(Message(self.peer_id, dst, payload, trace=trace))
 
     # ------------------------------------------------------------------
     # dispatch
@@ -219,6 +222,9 @@ class Peer:
             query_id=packet.query_id,
             on_complete=on_complete,
             retry=self.channel_retry,
+            # stitch this remote execution under the shipped channel
+            # span: the arriving message carries the root's context
+            trace=message.trace,
         )
         executor.start()
 

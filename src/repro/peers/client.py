@@ -34,6 +34,8 @@ class ClientPeer(Peer):
         #: the seed behaviour); coordinators answer duplicate submits
         #: idempotently, so resubmission is always safe
         self.submit_retry = None
+        #: open root spans per in-flight query (repro.obs)
+        self._spans: Dict[str, object] = {}
 
     def submit(
         self,
@@ -60,7 +62,14 @@ class ClientPeer(Peer):
         submit = QuerySubmit(
             query_id, text, self.peer_id, max_peers, limit, order_by, descending
         )
-        self.send(via_peer, submit)
+        # root span of the whole distributed trace; the query id doubles
+        # as the trace id so exports are deterministic across runs
+        span = self._require_network().tracer.start_span(
+            "query", peer=self.peer_id, trace_id=query_id, via=via_peer
+        )
+        if span:
+            self._spans[query_id] = span
+        self.send(via_peer, submit, trace=span.context())
         if self.submit_retry is not None:
             self._arm_resubmit(via_peer, submit, 1)
         return query_id
@@ -72,9 +81,16 @@ class ClientPeer(Peer):
         def check() -> None:
             if submit.query_id in self.results:
                 return
+            span = self._spans.get(submit.query_id)
             if retry.attempts_left(attempt + 1):
                 network.metrics.record_retry()
-                self.send(via_peer, submit)
+                if span is not None:
+                    span.annotate(f"resubmit attempt={attempt + 1}")
+                self.send(
+                    via_peer,
+                    submit,
+                    trace=span.context() if span is not None else None,
+                )
                 self._arm_resubmit(via_peer, submit, attempt + 1)
             else:
                 self.results.setdefault(
@@ -83,13 +99,27 @@ class ClientPeer(Peer):
                         submit.query_id, None, f"no reply from {via_peer}"
                     ),
                 )
+                self._finish_span(submit.query_id, "timeout")
 
         network.call_later(retry.timeout(attempt), check)
 
+    def _finish_span(self, query_id: str, status: str) -> None:
+        span = self._spans.pop(query_id, None)
+        if span is not None:
+            span.finish(status)
+
     def handle_QueryResult(self, message: Message) -> None:
         result: QueryResult = message.payload
-        # first answer wins; late duplicates (ad-hoc races) are dropped
-        self.results.setdefault(result.query_id, result)
+        if result.query_id in self.results:
+            return  # late duplicate (ad-hoc races): first answer won
+        self.results[result.query_id] = result
+        if result.error:
+            status = "error"
+        elif result.coverage is not None:
+            status = "partial"
+        else:
+            status = "ok"
+        self._finish_span(result.query_id, status)
 
     def result(self, query_id: str) -> Optional[QueryResult]:
         return self.results.get(query_id)

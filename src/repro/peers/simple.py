@@ -30,6 +30,7 @@ from ..errors import ParseError, SchemaError
 from ..execution.engine import PlanExecutor
 from ..execution.operators import finalize
 from ..net.message import Message
+from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rdf.schema import Schema
 from ..resilience.detector import PeerQuarantine
 from ..resilience.partial import Coverage, restrict_to_answerable
@@ -78,6 +79,10 @@ class PendingQuery:
         #: True while a RouteReply is awaited (stale/duplicate replies
         #: and timeouts check against this)
         self.awaiting_routing = False
+        #: tracing (repro.obs): the coordinator-side span covering the
+        #: whole coordination, and the currently open routing round
+        self.span = NULL_SPAN
+        self.routing_span = NULL_SPAN
 
 
 class SimplePeer(Peer):
@@ -291,7 +296,11 @@ class SimplePeer(Peer):
         knowledge.extend(self.own_advertisements())
         return knowledge
 
-    def _route_local(self, pattern: QueryPattern) -> AnnotatedQueryPattern:
+    def _tracer(self):
+        """The network's tracer (no-op before joining a network)."""
+        return self.network.tracer if self.network is not None else NULL_TRACER
+
+    def _route_local(self, pattern: QueryPattern, trace=None) -> AnnotatedQueryPattern:
         """Route ``pattern`` from local knowledge, through the routing
         cache when enabled.
 
@@ -300,9 +309,20 @@ class SimplePeer(Peer):
         recomputed from the base on every call — the base can mutate
         silently between queries — so drift against the footprint the
         cache was filled under is detected here, per query.
+
+        A ``subsumption`` span covers the actual view-subsumption
+        routing pass; routing-cache hits skip it entirely (that is the
+        point of the cache).
         """
         if self.routing_cache is None:
-            return route_query(pattern, self._routing_knowledge(), self.schema)
+            knowledge = self._routing_knowledge()
+            span = self._tracer().start_span(
+                "subsumption", peer=self.peer_id, parent=trace, candidates=len(knowledge)
+            )
+            annotated = route_query(pattern, knowledge, self.schema)
+            span.set(peers=len(annotated.all_peers()))
+            span.finish()
+            return annotated
         own = tuple(self.own_advertisements())
         if self._cached_own_ads is not None and own != self._cached_own_ads:
             self.routing_cache.invalidate_peer(self.peer_id)
@@ -313,7 +333,12 @@ class SimplePeer(Peer):
         if cached is not None:
             return cached
         knowledge = list(self.known_advertisements.values()) + list(own)
+        span = self._tracer().start_span(
+            "subsumption", peer=self.peer_id, parent=trace, candidates=len(knowledge)
+        )
         annotated = route_query(pattern, knowledge, self.schema)
+        span.set(peers=len(annotated.all_peers()))
+        span.finish()
         self.routing_cache.put(pattern, annotated)
         return annotated
 
@@ -327,8 +352,11 @@ class SimplePeer(Peer):
     def handle_QuerySubmit(self, message: Message) -> None:
         submit: QuerySubmit = message.payload
         network = self._require_network()
-        if submit.query_id in self._pending:
-            return  # duplicate delivery: the in-flight coordination answers
+        in_flight = self._pending.get(submit.query_id)
+        if in_flight is not None:
+            # duplicate delivery: the in-flight coordination answers
+            in_flight.span.annotate("duplicate submit ignored")
+            return
         done = self._completed.get(submit.query_id)
         if done is not None:
             # duplicate of an already-answered query (client resubmit
@@ -337,10 +365,22 @@ class SimplePeer(Peer):
                 self.send(submit.reply_to, done)
             return
         network.metrics.query_started(submit.query_id, network.now)
+        # the coordination span: child of the client's query span when
+        # the submit carried a context, else the root of a fresh trace
+        # named after the query id (deterministic across seeded runs)
+        span = network.tracer.start_span(
+            "coordinate",
+            peer=self.peer_id,
+            parent=message.trace,
+            trace_id=submit.query_id,
+            query=submit.query_id,
+        )
         try:
             query = parse_query(submit.text)
             pattern = self._extract_against_any_schema(query)
         except (ParseError, SchemaError) as exc:
+            span.set(error=str(exc))
+            span.finish("error")
             self.send(submit.reply_to, QueryResult(submit.query_id, None, str(exc)))
             return
         if self._coalescer is not None:
@@ -358,6 +398,8 @@ class SimplePeer(Peer):
             leader = self._coalescer.admit(key, submit.query_id, submit)
             if leader is not None:
                 network.metrics.record_coalesced_query()
+                span.set(coalesced_behind=leader)
+                span.finish()
                 return  # parked behind the leader; answered in _finish
         constraints = QueryConstraints(
             max_peers_per_pattern=submit.max_peers,
@@ -368,6 +410,7 @@ class SimplePeer(Peer):
         pending = PendingQuery(
             submit.query_id, query, pattern, submit.reply_to, constraints
         )
+        pending.span = span
         self._pending[submit.query_id] = pending
         self._obtain_routing(pending)
 
@@ -389,30 +432,56 @@ class SimplePeer(Peer):
     def _obtain_routing(self, pending: PendingQuery) -> None:
         """Acquire the annotated query pattern.  Base behaviour: route
         from local knowledge (subclasses ask super-peers or interleave)."""
-        annotated = self._route_local(pending.pattern)
+        span = self._tracer().start_span(
+            "routing", peer=self.peer_id, parent=pending.span.context(), mode="local"
+        )
+        pending.routing_span = span
+        annotated = self._route_local(pending.pattern, trace=span.context())
+        span.set(peers=len(annotated.all_peers()))
+        span.finish()
         self._on_annotated(pending, annotated)
 
     def _on_annotated(self, pending: PendingQuery, annotated: AnnotatedQueryPattern) -> None:
         annotated = annotated.without_peers(self._excluded_for(pending))
         annotated = apply_peer_bound(annotated, pending.constraints, self.statistics)
         pending.annotated = annotated
-        plan = self._compile(annotated)
+        plan = self._compile(annotated, trace=pending.span.context())
         if plan.is_complete():
             self._execute_plan(pending, plan)
         else:
             self._handle_incomplete(pending, plan, annotated)
 
-    def _compile(self, annotated: AnnotatedQueryPattern) -> PlanNode:
+    def _compile(self, annotated: AnnotatedQueryPattern, trace=None) -> PlanNode:
+        """Compile (and optimise) the plan for an annotated pattern.
+
+        A ``plan.compile`` span covers the pass; each optimiser rewrite
+        that changed the plan becomes an ``optimize.<rule>`` child span,
+        and plan-cache hits are tagged ``cached``.
+        """
+        span = self._tracer().start_span("plan.compile", peer=self.peer_id, parent=trace)
         if self.plan_cache is not None:
             version = self.statistics.version
             plan = self.plan_cache.get(annotated, version)
             if plan is not None:
+                span.set(cached=True)
+                span.finish()
                 return plan
         plan = build_plan(annotated)
         if self.optimize_plans:
-            plan = optimize(plan, CostModel(self.statistics)).result
+            traced = optimize(plan, CostModel(self.statistics))
+            if span:  # skip minting rewrite spans on the no-op path
+                for rule, step in traced.steps[1:]:
+                    # the plan object itself; rendered only at export
+                    self._tracer().start_span(
+                        f"optimize.{rule}",
+                        peer=self.peer_id,
+                        parent=span.context(),
+                        plan=step,
+                    ).finish()
+            plan = traced.result
         if self.plan_cache is not None:
             self.plan_cache.put(annotated, plan, version)
+        span.finish()
         return plan
 
     def _excluded_for(self, pending: PendingQuery) -> Set[str]:
@@ -464,6 +533,7 @@ class SimplePeer(Peer):
             scan_cache=pending.scan_cache if self.failure_policy == "phased" else None,
             pipelined=self.pipelined_execution,
             retry=self.channel_retry,
+            trace=pending.span.context(),
         )
         pending.executor.start()
         if self.monitor_channels and self.adaptive:
@@ -503,6 +573,7 @@ class SimplePeer(Peer):
                 stalled_channel = channel_id
         if stalled_channel is not None:
             self._stall_counts.pop(stalled_channel, None)
+            pending.span.annotate(f"stalled channel {stalled_channel} declared failed")
             self.channels.on_failure(stalled_channel)
             return  # the failure path schedules no further ticks itself
         self._schedule_monitor_tick(query_id)
@@ -512,6 +583,9 @@ class SimplePeer(Peer):
         partial results, re-route and re-execute (Section 2.5)."""
         pending.excluded.add(failed_peer)
         pending.discarded_results += 1
+        pending.span.annotate(
+            f"replan: peer {failed_peer} failed (attempt {pending.attempts})"
+        )
         self.suspect_peer(failed_peer)
         if pending.executor is not None:
             # ubQL: discard on-going computation; phased: salvage the
@@ -582,13 +656,14 @@ class SimplePeer(Peer):
         if restricted is None:
             self._reply_error(pending, reason)
             return
+        pending.span.annotate(f"degrade to partial answer: {reason}")
         coverage = Coverage(
             answered=tuple(p.label for p in restricted.query_pattern),
             unanswered=tuple(p.label for p in available.unannotated_patterns()),
             excluded_peers=tuple(sorted(excluded)),
             attempts=pending.attempts,
         )
-        plan = self._compile(restricted)
+        plan = self._compile(restricted, trace=pending.span.context())
         if not plan.is_complete():
             self._reply_error(pending, reason)
             return
@@ -614,6 +689,7 @@ class SimplePeer(Peer):
             query_id=pending.query_id,
             on_complete=on_complete,
             retry=self.channel_retry,
+            trace=pending.span.context(),
         )
         pending.executor.start()
 
@@ -656,6 +732,16 @@ class SimplePeer(Peer):
         self._remember_completed(result)
         network = self._require_network()
         network.metrics.query_finished(pending.query_id, network.now)
+        # idempotent: closes a routing round still open when the query
+        # is abandoned mid-routing (hybrid timeout give-up)
+        pending.routing_span.finish("abandoned")
+        pending.span.set(attempts=pending.attempts)
+        if result.error:
+            pending.span.finish("error")
+        elif result.coverage is not None:
+            pending.span.finish("partial")
+        else:
+            pending.span.finish()
         if pending.reply_to != self.peer_id:
             # locally submitted queries (tests drive peers directly)
             # get no reply message

@@ -208,14 +208,35 @@ class SuperPeer(Peer):
 
     def handle_RouteRequest(self, message: Message) -> None:
         request: RouteRequest = message.payload
+        network = self._require_network()
         schema_uri = request.pattern.schema.namespace.uri
+        # the route-service span stitches under the requester's routing
+        # span (its context rides in the request message, hop by hop)
+        span = network.tracer.start_span(
+            "route",
+            peer=self.peer_id,
+            parent=message.trace,
+            query=request.query_id,
+            schema=schema_uri,
+            hops=request.hops,
+        )
         if self.is_responsible_for(schema_uri):
+            check = network.tracer.start_span(
+                "subsumption",
+                peer=self.peer_id,
+                parent=span.context(),
+                registered=len(self.registry.get(schema_uri, {})),
+            )
             annotated = self.indices[schema_uri].route(request.pattern)
+            check.set(peers=len(annotated.all_peers()))
+            check.finish()
             self._mediate(request, annotated)
             if self.quarantine_enabled and len(self.quarantine):
                 # filter after the cache layer: entries stay unfiltered,
                 # so lifting a quarantine needs no invalidation
                 annotated = annotated.without_peers(self.quarantine.peers)
+            span.set(peers=len(annotated.all_peers()))
+            span.finish()
             self.send(request.requester, RouteReply(request.query_id, annotated))
             return
         # not responsible: discover the right super-peer via the backbone
@@ -234,8 +255,12 @@ class SuperPeer(Peer):
             # empty-registry case IS cached negatively, one layer down
             # in RoutingIndex.route.)
             annotated = AnnotatedQueryPattern(request.pattern)
+            span.set(peers=0)
+            span.finish("unroutable")
             self.send(request.requester, RouteReply(request.query_id, annotated))
             return
+        span.set(forwarded_to=responsible)
+        span.finish()
         self.send(
             responsible,
             RouteRequest(
@@ -244,6 +269,8 @@ class SuperPeer(Peer):
                 request.requester,
                 hops=request.hops + 1,
             ),
+            # nest the next hop's route span under this one
+            trace=span.context(),
         )
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from ..core.cost import Statistics
 from ..errors import PeerError
 from ..net.message import Message
 from ..net.simulator import Network
+from ..obs.tracer import NULL_SPAN
 from ..peers.base import PeerBase
 from ..peers.client import ClientPeer
 from ..peers.protocol import (
@@ -135,6 +136,9 @@ class AdhocPeer(SimplePeer):
         self._delegations[pending.query_id] = len(candidates)
         round_no = self._delegation_rounds.get(pending.query_id, 0) + 1
         self._delegation_rounds[pending.query_id] = round_no
+        pending.span.annotate(
+            f"delegate round {round_no} to {len(candidates)} peers"
+        )
         for candidate in candidates:
             self.send(
                 candidate,
@@ -147,6 +151,7 @@ class AdhocPeer(SimplePeer):
                     visited=(self.peer_id,),
                     token=self._new_token(),
                 ),
+                trace=pending.span.context(),
             )
         if self.delegation_timeout is not None:
             self._require_network().call_later(
@@ -169,6 +174,7 @@ class AdhocPeer(SimplePeer):
         self._delegations.pop(query_id, None)
         if self.network is not None:
             self.network.metrics.record_retry()
+        pending.span.annotate(f"delegation round {round_no} timed out")
         self._deepen_or_fail(pending)
 
     def _forward_candidates(
@@ -194,6 +200,7 @@ class AdhocPeer(SimplePeer):
             self._give_up(pending, "no relevant peers within discovery depth")
             return
         self._discovery_depth[pending.query_id] = depth
+        pending.span.annotate(f"deepen discovery to depth {depth}")
         self.discover_neighbourhood(depth)
         network = self._require_network()
         settle = self.discovery_settle_time * depth
@@ -234,18 +241,28 @@ class AdhocPeer(SimplePeer):
             if partial.token in self._handled_partials:
                 return
             self._handled_partials.add(partial.token)
+        # the interleaved routing-and-processing step at this delegate,
+        # stitched under the sender's span (root or previous delegate)
+        span = self._require_network().tracer.start_span(
+            "delegate",
+            peer=self.peer_id,
+            parent=message.trace,
+            query=partial.query_id,
+            root=partial.root_peer,
+        )
         guard = (partial.query_id, self.peer_id)
         if guard in self._seen_partials:
+            span.finish("declined")
             self._decline(partial)
             return
         self._seen_partials.add(guard)
         # one local routing pass (cached when the cache is on) feeds
         # both the knowledge merge and the forward-candidate choice
-        local = self._route_local(partial.pattern)
+        local = self._route_local(partial.pattern, trace=span.context())
         merged = self._merge_knowledge(partial, local)
-        plan = self._compile(merged)
+        plan = self._compile(merged, trace=span.context())
         if plan.is_complete():
-            self._execute_delegated(partial, plan)
+            self._execute_delegated(partial, plan, span)
             return
         # candidates must come from *this peer's own* knowledge — the
         # plan already names peers the root knew about, and Figure 7's
@@ -253,6 +270,7 @@ class AdhocPeer(SimplePeer):
         visited = set(partial.visited) | {self.peer_id}
         candidates = self._forward_candidates(local, visited)
         if not candidates:
+            span.finish("declined")
             self._decline(partial)
             return
         # forward onward; account the extra branches at the root's sender
@@ -268,7 +286,10 @@ class AdhocPeer(SimplePeer):
                     visited=tuple(sorted(visited)),
                     token=self._new_token(),
                 ),
+                trace=span.context(),
             )
+        span.set(forwarded=len(candidates))
+        span.finish()
         # this peer neither completed nor declined: the forwards replace
         # its own obligation, so tell the root about the fan-out delta
         if len(candidates) > 1:
@@ -307,7 +328,9 @@ class AdhocPeer(SimplePeer):
                 )
         return local.merge(from_plan)
 
-    def _execute_delegated(self, partial: PartialPlan, plan: PlanNode) -> None:
+    def _execute_delegated(
+        self, partial: PartialPlan, plan: PlanNode, span=NULL_SPAN
+    ) -> None:
         """This peer filled every hole: execute and ship raw results to
         the root ("the first peer that is able to fill all the holes...
         holds also the responsibility of executing it")."""
@@ -318,6 +341,7 @@ class AdhocPeer(SimplePeer):
         def on_complete(table: Optional[BindingTable], failed: Optional[str]) -> None:
             if failed is not None:
                 self.suspect_peer(failed)
+                span.finish("failed")
                 self.send(
                     partial.reply_to,
                     DelegatedResult(
@@ -330,6 +354,8 @@ class AdhocPeer(SimplePeer):
                 )
             else:
                 assert table is not None
+                span.set(rows=len(table))
+                span.finish()
                 self.send(
                     partial.reply_to,
                     DelegatedResult(
@@ -345,6 +371,7 @@ class AdhocPeer(SimplePeer):
             query_id=partial.query_id,
             on_complete=on_complete,
             retry=self.channel_retry,
+            trace=span.context(),
         )
         executor.start()
 
@@ -406,10 +433,13 @@ class AdhocSystem:
         statistics: Optional[Statistics] = None,
         use_dht: bool = False,
         cache_enabled: bool = True,
+        observability: bool = True,
         **peer_options,
     ):
         self.schema = schema
-        self.network = Network(seed=seed, default_latency=default_latency)
+        self.network = Network(
+            seed=seed, default_latency=default_latency, observability=observability
+        )
         self.statistics = statistics
         self.cache_enabled = cache_enabled
         self.peer_options = dict(peer_options)

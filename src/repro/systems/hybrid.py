@@ -67,9 +67,19 @@ class HybridPeer(SimplePeer):
         target = self._home_for(pending.pattern.schema.namespace.uri)
         pending.awaiting_routing = True
         pending.routing_attempts += 1
+        # one span per routing round: the super-peer's route span (and
+        # any backbone hops) stitch under it via the request's context
+        pending.routing_span = self._tracer().start_span(
+            "routing",
+            peer=self.peer_id,
+            parent=pending.span.context(),
+            mode="super-peer",
+            target=target,
+        )
         self.send(
             target,
             RouteRequest(pending.query_id, pending.pattern, self.peer_id),
+            trace=pending.routing_span.context(),
         )
         if self.routing_retry is not None:
             self._arm_routing_timeout(
@@ -93,10 +103,16 @@ class HybridPeer(SimplePeer):
                 return  # a replan already started a newer routing round
             if retry.attempts_left(attempt + 1):
                 network.metrics.record_retry()
-                self.send(target, RouteRequest(query_id, pending.pattern, self.peer_id))
+                pending.routing_span.annotate(f"retry attempt={attempt + 1}")
+                self.send(
+                    target,
+                    RouteRequest(query_id, pending.pattern, self.peer_id),
+                    trace=pending.routing_span.context(),
+                )
                 self._arm_routing_timeout(query_id, target, round_no, attempt + 1)
             else:
                 self.suspect_peer(target)
+                pending.routing_span.finish("timeout")
                 self._give_up(pending, f"routing via {target} timed out")
 
         network.call_later(retry.timeout(attempt), check)
@@ -110,6 +126,8 @@ class HybridPeer(SimplePeer):
         if not pending.awaiting_routing:
             return  # duplicate delivery of a reply already acted on
         pending.awaiting_routing = False
+        pending.routing_span.set(peers=len(reply.annotated.all_peers()))
+        pending.routing_span.finish()
         self._on_annotated(pending, reply.annotated)
 
 
@@ -130,10 +148,13 @@ class HybridSystem:
         default_latency: float = 1.0,
         statistics: Optional[Statistics] = None,
         cache_enabled: bool = True,
+        observability: bool = True,
         **peer_options,
     ):
         self.schema = schema
-        self.network = Network(seed=seed, default_latency=default_latency)
+        self.network = Network(
+            seed=seed, default_latency=default_latency, observability=observability
+        )
         self.statistics = statistics
         self.cache_enabled = cache_enabled
         self.peer_options = dict(peer_options)

@@ -84,3 +84,83 @@ class TestMetricSet:
 
     def test_peak_load_empty(self):
         assert MetricSet().peak_peer_load() == 0
+
+
+class TestPerAttemptLatency:
+    def test_resubmit_records_every_attempt(self):
+        """A client resubmit of the same query id must not clobber the
+        outstanding attempt: both latencies count."""
+        metrics = MetricSet()
+        metrics.query_started("q1", 0.0)
+        metrics.query_started("q1", 10.0)  # idempotent resubmit
+        metrics.query_finished("q1", 4.0)  # closes the oldest attempt
+        metrics.query_finished("q1", 16.0)
+        assert metrics.query_latencies["q1"] == [4.0, 6.0]
+        assert metrics.all_latencies() == [4.0, 6.0]
+        assert metrics.mean_latency() == 5.0
+        # the legacy view keeps the latest attempt only
+        assert metrics.query_latency["q1"] == 6.0
+
+    def test_latency_feeds_histogram_percentiles(self):
+        metrics = MetricSet()
+        for i in range(100):
+            metrics.query_started(f"q{i}", 0.0)
+            metrics.query_finished(f"q{i}", float(i + 1))
+        percentiles = metrics.latency_percentiles()
+        assert percentiles["max"] == 100.0
+        assert abs(percentiles["p50"] - 50.0) / 50.0 < 0.06
+
+    def test_percentiles_zero_when_empty(self):
+        assert MetricSet().latency_percentiles() == {
+            "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0,
+        }
+
+    def test_summary_carries_percentile_keys(self):
+        summary = MetricSet().summary()
+        assert {"latency_p50", "latency_p90", "latency_p99", "latency_max"} <= set(
+            summary
+        )
+
+
+class TestStageLatency:
+    def test_observations_fold_lazily(self):
+        """observe_stage pays one append; histograms materialise on
+        the first stage_latency read."""
+        metrics = MetricSet()
+        metrics.observe_stage("routing", 2.0)
+        metrics.observe_stage("routing", 4.0)
+        metrics.observe_stage("execute", 1.0)
+        assert len(metrics._stage_pending) == 3
+        stages = metrics.stage_latency
+        assert metrics._stage_pending == []
+        assert set(stages) == {"routing", "execute"}
+        assert stages["routing"].count == 2
+        assert stages["routing"].total == 6.0
+        assert stages["execute"].count == 1
+
+    def test_reads_are_idempotent(self):
+        metrics = MetricSet()
+        metrics.observe_stage("routing", 2.0)
+        assert metrics.stage_latency["routing"].count == 1
+        assert metrics.stage_latency["routing"].count == 1
+        metrics.observe_stage("routing", 3.0)
+        assert metrics.stage_latency["routing"].count == 2
+
+
+class TestPerKindDelta:
+    def test_delta_splits_by_kind(self):
+        metrics = MetricSet()
+        metrics.record_message("RouteRequest", "A", "SP", 10)
+        snapshot = metrics.snapshot()
+        metrics.record_message("RouteReply", "SP", "A", 30)
+        metrics.record_message("RouteReply", "SP", "A", 30)
+        delta = metrics.delta(snapshot)
+        assert dict(delta.messages_by_kind) == {"RouteReply": 2}
+        assert dict(delta.bytes_by_kind) == {"RouteReply": 60}
+
+    def test_legacy_pair_deltas_kinds_against_zero(self):
+        metrics = MetricSet()
+        metrics.record_message("QuerySubmit", "A", "B", 5)
+        delta = metrics.delta((0, 0))
+        assert dict(delta.messages_by_kind) == {"QuerySubmit": 1}
+        assert dict(delta.bytes_by_kind) == {"QuerySubmit": 5}

@@ -1,0 +1,174 @@
+"""Tests for trace collection, validation and rendering (repro.obs)."""
+
+import json
+
+from repro.obs import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TraceCollector,
+    Tracer,
+    render_trace,
+    span_tree,
+    validate_trace,
+)
+
+
+def make_tracer(max_traces=256, max_spans=50_000):
+    clock = {"now": 0.0}
+    collector = TraceCollector(max_traces=max_traces, max_spans=max_spans)
+    tracer = Tracer(lambda: clock["now"], collector)
+    return tracer, collector, clock
+
+
+class TestCollector:
+    def test_spans_ordered_by_start_then_mint_order(self):
+        tracer, collector, clock = make_tracer()
+        root = tracer.start_span("query", peer="P1", trace_id="q")
+        # mint >10 children at the same instant: creation order must
+        # survive (lexicographic span ids would put s10 before s2)
+        children = [
+            tracer.start_span(f"stage{i}", peer="P1", parent=root.context())
+            for i in range(12)
+        ]
+        for span in children:
+            span.finish()
+        root.finish()
+        names = [s.name for s in collector.spans("q")]
+        assert names == ["query"] + [f"stage{i}" for i in range(12)]
+
+    def test_whole_trace_eviction(self):
+        tracer, collector, clock = make_tracer(max_traces=2)
+        for n in range(4):
+            tracer.start_span("query", peer="P1", trace_id=f"q{n}").finish()
+        assert collector.trace_ids() == ["q2", "q3"]
+        assert collector.evicted_traces == 2
+        assert len(collector) == 2
+
+    def test_span_budget_eviction(self):
+        tracer, collector, clock = make_tracer(max_spans=3)
+        for n in range(3):
+            root = tracer.start_span("query", peer="P1", trace_id=f"q{n}")
+            tracer.start_span("child", peer="P1", parent=root.context()).finish()
+            root.finish()
+        # 3 traces x 2 spans exceeds the budget; oldest traces dropped,
+        # but the newest trace always survives
+        assert collector.latest_trace_id() == "q2"
+        assert len(collector) <= 4
+
+    def test_export_schema(self):
+        tracer, collector, clock = make_tracer()
+        span = tracer.start_span("query", peer="P1", trace_id="q", via="P1")
+        clock["now"] = 2.0
+        span.annotate("something happened")
+        span.finish()
+        export = json.loads(collector.export_json())
+        assert export["schema"] == "repro.obs/trace-v1"
+        assert export["evicted_traces"] == 0
+        (trace,) = export["traces"]
+        assert trace["trace_id"] == "q"
+        (record,) = trace["spans"]
+        assert record["name"] == "query"
+        assert record["peer"] == "P1"
+        assert record["parent_id"] is None
+        assert record["status"] == "ok"
+        assert record["attributes"] == {"via": "P1"}
+        assert record["events"] == [[2.0, "something happened"]]
+
+    def test_unfinished_span_exports_open_end(self):
+        tracer, collector, clock = make_tracer()
+        tracer.start_span("query", peer="P1", trace_id="q")
+        export = collector.export("q")
+        assert export["traces"][0]["spans"][0]["end"] is None
+
+
+class TestValidation:
+    def test_valid_tree(self):
+        tracer, collector, clock = make_tracer()
+        root = tracer.start_span("query", peer="P1", trace_id="q")
+        clock["now"] = 1.0
+        child = tracer.start_span("execute", peer="P2", parent=root.context())
+        child.finish()
+        root.finish()
+        assert validate_trace(collector.spans("q")) == []
+
+    def test_empty_trace(self):
+        assert validate_trace([]) == ["empty trace"]
+
+    def test_multiple_roots_detected(self):
+        tracer, collector, clock = make_tracer()
+        tracer.start_span("query", peer="P1", trace_id="q").finish()
+        tracer.start_span("query", peer="P2", trace_id="q").finish()
+        problems = validate_trace(collector.spans("q"))
+        assert any("exactly 1 root" in p for p in problems)
+
+    def test_orphan_detected(self):
+        """A dropped trace context shows up as a gap (missing parent)."""
+        tracer, collector, clock = make_tracer()
+        root = tracer.start_span("query", peer="P1", trace_id="q")
+        child = tracer.start_span("execute", peer="P2", parent=root.context())
+        child.finish()
+        root.finish()
+        spans = [s for s in collector.spans("q") if s.name != "query"]
+        problems = validate_trace(spans)
+        assert any("context gap" in p for p in problems)
+
+    def test_unfinished_detected(self):
+        tracer, collector, clock = make_tracer()
+        tracer.start_span("query", peer="P1", trace_id="q")
+        problems = validate_trace(collector.spans("q"))
+        assert any("never finished" in p for p in problems)
+
+    def test_child_before_parent_detected(self):
+        tracer, collector, clock = make_tracer()
+        clock["now"] = 5.0
+        root = tracer.start_span("query", peer="P1", trace_id="q")
+        clock["now"] = 1.0
+        child = tracer.start_span("execute", peer="P2", parent=root.context())
+        child.finish()
+        clock["now"] = 6.0
+        root.finish()
+        problems = validate_trace(collector.spans("q"))
+        assert any("before its parent" in p for p in problems)
+
+
+class TestTreeAndRender:
+    def test_span_tree_shape(self):
+        tracer, collector, clock = make_tracer()
+        root = tracer.start_span("query", peer="P1", trace_id="q")
+        a = tracer.start_span("routing", peer="P1", parent=root.context())
+        b = tracer.start_span("execute", peer="P1", parent=root.context())
+        for span in (a, b, root):
+            span.finish()
+        tree = span_tree(collector.spans("q"))
+        assert [s.name for s in tree[None]] == ["query"]
+        assert [s.name for s in tree[root.span_id]] == ["routing", "execute"]
+
+    def test_render_trace(self):
+        tracer, collector, clock = make_tracer()
+        root = tracer.start_span("query", peer="client1", trace_id="q")
+        clock["now"] = 1.0
+        child = tracer.start_span(
+            "execute", peer="P2", parent=root.context(), rows=6
+        )
+        child.annotate("retry attempt=1")
+        clock["now"] = 2.0
+        child.finish()
+        root.finish()
+        text = render_trace(collector.spans("q"))
+        assert "query @client1" in text
+        assert "execute @P2" in text
+        assert "rows=6" in text
+        assert "retry attempt=1" in text
+        assert render_trace([]) == "(empty trace)"
+
+
+class TestDisabledPath:
+    def test_null_tracer_returns_null_span(self):
+        span = NULL_TRACER.start_span("query", peer="P1", attr=1)
+        assert span is NULL_SPAN
+        assert not span  # falsy: guards like `if span:` skip work
+        assert span.context() is None
+        span.set(rows=1)
+        span.annotate("ignored")
+        span.finish("error")
+        assert span.to_dict() == {}

@@ -1,0 +1,140 @@
+"""End-to-end trace propagation (repro.obs wired through the systems).
+
+A query's spans are minted on several peers — client, coordinator,
+super-peers, executing data peers — with the trace context riding
+inside the network messages.  These tests assert the result is ONE
+rooted, gap-free causal tree per query, for the hybrid architecture
+(including a backbone hop between two super-peers) and for ad-hoc
+delegation, and that turning observability off changes nothing the
+simulator measures.
+"""
+
+from repro.obs import validate_trace
+from repro.systems import AdhocSystem, HybridSystem
+from repro.workloads.paper import (
+    PAPER_QUERY,
+    adhoc_scenario,
+    hybrid_scenario,
+)
+
+
+def latest_spans(system):
+    collector = system.network.trace_collector
+    trace_id = collector.latest_trace_id()
+    assert trace_id is not None, "no trace recorded"
+    return collector.spans(trace_id)
+
+
+class TestHybridPropagation:
+    def test_figure6_query_yields_one_rooted_tree(self):
+        system = HybridSystem.from_scenario(hybrid_scenario())
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) == 6
+        spans = latest_spans(system)
+        assert validate_trace(spans) == []
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["query"]
+        # client, coordinator, super-peer and the executing data peers
+        assert len({s.peer_id for s in spans}) >= 3
+        names = {s.name for s in spans}
+        assert {
+            "query",
+            "coordinate",
+            "routing",
+            "route",
+            "subsumption",
+            "plan.compile",
+            "execute",
+            "channel",
+        } <= names
+        # the optimiser's rewrites trace as children of plan.compile
+        assert any(name.startswith("optimize.") for name in names)
+
+    def test_all_spans_share_the_query_trace_id(self):
+        system = HybridSystem.from_scenario(hybrid_scenario())
+        system.query("P1", PAPER_QUERY)
+        spans = latest_spans(system)
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_backbone_hop_nests_route_spans(self):
+        """The coordinator's home super-peer is not responsible for the
+        query's schema: the request forwards across the backbone, and
+        the second hop's route span nests under the first's."""
+        scenario = hybrid_scenario()
+        system = HybridSystem(scenario.schema)
+        system.add_super_peer("SP1", schemas=[])  # owns no SON
+        system.add_super_peer("SP2")  # responsible for n1
+        homes = {"P1": "SP1"}  # coordinator asks the wrong super-peer
+        for peer_id in scenario.simple_peers:
+            system.add_peer(
+                peer_id, scenario.bases[peer_id], homes.get(peer_id, "SP2")
+            )
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) == 6
+        spans = latest_spans(system)
+        assert validate_trace(spans) == []
+        routes = {s.peer_id: s for s in spans if s.name == "route"}
+        assert set(routes) == {"SP1", "SP2"}
+        assert routes["SP1"].attributes["forwarded_to"] == "SP2"
+        assert routes["SP2"].parent_id == routes["SP1"].span_id
+        assert routes["SP2"].attributes["hops"] == 1
+        # the routing work spanned two super-peers plus the data peers
+        assert len({s.peer_id for s in spans}) >= 4
+
+
+class TestAdhocPropagation:
+    def test_figure7_delegation_stitches_into_one_tree(self):
+        """P1's local plan has a Q2 hole; P2 fills it by interleaved
+        routing and executes.  Every delegate span must stitch under
+        the root query's tree via the PartialPlan's trace context."""
+        system = AdhocSystem.from_scenario(adhoc_scenario())
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) > 0
+        spans = latest_spans(system)
+        assert validate_trace(spans) == []
+        roots = [s for s in spans if s.parent_id is None]
+        assert [r.name for r in roots] == ["query"]
+        delegates = [s for s in spans if s.name == "delegate"]
+        assert delegates, "delegation happened but produced no spans"
+        # the winning delegate executed the completed plan remotely
+        winner = [s for s in delegates if s.status == "ok"]
+        assert any("rows" in s.attributes for s in winner)
+        assert len({s.peer_id for s in spans}) >= 3
+        names = {s.name for s in spans}
+        assert {"query", "routing", "delegate", "execute", "channel"} <= names
+
+
+class TestDisabledObservability:
+    def test_disabled_runs_identical_simulation(self):
+        """observability=False must change no simulated quantity —
+        tracing is uncharged metadata, on or off."""
+        on = HybridSystem.from_scenario(hybrid_scenario(), observability=True)
+        off = HybridSystem.from_scenario(hybrid_scenario(), observability=False)
+        rows_on = len(on.query("P1", PAPER_QUERY))
+        rows_off = len(off.query("P1", PAPER_QUERY))
+        assert off.network.trace_collector is None
+        assert on.network.trace_collector is not None
+        assert rows_on == rows_off
+        m_on, m_off = on.network.metrics, off.network.metrics
+        assert m_on.messages_total == m_off.messages_total
+        assert m_on.bytes_total == m_off.bytes_total
+        assert dict(m_on.messages_by_kind) == dict(m_off.messages_by_kind)
+        assert on.network.now == off.network.now
+
+    def test_disabled_adhoc_still_answers(self):
+        system = AdhocSystem.from_scenario(
+            adhoc_scenario(), observability=False
+        )
+        assert len(system.query("P1", PAPER_QUERY)) > 0
+        assert system.network.trace_collector is None
+
+
+class TestDeterminism:
+    def test_trace_export_identical_across_same_seed_runs(self):
+        exports = []
+        for _ in range(2):
+            system = HybridSystem.from_scenario(hybrid_scenario(), seed=3)
+            system.query("P1", PAPER_QUERY)
+            collector = system.network.trace_collector
+            exports.append(collector.export_json(collector.latest_trace_id()))
+        assert exports[0] == exports[1]

@@ -86,3 +86,51 @@ class TestQuery:
         ]
         assert main(args) == 1
         assert "query failed" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_check_hybrid(self, capsys):
+        assert main(["trace", "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "query @client1" in captured.out
+        assert "route @SP1" in captured.out
+        assert "trace OK" in captured.err
+        assert "no gaps" in captured.err
+
+    def test_trace_check_adhoc(self, capsys):
+        assert main(["trace", "--check", "--arch", "adhoc"]) == 0
+        captured = capsys.readouterr()
+        assert "delegate @" in captured.out
+        assert "trace OK" in captured.err
+
+    def test_trace_json_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--json", str(path)]) == 0
+        export = json.loads(path.read_text())
+        assert export["schema"] == "repro.obs/trace-v1"
+        assert export["traces"][0]["spans"]
+
+    def test_trace_no_events_hides_annotations(self, capsys):
+        assert main(["trace", "--arch", "adhoc", "--no-events"]) == 0
+        with_flag = capsys.readouterr().out
+        assert main(["trace", "--arch", "adhoc"]) == 0
+        without_flag = capsys.readouterr().out
+        # the delegation rounds annotate events; --no-events drops them
+        assert "· " not in with_flag
+        assert "· " in without_flag
+
+
+class TestMetrics:
+    def test_metrics_exposition(self, capsys):
+        assert main(["metrics", "--queries", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_messages_total counter" in out
+        assert 'repro_query_latency_quantile{quantile="p50"}' in out
+        assert 'repro_stage_duration_bucket{stage="execute"' in out
+        assert "# TYPE repro_peer_gauge gauge" in out
+
+    def test_metrics_adhoc(self, capsys):
+        assert main(["metrics", "--arch", "adhoc", "--queries", "1"]) == 0
+        assert "repro_messages_total" in capsys.readouterr().out
