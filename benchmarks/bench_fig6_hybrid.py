@@ -13,8 +13,8 @@ from repro.workloads.paper import PAPER_QUERY, hybrid_scenario
 from ._common import banner, format_table, write_report
 
 
-def _run():
-    system = HybridSystem.from_scenario(hybrid_scenario())
+def _run(**options):
+    system = HybridSystem.from_scenario(hybrid_scenario(), **options)
     table = system.query("P1", PAPER_QUERY)
     return system, table
 
@@ -34,6 +34,8 @@ def report() -> str:
         ("answer rows", "6 (3 via P2, 3 via P3, joined on P5)", len(table)),
         ("total messages", "(small, SON-local)",
          system.network.metrics.messages_total),
+        ("binding batches shipped", "(one DataPacket per channel)",
+         system.network.metrics.batches_sent),
     ]
     text = banner(
         "fig6",
@@ -57,6 +59,24 @@ def bench_hybrid_end_to_end(benchmark):
     table = benchmark(run)
     assert len(table) == 6
     report()
+
+
+def bench_hybrid_vectorized_matches_scalar(benchmark):
+    """Figure 6 answers are engine-independent.  Message counts are
+    not: the scalar engine ships one binding per DataPacket (9 for the
+    paper scenario's 3+3+3 intermediate rows) while the batched engine
+    ships one per channel, exactly the seed's 3."""
+    def run():
+        return _run(vectorize=False)
+
+    scalar_system, scalar_table = benchmark(run)
+    vector_system, vector_table = _run()
+    assert vector_table == scalar_table
+    vector_kinds = vector_system.network.metrics.messages_by_kind
+    scalar_kinds = scalar_system.network.metrics.messages_by_kind
+    assert vector_kinds["DataPacket"] == vector_kinds["SubPlanPacket"]
+    assert scalar_kinds["DataPacket"] == 9
+    assert vector_kinds["DataPacket"] < scalar_kinds["DataPacket"]
 
 
 def bench_hybrid_routing_phase(benchmark):

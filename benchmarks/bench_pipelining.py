@@ -82,6 +82,23 @@ def bench_blocking_end_to_end(benchmark):
     assert rows == 9
 
 
+def bench_streamed_chunks_keep_granularity(benchmark):
+    """Explicit pipelining overrides implicit batching: with
+    ``stream_chunk_rows=1`` every shipped batch carries at most one
+    binding even though the engine's ``batch_size`` default is 256."""
+    def run():
+        system = _system(True, 1.0)
+        table = system.query("P1", PAPER_QUERY)
+        return system, table
+
+    system, table = benchmark(run)
+    assert len(table) == 9
+    metrics = system.network.metrics
+    assert metrics.batches_sent == metrics.messages_by_kind["DataPacket"]
+    assert metrics.bindings_per_batch.count > 0
+    assert metrics.bindings_per_batch.mean <= 1.0
+
+
 def bench_head_start_grows_with_streaming(benchmark):
     def run():
         return _measure(True, 20.0)

@@ -143,6 +143,14 @@ COMMENTARY = {
         "a constant early point while blocking completion scales with the "
         "stream duration — a head start growing to ~98%; answers identical.",
     ),
+    "batch": (
+        "Section 2.5 (extension) — batched vectorized execution",
+        "Shipping bindings in batches pays channel cost per batch instead "
+        "of per binding: at batch size 256 the vectorized engine answers "
+        "the ~500-row sweep query with >10x fewer simulator messages and "
+        ">2x less wall-clock than the scalar binding-at-a-time engine, "
+        "with answer multisets differentially verified identical.",
+    ),
     "churn": (
         "Sections 1/2.2/2.5 (extension) — query stream under churn",
         "Redundancy plus replanning sustain the stream: graceful leaves "
@@ -157,6 +165,19 @@ COMMENTARY = {
         "keeps ≥90% of queries fully answered through 10–20% message "
         "loss plus a mid-query crash/recovery; same-seed runs replay "
         "bit-for-bit.",
+    ),
+    "obs-overhead": (
+        "repro.obs (extension) — observability tax",
+        "Not a paper figure: the cost of leaving tracing and histogram "
+        "metrics on by default. Trace contexts ride messages as uncharged "
+        "metadata, so *no simulated quantity* moves (messages, bytes, "
+        "per-kind counts, answer rows and virtual time are bit-identical "
+        "with the recorder on or off — asserted, not assumed). The "
+        "real-CPU cost of minting ~14 spans plus histogram observations "
+        "per Figure 6 run measures at ~3–4.5% (median of GC-quiesced "
+        "paired CPU-time ratios; wall-clock best-of was tried first and "
+        "swings ±30% on a shared machine, far above the effect). CI "
+        "bounds it below 5%.",
     ),
     "local-eval": (
         "Substrate microbenchmark — entailed local evaluation",

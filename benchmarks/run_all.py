@@ -35,6 +35,7 @@ MODULES = [
     "bench_dht_routing",
     "bench_churn_system",
     "bench_pipelining",
+    "bench_batch_size",
     "bench_local_evaluation",
     "bench_chaos",
     "bench_obs_overhead",

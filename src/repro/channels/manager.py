@@ -8,10 +8,11 @@ failures to the continuation registered when the channel was opened.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from ..core.algebra import PlanNode
 from ..errors import ChannelError
+from ..execution.batch import concat_tables
 from ..net.message import Message
 from ..net.simulator import Network
 from ..resilience.retry import RetryPolicy
@@ -36,11 +37,30 @@ class ChannelManager:
         self.owner = owner
         self._channels: Dict[str, Channel] = {}
         self._callbacks: Dict[str, ChannelCallback] = {}
-        self._buffers: Dict[str, BindingTable] = {}  # streamed chunks
+        #: streamed chunks, buffered as a list and concatenated once at
+        #: the final packet (linear in total rows, not quadratic)
+        self._buffers: Dict[str, List[BindingTable]] = {}
         self._progress: Dict[str, ProgressCallback] = {}  # pipelined channels
         self._counter = itertools.count(1)
         self._received_seqs: Dict[str, Set[int]] = {}  # packet dedup
         self._activity: Dict[str, int] = {}  # packets seen (timeout resets)
+        #: seq carried by the stream's final packet, once seen — the
+        #: stream completes when seqs 0..final have ALL arrived, not
+        #: when the final packet does (back-to-back batches can arrive
+        #: out of order: delivery delay grows with packet size)
+        self._final_seqs: Dict[str, int] = {}
+        #: channels torn down by a replan: late packets for them count
+        #: as discarded bindings instead of silently vanishing
+        self._discarded: Set[str] = set()
+        self._metrics = None  # bound by Peer.join
+
+    def bind_metrics(self, metrics) -> None:
+        """Attach the network's metric set (discarded-binding counts)."""
+        self._metrics = metrics
+
+    def _record_discarded(self, count: int) -> None:
+        if count and self._metrics is not None:
+            self._metrics.record_discarded_bindings(count)
 
     # ------------------------------------------------------------------
     # root side
@@ -157,9 +177,13 @@ class ChannelManager:
         """Dispatch a data packet to the channel's continuation."""
         channel = self._channels.get(packet.channel_id)
         if channel is None:
-            # late packet for a channel discarded by a replan: drop it
+            # late packet for a channel this peer never rooted: drop it
             return
         if not channel.is_open:
+            if packet.channel_id in self._discarded:
+                # the replan already tore this channel down: these
+                # bindings were computed for nothing — account them
+                self._record_discarded(len(packet.table))
             return
         seen = self._received_seqs.setdefault(packet.channel_id, set())
         if packet.seq in seen:
@@ -178,24 +202,28 @@ class ChannelManager:
             channel.fail()
             self._buffers.pop(packet.channel_id, None)
             self._progress.pop(packet.channel_id, None)
+            self._final_seqs.pop(packet.channel_id, None)
             self._finish(packet.channel_id, None, packet.failed_peer)
             return
+        if packet.final:
+            self._final_seqs[packet.channel_id] = packet.seq
         progress = self._progress.get(packet.channel_id)
         if progress is not None:
             progress(packet.table)
-            if packet.final:
-                channel.close()
-                self._progress.pop(packet.channel_id, None)
-                self._finish(packet.channel_id, BindingTable(packet.table.columns), None)
-            return
-        buffered = self._buffers.get(packet.channel_id)
-        table = packet.table if buffered is None else buffered.union(packet.table)
-        if packet.final:
-            channel.close()
-            self._buffers.pop(packet.channel_id, None)
-            self._finish(packet.channel_id, table, None)
         else:
-            self._buffers[packet.channel_id] = table
+            self._buffers.setdefault(packet.channel_id, []).append(packet.table)
+        final_seq = self._final_seqs.get(packet.channel_id)
+        if final_seq is None or len(seen) < final_seq + 1:
+            return  # chunks still outstanding
+        channel.close()
+        self._final_seqs.pop(packet.channel_id, None)
+        if progress is not None:
+            self._progress.pop(packet.channel_id, None)
+            self._finish(packet.channel_id, BindingTable(packet.table.columns), None)
+            return
+        chunks = self._buffers.pop(packet.channel_id, None)
+        table = concat_tables(chunks) if chunks else packet.table
+        self._finish(packet.channel_id, table, None)
 
     def on_failure(self, channel_id: str) -> None:
         """Transport-level failure of the channel's destination."""
@@ -208,6 +236,7 @@ class ChannelManager:
     def _finish(self, channel_id: str, table, failed_peer) -> None:
         self._received_seqs.pop(channel_id, None)
         self._activity.pop(channel_id, None)
+        self._final_seqs.pop(channel_id, None)
         callback = self._callbacks.pop(channel_id, None)
         if callback is not None:
             callback(table, failed_peer)
@@ -227,15 +256,24 @@ class ChannelManager:
 
     def discard(self, channel_id: str) -> None:
         """Close a channel without invoking its continuation (the ubQL
-        discard used when a replan abandons on-going computation)."""
+        discard used when a replan abandons on-going computation).
+
+        Buffered chunks the channel had already received are counted as
+        discarded bindings, and the channel is remembered as discarded
+        so bindings still in flight are counted on arrival too.
+        """
         channel = self._channels.get(channel_id)
         if channel is not None:
             channel.close()
+            self._discarded.add(channel_id)
         self._callbacks.pop(channel_id, None)
-        self._buffers.pop(channel_id, None)
+        chunks = self._buffers.pop(channel_id, None)
+        if chunks:
+            self._record_discarded(sum(len(chunk) for chunk in chunks))
         self._progress.pop(channel_id, None)
         self._received_seqs.pop(channel_id, None)
         self._activity.pop(channel_id, None)
+        self._final_seqs.pop(channel_id, None)
 
     def discard_all(self) -> int:
         """Discard every open channel; returns how many were open."""

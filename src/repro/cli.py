@@ -81,6 +81,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the routing/plan caches and request coalescing "
         "(cold per-query routing, as in the paper)",
     )
+    query.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="disable batched vectorized execution: scalar operators "
+        "and one data packet per binding (the reference path)",
+    )
+    query.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bindings per shipped data packet when vectorizing "
+        "(default 256)",
+    )
     query.add_argument("text", help="RQL query text")
 
     chaos = commands.add_parser(
@@ -191,7 +205,15 @@ def _cmd_figures() -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     schema = load_schema(args.schema, args.namespace)
-    system = HybridSystem(schema, cache_enabled=not args.no_cache)
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    system = HybridSystem(
+        schema,
+        cache_enabled=not args.no_cache,
+        vectorize=not args.no_vectorize,
+        batch_size=args.batch_size,
+    )
     system.add_super_peer("SP")
     names = []
     for spec in args.peer:

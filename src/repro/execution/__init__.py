@@ -1,16 +1,29 @@
 """Distributed query execution over channels."""
 
+from .batch import BindingBatch, concat_tables, split_table
 from .engine import Completion, ExecutorHost, PlanExecutor
 from .local import evaluate_scan
-from .operators import apply_conditions, finalize, join_all, union_all
+from .operators import (
+    apply_conditions,
+    finalize,
+    join_all,
+    union_all,
+    vjoin_all,
+    vunion_all,
+)
 
 __all__ = [
+    "BindingBatch",
     "Completion",
     "ExecutorHost",
     "PlanExecutor",
     "apply_conditions",
+    "concat_tables",
     "evaluate_scan",
     "finalize",
     "join_all",
+    "split_table",
     "union_all",
+    "vjoin_all",
+    "vunion_all",
 ]

@@ -17,16 +17,20 @@ executor once, reporting the failed peer so the query root can replan
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol
 
-from ..channels.manager import ChannelManager
+if TYPE_CHECKING:  # annotation only — imported lazily to avoid a cycle
+    # (channels.manager uses execution.batch for stream assembly)
+    from ..channels.manager import ChannelManager
+
 from ..channels.packets import TreePath
 from ..core.algebra import Hole, Join, PlanNode, Scan, Union
 from ..errors import PlanningError
 from ..net.simulator import Network
 from ..obs.tracer import NULL_SPAN
 from ..rql.bindings import BindingTable
-from .operators import join_all, union_all
+from .batch import concat_tables
+from .operators import join_all, union_all, vjoin_all, vunion_all
 
 #: Completion continuation: (result table or None, failed peer or None).
 Completion = Callable[[Optional[BindingTable], Optional[str]], None]
@@ -91,6 +95,10 @@ class PlanExecutor:
         self.pipelined = pipelined
         self.retry = retry
         self.trace = trace
+        #: vectorized (batched, column-wise) operator evaluation; the
+        #: hosting peer's ``--no-vectorize`` escape hatch flips this
+        #: back to the seed's binding-at-a-time path
+        self.vectorize = bool(getattr(host, "vectorize", True))
         self.span = NULL_SPAN
         #: virtual time of the first output rows (pipelined mode)
         self.first_output_at: Optional[float] = None
@@ -130,12 +138,9 @@ class PlanExecutor:
             if self._finished:
                 return
             if accumulated:
-                columns = accumulated[0].columns
-                merged = BindingTable(columns)
-                for chunk in accumulated:
-                    reorder = [chunk.column_index(c) for c in columns]
-                    for row in chunk.rows:
-                        merged.append(tuple(row[i] for i in reorder))
+                # one column-aligned concatenation over all chunks —
+                # linear in total rows, not quadratic per-chunk unions
+                merged = concat_tables(accumulated)
             else:
                 merged = BindingTable(self.plan.variables())
             self._finish_ok(merged)
@@ -228,7 +233,10 @@ class PlanExecutor:
                 self._ship(node, path, node.peer_id, k)
             return
         children = node.children()
-        combine = union_all if isinstance(node, Union) else join_all
+        if self.vectorize:
+            combine = vunion_all if isinstance(node, Union) else vjoin_all
+        else:
+            combine = union_all if isinstance(node, Union) else join_all
         gather = _Gather(len(children), combine, k)
         for index, child in enumerate(children):
             self._execute(child, path + (index,), gather.collector(index))

@@ -7,6 +7,10 @@ Executing the *original* (unrewritten) pattern at a peer is sound:
 class filters are enforced during evaluation, so a peer advertising a
 broader class only contributes bindings that satisfy the query's
 classes.
+
+With ``vectorize`` on (the default) the per-pattern tables are joined
+through the columnar build/probe hash-join; off reproduces the seed's
+binding-at-a-time join exactly.
 """
 
 from __future__ import annotations
@@ -17,11 +21,13 @@ from ..rdf.inference import InferredView
 from ..rdf.schema import Schema
 from ..rql.bindings import BindingTable
 from ..rql.evaluator import evaluate_path_pattern
-from .operators import join_all
+from .operators import join_all, vjoin_all
 
 
-def evaluate_scan(scan: Scan, base: Graph, schema: Schema) -> BindingTable:
+def evaluate_scan(
+    scan: Scan, base: Graph, schema: Schema, vectorize: bool = True
+) -> BindingTable:
     """Evaluate a (possibly composite) scan against a local base."""
     view = InferredView(base, schema)
     tables = [evaluate_path_pattern(pattern, view) for pattern in scan.patterns()]
-    return join_all(tables)
+    return vjoin_all(tables) if vectorize else join_all(tables)

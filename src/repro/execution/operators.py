@@ -1,19 +1,34 @@
 """Relational operators over binding tables.
 
 Thin, well-tested wrappers the execution engine composes: n-ary union
-and join, condition filtering and final projection.  The heavy lifting
-(hash join, column alignment) lives in
-:class:`~repro.rql.bindings.BindingTable`.
+and join, condition filtering and final projection — each in two
+flavours sharing one semantics:
+
+* the **scalar** path (``join_all`` / ``union_all`` / ``finalize``
+  with ``vectorize=False``) evaluates binding-at-a-time over per-row
+  dictionaries, exactly as the seed engine did — kept as the
+  ``--no-vectorize`` escape hatch and as the differential-testing
+  reference;
+* the **vectorized** path (``vjoin_all`` / ``vunion_all`` /
+  ``finalize`` with ``vectorize=True``) pivots the operands into
+  column-oriented :class:`~repro.execution.batch.BindingBatch` values
+  and runs build/probe hash-joins, column-wise concatenation, masks and
+  projections without building a single per-row dict.
+
+Both produce identical binding multisets (asserted by
+``tests/difftest`` and the metamorphic property tests).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, List, Sequence
 
 from ..errors import EvaluationError
+from ..rdf.terms import Literal
 from ..rql.ast import Condition
 from ..rql.bindings import BindingTable
-from ..rql.evaluator import _condition_predicate
+from ..rql.evaluator import _COMPARATORS, _condition_predicate
+from .batch import BindingBatch
 
 
 def union_all(tables: Sequence[BindingTable]) -> BindingTable:
@@ -36,15 +51,87 @@ def join_all(tables: Sequence[BindingTable]) -> BindingTable:
     return result
 
 
-def apply_conditions(table: BindingTable, conditions: Iterable[Condition]) -> BindingTable:
+def vunion_all(tables: Sequence[BindingTable]) -> BindingTable:
+    """Vectorized bag union: one column-wise concatenation."""
+    if not tables:
+        raise EvaluationError("union of zero tables")
+    if len(tables) == 1:
+        return tables[0]
+    return BindingBatch.concat(
+        [BindingBatch.from_table(t) for t in tables]
+    ).to_table()
+
+
+def vjoin_all(tables: Sequence[BindingTable]) -> BindingTable:
+    """Vectorized natural join: a cascade of build/probe hash-joins."""
+    if not tables:
+        raise EvaluationError("join of zero tables")
+    if len(tables) == 1:
+        return tables[0]
+    result = BindingBatch.from_table(tables[0])
+    for table in tables[1:]:
+        result = result.hash_join(BindingBatch.from_table(table))
+    return result.to_table()
+
+
+def _condition_mask(batch: BindingBatch, condition: Condition) -> List[bool]:
+    """Evaluate one WHERE condition column-wise into a row mask.
+
+    Semantics mirror the scalar predicate exactly: literals compare by
+    their Python value, incomparable types reject the row.
+    """
+    compare = _COMPARATORS.get(condition.operator)
+    if compare is None:
+        raise EvaluationError(f"unsupported operator {condition.operator!r}")
+    left = [
+        term.to_python() if isinstance(term, Literal) else term
+        for term in batch.column(condition.variable)
+    ]
+    if condition.value_is_variable:
+        right: Iterable = [
+            term.to_python() if isinstance(term, Literal) else term
+            for term in batch.column(str(condition.value))
+        ]
+    else:
+        value = condition.value
+        constant = value.to_python() if isinstance(value, Literal) else value
+        right = [constant] * len(batch)
+    mask = []
+    for a, b in zip(left, right):
+        try:
+            mask.append(bool(compare(a, b)))
+        except TypeError:
+            mask.append(False)
+    return mask
+
+
+def _referenced_columns(condition: Condition) -> set:
+    referenced = {condition.variable}
+    if condition.value_is_variable:
+        referenced.add(str(condition.value))
+    return referenced
+
+
+def apply_conditions(
+    table: BindingTable,
+    conditions: Iterable[Condition],
+    vectorize: bool = False,
+) -> BindingTable:
     """Apply WHERE-clause filters; conditions referencing columns the
     table lacks reject nothing (they were pushed elsewhere)."""
+    if vectorize:
+        batch = BindingBatch.from_table(table)
+        columns = set(batch.columns)
+        filtered = False
+        for condition in conditions:
+            if not _referenced_columns(condition).issubset(columns):
+                continue
+            batch = batch.compress(_condition_mask(batch, condition))
+            filtered = True
+        return batch.to_table() if filtered else table
     result = table
     for condition in conditions:
-        referenced = {condition.variable}
-        if condition.value_is_variable:
-            referenced.add(str(condition.value))
-        if not referenced.issubset(set(result.columns)):
+        if not _referenced_columns(condition).issubset(set(result.columns)):
             continue
         result = result.select(_condition_predicate(condition))
     return result
@@ -54,8 +141,18 @@ def finalize(
     table: BindingTable,
     projections: Sequence[str],
     conditions: Iterable[Condition] = (),
+    vectorize: bool = False,
 ) -> BindingTable:
     """Coordinator post-processing: filter, project, de-duplicate."""
+    if vectorize:
+        batch = BindingBatch.from_table(table)
+        columns = set(batch.columns)
+        for condition in conditions:
+            if not _referenced_columns(condition).issubset(columns):
+                continue
+            batch = batch.compress(_condition_mask(batch, condition))
+        available = [c for c in projections if c in columns]
+        return batch.project(available).distinct().to_table()
     filtered = apply_conditions(table, conditions)
     available = [c for c in projections if c in filtered.columns]
     return filtered.project(available).distinct()

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..errors import EvaluationError
 from ..rql.bindings import BindingTable
+from .batch import BindingBatch
 
 #: Downstream consumer of emitted output chunks.
 Emit = Callable[[BindingTable], None]
@@ -118,10 +119,11 @@ class IncrementalUnion:
             raise EvaluationError(
                 f"union chunk columns {chunk.columns} != {self.columns}"
             )
-        aligned = BindingTable(self.columns)
-        reorder = [chunk.column_index(c) for c in self.columns]
-        for row in chunk.rows:
-            aligned.append(tuple(row[i] for i in reorder))
+        if chunk.columns == self.columns:
+            aligned = chunk
+        else:
+            # column-wise header reorder, no per-row work
+            aligned = BindingBatch.from_table(chunk).align(self.columns).to_table()
         if aligned:
             self.rows_emitted += len(aligned)
             self._emit(aligned)

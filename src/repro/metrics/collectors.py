@@ -29,6 +29,8 @@ class MetricSnapshot(NamedTuple):
     partial_results: int = 0
     dropped_messages: int = 0
     duplicated_messages: int = 0
+    batches_sent: int = 0
+    discarded_bindings: int = 0
     messages_by_kind: Counter = Counter()
     bytes_by_kind: Counter = Counter()
 
@@ -82,6 +84,12 @@ class MetricSet:
         self.partial_results = 0
         self.dropped_messages = 0
         self.duplicated_messages = 0
+        # vectorized execution (repro.execution.batch): how many binding
+        # batches went over the wire, how full they were, and how many
+        # bindings a discarded plan threw away before reaching a consumer
+        self.batches_sent = 0
+        self.discarded_bindings = 0
+        self.bindings_per_batch = Histogram()
 
     # ------------------------------------------------------------------
     # recording
@@ -135,6 +143,15 @@ class MetricSet:
 
     def record_duplicated_message(self) -> None:
         self.duplicated_messages += 1
+
+    def record_batch(self, bindings: int) -> None:
+        """Account one shipped binding batch (a ``DataPacket``)."""
+        self.batches_sent += 1
+        self.bindings_per_batch.record(float(bindings))
+
+    def record_discarded_bindings(self, count: int = 1) -> None:
+        """Account bindings dropped by a discarded plan mid-stream."""
+        self.discarded_bindings += count
 
     def observe_stage(self, stage: str, duration: float) -> None:
         """Fold one finished span's duration into its stage histogram."""
@@ -193,6 +210,8 @@ class MetricSet:
             self.partial_results,
             self.dropped_messages,
             self.duplicated_messages,
+            self.batches_sent,
+            self.discarded_bindings,
             Counter(self.messages_by_kind),
             Counter(self.bytes_by_kind),
         )
@@ -223,6 +242,8 @@ class MetricSet:
             self.partial_results - base.partial_results,
             self.dropped_messages - base.dropped_messages,
             self.duplicated_messages - base.duplicated_messages,
+            self.batches_sent - base.batches_sent,
+            self.discarded_bindings - base.discarded_bindings,
             +kind_messages,  # unary + drops zero/negative entries
             +kind_bytes,
         )
@@ -285,6 +306,9 @@ class MetricSet:
             "partial_results": self.partial_results,
             "dropped_messages": self.dropped_messages,
             "duplicated_messages": self.duplicated_messages,
+            "batches_sent": self.batches_sent,
+            "discarded_bindings": self.discarded_bindings,
+            "mean_bindings_per_batch": self.bindings_per_batch.mean or 0.0,
         }
 
     def __repr__(self) -> str:

@@ -192,6 +192,11 @@ class Network:
         self.metrics.record_message(
             message.kind, message.src, message.dst, message.size, delay=delay
         )
+        if message.kind == "DataPacket":
+            # vectorized-execution accounting: each DataPacket carries
+            # one binding batch; how full it is drives the batch-size
+            # experiments (bench_batch_size)
+            self.metrics.record_batch(len(message.payload.table))
         faults = self.faults
         if faults is not None:
             if faults.partitioned(message.src, message.dst, self.now) or faults.drops(

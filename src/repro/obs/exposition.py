@@ -99,6 +99,8 @@ def render_prometheus(
         ("partial_results", "Coverage-annotated partial answers"),
         ("dropped_messages", "Messages dropped by the fault plan"),
         ("duplicated_messages", "Messages duplicated by the fault plan"),
+        ("batches_sent", "Binding batches (DataPackets) shipped"),
+        ("discarded_bindings", "Bindings thrown away by plan discards"),
     ):
         _counter(lines, f"repro_{name}_total", help_text, getattr(metrics, name))
     if metrics.latency_histogram.count:
@@ -116,6 +118,13 @@ def render_prometheus(
                 f'repro_query_latency_quantile{{quantile="{quantile}"}} '
                 f"{_fmt(summary[quantile])}"
             )
+    if metrics.bindings_per_batch.count:
+        _histogram(
+            lines,
+            "repro_bindings_per_batch",
+            "Bindings carried per shipped batch",
+            {"": metrics.bindings_per_batch},
+        )
     if metrics.stage_latency:
         _histogram(
             lines,

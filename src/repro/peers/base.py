@@ -15,6 +15,7 @@ from ..channels.manager import ChannelManager
 from ..channels.packets import DataPacket, StatsPacket, SubPlanPacket
 from ..core.algebra import Scan
 from ..errors import PeerError
+from ..execution.batch import split_table
 from ..execution.engine import PlanExecutor
 from ..execution.local import evaluate_scan
 from ..net.message import DeliveryFailure, Message
@@ -62,9 +63,9 @@ class PeerBase:
             return merged
         return ActiveSchema.from_base(self.graph, self.schema, peer_id)
 
-    def evaluate_scan(self, scan: Scan) -> BindingTable:
+    def evaluate_scan(self, scan: Scan, vectorize: bool = True) -> BindingTable:
         """Evaluate a (composite) scan against this base."""
-        return evaluate_scan(scan, self.graph, self.schema)
+        return evaluate_scan(scan, self.graph, self.schema, vectorize=vectorize)
 
 
 class Peer:
@@ -76,13 +77,22 @@ class Peer:
     """
 
     #: when set, subplan results stream back in chunks of this many rows
-    #: (one DataPacket per chunk), modelling pipelined production — the
-    #: tuple flow run-time adaptation observes (Section 2.5)
+    #: (one DataPacket per chunk) paced by :attr:`stream_interval`,
+    #: modelling pipelined production — the tuple flow run-time
+    #: adaptation observes (Section 2.5).  Takes precedence over the
+    #: implicit :attr:`batch_size` fragmentation.
     stream_chunk_rows: Optional[int] = None
     #: virtual-time spacing between streamed chunks
     stream_interval: float = 2.0
     #: completed subplans remembered for retransmit replay (per peer)
     subplan_replay_limit: int = 128
+    #: vectorized execution: evaluate operators column-wise and ship
+    #: results as binding batches; off reproduces the seed's
+    #: binding-at-a-time path with one DataPacket per binding
+    vectorize: bool = True
+    #: maximum bindings per shipped DataPacket when :attr:`vectorize`
+    #: is on (larger results fragment back-to-back, no pacing delay)
+    batch_size: int = 256
 
     def __init__(
         self,
@@ -100,7 +110,10 @@ class Peer:
         self.channels = ChannelManager(peer_id)
         self.network: Optional[Network] = None
         #: channel ids whose roots changed plans: stop streaming to them
+        #: (entries live only while the stream they cancel is in flight)
         self._cancelled_streams: set = set()
+        #: channel ids with a paced chunk stream currently in flight
+        self._active_streams: set = set()
         #: ack/retransmit policy for channels this peer roots (None
         #: keeps the seed's fire-and-forget channels)
         self.channel_retry = None
@@ -133,6 +146,8 @@ class Peer:
         handshakes: pushing or pulling advertisements)."""
         network.register(self)
         self.network = network
+        # discarded-binding accounting flows through the channel manager
+        self.channels.bind_metrics(network.metrics)
 
     def _require_network(self) -> Network:
         if self.network is None:
@@ -168,7 +183,7 @@ class Peer:
         if base is None:
             # no base speaks this vocabulary: the empty table
             return BindingTable(scan.patterns()[0].variables() if scan.patterns() else ())
-        return base.evaluate_scan(scan)
+        return base.evaluate_scan(scan, vectorize=self.vectorize)
 
     def handle_SubPlanPacket(self, message: Message) -> None:
         """Execute a received subplan and stream the result back.
@@ -229,35 +244,59 @@ class Peer:
         executor.start()
 
     def _result_packets(self, channel_id: str, table: BindingTable) -> list:
-        """A subplan result as sequence-numbered packets: one, or a
-        chunk series when :attr:`stream_chunk_rows` is set."""
+        """A subplan result as sequence-numbered binding batches.
+
+        The granularity is :attr:`stream_chunk_rows` when explicit
+        pipelining is on, else :attr:`batch_size` (vectorized) or one
+        binding per packet (``--no-vectorize``, the seed's conceptual
+        tuple-at-a-time wire format).
+        """
         chunk = self.stream_chunk_rows
-        if not chunk or len(table) <= chunk:
+        if not chunk:
+            chunk = self.batch_size if self.vectorize else 1
+        if len(table) <= chunk:
             return [DataPacket(channel_id, table, final=True, seq=0)]
+        parts = split_table(table, chunk)
+        last = len(parts) - 1
         return [
-            DataPacket(
-                channel_id,
-                BindingTable(table.columns, table.rows[start : start + chunk]),
-                final=start + chunk >= len(table),
-                seq=index,
-            )
-            for index, start in enumerate(range(0, len(table), chunk))
+            DataPacket(channel_id, part, final=index == last, seq=index)
+            for index, part in enumerate(parts)
         ]
 
     def _stream_packets(self, root: str, channel_id: str, packets: list) -> None:
-        """Ship result packets: immediately for a single packet, paced
-        by :attr:`stream_interval` for a chunk stream."""
+        """Ship result packets.
+
+        A single packet goes immediately.  Implicit fragmentation (the
+        table outgrew :attr:`batch_size`) sends back-to-back — batching
+        changes message count, not timing.  Explicit pipelining
+        (:attr:`stream_chunk_rows`) paces chunks by
+        :attr:`stream_interval` and honours mid-stream discards.
+        """
         if len(packets) == 1:
             self.send(root, packets[0])
             return
+        if not self.stream_chunk_rows:
+            for packet in packets:
+                self.send(root, packet)
+            return
         network = self._require_network()
+        self._active_streams.add(channel_id)
 
         def send_batch(index: int) -> None:
             if channel_id in self._cancelled_streams:
-                return  # the root changed plans: terminate this stream
+                # the root changed plans: terminate this stream and
+                # account the bindings it will never deliver
+                self._cancelled_streams.discard(channel_id)
+                self._active_streams.discard(channel_id)
+                remaining = sum(len(p.table) for p in packets[index:])
+                if remaining:
+                    network.metrics.record_discarded_bindings(remaining)
+                return
             self.send(root, packets[index])
             if index + 1 < len(packets):
                 network.call_later(self.stream_interval, lambda: send_batch(index + 1))
+            else:
+                self._active_streams.discard(channel_id)
 
         send_batch(0)
 
@@ -291,8 +330,13 @@ class Peer:
     def handle_ChangePlanPacket(self, message: Message) -> None:
         """The channel root changed its plan: terminate on-going work
         for that channel (ubQL discard on the destination side) —
-        concretely, stop any in-flight chunk stream."""
-        self._cancelled_streams.add(message.payload.channel_id)
+        concretely, stop any in-flight chunk stream.  Channels with no
+        active stream have nothing to cancel, so no marker is kept for
+        them (markers for already-finished streams used to accumulate
+        forever)."""
+        channel_id = message.payload.channel_id
+        if channel_id in self._active_streams:
+            self._cancelled_streams.add(channel_id)
 
     def handle_StatsPacket(self, message: Message) -> None:
         """Base peers ignore statistics; coordinators override."""

@@ -123,10 +123,16 @@ class SimplePeer(Peer):
         failure_policy: str = "discard",
         secondary_bases=(),
         cache_enabled: bool = True,
+        vectorize: bool = True,
+        batch_size: int = 256,
     ):
         super().__init__(peer_id, base, secondary_bases=secondary_bases)
         if failure_policy not in ("discard", "phased"):
             raise ValueError("failure_policy must be 'discard' or 'phased'")
+        #: vectorized execution + batched shipping (``--no-vectorize``
+        #: turns both off: scalar operators, one DataPacket per binding)
+        self.vectorize = vectorize
+        self.batch_size = batch_size
         self.adaptive = adaptive
         self.max_replans = max_replans
         self.optimize_plans = optimize_plans
@@ -704,6 +710,7 @@ class SimplePeer(Peer):
             table,
             pending.query.effective_projections(),
             pending.query.conditions,
+            vectorize=self.vectorize,
         )
         final = pending.constraints.apply_result_bounds(final)
         self._finish(pending, QueryResult(pending.query_id, final, coverage=coverage))
@@ -718,6 +725,7 @@ class SimplePeer(Peer):
             table,
             pending.query.effective_projections(),
             pending.query.conditions,
+            vectorize=self.vectorize,
         )
         final = pending.constraints.apply_result_bounds(final)
         self._finish(pending, QueryResult(pending.query_id, final))

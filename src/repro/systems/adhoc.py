@@ -434,6 +434,8 @@ class AdhocSystem:
         use_dht: bool = False,
         cache_enabled: bool = True,
         observability: bool = True,
+        vectorize: bool = True,
+        batch_size: int = 256,
         **peer_options,
     ):
         self.schema = schema
@@ -442,8 +444,13 @@ class AdhocSystem:
         )
         self.statistics = statistics
         self.cache_enabled = cache_enabled
+        self.vectorize = vectorize
+        self.batch_size = batch_size
         self.peer_options = dict(peer_options)
         self.peer_options.setdefault("cache_enabled", cache_enabled)
+        # deployment-wide execution mode (--no-vectorize / --batch-size)
+        self.peer_options.setdefault("vectorize", vectorize)
+        self.peer_options.setdefault("batch_size", batch_size)
         self.peers: Dict[str, AdhocPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
         self._client_counter = itertools.count(1)

@@ -149,6 +149,8 @@ class HybridSystem:
         statistics: Optional[Statistics] = None,
         cache_enabled: bool = True,
         observability: bool = True,
+        vectorize: bool = True,
+        batch_size: int = 256,
         **peer_options,
     ):
         self.schema = schema
@@ -157,10 +159,15 @@ class HybridSystem:
         )
         self.statistics = statistics
         self.cache_enabled = cache_enabled
+        self.vectorize = vectorize
+        self.batch_size = batch_size
         self.peer_options = dict(peer_options)
         # deployment-wide switch (--no-cache): every super-peer index
         # and simple peer runs cold unless a peer option overrides it
         self.peer_options.setdefault("cache_enabled", cache_enabled)
+        # deployment-wide execution mode (--no-vectorize / --batch-size)
+        self.peer_options.setdefault("vectorize", vectorize)
+        self.peer_options.setdefault("batch_size", batch_size)
         self.super_peers: Dict[str, SuperPeer] = {}
         self.peers: Dict[str, HybridPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}

@@ -137,3 +137,134 @@ class TestManager:
     def test_packet_sizes_positive(self, scan):
         assert SubPlanPacket("c", scan).size_bytes() > 0
         assert DataPacket("c", BindingTable(("X",))).size_bytes() > 0
+
+
+def _rows(*names):
+    from repro.rdf import URI
+
+    return BindingTable(("X",), [(URI(f"http://w/{n}"),) for n in names])
+
+
+class TestOutOfOrderReassembly:
+    """Batched streams complete when every seq arrived, not when the
+    final packet does — small final packets overtake big chunks."""
+
+    def _open(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        results = []
+        channel = manager.open(network, "P2", scan, lambda t, f: results.append((t, f)))
+        return manager, channel, results
+
+    def test_final_overtaking_chunks_waits_for_them(self, wired, scan):
+        manager, channel, results = self._open(wired, scan)
+        cid = channel.channel_id
+        manager.on_data(DataPacket(cid, _rows("c"), seq=2, final=True))
+        assert results == []  # seqs 0 and 1 still in flight
+        assert channel.is_open
+        manager.on_data(DataPacket(cid, _rows("a"), seq=0, final=False))
+        assert results == []
+        manager.on_data(DataPacket(cid, _rows("b"), seq=1, final=False))
+        assert len(results) == 1
+        table, failed = results[0]
+        assert failed is None
+        assert table == _rows("a", "b", "c")
+        assert channel.state is ChannelState.CLOSED
+
+    def test_in_order_stream_still_completes_on_final(self, wired, scan):
+        manager, channel, results = self._open(wired, scan)
+        cid = channel.channel_id
+        manager.on_data(DataPacket(cid, _rows("a"), seq=0, final=False))
+        manager.on_data(DataPacket(cid, _rows("b"), seq=1, final=True))
+        assert results[0][0] == _rows("a", "b")
+
+    def test_duplicate_chunk_not_double_counted(self, wired, scan):
+        manager, channel, results = self._open(wired, scan)
+        cid = channel.channel_id
+        manager.on_data(DataPacket(cid, _rows("a"), seq=0, final=False))
+        manager.on_data(DataPacket(cid, _rows("a"), seq=0, final=False))  # retransmit race
+        manager.on_data(DataPacket(cid, _rows("b"), seq=1, final=True))
+        assert results[0][0] == _rows("a", "b")
+
+
+class TestDiscardAccounting:
+    """ubQL discards account the bindings they throw away, both
+    already-buffered and still-in-flight."""
+
+    def _manager_with_metrics(self):
+        from repro.metrics.collectors import MetricSet
+
+        manager = ChannelManager("P1")
+        metrics = MetricSet()
+        manager.bind_metrics(metrics)
+        return manager, metrics
+
+    def test_discard_counts_buffered_chunks(self, wired, scan):
+        network, _, _ = wired
+        manager, metrics = self._manager_with_metrics()
+        channel = manager.open(network, "P2", scan, lambda t, f: None)
+        manager.on_data(DataPacket(channel.channel_id, _rows("a", "b"), seq=0, final=False))
+        manager.on_data(DataPacket(channel.channel_id, _rows("c"), seq=1, final=False))
+        manager.discard(channel.channel_id)
+        assert metrics.discarded_bindings == 3
+
+    def test_late_packet_after_discard_counted(self, wired, scan):
+        network, _, _ = wired
+        manager, metrics = self._manager_with_metrics()
+        channel = manager.open(network, "P2", scan, lambda t, f: None)
+        manager.discard(channel.channel_id)
+        manager.on_data(
+            DataPacket(channel.channel_id, _rows("a", "b"), seq=0, final=True)
+        )
+        assert metrics.discarded_bindings == 2
+
+    def test_discard_without_metrics_is_silent(self, wired, scan):
+        network, _, _ = wired
+        manager = ChannelManager("P1")
+        channel = manager.open(network, "P2", scan, lambda t, f: None)
+        manager.on_data(DataPacket(channel.channel_id, _rows("a"), seq=0, final=False))
+        manager.discard(channel.channel_id)  # no metrics bound: no raise
+
+
+class TestStreamTeardownDrain:
+    """A replan that cancels paced streams must leave no residue: no
+    pending events, no cancellation markers, and the thrown-away
+    bindings accounted."""
+
+    def _stalled_system(self):
+        from repro.systems import HybridSystem
+        from repro.workloads.paper import paper_peer_bases, paper_schema
+
+        system = HybridSystem(paper_schema())
+        system.add_super_peer("SP1")
+        for peer_id, graph in paper_peer_bases().items():
+            system.add_peer(peer_id, graph, "SP1")
+        for peer in system.peers.values():
+            peer.monitor_channels = True
+            peer.monitor_interval = 5.0
+        slowpoke = system.peers["P2"]
+        slowpoke.stream_chunk_rows = 1
+        slowpoke.stream_interval = 50.0
+        return system
+
+    def test_network_drains_after_cancelled_stream(self):
+        from repro.workloads.paper import PAPER_QUERY
+
+        system = self._stalled_system()
+        table = system.query("P1", PAPER_QUERY)
+        assert len(table) == 5
+        system.network.run()  # flush any remaining timers
+        assert system.network.pending_events() == 0
+        for peer in system.peers.values():
+            assert peer._cancelled_streams == set()
+            assert peer._active_streams == set()
+
+    def test_cancelled_stream_bindings_are_accounted(self):
+        from repro.workloads.paper import PAPER_QUERY
+
+        system = self._stalled_system()
+        system.query("P1", PAPER_QUERY)
+        system.network.run()
+        kinds = system.network.metrics.messages_by_kind
+        assert kinds.get("ChangePlanPacket", 0) >= 1
+        assert system.network.metrics.discarded_bindings > 0
