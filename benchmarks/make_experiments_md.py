@@ -185,6 +185,21 @@ COMMENTARY = {
         "distributed machinery stands on, recorded so substrate "
         "regressions are visible in isolation.",
     ),
+    "concurrency": (
+        "repro.workload_engine (extension) — concurrent serving",
+        "Not a paper figure: the middleware serves, it doesn't just "
+        "answer. An open-loop driver offers rising load to one cold-"
+        "cache hybrid deployment with fair per-query scheduling (one "
+        "local work unit per virtual time unit of peer CPU). "
+        "Concurrency pays — ≥8 queries in flight complete ~3x more "
+        "queries per virtual time than the seed's one-at-a-time regime "
+        "— but unbounded overload balloons the tail (p99 ~10x "
+        "sequential). Admission control (2 active + 2 queued per "
+        "coordinator) sheds the excess with a retry-after and keeps "
+        "the served p99 well under the unbounded tail. Every answered "
+        "query is differentially verified identical to sequential "
+        "execution by the 200-workload concurrent difftest sweep.",
+    ),
 }
 
 ORDER = list(COMMENTARY)

@@ -39,6 +39,7 @@ MODULES = [
     "bench_local_evaluation",
     "bench_chaos",
     "bench_obs_overhead",
+    "bench_concurrency",
 ]
 
 

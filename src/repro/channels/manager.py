@@ -53,10 +53,18 @@ class ChannelManager:
         #: as discarded bindings instead of silently vanishing
         self._discarded: Set[str] = set()
         self._metrics = None  # bound by Peer.join
+        self._scheduler = None  # bound by Peer.install_scheduler
 
     def bind_metrics(self, metrics) -> None:
         """Attach the network's metric set (discarded-binding counts)."""
         self._metrics = metrics
+
+    def bind_scheduler(self, scheduler) -> None:
+        """Route completion continuations through a fair per-query
+        scheduler (concurrent serving): each channel's callback becomes
+        one work unit keyed by its query id, so a query gathering many
+        channels cannot starve cheaper concurrent ones."""
+        self._scheduler = scheduler
 
     def _record_discarded(self, count: int) -> None:
         if count and self._metrics is not None:
@@ -238,8 +246,14 @@ class ChannelManager:
         self._activity.pop(channel_id, None)
         self._final_seqs.pop(channel_id, None)
         callback = self._callbacks.pop(channel_id, None)
-        if callback is not None:
+        if callback is None:
+            return
+        if self._scheduler is None:
             callback(table, failed_peer)
+            return
+        channel = self._channels.get(channel_id)
+        key = channel.query_id if channel is not None and channel.query_id else channel_id
+        self._scheduler.submit(key, lambda: callback(table, failed_peer))
 
     # ------------------------------------------------------------------
     # lifecycle

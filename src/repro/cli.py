@@ -30,6 +30,12 @@ Three subcommands::
         Run a small query workload and dump every counter, histogram
         (p50/p90/p99) and per-peer gauge in Prometheus text exposition
         format.
+
+    python -m repro serve [--arrival-rate 0.2] [--clients 4] ...
+        Drive a concurrent multi-query workload (open-loop Poisson or
+        closed-loop think-time clients) against a synthetic deployment
+        with admission control and fair scheduling, and print the
+        serving report (throughput, latency percentiles, sheds).
 """
 
 from __future__ import annotations
@@ -151,6 +157,52 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=0, help="network seed")
     metrics.add_argument("--queries", type=int, default=5,
                          help="how many times the paper's query is posed")
+
+    serve = commands.add_parser(
+        "serve",
+        help="drive a concurrent query workload against a synthetic "
+        "deployment and print the serving report",
+    )
+    serve.add_argument("--arch", choices=("hybrid", "adhoc"), default="hybrid",
+                       help="deployment architecture")
+    serve.add_argument("--mode", choices=("open", "closed"), default="open",
+                       help="open-loop Poisson arrivals or closed-loop "
+                       "think-time clients")
+    serve.add_argument("--count", type=int, default=24,
+                       help="logical queries to offer")
+    serve.add_argument("--arrival-rate", type=float, default=0.2,
+                       help="open loop: mean arrivals per unit of virtual time")
+    serve.add_argument("--burst", type=int, default=1,
+                       help="open loop: submissions per arrival instant")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="driver-owned client peers")
+    serve.add_argument("--think-time", type=float, default=5.0,
+                       help="closed loop: virtual time between answer and "
+                       "next submission")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the deployment and the arrival process")
+    serve.add_argument("--peers", type=int, default=3,
+                       help="database peers in the synthetic deployment")
+    serve.add_argument("--max-concurrent", type=int, default=None,
+                       metavar="N",
+                       help="enable admission control: coordinations held "
+                       "at once per peer before queueing")
+    serve.add_argument("--max-queued", type=int, default=16,
+                       help="admission queue bound before shedding")
+    serve.add_argument("--retry-after", type=float, default=25.0,
+                       help="back-off hint sent with a shed")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline (virtual time); expired "
+                       "queries are aborted via a plan discard")
+    serve.add_argument("--fair-quantum", type=float, default=None,
+                       metavar="Q",
+                       help="enable fair per-query scheduling with this "
+                       "round-robin quantum")
+    serve.add_argument("--no-resubmit", action="store_true",
+                       help="record shed queries as refused instead of "
+                       "re-offering them after their back-off")
+    serve.add_argument("--max-events", type=int, default=2_000_000,
+                       help="simulator event budget for the run")
     return parser
 
 
@@ -367,6 +419,79 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .errors import EventBudgetExhausted
+    from .workload_engine import AdmissionControl, WorkloadSpec
+    from .workloads.data_gen import Distribution, generate_bases
+    from .workloads.query_gen import random_queries
+    from .workloads.schema_gen import generate_schema
+
+    synthetic = generate_schema(
+        chain_length=4, refinement_fraction=0.0, noise_properties=1,
+        seed=args.seed,
+    )
+    peer_ids = [f"P{i}" for i in range(1, args.peers + 1)]
+    generated = generate_bases(
+        synthetic, peer_ids, Distribution.MIXED,
+        statements_per_segment=15, shared_pool=6, seed=args.seed,
+    )
+    texts = random_queries(
+        synthetic, max(4, min(args.count, 12)), max_length=3, seed=args.seed
+    )
+    if args.arch == "adhoc":
+        from .systems import AdhocSystem
+
+        system = AdhocSystem(synthetic.schema, seed=args.seed)
+        for peer_id in peer_ids:
+            neighbours = [p for p in peer_ids if p != peer_id]
+            system.add_peer(peer_id, generated.bases[peer_id], neighbours)
+        system.discover_all()
+    else:
+        system = HybridSystem(synthetic.schema, seed=args.seed)
+        system.add_super_peer("SP")
+        for peer_id in peer_ids:
+            system.add_peer(peer_id, generated.bases[peer_id], "SP")
+        system.run()  # settle the advertisement push
+    if args.max_concurrent is not None:
+        system.enable_admission(AdmissionControl(
+            max_concurrent=args.max_concurrent,
+            max_queued=args.max_queued,
+            retry_after=args.retry_after,
+            deadline=args.deadline,
+        ))
+    if args.fair_quantum is not None:
+        system.enable_fair_scheduling(args.fair_quantum)
+    spec = WorkloadSpec(
+        queries=tuple(
+            (peer_ids[i % len(peer_ids)], texts[i % len(texts)])
+            for i in range(args.count)
+        ),
+        count=args.count,
+        mode=args.mode,
+        arrival_rate=args.arrival_rate,
+        burst_size=args.burst,
+        clients=args.clients,
+        think_time=args.think_time,
+        seed=args.seed,
+        resubmit_sheds=not args.no_resubmit,
+    )
+    try:
+        report = system.serve(spec, max_events=args.max_events)
+    except EventBudgetExhausted as exc:
+        print(f"serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"deployment : {args.arch} ({args.peers} peers, "
+          f"{min(args.clients, args.count)} clients, seed {args.seed})")
+    print(f"load       : {args.mode} loop, {args.count} queries over "
+          f"{len(texts)} distinct texts")
+    print(report.render())
+    silent = report.by_status().get("silent", 0)
+    if silent:
+        print(f"WARNING: {silent} queries never got a reply", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -382,6 +507,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

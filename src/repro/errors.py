@@ -50,6 +50,21 @@ class NetworkError(SQPeerError):
     """The network simulator was asked to do something impossible."""
 
 
+class EventBudgetExhausted(NetworkError):
+    """The event loop hit its ``max_events`` bound before quiescing.
+
+    A protocol loop that never drains is a bug, not a workload — but
+    under concurrent serving the distinction needs evidence.  The
+    exception therefore carries a :attr:`diagnostics` dict (queries in
+    flight, per-peer queue depths, the oldest pending event) and its
+    message embeds the formatted report.
+    """
+
+    def __init__(self, message: str, diagnostics: dict):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
 class PeerError(SQPeerError):
     """A peer received a request it cannot honour."""
 

@@ -106,6 +106,16 @@ class PlanExecutor:
         self._finished = False
         self._open_channel_ids: List[str] = []
 
+    def _defer(self, unit: Callable[[], None]) -> None:
+        """Run a local work unit through the host's fair scheduler when
+        one is installed (concurrent serving interleaves per-query CPU);
+        immediately otherwise (the seed's synchronous path)."""
+        schedule = getattr(self.host, "_schedule_work", None)
+        if schedule is None:
+            unit()
+        else:
+            schedule(self.query_id, unit)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -228,7 +238,12 @@ class PlanExecutor:
             return
         if isinstance(node, Scan):
             if node.peer_id == self.host.peer_id:
-                k(self.host.local_scan(node))
+
+                def run_scan() -> None:
+                    if not self._finished:
+                        k(self.host.local_scan(node))
+
+                self._defer(run_scan)
             else:
                 self._ship(node, path, node.peer_id, k)
             return
@@ -259,8 +274,13 @@ class PlanExecutor:
             )
         if isinstance(node, Scan):
             if node.peer_id == self.host.peer_id:
-                emit(self.host.local_scan(node))
-                done()
+
+                def run_scan() -> None:
+                    if not self._finished:
+                        emit(self.host.local_scan(node))
+                        done()
+
+                self._defer(run_scan)
             else:
                 self._ship_pipelined(node, path, emit, done)
             return

@@ -31,6 +31,8 @@ class MetricSnapshot(NamedTuple):
     duplicated_messages: int = 0
     batches_sent: int = 0
     discarded_bindings: int = 0
+    queries_shed: int = 0
+    deadline_expirations: int = 0
     messages_by_kind: Counter = Counter()
     bytes_by_kind: Counter = Counter()
 
@@ -90,6 +92,15 @@ class MetricSet:
         self.batches_sent = 0
         self.discarded_bindings = 0
         self.bindings_per_batch = Histogram()
+        # workload engine (repro.workload_engine): admission control and
+        # concurrency — queries refused with a retry-after, per-query
+        # deadlines that fired, and how many coordinations were in
+        # flight at once (a gauge with a high-watermark, not a counter)
+        self.queries_shed = 0
+        self.deadline_expirations = 0
+        self.inflight_queries = 0
+        self.max_inflight_queries = 0
+        self.queue_depth_histogram = Histogram()
 
     # ------------------------------------------------------------------
     # recording
@@ -153,6 +164,18 @@ class MetricSet:
         """Account bindings dropped by a discarded plan mid-stream."""
         self.discarded_bindings += count
 
+    def record_shed_query(self) -> None:
+        """Account one query refused by admission control."""
+        self.queries_shed += 1
+
+    def record_deadline_expiration(self) -> None:
+        """Account one per-query deadline that cancelled a straggler."""
+        self.deadline_expirations += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Observe an admission queue's depth at enqueue time."""
+        self.queue_depth_histogram.record(float(depth))
+
     def observe_stage(self, stage: str, duration: float) -> None:
         """Fold one finished span's duration into its stage histogram."""
         self._stage_pending.append((stage, duration))
@@ -176,6 +199,9 @@ class MetricSet:
         id (idempotent client retries) open *additional* attempts
         instead of clobbering the outstanding one."""
         self._query_started.setdefault(query_id, []).append(time)
+        self.inflight_queries += 1
+        if self.inflight_queries > self.max_inflight_queries:
+            self.max_inflight_queries = self.inflight_queries
 
     def query_finished(self, query_id: str, time: float) -> None:
         """Close the oldest outstanding attempt for ``query_id`` and
@@ -186,10 +212,15 @@ class MetricSet:
         started = starts.pop(0)
         if not starts:
             del self._query_started[query_id]
+        self.inflight_queries -= 1
         latency = time - started
         self.query_latencies.setdefault(query_id, []).append(latency)
         self.query_latency[query_id] = latency
         self.latency_histogram.record(latency)
+
+    def inflight_query_ids(self) -> List[str]:
+        """Query ids with at least one open (unfinished) attempt."""
+        return sorted(self._query_started)
 
     # ------------------------------------------------------------------
     # reporting
@@ -212,6 +243,8 @@ class MetricSet:
             self.duplicated_messages,
             self.batches_sent,
             self.discarded_bindings,
+            self.queries_shed,
+            self.deadline_expirations,
             Counter(self.messages_by_kind),
             Counter(self.bytes_by_kind),
         )
@@ -244,6 +277,8 @@ class MetricSet:
             self.duplicated_messages - base.duplicated_messages,
             self.batches_sent - base.batches_sent,
             self.discarded_bindings - base.discarded_bindings,
+            self.queries_shed - base.queries_shed,
+            self.deadline_expirations - base.deadline_expirations,
             +kind_messages,  # unary + drops zero/negative entries
             +kind_bytes,
         )
@@ -309,6 +344,9 @@ class MetricSet:
             "batches_sent": self.batches_sent,
             "discarded_bindings": self.discarded_bindings,
             "mean_bindings_per_batch": self.bindings_per_batch.mean or 0.0,
+            "queries_shed": self.queries_shed,
+            "deadline_expirations": self.deadline_expirations,
+            "max_inflight_queries": self.max_inflight_queries,
         }
 
     def __repr__(self) -> str:

@@ -14,12 +14,37 @@ import itertools
 import random
 from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 
-from ..errors import NetworkError
+from ..errors import EventBudgetExhausted, NetworkError
 from ..metrics.collectors import MetricSet
 from ..obs.collect import TraceCollector
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.faults import FaultInjector, FaultPlan
 from .message import DeliveryFailure, Message
+
+
+def format_diagnostics(diagnostics: dict) -> str:
+    """Render :meth:`Network.diagnostics` as an indented text report."""
+    lines = [
+        f"  virtual time     : {diagnostics['now']:.2f}",
+        f"  pending events   : {diagnostics['pending_events']}"
+        + (
+            f" (oldest at t={diagnostics['oldest_pending_event_at']:.2f})"
+            if diagnostics["oldest_pending_event_at"] is not None
+            else ""
+        ),
+    ]
+    inflight = diagnostics["inflight_queries"]
+    lines.append(
+        f"  queries in flight: {len(inflight)}"
+        + (f" ({', '.join(inflight[:8])}{'…' if len(inflight) > 8 else ''})"
+           if inflight else "")
+    )
+    if diagnostics["down_peers"]:
+        lines.append(f"  down peers       : {', '.join(diagnostics['down_peers'])}")
+    for peer_id, gauges in diagnostics["peers"].items():
+        busy = " ".join(f"{name}={value}" for name, value in gauges.items() if value)
+        lines.append(f"  peer {peer_id:<12}: {busy}")
+    return "\n".join(lines)
 
 
 class Node(Protocol):
@@ -251,8 +276,13 @@ class Network:
         """Process events in time order; returns the number processed.
 
         Raises:
-            NetworkError: If ``max_events`` is exhausted (a protocol
-                loop that never quiesces is a bug, not a workload).
+            EventBudgetExhausted: If ``max_events`` is exhausted (a
+                protocol loop that never quiesces is a bug, not a
+                workload).  The exception's message and
+                ``diagnostics`` attribute describe what was still in
+                flight — queries, per-peer queue depths, the oldest
+                pending event — so a livelocked workload is debuggable
+                instead of a bare budget number.
         """
         processed = 0
         while self._queue:
@@ -264,11 +294,48 @@ class Network:
             action()
             processed += 1
             if processed >= max_events:
-                raise NetworkError(f"event budget exhausted ({max_events} events)")
+                diagnostics = self.diagnostics()
+                raise EventBudgetExhausted(
+                    f"event budget exhausted ({max_events} events)\n"
+                    + format_diagnostics(diagnostics),
+                    diagnostics,
+                )
         return processed
 
     def pending_events(self) -> int:
         return len(self._queue)
+
+    def diagnostics(self) -> dict:
+        """A point-in-time report of what the network is still doing.
+
+        Gathered on demand (nothing is book-kept for it): the virtual
+        clock, the pending-event horizon, every query with an open
+        latency attempt, and per-peer load read off the live peer
+        objects — active coordinations, admission-queue depth, queued
+        routing requests, open channels.
+        """
+        per_peer: Dict[str, Dict[str, int]] = {}
+        for peer_id in sorted(self._nodes):
+            node = self._nodes[peer_id]
+            gauges = {
+                "pending_queries": len(getattr(node, "_pending", ())),
+                "queued_queries": len(getattr(node, "_admission_queue", ())),
+                "queued_route_requests": len(getattr(node, "_route_queue", ())),
+            }
+            channels = getattr(node, "channels", None)
+            gauges["open_channels"] = (
+                len(channels.open_channels()) if channels is not None else 0
+            )
+            if any(gauges.values()):
+                per_peer[peer_id] = gauges
+        return {
+            "now": self.now,
+            "pending_events": len(self._queue),
+            "oldest_pending_event_at": self._queue[0][0] if self._queue else None,
+            "inflight_queries": self.metrics.inflight_query_ids(),
+            "peers": per_peer,
+            "down_peers": sorted(self._down),
+        }
 
     def __repr__(self) -> str:
         return (

@@ -101,8 +101,25 @@ def render_prometheus(
         ("duplicated_messages", "Messages duplicated by the fault plan"),
         ("batches_sent", "Binding batches (DataPackets) shipped"),
         ("discarded_bindings", "Bindings thrown away by plan discards"),
+        ("queries_shed", "Queries refused by admission control"),
+        ("deadline_expirations", "Per-query deadlines that fired"),
     ):
         _counter(lines, f"repro_{name}_total", help_text, getattr(metrics, name))
+    lines.append("# HELP repro_inflight_queries Queries currently in flight")
+    lines.append("# TYPE repro_inflight_queries gauge")
+    lines.append(f"repro_inflight_queries {metrics.inflight_queries}")
+    lines.append(
+        "# HELP repro_max_inflight_queries High-watermark of concurrent queries"
+    )
+    lines.append("# TYPE repro_max_inflight_queries gauge")
+    lines.append(f"repro_max_inflight_queries {metrics.max_inflight_queries}")
+    if metrics.queue_depth_histogram.count:
+        _histogram(
+            lines,
+            "repro_admission_queue_depth",
+            "Admission queue depth observed at enqueue time",
+            {"": metrics.queue_depth_histogram},
+        )
     if metrics.latency_histogram.count:
         _histogram(
             lines,

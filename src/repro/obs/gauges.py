@@ -15,11 +15,16 @@ from typing import Any, Dict, Iterable
 def _gauges_for(peer) -> Dict[str, Any]:
     channels = getattr(peer, "channels", None)
     quarantine = getattr(peer, "quarantine", None)
+    scheduler = getattr(peer, "scheduler", None)
     return {
         "pending_queries": len(getattr(peer, "_pending", ())),
         "open_channels": len(channels.open_channels()) if channels is not None else 0,
         "quarantined_peers": len(quarantine) if quarantine is not None else 0,
         "known_advertisements": len(getattr(peer, "known_advertisements", ())),
+        # workload engine: admission queue depths and scheduler backlog
+        "queued_queries": len(getattr(peer, "_admission_queue", ())),
+        "queued_route_requests": len(getattr(peer, "_route_queue", ())),
+        "scheduler_backlog": scheduler.pending() if scheduler is not None else 0,
     }
 
 

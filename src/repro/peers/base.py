@@ -125,6 +125,24 @@ class Peer:
         #: channel id -> the exact reply payloads of a completed subplan,
         #: replayed verbatim when a retransmitted SubPlanPacket arrives
         self._subplan_replay: Dict[str, List] = {}
+        #: fair per-query work scheduler (repro.workload_engine); None
+        #: keeps the seed's run-to-completion message handling
+        self.scheduler = None
+
+    def install_scheduler(self, scheduler) -> None:
+        """Interleave this peer's local work per query: subplan starts,
+        scan evaluations and channel completions become scheduled work
+        units instead of running inline in their message handler."""
+        self.scheduler = scheduler
+        self.channels.bind_scheduler(scheduler)
+
+    def _schedule_work(self, query_id: str, unit) -> None:
+        """Run ``unit`` through the fair scheduler when one is
+        installed; immediately otherwise."""
+        if self.scheduler is None:
+            unit()
+        else:
+            self.scheduler.submit(query_id or self.peer_id, unit)
 
     def all_bases(self) -> tuple:
         """Primary base first, then the secondary ones."""
@@ -241,7 +259,7 @@ class Peer:
             # span: the arriving message carries the root's context
             trace=message.trace,
         )
-        executor.start()
+        self._schedule_work(packet.query_id, executor.start)
 
     def _result_packets(self, channel_id: str, table: BindingTable) -> list:
         """A subplan result as sequence-numbered binding batches.

@@ -8,11 +8,11 @@ queries and collect answers.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..net.message import Message
 from .base import Peer
-from .protocol import QueryResult, QuerySubmit
+from .protocol import QueryResult, QueryShed, QuerySubmit
 
 
 class ClientPeer(Peer):
@@ -36,6 +36,13 @@ class ClientPeer(Peer):
         self.submit_retry = None
         #: open root spans per in-flight query (repro.obs)
         self._spans: Dict[str, object] = {}
+        #: retry-after hints of queries shed by admission control,
+        #: keyed by query id (the workload driver resubmits from these)
+        self.sheds: Dict[str, float] = {}
+        #: called with ``(client, result)`` whenever a query terminates
+        #: — answer, error or shed (repro.workload_engine drivers hook
+        #: closed-loop submission and shed resubmission here)
+        self.result_listeners: List[Callable[["ClientPeer", QueryResult], None]] = []
 
     def submit(
         self,
@@ -93,13 +100,12 @@ class ClientPeer(Peer):
                 )
                 self._arm_resubmit(via_peer, submit, attempt + 1)
             else:
-                self.results.setdefault(
-                    submit.query_id,
-                    QueryResult(
-                        submit.query_id, None, f"no reply from {via_peer}"
-                    ),
+                timeout_result = QueryResult(
+                    submit.query_id, None, f"no reply from {via_peer}"
                 )
+                self.results.setdefault(submit.query_id, timeout_result)
                 self._finish_span(submit.query_id, "timeout")
+                self._notify(self.results[submit.query_id])
 
         network.call_later(retry.timeout(attempt), check)
 
@@ -120,6 +126,28 @@ class ClientPeer(Peer):
         else:
             status = "ok"
         self._finish_span(result.query_id, status)
+        self._notify(result)
+
+    def handle_QueryShed(self, message: Message) -> None:
+        """The coordinator refused the query under load.  Record an
+        explicit shed outcome (never silence) with the retry-after hint;
+        resubmission is the caller's (or the workload driver's) call."""
+        shed: QueryShed = message.payload
+        if shed.query_id in self.results:
+            return  # raced a result from an earlier duplicate submit
+        self.sheds[shed.query_id] = shed.retry_after
+        result = QueryResult(
+            shed.query_id,
+            None,
+            f"shed by {shed.from_peer}: retry after {shed.retry_after:g}",
+        )
+        self.results[shed.query_id] = result
+        self._finish_span(shed.query_id, "shed")
+        self._notify(result)
+
+    def _notify(self, result: QueryResult) -> None:
+        for listener in list(self.result_listeners):
+            listener(self, result)
 
     def result(self, query_id: str) -> Optional[QueryResult]:
         return self.results.get(query_id)

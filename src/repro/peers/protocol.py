@@ -68,6 +68,41 @@ class QueryResult:
 
 
 @dataclass(frozen=True)
+class QueryShed:
+    """Coordinator → client: the query was refused by admission control.
+
+    The coordinator's pending-query queue was full, so instead of
+    silently degrading every in-flight query it sheds this one with a
+    ``retry_after`` hint (virtual time) — the client (or the workload
+    driver on its behalf) may resubmit after backing off.
+    """
+
+    query_id: str
+    retry_after: float
+    from_peer: str = ""
+
+    def size_bytes(self) -> int:
+        return 72
+
+
+@dataclass(frozen=True)
+class RouteBusy:
+    """Super-peer → simple peer: the routing service is saturated.
+
+    The super-peer's route-request queue was full; the requester should
+    re-send its :class:`RouteRequest` after ``retry_after`` (or give up
+    and degrade when its shed budget runs out).
+    """
+
+    query_id: str
+    retry_after: float
+    from_peer: str = ""
+
+    def size_bytes(self) -> int:
+        return 72
+
+
+@dataclass(frozen=True)
 class RouteRequest:
     """Simple peer → super-peer: annotate this query pattern
     (hybrid architecture, first evaluation phase of Section 3.1)."""

@@ -12,7 +12,8 @@ re-routes without the obsolete peers and re-executes.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..cache.coalescer import QueryCoalescer
 from ..cache.plan_cache import PlanCache
@@ -46,6 +47,7 @@ from .protocol import (
     AdvertisementReply,
     AdvertisementRequest,
     QueryResult,
+    QueryShed,
     QuerySubmit,
 )
 
@@ -79,6 +81,9 @@ class PendingQuery:
         #: True while a RouteReply is awaited (stale/duplicate replies
         #: and timeouts check against this)
         self.awaiting_routing = False
+        #: RouteBusy back-offs taken this routing round (bounded by the
+        #: requester's shed budget before it gives up)
+        self.routing_busy_retries = 0
         #: tracing (repro.obs): the coordinator-side span covering the
         #: whole coordination, and the currently open routing round
         self.span = NULL_SPAN
@@ -179,6 +184,12 @@ class SimplePeer(Peer):
         #: served idempotently instead of re-coordinated
         self._completed: Dict[str, QueryResult] = {}
         self.completed_query_limit = 128
+        #: admission control (repro.workload_engine): bound concurrent
+        #: coordinations, park overflow, shed beyond the queue bound and
+        #: cancel deadline stragglers.  None admits everything (seed).
+        self.admission = None
+        self._admission_queue: Deque[Tuple[QuerySubmit, object]] = deque()
+        self._parked_ids: Set[str] = set()
 
     def join(self, network) -> None:
         super().join(network)
@@ -363,6 +374,8 @@ class SimplePeer(Peer):
             # duplicate delivery: the in-flight coordination answers
             in_flight.span.annotate("duplicate submit ignored")
             return
+        if submit.query_id in self._parked_ids:
+            return  # duplicate of a parked query: it will be coordinated
         done = self._completed.get(submit.query_id)
         if done is not None:
             # duplicate of an already-answered query (client resubmit
@@ -370,14 +383,40 @@ class SimplePeer(Peer):
             if submit.reply_to != self.peer_id:
                 self.send(submit.reply_to, done)
             return
+        admission = self.admission
+        if admission is not None and len(self._pending) >= admission.max_concurrent:
+            if len(self._admission_queue) >= admission.max_queued:
+                # load shedding: refuse this query with a back-off hint
+                # rather than degrade every admitted one
+                network.metrics.record_shed_query()
+                if submit.reply_to != self.peer_id:
+                    self.send(
+                        submit.reply_to,
+                        QueryShed(
+                            submit.query_id, admission.retry_after, self.peer_id
+                        ),
+                    )
+                return
+            self._admission_queue.append((submit, message.trace))
+            self._parked_ids.add(submit.query_id)
+            network.metrics.record_queue_depth(len(self._admission_queue))
+            # queue wait counts against the query's observed latency
+            network.metrics.query_started(submit.query_id, network.now)
+            return
         network.metrics.query_started(submit.query_id, network.now)
+        self._begin_coordination(submit, message.trace)
+
+    def _begin_coordination(self, submit: QuerySubmit, trace=None) -> None:
+        """Start coordinating one admitted query (the body of
+        :meth:`handle_QuerySubmit` once past dedup and admission)."""
+        network = self._require_network()
         # the coordination span: child of the client's query span when
         # the submit carried a context, else the root of a fresh trace
         # named after the query id (deterministic across seeded runs)
         span = network.tracer.start_span(
             "coordinate",
             peer=self.peer_id,
-            parent=message.trace,
+            parent=trace,
             trace_id=submit.query_id,
             query=submit.query_id,
         )
@@ -387,7 +426,9 @@ class SimplePeer(Peer):
         except (ParseError, SchemaError) as exc:
             span.set(error=str(exc))
             span.finish("error")
+            network.metrics.query_finished(submit.query_id, network.now)
             self.send(submit.reply_to, QueryResult(submit.query_id, None, str(exc)))
+            self._drain_admission_queue()
             return
         if self._coalescer is not None:
             # singleflight: identical queries in flight share the
@@ -418,7 +459,40 @@ class SimplePeer(Peer):
         )
         pending.span = span
         self._pending[submit.query_id] = pending
+        admission = self.admission
+        if admission is not None and admission.deadline is not None:
+            network.call_later(
+                admission.deadline,
+                lambda deadline=admission.deadline: self._deadline_expired(
+                    submit.query_id, deadline
+                ),
+            )
         self._obtain_routing(pending)
+
+    def _deadline_expired(self, query_id: str, deadline: float) -> None:
+        """The query's virtual-time budget ran out: cancel the straggler
+        through the ubQL discard path (channels released, destinations
+        told to stop) and answer with an explicit error — an admitted
+        query always terminates, never silently."""
+        pending = self._pending.get(query_id)
+        if pending is None:
+            return  # answered in time
+        network = self._require_network()
+        network.metrics.record_deadline_expiration()
+        pending.span.annotate(f"deadline ({deadline:g}) expired: cancelling")
+        if pending.executor is not None:
+            pending.executor.abort()
+        self._reply_error(pending, f"deadline exceeded ({deadline:g})")
+
+    def _drain_admission_queue(self) -> None:
+        """Promote parked queries into freed coordination slots."""
+        admission = self.admission
+        if admission is None:
+            return
+        while self._admission_queue and len(self._pending) < admission.max_concurrent:
+            submit, trace = self._admission_queue.popleft()
+            self._parked_ids.discard(submit.query_id)
+            self._begin_coordination(submit, trace)
 
     def _extract_against_any_schema(self, query: RQLQuery) -> QueryPattern:
         """Resolve the query against the first of this peer's schemas
@@ -754,16 +828,17 @@ class SimplePeer(Peer):
             # locally submitted queries (tests drive peers directly)
             # get no reply message
             self.send(pending.reply_to, result)
-        if self._coalescer is None:
-            return
-        for follower in self._coalescer.complete(pending.query_id):
-            network.metrics.query_finished(follower.query_id, network.now)
-            shared = QueryResult(
-                follower.query_id, result.table, result.error, result.coverage
-            )
-            self._remember_completed(shared)
-            if follower.reply_to != self.peer_id:
-                self.send(follower.reply_to, shared)
+        if self._coalescer is not None:
+            for follower in self._coalescer.complete(pending.query_id):
+                network.metrics.query_finished(follower.query_id, network.now)
+                shared = QueryResult(
+                    follower.query_id, result.table, result.error, result.coverage
+                )
+                self._remember_completed(shared)
+                if follower.reply_to != self.peer_id:
+                    self.send(follower.reply_to, shared)
+        # the finished coordination freed a slot: admit parked queries
+        self._drain_admission_queue()
 
     def _remember_completed(self, result: QueryResult) -> None:
         """Remember an answered query (bounded FIFO) so duplicate

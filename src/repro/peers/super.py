@@ -9,7 +9,8 @@ it is not responsible for across the super-peer backbone.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Set
 
 from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
 from ..core.routing_index import RoutingIndex
@@ -20,7 +21,7 @@ from ..rdf.schema import Schema
 from ..resilience.detector import FailureDetector, PeerQuarantine
 from ..rvl.active_schema import ActiveSchema
 from .base import Peer
-from .protocol import Advertise, RouteReply, RouteRequest
+from .protocol import Advertise, RouteBusy, RouteReply, RouteRequest
 
 #: Guard against route requests circulating the backbone forever.
 MAX_BACKBONE_HOPS = 8
@@ -75,6 +76,13 @@ class SuperPeer(Peer):
         #: replies until heard from again (off by default)
         self.quarantine = PeerQuarantine()
         self.quarantine_enabled = False
+        #: admission control over the routing service
+        #: (repro.workload_engine): requests queue and are served one
+        #: per ``service_time``; overflow is answered with RouteBusy.
+        #: None serves every request the instant it arrives (seed).
+        self.admission = None
+        self._route_queue: Deque[Message] = deque()
+        self._route_service_busy = False
 
     def join(self, network) -> None:
         super().join(network)
@@ -207,6 +215,43 @@ class SuperPeer(Peer):
         return schema_uri in self.schemas
 
     def handle_RouteRequest(self, message: Message) -> None:
+        admission = self.admission
+        if admission is None:
+            self._serve_route_request(message)
+            return
+        network = self._require_network()
+        if len(self._route_queue) >= admission.max_queued:
+            # the routing service is saturated: refuse with a back-off
+            # hint instead of queueing unboundedly
+            request: RouteRequest = message.payload
+            network.metrics.record_shed_query()
+            self.send(
+                request.requester,
+                RouteBusy(request.query_id, admission.retry_after, self.peer_id),
+            )
+            return
+        self._route_queue.append(message)
+        network.metrics.record_queue_depth(len(self._route_queue))
+        if not self._route_service_busy:
+            self._route_service_busy = True
+            network.call_later(admission.service_time, self._serve_next_route)
+
+    def _serve_next_route(self) -> None:
+        """Serve one queued route request (paced by ``service_time``)."""
+        if not self._route_queue:
+            self._route_service_busy = False
+            return
+        message = self._route_queue.popleft()
+        self._serve_route_request(message)
+        admission = self.admission
+        if self._route_queue and admission is not None:
+            self._require_network().call_later(
+                admission.service_time, self._serve_next_route
+            )
+        else:
+            self._route_service_busy = False
+
+    def _serve_route_request(self, message: Message) -> None:
         request: RouteRequest = message.payload
         network = self._require_network()
         schema_uri = request.pattern.schema.namespace.uri

@@ -39,6 +39,8 @@ from ..rdf.schema import Schema
 from ..resilience import ResilienceConfig
 from ..rql.bindings import BindingTable
 from ..rql.pattern import QueryPattern
+from ..workload_engine import AdmissionControl, FairScheduler, WorkloadReport, WorkloadSpec
+from ..workload_engine import serve as _serve_workload
 
 
 class AdhocPeer(SimplePeer):
@@ -456,11 +458,46 @@ class AdhocSystem:
         self._client_counter = itertools.count(1)
         #: set by :meth:`enable_resilience`; later-added peers inherit it
         self.resilience: Optional[ResilienceConfig] = None
+        #: set by :meth:`enable_admission` / :meth:`enable_fair_scheduling`;
+        #: later-added peers inherit both
+        self.admission: Optional[AdmissionControl] = None
+        self.fair_quantum: Optional[float] = None
         self.dht = None
         if use_dht:
             from ..dht import ChordRing, SchemaDHT
 
             self.dht = SchemaDHT(ChordRing(), schema)
+
+    # ------------------------------------------------------------------
+    # concurrency (repro.workload_engine)
+    # ------------------------------------------------------------------
+    def enable_admission(
+        self, control: Optional[AdmissionControl] = None
+    ) -> AdmissionControl:
+        """Bound what every peer's coordinator role accepts: park
+        overflow queries, shed beyond the queue with a retry-after
+        hint, and (when set) cancel deadline stragglers.  The ad-hoc
+        architecture has no routing servers, so there is no RouteBusy
+        tier here — delegation back-pressure comes from the same
+        coordinator bounds at each forwarding peer."""
+        control = control or AdmissionControl.default()
+        self.admission = control
+        for peer in self.peers.values():
+            peer.admission = control
+        return control
+
+    def enable_fair_scheduling(self, quantum: float = 0.25) -> None:
+        """Give every peer a fair per-query scheduler (see the hybrid
+        twin): local work interleaves round-robin across queries."""
+        self.fair_quantum = quantum
+        for peer in self.peers.values():
+            if peer.scheduler is None:
+                peer.install_scheduler(FairScheduler(self.network, quantum))
+
+    def serve(self, spec: WorkloadSpec, max_events: int = 2_000_000) -> WorkloadReport:
+        """Drive a workload against this deployment (see the hybrid
+        twin); returns the workload report."""
+        return _serve_workload(self, spec, max_events=max_events)
 
     # ------------------------------------------------------------------
     # resilience
@@ -510,6 +547,10 @@ class AdhocSystem:
         self.peers[peer_id] = peer
         if self.resilience is not None:
             self._apply_resilience_peer(peer)
+        if self.admission is not None:
+            peer.admission = self.admission
+        if self.fair_quantum is not None:
+            peer.install_scheduler(FairScheduler(self.network, self.fair_quantum))
         if self.dht is not None:
             advertisement = peer.own_advertisement()
             if advertisement is not None:
@@ -549,8 +590,25 @@ class AdhocSystem:
     def run(self, max_events: int = 1_000_000) -> int:
         return self.network.run(max_events=max_events)
 
+    def submit(self, via_peer: str, text: str, client: Optional[ClientPeer] = None,
+               max_peers=None, limit=None, order_by=None, descending=False) -> str:
+        """Submit a query through a peer; returns the query id.
+
+        Call :meth:`run` afterwards to drive the event loop.  Accepts
+        the same ``client`` and result-shaping keywords as
+        :meth:`query` (the hybrid twin's signature, kept symmetric).
+        """
+        client = client or (
+            next(iter(self.clients.values())) if self.clients else self.add_client()
+        )
+        return client.submit(
+            via_peer, text, max_peers=max_peers, limit=limit,
+            order_by=order_by, descending=descending,
+        )
+
     def query(self, via_peer: str, text: str, max_peers=None, limit=None,
-              order_by=None, descending=False):
+              order_by=None, descending=False,
+              client: Optional[ClientPeer] = None):
         """Submit through a peer, run to quiescence, return the table.
 
         Args:
@@ -558,11 +616,15 @@ class AdhocSystem:
             text: RQL source text.
             max_peers: Per-pattern broadcast bound (Section 5).
             limit: Top-N bound on the answer.
+            client: Submit through this client instead of the first
+                registered one (same keyword :meth:`submit` honours).
 
         Raises:
             PeerError: When the query failed (carries the reason).
         """
-        client = next(iter(self.clients.values())) if self.clients else self.add_client()
+        client = client or (
+            next(iter(self.clients.values())) if self.clients else self.add_client()
+        )
         query_id = client.submit(
             via_peer, text, max_peers=max_peers, limit=limit,
             order_by=order_by, descending=descending,

@@ -22,9 +22,11 @@ from ..net.simulator import Network
 from ..resilience import HeartbeatEmitter, ResilienceConfig
 from ..peers.base import PeerBase
 from ..peers.client import ClientPeer
-from ..peers.protocol import Advertise, RouteReply, RouteRequest
+from ..peers.protocol import Advertise, RouteBusy, RouteReply, RouteRequest
 from ..peers.simple import PendingQuery, SimplePeer
 from ..peers.super import SuperPeer
+from ..workload_engine import AdmissionControl, FairScheduler, WorkloadReport, WorkloadSpec
+from ..workload_engine import serve as _serve_workload
 from ..rdf.graph import Graph
 from ..rdf.schema import Schema
 
@@ -46,6 +48,9 @@ class HybridPeer(SimplePeer):
         #: schema URI -> super-peer, for peers in several SONs
         #: ("a simple-peer can be connected to multiple super-peers")
         self.home_super_peers = dict(home_super_peers or {})
+        #: RouteBusy back-offs tolerated per routing round before the
+        #: query gives up on its overloaded super-peer
+        self.route_busy_budget = 5
 
     def _home_for(self, schema_uri: str) -> str:
         return self.home_super_peers.get(schema_uri, self.home_super_peer)
@@ -117,6 +122,41 @@ class HybridPeer(SimplePeer):
 
         network.call_later(retry.timeout(attempt), check)
 
+    def handle_RouteBusy(self, message: Message) -> None:
+        """The super-peer's routing service shed our request: back off
+        and re-send, up to :attr:`route_busy_budget` times per routing
+        round, then give up (degrade to a partial answer or error)."""
+        busy: RouteBusy = message.payload
+        pending = self._pending.get(busy.query_id)
+        if pending is None or not pending.awaiting_routing:
+            return  # answered or superseded in the meantime
+        pending.routing_busy_retries += 1
+        if pending.routing_busy_retries > self.route_busy_budget:
+            pending.routing_span.finish("busy")
+            self._give_up(pending, f"routing via {message.src} is overloaded")
+            return
+        network = self._require_network()
+        network.metrics.record_retry()
+        pending.routing_span.annotate(
+            f"route busy: backing off {busy.retry_after:g}"
+        )
+        round_no = pending.routing_attempts
+        target = message.src
+
+        def resend() -> None:
+            current = self._pending.get(busy.query_id)
+            if current is None or not current.awaiting_routing:
+                return
+            if current.routing_attempts != round_no:
+                return  # a replan already started a newer routing round
+            self.send(
+                target,
+                RouteRequest(busy.query_id, current.pattern, self.peer_id),
+                trace=current.routing_span.context(),
+            )
+
+        network.call_later(busy.retry_after, resend)
+
     def handle_RouteReply(self, message: Message) -> None:
         """Phase 2: generate the plan and execute it."""
         reply: RouteReply = message.payload
@@ -176,6 +216,45 @@ class HybridSystem:
         #: set by :meth:`enable_resilience`; later-added peers inherit it
         self.resilience: Optional[ResilienceConfig] = None
         self.heartbeat_emitters: Dict[str, HeartbeatEmitter] = {}
+        #: set by :meth:`enable_admission` / :meth:`enable_fair_scheduling`;
+        #: later-added peers inherit both
+        self.admission: Optional[AdmissionControl] = None
+        self.fair_quantum: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # concurrency (repro.workload_engine)
+    # ------------------------------------------------------------------
+    def enable_admission(
+        self, control: Optional[AdmissionControl] = None
+    ) -> AdmissionControl:
+        """Bound what the deployment accepts: coordinators park overflow
+        queries and shed beyond their queue, super-peers pace their
+        routing service and answer saturation with RouteBusy, and
+        per-query deadlines (when set) cancel stragglers."""
+        control = control or AdmissionControl.default()
+        self.admission = control
+        for peer in self.peers.values():
+            peer.admission = control
+        for super_peer in self.super_peers.values():
+            super_peer.admission = control
+        return control
+
+    def enable_fair_scheduling(self, quantum: float = 0.25) -> None:
+        """Give every simple peer a fair per-query scheduler: local work
+        units (subplan starts, scans, channel completions) interleave
+        round-robin across in-flight queries, one per ``quantum`` of
+        virtual time (a slice of peer CPU)."""
+        self.fair_quantum = quantum
+        for peer in self.peers.values():
+            if peer.scheduler is None:
+                peer.install_scheduler(FairScheduler(self.network, quantum))
+
+    def serve(self, spec: WorkloadSpec, max_events: int = 2_000_000) -> WorkloadReport:
+        """Drive a workload against this deployment: many queries in
+        flight concurrently on the virtual clock, injected mid-run by
+        the driver.  Returns the workload report (outcomes, throughput,
+        latency percentiles)."""
+        return _serve_workload(self, spec, max_events=max_events)
 
     # ------------------------------------------------------------------
     # resilience
@@ -232,6 +311,8 @@ class HybridSystem:
         self.super_peers[peer_id] = super_peer
         if self.resilience is not None:
             self._apply_resilience_super(super_peer)
+        if self.admission is not None:
+            super_peer.admission = self.admission
         return super_peer
 
     def add_peer(
@@ -272,6 +353,10 @@ class HybridSystem:
         self.peers[peer_id] = peer
         if self.resilience is not None:
             self._apply_resilience_peer(peer)
+        if self.admission is not None:
+            peer.admission = self.admission
+        if self.fair_quantum is not None:
+            peer.install_scheduler(FairScheduler(self.network, self.fair_quantum))
         return peer
 
     def add_client(self, peer_id: Optional[str] = None) -> ClientPeer:
@@ -299,21 +384,28 @@ class HybridSystem:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def submit(self, via_peer: str, text: str, client: Optional[ClientPeer] = None) -> str:
+    def submit(self, via_peer: str, text: str, client: Optional[ClientPeer] = None,
+               max_peers=None, limit=None, order_by=None, descending=False) -> str:
         """Submit a query through a simple peer; returns the query id.
 
-        Call :meth:`run` afterwards to drive the event loop.
+        Call :meth:`run` afterwards to drive the event loop.  Accepts
+        the same ``client`` and result-shaping keywords as
+        :meth:`query`.
         """
         client = client or (
             next(iter(self.clients.values())) if self.clients else self.add_client()
         )
-        return client.submit(via_peer, text)
+        return client.submit(
+            via_peer, text, max_peers=max_peers, limit=limit,
+            order_by=order_by, descending=descending,
+        )
 
     def run(self, max_events: int = 1_000_000) -> int:
         return self.network.run(max_events=max_events)
 
     def query(self, via_peer: str, text: str, max_peers=None, limit=None,
-              order_by=None, descending=False):
+              order_by=None, descending=False,
+              client: Optional[ClientPeer] = None):
         """Submit, run to quiescence, and return the result table.
 
         Args:
@@ -321,11 +413,15 @@ class HybridSystem:
             text: RQL source text.
             max_peers: Per-pattern broadcast bound (Section 5).
             limit: Top-N bound on the answer.
+            client: Submit through this client instead of the first
+                registered one (same keyword :meth:`submit` honours).
 
         Raises:
             PeerError: When the query failed (carries the reason).
         """
-        client = next(iter(self.clients.values())) if self.clients else self.add_client()
+        client = client or (
+            next(iter(self.clients.values())) if self.clients else self.add_client()
+        )
         query_id = client.submit(
             via_peer, text, max_peers=max_peers, limit=limit,
             order_by=order_by, descending=descending,

@@ -1,0 +1,25 @@
+"""repro.workload_engine: concurrent multi-query serving.
+
+The subsystem that turns the one-query-at-a-time reproduction into a
+served system: a :class:`WorkloadDriver` offers load (open- or
+closed-loop) on the virtual clock, :class:`AdmissionControl` bounds
+what coordinators and super-peers accept (queue, shed, deadline), and
+:class:`FairScheduler` interleaves per-query work at each peer so an
+expensive query cannot starve cheap concurrent ones.  Everything stays
+deterministic under a fixed seed.
+"""
+
+from .admission import AdmissionControl
+from .driver import WorkloadDriver, serve
+from .scheduler import FairScheduler
+from .spec import QueryOutcome, WorkloadReport, WorkloadSpec
+
+__all__ = [
+    "AdmissionControl",
+    "FairScheduler",
+    "QueryOutcome",
+    "WorkloadDriver",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "serve",
+]

@@ -1,0 +1,61 @@
+"""Admission control: bounded queues, shedding and deadlines.
+
+Under sustained load a coordinator cannot take every query the moment
+it arrives — unbounded acceptance degrades *every* in-flight query at
+once.  :class:`AdmissionControl` bounds the damage: a coordinator runs
+at most ``max_concurrent`` coordinations, parks up to ``max_queued``
+more in a FIFO, sheds the rest with a retry-after hint, and (when
+``deadline`` is set) cancels stragglers through the existing ubQL
+discard path so a stuck query releases its channels and its slot.
+
+The same policy object also paces the super-peer routing service:
+route requests beyond the queue bound are answered with
+:class:`~repro.peers.protocol.RouteBusy`, and queued ones are served
+one per ``service_time`` of virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AdmissionControl:
+    """Per-peer admission policy.
+
+    Args:
+        max_concurrent: Coordinations (or routing computations) allowed
+            to run at once; arrivals beyond it queue.
+        max_queued: Bound on the pending-query FIFO; arrivals beyond it
+            are shed with a retry-after reply.
+        retry_after: Virtual-time back-off hint carried by shed replies.
+        deadline: Per-query wall (virtual) time budget measured from
+            admission; ``None`` disables deadlines.  An expired query is
+            cancelled via the ubQL discard path and answered with an
+            explicit deadline error — never silence.
+        service_time: Virtual time a super-peer spends serving one
+            queued route request (models routing CPU).
+    """
+
+    max_concurrent: int = 8
+    max_queued: int = 16
+    retry_after: float = 25.0
+    deadline: Optional[float] = None
+    service_time: float = 1.0
+
+    def __post_init__(self):
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
+        if self.retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when set")
+        if self.service_time < 0:
+            raise ValueError("service_time must be >= 0")
+
+    @classmethod
+    def default(cls) -> "AdmissionControl":
+        return cls()

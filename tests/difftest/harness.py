@@ -121,6 +121,66 @@ def build_adhoc(workload: Workload, **options) -> AdhocSystem:
     return system
 
 
+def concurrent_answers(system, workload: Workload, count: int,
+                       arrival_rate: float = 0.8, clients: int = 4):
+    """Serve ``count`` interleaved queries open-loop and capture every
+    final answer.
+
+    Submissions cycle through the workload's query texts and rotate the
+    coordinating peer, so several coordinations (often of the *same*
+    text via different peers) overlap in flight.  Returns ``(report,
+    answers)`` where ``answers[index]`` is the
+    :class:`~repro.peers.client.QueryResult` the driver's client
+    received for logical query ``index``.
+    """
+    from repro.workload_engine import WorkloadDriver, WorkloadSpec
+
+    spec = WorkloadSpec(
+        queries=tuple(
+            (
+                workload.peer_ids[i % len(workload.peer_ids)],
+                workload.queries[i % len(workload.queries)],
+            )
+            for i in range(count)
+        ),
+        count=count,
+        mode="open",
+        arrival_rate=arrival_rate,
+        clients=clients,
+        seed=workload.seed,
+    )
+    driver = WorkloadDriver(system, spec)
+    driver.install()
+    captured = {}
+
+    def capture(client, result):
+        captured[result.query_id] = result
+
+    for client in driver.clients:
+        client.result_listeners.append(capture)
+    system.network.run(max_events=2_000_000)
+    report = driver.report()
+    answers = {o.index: captured.get(o.query_id) for o in report.outcomes}
+    return report, answers
+
+
+def sequential_twin_answers(builder, workload: Workload, count: int, **options):
+    """The oracle for the concurrent sweep: a *fresh* deployment of the
+    same workload (same seed, same execution options) evaluating the
+    same logical queries one at a time, each to quiescence.  Returns
+    ``answers[index] -> (table or None, error or None)``."""
+    twin = builder(workload, **options)
+    answers = {}
+    for index in range(count):
+        via = workload.peer_ids[index % len(workload.peer_ids)]
+        text = workload.queries[index % len(workload.queries)]
+        try:
+            answers[index] = (twin.query(via, text), None)
+        except PeerError as exc:
+            answers[index] = (None, str(exc))
+    return answers
+
+
 def distributed_answer(system, via: str, text: str) -> Optional[BindingTable]:
     """Evaluate through a deployment; ``None`` means "no relevant
     peers" (asserted empty by the caller), any other failure raises."""

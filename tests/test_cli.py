@@ -134,3 +134,34 @@ class TestMetrics:
     def test_metrics_adhoc(self, capsys):
         assert main(["metrics", "--arch", "adhoc", "--queries", "1"]) == 0
         assert "repro_messages_total" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_serve_answers_everything(self, capsys):
+        assert main(["serve", "--count", "8", "--clients", "2",
+                     "--arrival-rate", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment : hybrid" in out
+        assert "8 queries (8 answered" in out
+        assert "throughput" in out
+
+    def test_serve_adhoc_closed_loop(self, capsys):
+        assert main(["serve", "--arch", "adhoc", "--mode", "closed",
+                     "--count", "6", "--clients", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment : adhoc" in out
+        assert "0 silent" in out
+
+    def test_serve_with_admission_and_fairness(self, capsys):
+        assert main(["serve", "--count", "10", "--max-concurrent", "2",
+                     "--max-queued", "8", "--fair-quantum", "0.5",
+                     "--arrival-rate", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "10 queries (10 answered" in out
+
+    def test_serve_exhausted_budget_fails_with_diagnostics(self, capsys):
+        assert main(["serve", "--count", "8", "--arrival-rate", "5.0",
+                     "--max-events", "30"]) == 1
+        err = capsys.readouterr().err
+        assert "event budget exhausted" in err
+        assert "queries in flight" in err
