@@ -40,6 +40,7 @@ MODULES = [
     "bench_chaos",
     "bench_obs_overhead",
     "bench_concurrency",
+    "bench_transport",
 ]
 
 

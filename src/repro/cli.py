@@ -36,6 +36,21 @@ Three subcommands::
         closed-loop think-time clients) against a synthetic deployment
         with admission control and fair scheduling, and print the
         serving report (throughput, latency percentiles, sheds).
+
+    python -m repro launch --peers 3 --super-peers 1 [--kill P2] ...
+        Deploy a live localhost cluster (one OS process per peer over
+        the TCP transport), drive a seeded query workload against it,
+        optionally SIGTERM a peer mid-run, and merge every process's
+        metrics/trace exports into run artifacts.
+
+    python -m repro peer --node-id P1 --seed HOST:PORT --outdir DIR ...
+        One node process of a live deployment (spawned by ``launch``;
+        usable standalone for hand-built clusters).
+
+    python -m repro metrics --merge DIR
+        Merge the per-process ``*.metrics.prom`` dumps of a live run
+        into one exposition (samples stay distinguishable via their
+        ``peer_id``/``pid``/``transport`` const labels).
 """
 
 from __future__ import annotations
@@ -157,6 +172,10 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--seed", type=int, default=0, help="network seed")
     metrics.add_argument("--queries", type=int, default=5,
                          help="how many times the paper's query is posed")
+    metrics.add_argument("--merge", default=None, metavar="DIR",
+                         help="instead of running a workload, merge the "
+                         "per-process *.metrics.prom dumps under DIR into "
+                         "one exposition on stdout")
 
     serve = commands.add_parser(
         "serve",
@@ -203,6 +222,41 @@ def _build_parser() -> argparse.ArgumentParser:
                        "re-offering them after their back-off")
     serve.add_argument("--max-events", type=int, default=2_000_000,
                        help="simulator event budget for the run")
+
+    from .deploy.node import add_spec_arguments
+
+    peer = commands.add_parser(
+        "peer",
+        help="one node process of a live deployment (spawned by launch)",
+    )
+    peer.add_argument("--node-id", required=True,
+                      help="protocol peer hosted by this process (P1, SP1, ...)")
+    peer.add_argument("--seed", required=True, metavar="HOST:PORT",
+                      help="address of the seed process (the launcher)")
+    peer.add_argument("--host", default="127.0.0.1",
+                      help="interface to listen on")
+    peer.add_argument("--port", type=int, default=0,
+                      help="listening port (0 picks a free one)")
+    peer.add_argument("--outdir", required=True,
+                      help="directory for metrics/trace exports")
+    peer.add_argument("--lifetime", type=float, default=30_000.0,
+                      help="virtual-time backstop before self-exit")
+    add_spec_arguments(peer)
+
+    launch = commands.add_parser(
+        "launch",
+        help="deploy a live localhost cluster and drive a workload",
+    )
+    launch.add_argument("--host", default="127.0.0.1",
+                        help="interface the cluster binds to")
+    launch.add_argument("--outdir", default="live-run",
+                        help="directory for per-process and merged artifacts")
+    launch.add_argument("--count", type=int, default=6,
+                        help="queries to drive against the cluster")
+    launch.add_argument("--kill", default=None, metavar="PEER",
+                        help="SIGTERM this peer halfway through the run "
+                        "(requires --resilient for partial answers)")
+    add_spec_arguments(launch)
     return parser
 
 
@@ -408,6 +462,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import render_prometheus, system_gauges
 
+    if args.merge is not None:
+        from pathlib import Path
+
+        from .obs import merge_expositions
+
+        dumps = sorted(Path(args.merge).glob("*.metrics.prom"))
+        if not dumps:
+            print(f"error: no *.metrics.prom files under {args.merge}",
+                  file=sys.stderr)
+            return 1
+        print(merge_expositions([p.read_text() for p in dumps]), end="")
+        print(f"# merged {len(dumps)} process dumps", file=sys.stderr)
+        return 0
     system = _build_paper_system(args.arch, args.seed)
     via = "P1"
     for _ in range(args.queries):
@@ -509,6 +576,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "peer":
+        from .deploy.node import run_node
+
+        return run_node(args)
+    if args.command == "launch":
+        from .deploy.launcher import run_launch
+
+        return run_launch(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

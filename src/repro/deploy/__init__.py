@@ -1,0 +1,27 @@
+"""Multi-process deployment of the middleware over the live transport.
+
+``repro.deploy`` is the layer that takes the protocol stack out of the
+simulator and runs it as real OS processes on localhost:
+
+* :mod:`workload` — :class:`ClusterSpec`, the seed-deterministic
+  contract every process rebuilds its workload slice from, plus the
+  in-sim twin builder for differential runs.
+* :mod:`node` — one process, one peer: ``python -m repro peer``.
+* :mod:`launcher` — :class:`LiveCluster`, the seed process that spawns,
+  drives, kills and reaps a cluster: ``python -m repro launch``.
+"""
+
+from .launcher import LiveCluster, run_launch
+from .node import run_node, spec_from_args
+from .workload import ClusterSpec, ClusterWorkload, build_sim_system, build_workload
+
+__all__ = [
+    "ClusterSpec",
+    "ClusterWorkload",
+    "LiveCluster",
+    "build_sim_system",
+    "build_workload",
+    "run_launch",
+    "run_node",
+    "spec_from_args",
+]

@@ -1,0 +1,309 @@
+"""The deployment launcher: ``python -m repro launch``.
+
+:class:`LiveCluster` turns one :class:`~repro.deploy.workload.
+ClusterSpec` into a running multi-process deployment on localhost: it
+becomes the seed of the address book, spawns one OS process per
+super-peer and per simple peer (each a ``python -m repro peer``),
+waits for membership and advertisement settling, drives the cluster's
+query workload through client peers living in the launcher process,
+and tears everything down — collecting each process's metrics/trace
+exports and merging them into cluster-wide artifacts.
+
+A mid-run ``kill_peer`` SIGTERMs one process; the cluster degrades the
+same way a chaos run does in-sim — dial give-ups bounce as
+:class:`~repro.net.message.DeliveryFailure`, channels replan around the
+loss, and answers arrive as coverage-annotated partials.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..errors import NetworkError
+from ..net.simulator import Network
+from ..obs import merge_expositions, render_prometheus
+from ..peers.base import Peer
+from ..peers.client import ClientPeer
+from ..peers.protocol import AdvertisementReply, AdvertisementRequest
+from ..transport.live import AsyncioTransport
+from .node import export_artifacts
+from .workload import ClusterSpec, ClusterWorkload, build_workload
+
+#: Virtual-time budget for cluster bring-up (membership + settling).
+BOOTSTRAP_TIMEOUT = 2_000.0
+#: Virtual-time budget for one query to complete.
+QUERY_TIMEOUT = 4_000.0
+
+
+class _Probe(Peer):
+    """A launcher-side peer that pulls advertisement registries, used
+    to observe when the cluster's advertisement push has settled."""
+
+    def __init__(self, peer_id: str = "launcher-probe"):
+        super().__init__(peer_id)
+        self.registries: Dict[str, set] = {}
+
+    def handle_AdvertisementReply(self, message) -> None:
+        reply: AdvertisementReply = message.payload
+        self.registries[reply.from_peer] = {
+            a.peer_id for a in reply.schemas if a.peer_id
+        }
+
+    def poll(self, super_id: str) -> None:
+        self.registries.pop(super_id, None)
+        self.send(super_id, AdvertisementRequest(self.peer_id))
+
+
+class LiveCluster:
+    """A running live deployment of one cluster spec.
+
+    Usage::
+
+        cluster = LiveCluster(spec, outdir)
+        cluster.start()
+        try:
+            result = cluster.query("P1", text)
+        finally:
+            cluster.shutdown()
+    """
+
+    def __init__(self, spec: ClusterSpec, outdir, host: str = "127.0.0.1"):
+        self.spec = spec
+        self.outdir = Path(outdir)
+        self.host = host
+        self.workload: ClusterWorkload = build_workload(spec)
+        self.transport = AsyncioTransport(
+            host=host, port=0, seed=None, time_scale=spec.time_scale
+        )
+        self.network = Network(seed=spec.seed, transport=self.transport)
+        self.probe = _Probe()
+        self.probe.join(self.network)
+        self.processes: Dict[str, subprocess.Popen] = {}
+        self.killed: List[str] = []
+        self._client_counter = 0
+        self.clients: Dict[str, ClientPeer] = {}
+
+    # ------------------------------------------------------------------
+    # the system facade the workload engine drives
+    # ------------------------------------------------------------------
+    def add_client(self, peer_id: Optional[str] = None) -> ClientPeer:
+        self._client_counter += 1
+        client = ClientPeer(peer_id or f"client{self._client_counter}")
+        client.join(self.network)
+        if self.spec.resilient:
+            from ..resilience import ResilienceConfig
+
+            client.submit_retry = ResilienceConfig.default(self.spec.seed).client_retry
+        self.clients[client.peer_id] = client
+        return client
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, bootstrap_timeout: float = BOOTSTRAP_TIMEOUT) -> None:
+        """Bring the cluster up: seed, processes, membership, settling."""
+        self.outdir.mkdir(parents=True, exist_ok=True)
+        self.transport.start()
+        for node_id in self.spec.super_ids() + self.spec.peer_ids():
+            self._spawn(node_id)
+        expected = set(self.spec.super_ids()) | set(self.spec.peer_ids())
+        if not self.transport.run_until(
+            lambda: expected <= set(self.transport.book), bootstrap_timeout
+        ):
+            missing = expected - set(self.transport.book)
+            raise NetworkError(f"cluster bootstrap timed out; missing {sorted(missing)}")
+        self._settle_advertisements(bootstrap_timeout)
+
+    def _spawn(self, node_id: str) -> None:
+        argv = [
+            sys.executable, "-m", "repro", "peer",
+            "--node-id", node_id,
+            "--seed", f"{self.host}:{self.transport.port}",
+            "--host", self.host,
+            "--outdir", str(self.outdir),
+        ] + self.spec.to_args()
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (package_root, env.get("PYTHONPATH")) if p
+        )
+        self.processes[node_id] = subprocess.Popen(
+            argv, env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def _settle_advertisements(self, timeout: float) -> None:
+        """Poll every super-peer's registry until each clustered peer's
+        advertisement has landed (a deterministic alternative to the
+        in-sim ``system.run()`` settle)."""
+        wanted = {
+            super_id: {p for p in self.spec.peer_ids()
+                       if self.spec.home_for(p) == super_id}
+            for super_id in self.spec.super_ids()
+        }
+        deadline = self.transport.now + timeout
+
+        def settled() -> bool:
+            return all(
+                wanted[s] <= self.probe.registries.get(s, set()) for s in wanted
+            )
+
+        while not settled():
+            if self.transport.now >= deadline:
+                raise NetworkError("advertisements never settled on the backbone")
+            for super_id in wanted:
+                if not wanted[super_id] <= self.probe.registries.get(super_id, set()):
+                    self.probe.poll(super_id)
+            self.transport.run(until=self.transport.now + 20.0)
+
+    def kill_peer(self, node_id: str) -> None:
+        """SIGTERM one process mid-run (the live analogue of a chaos
+        ``peer_down`` injection)."""
+        process = self.processes[node_id]
+        process.send_signal(signal.SIGTERM)
+        self.killed.append(node_id)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def submit(self, via: str, text: str):
+        """Fire a query without waiting; returns ``(client, query_id)``
+        for :meth:`await_result`.  Used by kill runs to overlap a
+        SIGTERM with an in-flight query."""
+        client = self.add_client()
+        return client, client.submit(via, text)
+
+    def await_result(self, client, query_id: str, timeout: float = QUERY_TIMEOUT):
+        self.transport.run_until(lambda: query_id in client.results, timeout)
+        result = client.result(query_id)
+        if result is None:
+            raise NetworkError(f"query {query_id} timed out live")
+        return result
+
+    def query(self, via: str, text: str, timeout: float = QUERY_TIMEOUT):
+        """One query to completion; returns the
+        :class:`~repro.peers.client.QueryResult` (table, error or
+        coverage-annotated partial)."""
+        client, query_id = self.submit(via, text)
+        return self.await_result(client, query_id, timeout)
+
+    def serve(self, spec, settle: float = 200.0, timeout: float = QUERY_TIMEOUT):
+        """Drive a :class:`~repro.workload_engine.spec.WorkloadSpec`
+        against the live cluster; returns the workload report."""
+        from ..workload_engine import WorkloadDriver
+
+        driver = WorkloadDriver(self, spec)
+        driver.install()
+        self.transport.run_until(
+            lambda: len(driver.outcomes) >= spec.count, timeout
+        )
+        self.transport.run(until=self.transport.now + settle)
+        return driver.report()
+
+    # ------------------------------------------------------------------
+    # teardown and artifacts
+    # ------------------------------------------------------------------
+    def shutdown(self, grace: float = 10.0) -> Dict[str, object]:
+        """Stop every process, export and merge artifacts.
+
+        Returns the run summary written to ``report.json``.
+        """
+        for node_id, process in self.processes.items():
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + grace
+        for node_id, process in self.processes.items():
+            try:
+                process.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        export_artifacts(
+            self.outdir, "launcher", self.network, self.transport
+        )
+        self.transport.close()
+        return self._merge_artifacts()
+
+    def _merge_artifacts(self) -> Dict[str, object]:
+        expositions = sorted(self.outdir.glob("*.metrics.prom"))
+        merged = merge_expositions([p.read_text() for p in expositions])
+        (self.outdir / "merged.metrics.prom").write_text(merged)
+        traces = {}
+        for path in sorted(self.outdir.glob("*.trace.json")):
+            traces[path.name[: -len(".trace.json")]] = json.loads(path.read_text())
+        (self.outdir / "merged.traces.json").write_text(
+            json.dumps(traces, indent=2, default=str)
+        )
+        summary = {
+            "spec": {
+                "seed": self.spec.seed,
+                "peers": self.spec.peers,
+                "super_peers": self.spec.super_peers,
+                "resilient": self.spec.resilient,
+            },
+            "killed": list(self.killed),
+            "exit_codes": {
+                node_id: process.returncode
+                for node_id, process in self.processes.items()
+            },
+            "artifacts": sorted(p.name for p in self.outdir.iterdir()),
+        }
+        (self.outdir / "report.json").write_text(json.dumps(summary, indent=2))
+        return summary
+
+
+def run_launch(args) -> int:
+    """Entry point of the ``python -m repro launch`` subcommand."""
+    from .node import spec_from_args
+
+    spec = spec_from_args(args)
+    cluster = LiveCluster(spec, args.outdir, host=args.host)
+    print(f"launching {spec.super_peers} super-peer(s) + {spec.peers} peer(s) "
+          f"on {args.host} (seed {spec.seed}, "
+          f"{'resilient' if spec.resilient else 'baseline'})")
+    outcomes = []
+    try:
+        cluster.start()
+        print(f"cluster up: seed port {cluster.transport.port}, "
+              f"book {sorted(cluster.transport.book)}")
+        peer_ids = spec.peer_ids()
+        for index in range(args.count):
+            alive = [p for p in peer_ids if p not in cluster.killed]
+            via = alive[index % len(alive)]
+            text = cluster.workload.queries[index % len(cluster.workload.queries)]
+            if args.kill is not None and index == args.count // 2:
+                # overlap the SIGTERM with an in-flight query so the
+                # loss degrades it to a coverage-annotated partial,
+                # exactly as a mid-query chaos crash does in-sim
+                if via == args.kill:
+                    via = next(p for p in alive if p != args.kill)
+                client, query_id = cluster.submit(via, text)
+                print(f"killing {args.kill} mid-query")
+                cluster.kill_peer(args.kill)
+                result = cluster.await_result(client, query_id)
+            else:
+                result = cluster.query(via, text)
+            status = "error" if result.error else (
+                "partial" if result.coverage is not None
+                and not result.coverage.is_complete else "ok"
+            )
+            rows = 0 if result.table is None else len(result.table)
+            outcomes.append({"via": via, "status": status, "rows": rows,
+                             "error": result.error})
+            print(f"  q{index}: via {via} -> {status} ({rows} rows)")
+    finally:
+        summary = cluster.shutdown()
+    summary["outcomes"] = outcomes
+    (cluster.outdir / "report.json").write_text(json.dumps(summary, indent=2))
+    print(f"artifacts merged under {cluster.outdir}")
+    statuses = {o["status"] for o in outcomes}
+    if args.kill is not None and "partial" not in statuses:
+        print("warning: kill run produced no partial answers")
+    return 0

@@ -1,0 +1,151 @@
+"""One OS process of a live deployment: ``python -m repro peer``.
+
+A node process hosts exactly one protocol peer (a super-peer or a
+simple peer) on its own :class:`~repro.transport.AsyncioTransport`,
+rebuilds its slice of the cluster workload from the shared
+:class:`~repro.deploy.workload.ClusterSpec`, announces itself to the
+seed, and serves until SIGTERM.  On shutdown it exports its metrics
+(Prometheus text tagged with ``peer_id``/``pid``/``transport`` const
+labels) and its trace spans into the run's output directory, says a
+graceful bye, and exits 0.
+
+Resilience mirrors the in-sim wiring minus the heartbeat layer: live
+deployments have no heartbeat emitters driving the failure detector, so
+``watch_cluster`` would suspect every peer.  Failure detection instead
+rides on the transport's dial-give-up bounces, which produce the same
+:class:`~repro.net.message.DeliveryFailure` signal chaos runs do.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+from pathlib import Path
+from typing import Tuple
+
+from ..net.simulator import Network
+from ..obs import peer_gauges, render_prometheus
+from ..peers.base import PeerBase
+from ..peers.super import SuperPeer
+from ..systems.hybrid import HybridPeer
+from ..core.adaptivity import ReplanBudget
+from ..resilience import ResilienceConfig
+from ..transport.live import AsyncioTransport
+from .workload import ClusterSpec, build_workload
+
+#: Virtual-time backstop: a node exits on its own after this long even
+#: if the launcher never reaps it (a crashed launcher must not leave
+#: orphan processes behind, e.g. in CI).
+DEFAULT_LIFETIME = 30_000.0
+
+
+def add_spec_arguments(parser) -> None:
+    """The :class:`ClusterSpec` fragment of a node/launch command line."""
+    parser.add_argument("--workload-seed", type=int, default=0,
+                        help="dataset/network seed (default 0)")
+    parser.add_argument("--peers", type=int, default=3,
+                        help="simple-peer count (default 3)")
+    parser.add_argument("--super-peers", type=int, default=1,
+                        help="super-peer count (default 1)")
+    parser.add_argument("--chain-length", type=int, default=4,
+                        help="synthetic schema chain length (default 4)")
+    parser.add_argument("--queries", type=int, default=4,
+                        help="distinct query texts (default 4)")
+    parser.add_argument("--statements", type=int, default=15,
+                        help="statements per schema segment (default 15)")
+    parser.add_argument("--resilient", action="store_true",
+                        help="enable the resilience layer (required for kill runs)")
+    parser.add_argument("--time-scale", type=float, default=0.02,
+                        help="real seconds per virtual-time unit (default 0.02)")
+
+
+def spec_from_args(args) -> ClusterSpec:
+    return ClusterSpec(
+        seed=args.workload_seed,
+        peers=args.peers,
+        super_peers=args.super_peers,
+        chain_length=args.chain_length,
+        queries=args.queries,
+        statements_per_segment=args.statements,
+        resilient=args.resilient,
+        time_scale=args.time_scale,
+    )
+
+
+def parse_address(text: str) -> Tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    return (host or "127.0.0.1", int(port))
+
+
+def _apply_resilience(node, config: ResilienceConfig) -> None:
+    """Mirror of ``HybridSystem._apply_resilience_*`` minus heartbeats."""
+    if isinstance(node, SuperPeer):
+        node.quarantine_enabled = config.quarantine_enabled
+        return
+    node.channel_retry = config.channel_retry
+    node.routing_retry = config.routing_retry
+    node.quarantine_enabled = config.quarantine_enabled
+    node.partial_results = config.partial_results
+    node.replan_budget = ReplanBudget(
+        config.max_replans, config.replan_delay, config.replan_backoff
+    )
+
+
+def export_artifacts(outdir: Path, node_id: str, network: Network,
+                     transport, node=None) -> None:
+    """Dump this process's metrics and traces for the launcher to merge."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    labels = {"peer_id": node_id, "pid": os.getpid(), "transport": transport.kind}
+    gauges = peer_gauges([node]) if node is not None else None
+    text = render_prometheus(network.metrics, gauges, const_labels=labels)
+    (outdir / f"{node_id}.metrics.prom").write_text(text)
+    if network.trace_collector is not None:
+        (outdir / f"{node_id}.trace.json").write_text(
+            network.trace_collector.export_json()
+        )
+
+
+def run_node(args) -> int:
+    """Entry point of the ``python -m repro peer`` subcommand."""
+    spec = spec_from_args(args)
+    workload = build_workload(spec)
+    node_id = args.node_id
+    role = "super" if node_id in spec.super_ids() else "peer"
+
+    transport = AsyncioTransport(
+        host=args.host, port=args.port,
+        seed=parse_address(args.seed),
+        time_scale=spec.time_scale,
+    )
+    network = Network(seed=spec.seed, transport=transport)
+
+    if role == "super":
+        node = SuperPeer(node_id, schemas=[workload.synthetic.schema])
+        node.join(network)
+        host, port = transport.start()
+    else:
+        host, port = transport.start()
+        # the Advertise pushed by join() needs a routable home: wait
+        # until the seed's book broadcast names this peer's super-peer
+        home = spec.home_for(node_id)
+        transport.run_until(lambda: home in transport.book, timeout=2_000.0)
+        node = HybridPeer(node_id, PeerBase(workload.bases[node_id],
+                                            workload.synthetic.schema),
+                          home_super_peer=home)
+        node.join(network)
+    if spec.resilient:
+        _apply_resilience(node, ResilienceConfig.default(spec.seed))
+
+    stopping = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        transport.loop.add_signal_handler(signum, lambda: stopping.append(True))
+
+    print(f"READY {node_id} {host} {port}", flush=True)
+    transport.run_until(lambda: bool(stopping), timeout=args.lifetime)
+
+    export_artifacts(Path(args.outdir), node_id, network, transport, node)
+    transport.close()
+    print(f"STOPPED {node_id}", flush=True)
+    sys.stdout.flush()
+    return 0

@@ -65,6 +65,10 @@ class EventBudgetExhausted(NetworkError):
         self.diagnostics = diagnostics
 
 
+class CodecError(NetworkError):
+    """A wire frame could not be encoded or decoded."""
+
+
 class PeerError(SQPeerError):
     """A peer received a request it cannot honour."""
 

@@ -9,8 +9,6 @@ explicit seedable RNG makes every experiment bit-for-bit reproducible.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
 from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 
@@ -19,6 +17,8 @@ from ..metrics.collectors import MetricSet
 from ..obs.collect import TraceCollector
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.faults import FaultInjector, FaultPlan
+from ..transport.base import Transport
+from ..transport.sim import SimTransport
 from .message import DeliveryFailure, Message
 
 
@@ -33,6 +33,12 @@ def format_diagnostics(diagnostics: dict) -> str:
             else ""
         ),
     ]
+    if diagnostics.get("transport"):
+        sockets = diagnostics.get("open_sockets")
+        lines.append(
+            f"  transport        : {diagnostics['transport']}"
+            + (f" ({sockets} open sockets)" if sockets is not None else "")
+        )
     inflight = diagnostics["inflight_queries"]
     lines.append(
         f"  queries in flight: {len(inflight)}"
@@ -81,6 +87,12 @@ class Network:
             default), :attr:`tracer` mints spans on the virtual clock
             into a bounded :attr:`trace_collector`; off, it is the
             shared no-op recorder and the query path runs at seed cost.
+        transport: The :class:`~repro.transport.base.Transport` moving
+            messages and time.  ``None`` (the default) selects
+            :class:`~repro.transport.sim.SimTransport`, whose behaviour
+            is bit-identical to the pre-seam simulator; a live
+            :class:`~repro.transport.live.AsyncioTransport` runs the
+            same peers over TCP sockets, one process per peer.
     """
 
     def __init__(
@@ -89,7 +101,10 @@ class Network:
         default_latency: float = 1.0,
         default_cost_per_byte: float = 0.0001,
         observability: bool = True,
+        transport: Optional[Transport] = None,
     ):
+        self.transport = transport if transport is not None else SimTransport()
+        self.transport.bind(self)
         self.rng = random.Random(seed)
         self.metrics = MetricSet()
         # observability (repro.obs): one tracer serves the whole
@@ -109,14 +124,16 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._default_link = Link(default_latency, default_cost_per_byte)
         self._down: Set[str] = set()
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
-        self._sequence = itertools.count()
-        self.now = 0.0
         # fault model (repro.resilience): no injector means the friendly
         # seed regime — no loss, and failures bounce omnisciently
         self.faults: Optional[FaultInjector] = None
         self.omniscient_bounces = True
         self._liveness_listeners: List[Callable[[str, bool], None]] = []
+
+    @property
+    def now(self) -> float:
+        """The transport's clock (virtual time)."""
+        return self.transport.now
 
     # ------------------------------------------------------------------
     # topology
@@ -126,6 +143,7 @@ class Network:
         if node.peer_id in self._nodes:
             raise NetworkError(f"duplicate peer id {node.peer_id}")
         self._nodes[node.peer_id] = node
+        self.transport.on_register(node)
 
     def node(self, peer_id: str) -> Node:
         try:
@@ -211,7 +229,19 @@ class Network:
         if message.src not in self._nodes:
             raise NetworkError(f"unknown sender {message.src}")
         if message.dst not in self._nodes:
-            raise NetworkError(f"unknown destination {message.dst}")
+            if not self.transport.routes(message.dst):
+                raise NetworkError(f"unknown destination {message.dst}")
+            # destination lives in another process: meter and hand the
+            # message to the wire (failures come back as bounces)
+            link = self.link(message.src, message.dst)
+            self.metrics.record_message(
+                message.kind, message.src, message.dst, message.size,
+                delay=link.delay(message.size),
+            )
+            if message.kind == "DataPacket":
+                self.metrics.record_batch(len(message.payload.table))
+            self.transport.transmit_remote(message)
+            return
         link = self.link(message.src, message.dst)
         delay = link.delay(message.size)
         self.metrics.record_message(
@@ -260,8 +290,29 @@ class Network:
             return
         self._nodes[message.dst].receive(message, self)
 
+    def deliver_remote(self, message: Message) -> None:
+        """Deliver a message that arrived over a live transport's wire.
+
+        Frames for nodes that already left (or were never here — stale
+        address books) are dropped; the sender's retry/suspicion
+        machinery handles the silence, exactly as for an in-sim drop.
+        """
+        if message.dst not in self._nodes or message.dst in self._down:
+            self.metrics.record_dropped_message()
+            return
+        self._nodes[message.dst].receive(message, self)
+
+    def bounce_remote(self, message: Message) -> None:
+        """Synthesise a :class:`DeliveryFailure` for a message the live
+        transport could not put on the wire (connection refused/reset
+        after the reconnect budget) — the real-deployment event the
+        simulator's omniscient bounces stand in for."""
+        bounce = Message(message.dst, message.src, DeliveryFailure(message))
+        self.metrics.record_message(bounce.kind, bounce.src, bounce.dst, bounce.size)
+        self._schedule(0.0, lambda: self.deliver_remote(bounce))
+
     def _schedule(self, delay: float, action: Callable[[], None]) -> None:
-        heapq.heappush(self._queue, (self.now + delay, next(self._sequence), action))
+        self.transport.schedule(delay, action)
 
     def call_later(self, delay: float, action: Callable[[], None]) -> None:
         """Schedule an arbitrary callback (protocol timers)."""
@@ -281,29 +332,13 @@ class Network:
                 workload).  The exception's message and
                 ``diagnostics`` attribute describe what was still in
                 flight — queries, per-peer queue depths, the oldest
-                pending event — so a livelocked workload is debuggable
-                instead of a bare budget number.
+                pending event, the active transport — so a livelocked
+                workload is debuggable instead of a bare budget number.
         """
-        processed = 0
-        while self._queue:
-            time, _, action = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self.now = time
-            action()
-            processed += 1
-            if processed >= max_events:
-                diagnostics = self.diagnostics()
-                raise EventBudgetExhausted(
-                    f"event budget exhausted ({max_events} events)\n"
-                    + format_diagnostics(diagnostics),
-                    diagnostics,
-                )
-        return processed
+        return self.transport.run(max_events, until)
 
     def pending_events(self) -> int:
-        return len(self._queue)
+        return self.transport.pending_events()
 
     def diagnostics(self) -> dict:
         """A point-in-time report of what the network is still doing.
@@ -328,17 +363,21 @@ class Network:
             )
             if any(gauges.values()):
                 per_peer[peer_id] = gauges
-        return {
+        oldest = getattr(self.transport, "oldest_pending_at", lambda: None)()
+        out = {
             "now": self.now,
-            "pending_events": len(self._queue),
-            "oldest_pending_event_at": self._queue[0][0] if self._queue else None,
+            "pending_events": self.transport.pending_events(),
+            "oldest_pending_event_at": oldest,
             "inflight_queries": self.metrics.inflight_query_ids(),
             "peers": per_peer,
             "down_peers": sorted(self._down),
+            "transport": self.transport.kind,
         }
+        out.update(self.transport.diagnostics_extra())
+        return out
 
     def __repr__(self) -> str:
         return (
             f"Network(peers={len(self._nodes)}, down={len(self._down)}, "
-            f"t={self.now:.2f}, pending={len(self._queue)})"
+            f"t={self.now:.2f}, pending={self.transport.pending_events()})"
         )

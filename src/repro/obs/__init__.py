@@ -29,7 +29,7 @@ from .histogram import Histogram
 from .render import render_trace
 from .span import Span, TraceContext
 from .tracer import NULL_SPAN, NULL_TRACER, NullTracer, Tracer
-from .exposition import render_prometheus
+from .exposition import add_const_labels, merge_expositions, render_prometheus
 
 __all__ = [
     "Histogram",
@@ -41,6 +41,8 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "peer_gauges",
+    "add_const_labels",
+    "merge_expositions",
     "render_prometheus",
     "render_trace",
     "span_tree",

@@ -60,10 +60,83 @@ def _histogram(
         lines.append(f"{name}_count{suffix} {histogram.count}")
 
 
+def add_const_labels(text: str, labels: Dict[str, Any]) -> str:
+    """Inject constant labels into every sample of an exposition.
+
+    Used by live deployments to tag each process's dump with its
+    identity (``peer_id``, ``pid``, ``transport``) so per-process series
+    stay distinguishable after a merge.  Comment lines pass through.
+    """
+    if not labels:
+        return text
+    rendered = ",".join(
+        f'{name}="{_escape(str(value))}"' for name, value in sorted(labels.items())
+    )
+    out: List[str] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            out.append(line)
+            continue
+        name_and_labels, _, value = line.rpartition(" ")
+        if name_and_labels.endswith("}"):
+            out.append(f"{name_and_labels[:-1]},{rendered}}} {value}")
+        else:
+            out.append(f"{name_and_labels}{{{rendered}}} {value}")
+    return "\n".join(out) + "\n"
+
+
+def merge_expositions(texts: List[str]) -> str:
+    """Merge several per-process expositions into one.
+
+    Each input carries distinct const labels (see
+    :func:`add_const_labels`), so the merge keeps every sample and emits
+    each metric family's ``# HELP``/``# TYPE`` header once, samples
+    grouped under it in input order.
+    """
+    order: List[str] = []
+    headers: Dict[str, List[str]] = {}
+    samples: Dict[str, List[str]] = {}
+
+    def family_of(sample_line: str, header: List[str]) -> str:
+        if header:  # "# HELP <name> ..." names the family authoritatively
+            return header[0].split(" ", 3)[2]
+        name = sample_line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in headers:
+                return name[: -len(suffix)]
+        return name
+
+    for text in texts:
+        pending_header: List[str] = []
+        for line in text.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                pending_header.append(line)
+                continue
+            family = family_of(line, pending_header)
+            if family not in headers:
+                headers[family] = pending_header or []
+                order.append(family)
+            pending_header = []
+            samples.setdefault(family, []).append(line)
+    out: List[str] = []
+    for family in order:
+        out.extend(headers[family])
+        out.extend(samples.get(family, []))
+    return "\n".join(out) + "\n"
+
+
 def render_prometheus(
-    metrics, gauges: Optional[Dict[str, Dict[str, Any]]] = None
+    metrics,
+    gauges: Optional[Dict[str, Dict[str, Any]]] = None,
+    const_labels: Optional[Dict[str, Any]] = None,
 ) -> str:
-    """The exposition text for one metric set (and optional gauges)."""
+    """The exposition text for one metric set (and optional gauges).
+
+    ``const_labels`` are appended to every sample — live deployments
+    pass ``{"peer_id": ..., "pid": ..., "transport": ...}``.
+    """
     lines: List[str] = []
     _counter(lines, "repro_messages_total", "Messages delivered", metrics.messages_total)
     _counter(lines, "repro_bytes_total", "Payload bytes shipped", metrics.bytes_total)
@@ -168,4 +241,7 @@ def render_prometheus(
                     f'gauge="{_escape(gauge_name)}"}} '
                     f"{_fmt(gauges[peer_id][gauge_name])}"
                 )
-    return "\n".join(lines) + "\n"
+    text = "\n".join(lines) + "\n"
+    if const_labels:
+        text = add_const_labels(text, const_labels)
+    return text

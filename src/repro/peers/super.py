@@ -21,7 +21,14 @@ from ..rdf.schema import Schema
 from ..resilience.detector import FailureDetector, PeerQuarantine
 from ..rvl.active_schema import ActiveSchema
 from .base import Peer
-from .protocol import Advertise, RouteBusy, RouteReply, RouteRequest
+from .protocol import (
+    Advertise,
+    AdvertisementReply,
+    AdvertisementRequest,
+    RouteBusy,
+    RouteReply,
+    RouteRequest,
+)
 
 #: Guard against route requests circulating the backbone forever.
 MAX_BACKBONE_HOPS = 8
@@ -198,6 +205,20 @@ class SuperPeer(Peer):
     def handle_Goodbye(self, message: Message) -> None:
         """A clustered peer departs: forget its advertisements."""
         self.deregister(message.payload.peer_id)
+
+    def handle_AdvertisementRequest(self, message: Message) -> None:
+        """Pull: reply with every advertisement in the registry.
+
+        Simple peers use this for neighbourhood discovery; deployment
+        launchers use it to observe when a live cluster's advertisement
+        push has settled."""
+        request: AdvertisementRequest = message.payload
+        schemas = tuple(
+            advertisement
+            for son in self.registry.values()
+            for advertisement in sorted(son.values(), key=lambda a: a.peer_id or "")
+        )
+        self.send(request.requester, AdvertisementReply(schemas, self.peer_id))
 
     def advertisements_for(self, schema_uri: str) -> List[ActiveSchema]:
         return sorted(

@@ -191,11 +191,15 @@ class HybridSystem:
         observability: bool = True,
         vectorize: bool = True,
         batch_size: int = 256,
+        transport=None,
         **peer_options,
     ):
         self.schema = schema
         self.network = Network(
-            seed=seed, default_latency=default_latency, observability=observability
+            seed=seed,
+            default_latency=default_latency,
+            observability=observability,
+            transport=transport,
         )
         self.statistics = statistics
         self.cache_enabled = cache_enabled

@@ -1,0 +1,387 @@
+"""Wire codec: every :class:`~repro.net.message.Message` payload kind
+round-trips through tagged JSON.
+
+The encoding is a small recursive scheme over JSON values:
+
+* primitives (``str``/``int``/``float``/``bool``/``None``) pass through;
+* tuples become ``{"$t": [...]}`` so they decode back as tuples (the
+  protocol dataclasses are tuple-typed throughout);
+* dicts with plain string keys encode as JSON objects, dicts with
+  structured keys (e.g. a subplan's tree-path site map) become
+  ``{"$d": [[key, value], ...]}``;
+* registered protocol objects become ``{"$k": "ClassName", "f": {...}}``.
+
+Decoding is forward-compatible: unknown keys inside an object's ``"f"``
+field dict are ignored, so an old peer can read frames from a newer one
+that added fields.  An unknown ``"$k"`` class tag, by contrast, is a
+hard :class:`~repro.errors.CodecError` — there is no safe way to invent
+a payload type.
+
+Message envelopes encode ``src``/``dst``/``size``/``trace``/``payload``
+but deliberately *not* the local monotonic ``id`` — like trace metadata
+it is process-local bookkeeping, and dropping it makes the encoding
+canonical (re-encoding a decoded message is byte-identical).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Callable, Dict, Tuple, Type
+
+from ..channels.packets import ChangePlanPacket, DataPacket, StatsPacket, SubPlanPacket
+from ..core.algebra import Hole, Join, Scan, Union
+from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
+from ..errors import CodecError
+from ..net.message import DeliveryFailure, Message
+from ..obs.span import TraceContext
+from ..peers.churn import Goodbye
+from ..peers.protocol import (
+    Advertise,
+    AdvertisementReply,
+    AdvertisementRequest,
+    DelegatedResult,
+    PartialPlan,
+    QueryResult,
+    QueryShed,
+    QuerySubmit,
+    RouteBusy,
+    RouteReply,
+    RouteRequest,
+)
+from ..rdf.schema import Schema
+from ..rdf.terms import BNode, Literal, Namespace, URI, Variable
+from ..resilience.detector import Heartbeat
+from ..resilience.partial import Coverage
+from ..rql.bindings import BindingTable
+from ..rql.pattern import PathPattern, QueryPattern, SchemaPath
+from ..rvl.active_schema import ActiveSchema
+
+_ENCODERS: Dict[Type, Tuple[str, Callable[[Any], dict]]] = {}
+_DECODERS: Dict[str, Callable[[dict], Any]] = {}
+
+
+def _register(cls: Type, encode: Callable[[Any], dict], decode: Callable[[dict], Any]):
+    _ENCODERS[cls] = (cls.__name__, encode)
+    _DECODERS[cls.__name__] = decode
+
+
+def _register_dataclass(cls: Type) -> None:
+    names = [f.name for f in dataclasses.fields(cls)]
+
+    def encode(obj) -> dict:
+        return {name: _encode(getattr(obj, name)) for name in names}
+
+    def decode(fields: dict):
+        return cls(**{name: _decode(fields[name]) for name in names if name in fields})
+
+    _register(cls, encode, decode)
+
+
+# ----------------------------------------------------------------------
+# generic value encoding
+# ----------------------------------------------------------------------
+def _encode(value: Any) -> Any:
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    registered = _ENCODERS.get(type(value))
+    if registered is not None:
+        name, encode = registered
+        return {"$k": name, "f": encode(value)}
+    if isinstance(value, tuple):  # after the registry: TraceContext is a tuple
+        return {"$t": [_encode(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) and not k.startswith("$") for k in value):
+            return {k: _encode(v) for k, v in value.items()}
+        return {"$d": [[_encode(k), _encode(v)] for k, v in value.items()]}
+    raise CodecError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$k" in value:
+            decoder = _DECODERS.get(value["$k"])
+            if decoder is None:
+                raise CodecError(f"unknown payload class {value['$k']!r}")
+            return decoder(value.get("f", {}))
+        if "$t" in value:
+            return tuple(_decode(v) for v in value["$t"])
+        if "$d" in value:
+            return {_decode(k): _decode(v) for k, v in value["$d"]}
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode(v) for v in value]
+    return value
+
+
+def encode_payload(payload: Any) -> dict:
+    """Encode one protocol payload object to a JSON-compatible value."""
+    encoded = _encode(payload)
+    if not (isinstance(encoded, dict) and "$k" in encoded):
+        raise CodecError(f"not a registered payload type: {type(payload).__name__}")
+    return encoded
+
+
+def decode_payload(value: dict) -> Any:
+    """Rebuild a payload object from :func:`encode_payload` output."""
+    return _decode(value)
+
+
+# ----------------------------------------------------------------------
+# message envelopes and frames
+# ----------------------------------------------------------------------
+def encode_message(message: Message) -> dict:
+    """Encode a message envelope (payload, addressing, size, trace).
+
+    The local ``id`` is not encoded; the decoded message draws a fresh
+    one from the receiving process's counter.
+    """
+    return {
+        "src": message.src,
+        "dst": message.dst,
+        "size": message.size,
+        "trace": _encode(message.trace),
+        "payload": encode_payload(message.payload),
+    }
+
+
+def decode_message(fields: dict) -> Message:
+    """Rebuild a :class:`Message` (unknown envelope keys are ignored)."""
+    return Message(
+        fields["src"],
+        fields["dst"],
+        decode_payload(fields["payload"]),
+        size=fields.get("size"),
+        trace=_decode(fields.get("trace")),
+    )
+
+
+def encode_frame(kind: str, body: dict) -> bytes:
+    """Serialise one wire frame body (sans length prefix) as JSON."""
+    return json.dumps({"kind": kind, "body": body}, separators=(",", ":")).encode()
+
+
+def decode_frame(data: bytes) -> Tuple[str, dict]:
+    """Parse a frame; returns ``(kind, body)``, ignoring unknown keys."""
+    try:
+        parsed = json.loads(data.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CodecError(f"malformed frame: {exc}") from None
+    if not isinstance(parsed, dict) or "kind" not in parsed:
+        raise CodecError("frame missing 'kind'")
+    return parsed["kind"], parsed.get("body", {})
+
+
+# ----------------------------------------------------------------------
+# registry: RDF terms
+# ----------------------------------------------------------------------
+_register(URI, lambda u: {"value": u.value}, lambda f: URI(f["value"]))
+_register(BNode, lambda b: {"id": b.id}, lambda f: BNode(f["id"]))
+_register(Variable, lambda v: {"name": v.name}, lambda f: Variable(f["name"]))
+_register(
+    Literal,
+    lambda l: {
+        "lexical": l.lexical,
+        "datatype": _encode(l.datatype),
+        "language": l.language,
+    },
+    lambda f: Literal(
+        f["lexical"],
+        datatype=_decode(f.get("datatype")),
+        language=f.get("language"),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# registry: schema and query patterns
+# ----------------------------------------------------------------------
+def _encode_schema(schema: Schema) -> dict:
+    return {
+        "uri": schema.namespace.uri,
+        "name": schema.name,
+        "classes": sorted(c.value for c in schema.classes),
+        "properties": sorted(
+            [p.uri.value, p.domain.value, p.range.value] for p in schema
+        ),
+        "subclass": sorted(
+            [child.value, parent.value]
+            for child in schema.classes
+            for parent in schema._super_classes.get(child, ())
+        ),
+        "subproperty": sorted(
+            [child.value, parent.value]
+            for child in schema.properties
+            for parent in schema._super_properties.get(child, ())
+        ),
+    }
+
+
+def _decode_schema(fields: dict) -> Schema:
+    schema = Schema(Namespace(fields["uri"]), fields.get("name", ""))
+    for cls in fields.get("classes", []):
+        schema.add_class(URI(cls))
+    for prop, domain, range_ in fields.get("properties", []):
+        schema.add_property(URI(prop), URI(domain), URI(range_))
+    for child, parent in fields.get("subclass", []):
+        schema.add_subclass(URI(child), URI(parent))
+    for child, parent in fields.get("subproperty", []):
+        schema.add_subproperty(URI(child), URI(parent))
+    return schema
+
+
+_register(Schema, _encode_schema, _decode_schema)
+_register(
+    SchemaPath,
+    lambda p: {
+        "domain": _encode(p.domain),
+        "property": _encode(p.property),
+        "range": _encode(p.range),
+    },
+    lambda f: SchemaPath(_decode(f["domain"]), _decode(f["property"]), _decode(f["range"])),
+)
+_register(
+    PathPattern,
+    lambda p: {
+        "label": p.label,
+        "schema_path": _encode(p.schema_path),
+        "subject_var": p.subject_var,
+        "object_var": p.object_var,
+        "projected": _encode(p.projected),
+    },
+    lambda f: PathPattern(
+        f["label"],
+        _decode(f["schema_path"]),
+        f.get("subject_var"),
+        f.get("object_var"),
+        _decode(f.get("projected", {"$t": []})),
+    ),
+)
+_register(
+    QueryPattern,
+    lambda q: {
+        "patterns": [_encode(p) for p in q.patterns],
+        "projections": _encode(q.projections),
+        "schema": _encode(q.schema),
+    },
+    lambda f: QueryPattern(
+        [_decode(p) for p in f["patterns"]],
+        _decode(f["projections"]),
+        _decode(f["schema"]),
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# registry: annotations, advertisements, plans, bindings
+# ----------------------------------------------------------------------
+_register(
+    PeerAnnotation,
+    lambda a: {
+        "peer_id": a.peer_id,
+        "rewritten": _encode(a.rewritten),
+        "exact": a.exact,
+    },
+    lambda f: PeerAnnotation(f["peer_id"], _decode(f["rewritten"]), f["exact"]),
+)
+
+
+def _encode_annotated(annotated: AnnotatedQueryPattern) -> dict:
+    entries = []
+    for index, pattern in enumerate(annotated.query_pattern.patterns):
+        annotations = annotated.annotations(pattern)
+        if annotations:
+            entries.append([index, [_encode(a) for a in annotations]])
+    return {"query_pattern": _encode(annotated.query_pattern), "annotated": entries}
+
+
+def _decode_annotated(fields: dict) -> AnnotatedQueryPattern:
+    pattern = _decode(fields["query_pattern"])
+    annotated = AnnotatedQueryPattern(pattern)
+    for index, annotations in fields.get("annotated", []):
+        annotated.extend_trusted(
+            pattern.patterns[index], [_decode(a) for a in annotations]
+        )
+    return annotated
+
+
+_register(AnnotatedQueryPattern, _encode_annotated, _decode_annotated)
+_register(
+    ActiveSchema,
+    lambda s: s.to_dict(),
+    lambda f: ActiveSchema.from_dict(f),
+)
+_register(
+    BindingTable,
+    lambda t: {
+        "columns": list(t.columns),
+        "rows": [[_encode(term) for term in row] for row in t.rows],
+    },
+    lambda f: BindingTable(
+        f["columns"], [tuple(_decode(t) for t in row) for row in f.get("rows", [])]
+    ),
+)
+_register(
+    Scan,
+    lambda s: {"patterns": [_encode(p) for p in s.patterns()], "peer_id": s.peer_id},
+    lambda f: Scan([_decode(p) for p in f["patterns"]], f["peer_id"]),
+)
+_register(
+    Hole,
+    lambda h: {"pattern": _encode(h.pattern)},
+    lambda f: Hole(_decode(f["pattern"])),
+)
+_register(
+    Union,
+    lambda u: {"children": [_encode(c) for c in u.children()]},
+    lambda f: Union([_decode(c) for c in f["children"]]),
+)
+_register(
+    Join,
+    lambda j: {"children": [_encode(c) for c in j.children()]},
+    lambda f: Join([_decode(c) for c in f["children"]]),
+)
+
+
+# ----------------------------------------------------------------------
+# registry: control / resilience payloads
+# ----------------------------------------------------------------------
+_register(
+    TraceContext,
+    lambda t: {"trace_id": t.trace_id, "span_id": t.span_id},
+    lambda f: TraceContext(f["trace_id"], f["span_id"]),
+)
+_register(
+    Heartbeat,
+    lambda h: {"sender": h.sender},
+    lambda f: Heartbeat(f["sender"]),
+)
+_register(
+    DeliveryFailure,
+    lambda d: {"original": encode_message(d.original)},
+    lambda f: DeliveryFailure(decode_message(f["original"])),
+)
+
+for _cls in (
+    QuerySubmit,
+    QueryResult,
+    QueryShed,
+    RouteBusy,
+    RouteRequest,
+    RouteReply,
+    Advertise,
+    AdvertisementRequest,
+    AdvertisementReply,
+    DelegatedResult,
+    PartialPlan,
+    SubPlanPacket,
+    DataPacket,
+    ChangePlanPacket,
+    StatsPacket,
+    Coverage,
+    Goodbye,
+):
+    _register_dataclass(_cls)
+del _cls

@@ -1,0 +1,56 @@
+"""Length-prefixed framing for the TCP transport.
+
+Every frame on the wire is a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON.  :class:`FrameReader` is a sans-io
+incremental parser: feed it whatever chunk the socket produced and it
+yields the complete frames buffered so far, keeping any partial frame
+for the next feed.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from ..errors import CodecError
+
+_HEADER = struct.Struct(">I")
+
+#: Frames larger than this are rejected — a corrupt length prefix must
+#: not make the reader buffer gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its 4-byte big-endian length."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame of {len(payload)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+class FrameReader:
+    """Incremental decoder for length-prefixed frames."""
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            frames.append(bytes(self._buffer[_HEADER.size : end]))
+            del self._buffer[:end]
+        return frames
+
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buffer)

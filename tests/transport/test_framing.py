@@ -1,0 +1,57 @@
+"""Unit tests for the length-prefixed wire framing."""
+
+import struct
+
+import pytest
+
+from repro.errors import CodecError
+from repro.transport.framing import MAX_FRAME_BYTES, FrameReader, pack_frame
+
+
+def test_pack_and_feed_round_trip():
+    reader = FrameReader()
+    payload = b'{"kind": "msg", "body": {}}'
+    frames = reader.feed(pack_frame(payload))
+    assert frames == [payload]
+    assert reader.pending_bytes() == 0
+
+
+def test_byte_at_a_time_feeding():
+    reader = FrameReader()
+    packed = pack_frame(b"hello") + pack_frame(b"world")
+    collected = []
+    for i in range(len(packed)):
+        collected.extend(reader.feed(packed[i : i + 1]))
+    assert collected == [b"hello", b"world"]
+
+
+def test_many_frames_in_one_chunk():
+    reader = FrameReader()
+    payloads = [bytes([i]) * (i + 1) for i in range(20)]
+    chunk = b"".join(pack_frame(p) for p in payloads)
+    assert reader.feed(chunk) == payloads
+
+
+def test_split_across_chunks_keeps_pending():
+    reader = FrameReader()
+    packed = pack_frame(b"x" * 100)
+    assert reader.feed(packed[:50]) == []
+    assert reader.pending_bytes() > 0
+    assert reader.feed(packed[50:]) == [b"x" * 100]
+
+
+def test_empty_frame_round_trips():
+    reader = FrameReader()
+    assert reader.feed(pack_frame(b"")) == [b""]
+
+
+def test_oversize_pack_raises():
+    with pytest.raises(CodecError):
+        pack_frame(b"\0" * (MAX_FRAME_BYTES + 1))
+
+
+def test_oversize_header_raises_on_feed():
+    reader = FrameReader()
+    bogus = struct.pack(">I", MAX_FRAME_BYTES + 1)
+    with pytest.raises(CodecError):
+        reader.feed(bogus + b"x")
