@@ -214,6 +214,20 @@ COMMENTARY = {
         "The simulator stays ~2 orders of magnitude faster in "
         "wall-clock, which is why it remains the default dev loop.",
     ),
+    "membership": (
+        "repro.membership (extension) — churn with durable recovery",
+        "Not a paper figure: dynamic membership on top of the live "
+        "transport. A peer SIGKILLed mid-workload leaves honest "
+        "coverage-annotated partials behind; restarted (supervised "
+        "exponential-backoff respawn in `launch --supervise`), it "
+        "recovers its base, views and remembered advertisements from "
+        "its durable snapshot + checksummed membership log, "
+        "re-advertises with a rejoin flag that lifts quarantines "
+        "SON-wide, and the very next answers are full again — "
+        "byte-identical to the in-sim twin across 60 seeded churn "
+        "queries (tests/difftest/test_membership.py). Log replay "
+        "stays linear in committed records.",
+    ),
 }
 
 ORDER = list(COMMENTARY)

@@ -41,6 +41,7 @@ MODULES = [
     "bench_obs_overhead",
     "bench_concurrency",
     "bench_transport",
+    "bench_membership",
 ]
 
 

@@ -35,6 +35,12 @@ class ChannelManager:
 
     def __init__(self, owner: str):
         self.owner = owner
+        #: incarnation epoch: 0 for a peer's first life; a crash-recovered
+        #: incarnation sets its recovery count here so freshly minted
+        #: channel ids can never collide with a predecessor's — executors
+        #: keep a retransmit-replay cache keyed by channel id, and a
+        #: stale hit would replay another query's result verbatim
+        self.epoch = 0
         self._channels: Dict[str, Channel] = {}
         self._callbacks: Dict[str, ChannelCallback] = {}
         #: streamed chunks, buffered as a list and concatenated once at
@@ -69,6 +75,11 @@ class ChannelManager:
     def _record_discarded(self, count: int) -> None:
         if count and self._metrics is not None:
             self._metrics.record_discarded_bindings(count)
+
+    def mint_id(self) -> str:
+        """The next channel id, unique across this owner's incarnations."""
+        root = self.owner if not self.epoch else f"{self.owner}~{self.epoch}"
+        return f"{root}#{next(self._counter)}"
 
     # ------------------------------------------------------------------
     # root side
@@ -105,7 +116,7 @@ class ChannelManager:
         the channel fails as if the destination had bounced — the
         timeout-based detection a non-omniscient network requires.
         """
-        channel_id = f"{self.owner}#{next(self._counter)}"
+        channel_id = self.mint_id()
         span = network.tracer.start_span(
             "channel",
             peer=self.owner,

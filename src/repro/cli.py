@@ -241,6 +241,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="directory for metrics/trace exports")
     peer.add_argument("--lifetime", type=float, default=30_000.0,
                       help="virtual-time backstop before self-exit")
+    peer.add_argument("--statedir", default=None, metavar="DIR",
+                      help="durable state root (snapshot + membership log "
+                      "under DIR/<node-id>); a restarted process recovers "
+                      "from it")
     add_spec_arguments(peer)
 
     launch = commands.add_parser(
@@ -254,8 +258,28 @@ def _build_parser() -> argparse.ArgumentParser:
     launch.add_argument("--count", type=int, default=6,
                         help="queries to drive against the cluster")
     launch.add_argument("--kill", default=None, metavar="PEER",
-                        help="SIGTERM this peer halfway through the run "
+                        help="kill this peer halfway through the run "
                         "(requires --resilient for partial answers)")
+    launch.add_argument("--kill-signal", choices=("term", "kill"),
+                        default="term",
+                        help="signal for --kill: term is graceful, kill is "
+                        "an abrupt crash (no snapshot, no goodbye)")
+    launch.add_argument("--restart-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="restart the killed peer this many seconds "
+                        "after the kill (the live twin of a CrashEvent "
+                        "with recover_at)")
+    launch.add_argument("--supervise", action="store_true",
+                        help="restart crashed peer processes automatically "
+                        "with exponential backoff and a restart-storm "
+                        "circuit breaker")
+    launch.add_argument("--join", default=None, metavar="PEER",
+                        help="spawn this late joiner three quarters into "
+                        "the run (name it within --joiners)")
+    launch.add_argument("--statedir", default=None, metavar="DIR",
+                        help="durable state root passed to every node "
+                        "(defaults to OUTDIR/state when --supervise or "
+                        "--restart-after is given)")
     add_spec_arguments(launch)
     return parser
 

@@ -9,16 +9,22 @@ simulator and runs it as real OS processes on localhost:
 * :mod:`node` — one process, one peer: ``python -m repro peer``.
 * :mod:`launcher` — :class:`LiveCluster`, the seed process that spawns,
   drives, kills and reaps a cluster: ``python -m repro launch``.
+* :mod:`supervisor` — :class:`Supervisor`, crash-restart supervision
+  with exponential backoff and a restart-storm circuit breaker
+  (``--supervise``).
 """
 
 from .launcher import LiveCluster, run_launch
 from .node import run_node, spec_from_args
+from .supervisor import RestartBackoff, Supervisor
 from .workload import ClusterSpec, ClusterWorkload, build_sim_system, build_workload
 
 __all__ = [
     "ClusterSpec",
     "ClusterWorkload",
     "LiveCluster",
+    "RestartBackoff",
+    "Supervisor",
     "build_sim_system",
     "build_workload",
     "run_launch",

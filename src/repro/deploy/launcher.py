@@ -74,10 +74,13 @@ class LiveCluster:
             cluster.shutdown()
     """
 
-    def __init__(self, spec: ClusterSpec, outdir, host: str = "127.0.0.1"):
+    def __init__(self, spec: ClusterSpec, outdir, host: str = "127.0.0.1",
+                 statedir=None):
         self.spec = spec
         self.outdir = Path(outdir)
         self.host = host
+        #: per-node durable state root; None keeps peers ephemeral
+        self.statedir = Path(statedir) if statedir is not None else None
         self.workload: ClusterWorkload = build_workload(spec)
         self.transport = AsyncioTransport(
             host=host, port=0, seed=None, time_scale=spec.time_scale
@@ -87,6 +90,12 @@ class LiveCluster:
         self.probe.join(self.network)
         self.processes: Dict[str, subprocess.Popen] = {}
         self.killed: List[str] = []
+        self.restarts: List[str] = []
+        self.joined: List[str] = []
+        #: exit code of each node's *first* incarnation (a restarted
+        #: SIGKILL victim keeps its -9 here while ``exit_codes`` shows
+        #: the final process's status)
+        self.first_exit_codes: Dict[str, int] = {}
         self._client_counter = 0
         self.clients: Dict[str, ClientPeer] = {}
 
@@ -129,6 +138,8 @@ class LiveCluster:
             "--host", self.host,
             "--outdir", str(self.outdir),
         ] + self.spec.to_args()
+        if self.statedir is not None:
+            argv += ["--statedir", str(self.statedir)]
         env = dict(os.environ)
         package_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = os.pathsep.join(
@@ -163,12 +174,66 @@ class LiveCluster:
                     self.probe.poll(super_id)
             self.transport.run(until=self.transport.now + 20.0)
 
-    def kill_peer(self, node_id: str) -> None:
-        """SIGTERM one process mid-run (the live analogue of a chaos
-        ``peer_down`` injection)."""
+    def kill_peer(self, node_id: str, sig: str = "term") -> None:
+        """Kill one process mid-run (the live analogue of a chaos
+        ``peer_down`` injection).  ``sig="term"`` lets the node flush
+        its artifacts and snapshot; ``sig="kill"`` is the real crash —
+        no snapshot, no goodbye, a stale address-book entry left behind.
+        """
         process = self.processes[node_id]
-        process.send_signal(signal.SIGTERM)
+        process.send_signal(signal.SIGKILL if sig == "kill" else signal.SIGTERM)
         self.killed.append(node_id)
+
+    def restart_peer(self, node_id: str, timeout: float = BOOTSTRAP_TIMEOUT) -> None:
+        """Respawn a dead node and wait until it is back in the overlay.
+
+        A SIGKILL'd node's stale address-book entry still names the old
+        port, so "back" means the book announces a *different* address
+        for it; the fresh process recovers from its durable state (when
+        the cluster runs with one) and re-advertises with the rejoin
+        flag.
+        """
+        old = self.processes.get(node_id)
+        if old is not None:
+            try:
+                old.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                old.kill()
+                old.wait()
+            self.first_exit_codes.setdefault(node_id, old.returncode)
+        stale = self.transport.book.get(node_id)
+        self._spawn(node_id)
+        if not self.transport.run_until(
+            lambda: self.transport.book.get(node_id) not in (None, stale), timeout
+        ):
+            raise NetworkError(f"restarted {node_id} never rejoined the address book")
+        self._settle_peer(node_id, timeout)
+        self.restarts.append(node_id)
+
+    def spawn_peer(self, node_id: str, timeout: float = BOOTSTRAP_TIMEOUT) -> None:
+        """Bring a late joiner into the running cluster (``--join``):
+        spawn its process, wait for membership, wait until its
+        advertisement lands at its home super-peer."""
+        self._spawn(node_id)
+        if not self.transport.run_until(
+            lambda: node_id in self.transport.book, timeout
+        ):
+            raise NetworkError(f"joiner {node_id} never reached the address book")
+        self._settle_peer(node_id, timeout)
+        self.joined.append(node_id)
+
+    def _settle_peer(self, node_id: str, timeout: float) -> None:
+        """Poll the node's home super-peer until its advertisement is
+        registered there."""
+        home = self.spec.home_for(node_id)
+        deadline = self.transport.now + timeout
+        while node_id not in self.probe.registries.get(home, set()):
+            if self.transport.now >= deadline:
+                raise NetworkError(
+                    f"{node_id}'s advertisement never settled at {home}"
+                )
+            self.probe.poll(home)
+            self.transport.run(until=self.transport.now + 20.0)
 
     # ------------------------------------------------------------------
     # querying
@@ -249,8 +314,14 @@ class LiveCluster:
                 "resilient": self.spec.resilient,
             },
             "killed": list(self.killed),
+            "restarts": list(self.restarts),
+            "joined": list(self.joined),
             "exit_codes": {
                 node_id: process.returncode
+                for node_id, process in self.processes.items()
+            },
+            "first_exit_codes": {
+                node_id: self.first_exit_codes.get(node_id, process.returncode)
                 for node_id, process in self.processes.items()
             },
             "artifacts": sorted(p.name for p in self.outdir.iterdir()),
@@ -262,31 +333,68 @@ class LiveCluster:
 def run_launch(args) -> int:
     """Entry point of the ``python -m repro launch`` subcommand."""
     from .node import spec_from_args
+    from .supervisor import Supervisor
 
     spec = spec_from_args(args)
-    cluster = LiveCluster(spec, args.outdir, host=args.host)
+    kill_signal = getattr(args, "kill_signal", "term")
+    restart_after = getattr(args, "restart_after", None)
+    supervise = getattr(args, "supervise", False)
+    joiner = getattr(args, "join", None)
+    statedir = getattr(args, "statedir", None)
+    if statedir is None and (supervise or restart_after is not None):
+        # restarted processes need somewhere to recover from
+        statedir = str(Path(args.outdir) / "state")
+    cluster = LiveCluster(spec, args.outdir, host=args.host, statedir=statedir)
     print(f"launching {spec.super_peers} super-peer(s) + {spec.peers} peer(s) "
           f"on {args.host} (seed {spec.seed}, "
-          f"{'resilient' if spec.resilient else 'baseline'})")
+          f"{'resilient' if spec.resilient else 'baseline'}"
+          f"{', supervised' if supervise else ''})")
     outcomes = []
+    supervisor = None
+    #: nodes currently believed dead (killed and not yet restarted)
+    down = set()
+    kill_time = None
     try:
         cluster.start()
         print(f"cluster up: seed port {cluster.transport.port}, "
               f"book {sorted(cluster.transport.book)}")
-        peer_ids = spec.peer_ids()
+        if supervise:
+            supervisor = Supervisor(cluster.processes, cluster.restart_peer)
+        kill_index = args.count // 2 if args.kill is not None else None
+        join_index = (3 * args.count) // 4 if joiner is not None else None
         for index in range(args.count):
-            alive = [p for p in peer_ids if p not in cluster.killed]
+            if supervisor is not None:
+                for node_id in supervisor.tick():
+                    down.discard(node_id)
+                    print(f"supervisor restarted {node_id}")
+            if (kill_time is not None and restart_after is not None
+                    and time.monotonic() - kill_time >= restart_after
+                    and args.kill in down):
+                print(f"restarting {args.kill} ({restart_after}s after kill)")
+                cluster.restart_peer(args.kill)
+                down.discard(args.kill)
+                if supervisor is not None:
+                    supervisor.resume(args.kill)
+            if join_index is not None and index == join_index:
+                print(f"joining {joiner} mid-run")
+                cluster.spawn_peer(joiner)
+            rotation = spec.peer_ids() + cluster.joined
+            alive = [p for p in rotation if p not in down]
             via = alive[index % len(alive)]
             text = cluster.workload.queries[index % len(cluster.workload.queries)]
-            if args.kill is not None and index == args.count // 2:
-                # overlap the SIGTERM with an in-flight query so the
-                # loss degrades it to a coverage-annotated partial,
-                # exactly as a mid-query chaos crash does in-sim
+            if kill_index is not None and index == kill_index:
+                # overlap the kill with an in-flight query so the loss
+                # degrades it to a coverage-annotated partial, exactly
+                # as a mid-query chaos crash does in-sim
                 if via == args.kill:
                     via = next(p for p in alive if p != args.kill)
                 client, query_id = cluster.submit(via, text)
-                print(f"killing {args.kill} mid-query")
-                cluster.kill_peer(args.kill)
+                print(f"killing {args.kill} mid-query (SIG{kill_signal.upper()})")
+                if restart_after is not None and supervisor is not None:
+                    supervisor.expect_down(args.kill)
+                cluster.kill_peer(args.kill, sig=kill_signal)
+                down.add(args.kill)
+                kill_time = time.monotonic()
                 result = cluster.await_result(client, query_id)
             else:
                 result = cluster.query(via, text)
@@ -298,6 +406,10 @@ def run_launch(args) -> int:
             outcomes.append({"via": via, "status": status, "rows": rows,
                              "error": result.error})
             print(f"  q{index}: via {via} -> {status} ({rows} rows)")
+            if supervisor is not None and args.kill in down and restart_after is None:
+                # give the backoff clock a chance between queries, so a
+                # short run still observes the supervised restart
+                time.sleep(supervisor.backoff.base)
     finally:
         summary = cluster.shutdown()
     summary["outcomes"] = outcomes

@@ -24,6 +24,7 @@ import sys
 from pathlib import Path
 from typing import Tuple
 
+from ..durability import FileStore, PeerStateStore
 from ..net.simulator import Network
 from ..obs import peer_gauges, render_prometheus
 from ..peers.base import PeerBase
@@ -54,6 +55,9 @@ def add_spec_arguments(parser) -> None:
                         help="distinct query texts (default 4)")
     parser.add_argument("--statements", type=int, default=15,
                         help="statements per schema segment (default 15)")
+    parser.add_argument("--joiners", type=int, default=0,
+                        help="extra peers with pre-generated bases that "
+                             "join mid-run (default 0)")
     parser.add_argument("--resilient", action="store_true",
                         help="enable the resilience layer (required for kill runs)")
     parser.add_argument("--time-scale", type=float, default=0.02,
@@ -70,6 +74,7 @@ def spec_from_args(args) -> ClusterSpec:
         statements_per_segment=args.statements,
         resilient=args.resilient,
         time_scale=args.time_scale,
+        joiners=args.joiners,
     )
 
 
@@ -106,6 +111,13 @@ def export_artifacts(outdir: Path, node_id: str, network: Network,
         )
 
 
+def _trip_quarantine(quarantine, suspects) -> None:
+    """Re-open the breaker for every recovered quarantine verdict."""
+    for suspect in sorted(suspects):
+        while not quarantine.is_quarantined(suspect):
+            quarantine.record_failure(suspect)
+
+
 def run_node(args) -> int:
     """Entry point of the ``python -m repro peer`` subcommand."""
     spec = spec_from_args(args)
@@ -120,9 +132,32 @@ def run_node(args) -> int:
     )
     network = Network(seed=spec.seed, transport=transport)
 
+    # durable peer state: snapshot + membership log under the node's
+    # own state directory; a restarted process finds it and recovers
+    state_store = None
+    recovered = None
+    if getattr(args, "statedir", None):
+        state_store = PeerStateStore(
+            FileStore(Path(args.statedir) / node_id), node_id
+        )
+        state_store.bind_metrics(network.metrics)
+        if state_store.exists():
+            recovered = state_store.recover()
+            state_store.log_recover()
+
     if role == "super":
         node = SuperPeer(node_id, schemas=[workload.synthetic.schema])
         node.join(network)
+        if state_store is not None:
+            node.attach_durability(state_store)
+        if recovered is not None:
+            # rebuild the SON registries (no metrics, no re-logging),
+            # then the quarantine verdicts on top
+            for advertisement in recovered.advertisements.values():
+                node.register_advertisement(advertisement, record=False)
+            _trip_quarantine(node.quarantine, recovered.quarantined)
+            node.channels.epoch = recovered.incarnations + 1
+            network.metrics.record_recovery()
         host, port = transport.start()
     else:
         host, port = transport.start()
@@ -130,10 +165,33 @@ def run_node(args) -> int:
         # until the seed's book broadcast names this peer's super-peer
         home = spec.home_for(node_id)
         transport.run_until(lambda: home in transport.book, timeout=2_000.0)
-        node = HybridPeer(node_id, PeerBase(workload.bases[node_id],
-                                            workload.synthetic.schema),
-                          home_super_peer=home)
+        if recovered is not None and recovered.graph is not None:
+            # crash recovery: resume from the durable base and views,
+            # re-deriving the active-schema from them
+            base = PeerBase(recovered.graph, workload.synthetic.schema,
+                            recovered.views)
+        else:
+            base = PeerBase(workload.bases[node_id], workload.synthetic.schema)
+        node = HybridPeer(node_id, base, home_super_peer=home)
+        if recovered is not None:
+            node.rejoining = True  # join() advertises with the rejoin flag
         node.join(network)
+        node.rejoining = False
+        if state_store is not None:
+            node.attach_durability(state_store)
+        if recovered is not None:
+            node.known_advertisements = {
+                remote: advertisement
+                for remote, advertisement in recovered.advertisements.items()
+                if remote != node_id
+            }
+            _trip_quarantine(node.quarantine, recovered.quarantined)
+            # survivors may hold replay caches keyed by the previous
+            # incarnation's channel ids: mint ids they cannot have seen
+            node.channels.epoch = recovered.incarnations + 1
+            network.metrics.record_recovery()
+        elif state_store is not None:
+            node.save_durable_snapshot()
     if spec.resilient:
         _apply_resilience(node, ResilienceConfig.default(spec.seed))
 
@@ -144,6 +202,9 @@ def run_node(args) -> int:
     print(f"READY {node_id} {host} {port}", flush=True)
     transport.run_until(lambda: bool(stopping), timeout=args.lifetime)
 
+    # graceful stop: persist the latest base/views/active-schema so the
+    # next incarnation recovers from it (crashes skip this, by nature)
+    node.save_durable_snapshot()
     export_artifacts(Path(args.outdir), node_id, network, transport, node)
     transport.close()
     print(f"STOPPED {node_id}", flush=True)

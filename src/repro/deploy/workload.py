@@ -43,6 +43,9 @@ class ClusterSpec:
         resilient: Run with the resilience layer on (retries,
             quarantine, partial results) — required for kill runs.
         time_scale: Real seconds per virtual-time unit (live only).
+        joiners: Extra peers (``P{peers+1}`` ...) that are *not* started
+            with the cluster but hold pre-generated bases, so a mid-run
+            ``--join`` spawns them with data every process agrees on.
     """
 
     seed: int
@@ -53,9 +56,19 @@ class ClusterSpec:
     statements_per_segment: int = 15
     resilient: bool = False
     time_scale: float = 0.02
+    joiners: int = 0
 
     def peer_ids(self) -> List[str]:
         return [f"P{i}" for i in range(1, self.peers + 1)]
+
+    def joiner_ids(self) -> List[str]:
+        return [f"P{i}" for i in range(self.peers + 1, self.peers + self.joiners + 1)]
+
+    def all_peer_ids(self) -> List[str]:
+        """Initial members plus late joiners — the base-generation
+        population (with ``joiners=0`` this is exactly ``peer_ids()``,
+        keeping seeded workloads bit-identical to pre-joiner runs)."""
+        return self.peer_ids() + self.joiner_ids()
 
     def super_ids(self) -> List[str]:
         return [f"SP{i}" for i in range(1, self.super_peers + 1)]
@@ -75,6 +88,8 @@ class ClusterSpec:
             "--statements", str(self.statements_per_segment),
             "--time-scale", str(self.time_scale),
         ]
+        if self.joiners:
+            args.extend(["--joiners", str(self.joiners)])
         if self.resilient:
             args.append("--resilient")
         return args
@@ -102,7 +117,7 @@ def build_workload(spec: ClusterSpec) -> ClusterWorkload:
     distribution = DISTRIBUTIONS[spec.seed % len(DISTRIBUTIONS)]
     generated = generate_bases(
         synthetic,
-        spec.peer_ids(),
+        spec.all_peer_ids(),
         distribution,
         statements_per_segment=spec.statements_per_segment,
         shared_pool=6,

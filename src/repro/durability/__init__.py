@@ -1,0 +1,31 @@
+"""Durable peer state: snapshots plus an append-only membership log.
+
+A peer's survivable state is a **snapshot** (triple base, view
+definitions, derived active-schema) and an append-only **membership
+log** (remote advertisements, goodbyes, quarantine verdicts,
+rehabilitations, own-advertisement refreshes).  Recovery replays the
+log over the snapshot; every record is CRC-checksummed and a torn tail
+(the crash landed mid-append) is tolerated by stopping replay at the
+first damaged record.
+
+Two backing stores share one interface: :class:`MemoryStore` (the
+simulator's in-memory twin, cloneable/truncatable for crash-point
+property tests) and :class:`FileStore` (the live deployment's on-disk
+store with fsync-on-commit).
+"""
+
+from .log import LogRecord, decode_log, encode_record
+from .state import PeerStateStore, RecoveredState, peer_state_digest, state_digest
+from .store import FileStore, MemoryStore
+
+__all__ = [
+    "LogRecord",
+    "decode_log",
+    "encode_record",
+    "FileStore",
+    "MemoryStore",
+    "PeerStateStore",
+    "RecoveredState",
+    "peer_state_digest",
+    "state_digest",
+]

@@ -1,0 +1,84 @@
+"""The append-only membership log's record format.
+
+One record per line::
+
+    <crc32 as 8 hex digits> <canonical JSON of {"seq", "kind", "data"}>\\n
+
+The checksum covers the JSON text, so a bit flip inside a record is
+detected, and the trailing newline marks commit: a crash mid-append
+leaves a final line without one (or with a checksum mismatch), which
+:func:`decode_log` treats as an uncommitted tail — replay stops there
+and every record before it is served.  Sequence numbers are assigned by
+the writer and strictly increase, so a decoder can also detect a log
+spliced from two incarnations.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed membership event."""
+
+    seq: int
+    kind: str
+    data: dict
+
+
+def encode_record(seq: int, kind: str, data: dict) -> bytes:
+    """One log line, checksummed and newline-terminated (the commit)."""
+    body = json.dumps(
+        {"seq": seq, "kind": kind, "data": data},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x} {body}\n".encode("utf-8")
+
+
+def _decode_line(line: bytes) -> LogRecord:
+    """One committed line back into a record.
+
+    Raises:
+        ValueError: On any damage — short line, bad checksum, malformed
+            JSON, missing fields.
+    """
+    if len(line) < 10 or line[8:9] != b" ":
+        raise ValueError("short or malformed log line")
+    stated = int(line[:8], 16)
+    body = line[9:]
+    if zlib.crc32(body) & 0xFFFFFFFF != stated:
+        raise ValueError("log record checksum mismatch")
+    payload = json.loads(body.decode("utf-8"))
+    return LogRecord(int(payload["seq"]), str(payload["kind"]), payload["data"])
+
+
+def decode_log(blob: bytes) -> Tuple[List[LogRecord], bool]:
+    """Every committed record of a log image, tolerating a torn tail.
+
+    Returns ``(records, clean)`` — ``clean`` is False when the log ends
+    in an uncommitted or damaged record (replay stopped at the longest
+    valid prefix).  An empty log is clean.
+    """
+    records: List[LogRecord] = []
+    if not blob:
+        return records, True
+    lines = blob.split(b"\n")
+    # a clean log ends in a newline, so the final split element is empty
+    trailing = lines.pop()
+    expected_seq = 0
+    for line in lines:
+        try:
+            record = _decode_line(line)
+        except (ValueError, KeyError, TypeError):
+            return records, False
+        if record.seq != expected_seq:
+            return records, False
+        records.append(record)
+        expected_seq += 1
+    return records, trailing == b""

@@ -1,0 +1,132 @@
+"""Backing stores for durable peer state.
+
+Both stores hold exactly two objects — a snapshot document and an
+append-only log — behind one small interface, so
+:class:`~repro.durability.state.PeerStateStore` is transport-agnostic:
+the simulator uses :class:`MemoryStore` (cloneable and truncatable, the
+handle crash-point property tests need) and live node processes use
+:class:`FileStore` (atomic snapshot replace, fsync-on-commit appends).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional
+
+
+class MemoryStore:
+    """The in-memory (simulation) twin of a peer's durable state."""
+
+    def __init__(self):
+        self._snapshot: Optional[str] = None
+        self._log = bytearray()
+
+    def exists(self) -> bool:
+        return self._snapshot is not None or bool(self._log)
+
+    def read_snapshot(self) -> Optional[str]:
+        return self._snapshot
+
+    def write_snapshot(self, text: str) -> None:
+        self._snapshot = text
+
+    def append_log(self, data: bytes) -> None:
+        self._log.extend(data)
+
+    def read_log(self) -> bytes:
+        return bytes(self._log)
+
+    def rewrite_log(self, data: bytes) -> None:
+        """Replace the log image (torn-tail repair on open)."""
+        self._log = bytearray(data)
+
+    # ------------------------------------------------------------------
+    # crash-point testing hooks
+    # ------------------------------------------------------------------
+    def clone(self) -> "MemoryStore":
+        """An independent copy (the state a crash would freeze)."""
+        twin = MemoryStore()
+        twin._snapshot = self._snapshot
+        twin._log = bytearray(self._log)
+        return twin
+
+    def truncate_log(self, nbytes: int) -> None:
+        """Cut the log image to ``nbytes`` — a crash mid-append."""
+        del self._log[nbytes:]
+
+    def log_size(self) -> int:
+        return len(self._log)
+
+
+class FileStore:
+    """On-disk peer state under one directory.
+
+    ``snapshot.json`` is replaced atomically (temp file + fsync +
+    rename + directory fsync) so a crash mid-snapshot leaves the old
+    one intact; ``membership.log`` appends are fsynced per record, so a
+    record either committed (its newline reached the disk) or is a torn
+    tail the decoder skips.
+    """
+
+    SNAPSHOT = "snapshot.json"
+    LOG = "membership.log"
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.root / self.SNAPSHOT
+
+    @property
+    def log_path(self) -> Path:
+        return self.root / self.LOG
+
+    def exists(self) -> bool:
+        return self.snapshot_path.exists() or self.log_path.exists()
+
+    def read_snapshot(self) -> Optional[str]:
+        try:
+            return self.snapshot_path.read_text()
+        except FileNotFoundError:
+            return None
+
+    def write_snapshot(self, text: str) -> None:
+        tmp = self.root / (self.SNAPSHOT + ".tmp")
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        self._fsync_dir()
+
+    def append_log(self, data: bytes) -> None:
+        with open(self.log_path, "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read_log(self) -> bytes:
+        try:
+            return self.log_path.read_bytes()
+        except FileNotFoundError:
+            return b""
+
+    def rewrite_log(self, data: bytes) -> None:
+        """Atomically replace the log (torn-tail repair on open)."""
+        tmp = self.root / (self.LOG + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.log_path)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

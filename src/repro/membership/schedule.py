@@ -1,0 +1,117 @@
+"""Seeded churn schedules.
+
+A :class:`ChurnSchedule` is a deterministic draw of membership
+transitions over a peer population: superposed Poisson processes for
+graceful leaves, crashes and fresh joins, plus a bounded-delay rejoin
+after every crash.  The same ``(seed, population, rates)`` tuple always
+yields the same event list, which is what makes churn workloads
+replayable in the simulator and comparable against a live run.
+
+Validity is enforced while drawing: only *active* peers leave or
+crash, at least ``min_active`` peers stay up at any moment (somebody
+must keep answering queries), joiners enter at most once, and a
+crashed peer's rejoin is scheduled before any further transition for
+that peer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+#: Event kinds in the order ties are broken.
+KINDS = ("join", "leave", "crash", "rejoin")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership transition at virtual time ``at``."""
+
+    at: float
+    kind: str  # "join" | "leave" | "crash" | "rejoin"
+    peer_id: str
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown churn event kind {self.kind!r}")
+
+
+class ChurnSchedule:
+    """A seeded, validity-checked sequence of churn events."""
+
+    def __init__(self, events: Sequence[ChurnEvent]):
+        self.events = tuple(
+            sorted(events, key=lambda e: (e.at, e.peer_id, KINDS.index(e.kind)))
+        )
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_peer(self, peer_id: str) -> Tuple[ChurnEvent, ...]:
+        return tuple(event for event in self.events if event.peer_id == peer_id)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        members: Iterable[str],
+        joiners: Iterable[str] = (),
+        horizon: float = 600.0,
+        leave_rate: float = 0.002,
+        crash_rate: float = 0.004,
+        join_rate: float = 0.003,
+        rejoin_delay: Tuple[float, float] = (40.0, 120.0),
+        min_active: int = 1,
+    ) -> "ChurnSchedule":
+        """Draw a schedule over ``members`` (initially active) and
+        ``joiners`` (enter later, at the join process's arrivals).
+
+        Rates are per unit of virtual time; the three processes are
+        superposed into one exponential clock and each arrival is
+        classified by its rate share, so the total transition count
+        scales with ``horizon * (leave+crash+join)``.
+        """
+        rng = random.Random(seed)
+        active = sorted(members)
+        if not active:
+            raise ValueError("churn needs at least one initial member")
+        waiting = list(joiners)
+        crashed: List[Tuple[float, str]] = []  # (rejoin_at, peer_id)
+        events: List[ChurnEvent] = []
+        total = leave_rate + crash_rate + join_rate
+        now = 0.0
+        while total > 0:
+            now += rng.expovariate(total)
+            if now >= horizon:
+                break
+            # first serve any rejoin that matured before this arrival
+            while crashed and crashed[0][0] <= now:
+                rejoin_at, peer_id = crashed.pop(0)
+                events.append(ChurnEvent(rejoin_at, "rejoin", peer_id))
+                active.append(peer_id)
+                active.sort()
+            draw = rng.uniform(0.0, total)
+            if draw < join_rate and waiting:
+                peer_id = waiting.pop(0)
+                events.append(ChurnEvent(now, "join", peer_id))
+                active.append(peer_id)
+                active.sort()
+            elif draw < join_rate + leave_rate:
+                if len(active) > min_active:
+                    peer_id = active.pop(rng.randrange(len(active)))
+                    events.append(ChurnEvent(now, "leave", peer_id))
+            else:
+                if len(active) > min_active:
+                    peer_id = active.pop(rng.randrange(len(active)))
+                    events.append(ChurnEvent(now, "crash", peer_id))
+                    crashed.append((now + rng.uniform(*rejoin_delay), peer_id))
+                    crashed.sort()
+        # crashes always heal: flush rejoins that mature past the last
+        # arrival (possibly beyond the horizon — recovery is not cut off)
+        for rejoin_at, peer_id in crashed:
+            events.append(ChurnEvent(rejoin_at, "rejoin", peer_id))
+        return cls(events)

@@ -33,6 +33,12 @@ class MetricSnapshot(NamedTuple):
     discarded_bindings: int = 0
     queries_shed: int = 0
     deadline_expirations: int = 0
+    joins: int = 0
+    goodbyes: int = 0
+    rejoins: int = 0
+    recoveries: int = 0
+    log_replays: int = 0
+    snapshot_bytes: int = 0
     messages_by_kind: Counter = Counter()
     bytes_by_kind: Counter = Counter()
 
@@ -101,6 +107,16 @@ class MetricSet:
         self.inflight_queries = 0
         self.max_inflight_queries = 0
         self.queue_depth_histogram = Histogram()
+        # membership + durability (repro.membership / repro.durability):
+        # peers joining/leaving/rejoining the overlay, crash recoveries
+        # from durable state, log records replayed and snapshot bytes
+        # written
+        self.joins = 0
+        self.goodbyes = 0
+        self.rejoins = 0
+        self.recoveries = 0
+        self.log_replays = 0
+        self.snapshot_bytes = 0
 
     # ------------------------------------------------------------------
     # recording
@@ -176,6 +192,31 @@ class MetricSet:
         """Observe an admission queue's depth at enqueue time."""
         self.queue_depth_histogram.record(float(depth))
 
+    def record_join(self) -> None:
+        """Account one peer registering with the overlay for the
+        first time (its advertisement landed at a holder)."""
+        self.joins += 1
+
+    def record_goodbye(self) -> None:
+        """Account one graceful departure observed by a holder."""
+        self.goodbyes += 1
+
+    def record_rejoin(self) -> None:
+        """Account one peer re-advertising after a crash or departure."""
+        self.rejoins += 1
+
+    def record_recovery(self) -> None:
+        """Account one crash recovery from durable state."""
+        self.recoveries += 1
+
+    def record_log_replay(self, count: int = 1) -> None:
+        """Account membership-log records replayed during a recovery."""
+        self.log_replays += count
+
+    def record_snapshot_bytes(self, nbytes: int) -> None:
+        """Account bytes written by one durable-state snapshot."""
+        self.snapshot_bytes += nbytes
+
     def observe_stage(self, stage: str, duration: float) -> None:
         """Fold one finished span's duration into its stage histogram."""
         self._stage_pending.append((stage, duration))
@@ -245,6 +286,12 @@ class MetricSet:
             self.discarded_bindings,
             self.queries_shed,
             self.deadline_expirations,
+            self.joins,
+            self.goodbyes,
+            self.rejoins,
+            self.recoveries,
+            self.log_replays,
+            self.snapshot_bytes,
             Counter(self.messages_by_kind),
             Counter(self.bytes_by_kind),
         )
@@ -279,6 +326,12 @@ class MetricSet:
             self.discarded_bindings - base.discarded_bindings,
             self.queries_shed - base.queries_shed,
             self.deadline_expirations - base.deadline_expirations,
+            self.joins - base.joins,
+            self.goodbyes - base.goodbyes,
+            self.rejoins - base.rejoins,
+            self.recoveries - base.recoveries,
+            self.log_replays - base.log_replays,
+            self.snapshot_bytes - base.snapshot_bytes,
             +kind_messages,  # unary + drops zero/negative entries
             +kind_bytes,
         )
@@ -347,6 +400,12 @@ class MetricSet:
             "queries_shed": self.queries_shed,
             "deadline_expirations": self.deadline_expirations,
             "max_inflight_queries": self.max_inflight_queries,
+            "joins": self.joins,
+            "goodbyes": self.goodbyes,
+            "rejoins": self.rejoins,
+            "recoveries": self.recoveries,
+            "log_replays": self.log_replays,
+            "snapshot_bytes": self.snapshot_bytes,
         }
 
     def __repr__(self) -> str:

@@ -176,6 +176,12 @@ def render_prometheus(
         ("discarded_bindings", "Bindings thrown away by plan discards"),
         ("queries_shed", "Queries refused by admission control"),
         ("deadline_expirations", "Per-query deadlines that fired"),
+        ("joins", "Peers registering with the overlay"),
+        ("goodbyes", "Graceful departures observed"),
+        ("rejoins", "Peers re-advertising after crash or departure"),
+        ("recoveries", "Crash recoveries from durable state"),
+        ("log_replays", "Membership-log records replayed on recovery"),
+        ("snapshot_bytes", "Bytes written by durable-state snapshots"),
     ):
         _counter(lines, f"repro_{name}_total", help_text, getattr(metrics, name))
     lines.append("# HELP repro_inflight_queries Queries currently in flight")

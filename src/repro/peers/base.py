@@ -128,6 +128,25 @@ class Peer:
         #: fair per-query work scheduler (repro.workload_engine); None
         #: keeps the seed's run-to-completion message handling
         self.scheduler = None
+        #: durable state handle (repro.durability); None keeps the
+        #: peer ephemeral (the seed behaviour)
+        self.state_store = None
+
+    def attach_durability(self, store) -> None:
+        """Persist membership events to ``store`` (a
+        :class:`~repro.durability.PeerStateStore`) from now on."""
+        self.state_store = store
+        if self.network is not None:
+            store.bind_metrics(self.network.metrics)
+
+    def save_durable_snapshot(self) -> int:
+        """Persist base, views and derived active-schema to the durable
+        store (no-op without one); returns the bytes written."""
+        if self.state_store is None or self.base is None:
+            return 0
+        return self.state_store.save_snapshot(
+            self.base.graph, self.base.views, self.base.active_schema(self.peer_id)
+        )
 
     def install_scheduler(self, scheduler) -> None:
         """Interleave this peer's local work per query: subplan starts,

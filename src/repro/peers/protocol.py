@@ -132,9 +132,18 @@ class RouteReply:
 
 @dataclass(frozen=True)
 class Advertise:
-    """Peer → super-peer / neighbour: my active-schema (push)."""
+    """Peer → super-peer / neighbour: my active-schema (push).
+
+    ``rejoin`` marks the push of a peer coming *back* (crash recovery
+    or re-entry after a departure): holders rehabilitate the peer —
+    lift its quarantine, invalidate its routing-cache scope — and
+    super-peers rebroadcast the advertisement to the SON's other
+    members so coordinator-local quarantines lift too.  Initial joins
+    never set it, keeping the seed protocol byte-identical.
+    """
 
     active_schema: ActiveSchema
+    rejoin: bool = False
 
     def size_bytes(self) -> int:
         return self.active_schema.size_bytes()

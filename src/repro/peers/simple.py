@@ -180,6 +180,11 @@ class SimplePeer(Peer):
         self.partial_results = False
         self.routing_retry = None
         self.replan_budget: Optional[ReplanBudget] = None
+        #: True while this peer is re-entering the overlay after a
+        #: crash/departure: the advertisements pushed by ``join`` carry
+        #: the rejoin flag so holders rehabilitate instead of merely
+        #: registering (repro.membership)
+        self.rejoining = False
         #: answered queries remembered so duplicate QuerySubmits are
         #: served idempotently instead of re-coordinated
         self._completed: Dict[str, QueryResult] = {}
@@ -223,13 +228,31 @@ class SimplePeer(Peer):
         if self.routing_cache is not None:
             self.routing_cache.invalidate_peer(peer_id)
         if self.quarantine_enabled:
-            self.quarantine.record_failure(peer_id)
+            tripped = self.quarantine.record_failure(peer_id)
+            if tripped and self.state_store is not None:
+                self.state_store.log_quarantine(peer_id)
 
     def restore_peer(self, peer_id: str) -> None:
         """The peer was heard from again: lift its quarantine and drop
         routing entries computed while it was excluded."""
         if self.quarantine.restore(peer_id) and self.routing_cache is not None:
             self.routing_cache.invalidate_peer(peer_id)
+
+    def _rehabilitate(self, peer_id: str) -> None:
+        """A rejoin-flagged advertisement announced the peer is back:
+        lift its quarantine, drop routing entries computed while it was
+        excluded, and let every in-flight query replan onto it — a
+        recovery landing within the :class:`~repro.core.adaptivity.
+        ReplanBudget` upgrades a would-be partial to a full answer."""
+        if peer_id == self.peer_id:
+            return
+        if self.quarantine.restore(peer_id):
+            if self.routing_cache is not None:
+                self.routing_cache.invalidate_peer(peer_id)
+            if self.state_store is not None:
+                self.state_store.log_rehabilitate(peer_id)
+        for pending in self._pending.values():
+            pending.excluded.discard(peer_id)
 
     # ------------------------------------------------------------------
     # advertisements
@@ -260,9 +283,14 @@ class SimplePeer(Peer):
             self.known_advertisements[advertisement.peer_id] = advertisement
             if self.routing_cache is not None:
                 self.routing_cache.on_advertise(advertisement, previous)
+            if self.state_store is not None and previous != advertisement:
+                self.state_store.log_advertise(advertisement)
 
     def handle_Advertise(self, message: Message) -> None:
-        self.remember_advertisement(message.payload.active_schema)
+        advertisement = message.payload.active_schema
+        if getattr(message.payload, "rejoin", False) and advertisement.peer_id:
+            self._rehabilitate(advertisement.peer_id)
+        self.remember_advertisement(advertisement)
 
     def handle_AdvertisementRequest(self, message: Message) -> None:
         request: AdvertisementRequest = message.payload
@@ -290,6 +318,8 @@ class SimplePeer(Peer):
             return False
         for target in self._advertisement_targets():
             self.send(target, Advertise(advertisement))
+        if self.state_store is not None:
+            self.state_store.log_self_advertise(advertisement)
         return True
 
     def leave(self) -> None:
@@ -297,14 +327,19 @@ class SimplePeer(Peer):
         forget it, then the peer goes dark (in-flight subplans bounce,
         triggering the roots' run-time adaptation)."""
         network = self._require_network()
+        self.save_durable_snapshot()
         for target in self._advertisement_targets():
             self.send(target, Goodbye(self.peer_id))
         network.fail_peer(self.peer_id)
 
     def handle_Goodbye(self, message: Message) -> None:
-        self.known_advertisements.pop(message.payload.peer_id, None)
+        departed = message.payload.peer_id
+        if self.known_advertisements.pop(departed, None) is not None:
+            self._require_network().metrics.record_goodbye()
+            if self.state_store is not None:
+                self.state_store.log_goodbye(departed)
         if self.routing_cache is not None:
-            self.routing_cache.on_goodbye(message.payload.peer_id)
+            self.routing_cache.on_goodbye(departed)
 
     def _routing_knowledge(self) -> List[ActiveSchema]:
         """Everything this peer can route with: its own advertisement

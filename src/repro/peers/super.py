@@ -107,7 +107,7 @@ class SuperPeer(Peer):
         if peer_id == self.peer_id:
             return
         if alive:
-            self.quarantine.restore(peer_id)
+            self.restore_peer(peer_id)
         else:
             self._invalidate_routing(peer_id)
 
@@ -126,10 +126,19 @@ class SuperPeer(Peer):
             self.network.metrics.record_suspicion()
         self._invalidate_routing(peer_id)
         if self.quarantine_enabled:
-            self.quarantine.record_failure(peer_id)
+            tripped = self.quarantine.record_failure(peer_id)
+            if tripped and self.state_store is not None:
+                self.state_store.log_quarantine(peer_id)
 
     def restore_peer(self, peer_id: str) -> None:
-        self.quarantine.restore(peer_id)
+        """The peer was heard from again (heartbeat, recovery or a
+        fresh advertisement): lift its quarantine and — symmetric with
+        :meth:`suspect_peer` — invalidate its routing-cache scope, so
+        entries computed while it was excluded cannot linger."""
+        if self.quarantine.restore(peer_id):
+            self._invalidate_routing(peer_id)
+            if self.state_store is not None:
+                self.state_store.log_rehabilitate(peer_id)
 
     def watch_cluster(
         self, suspicion_timeout: float = 30.0, interval: float = 10.0
@@ -179,28 +188,70 @@ class SuperPeer(Peer):
     # advertisement registry
     # ------------------------------------------------------------------
     def handle_Advertise(self, message: Message) -> None:
-        advertisement: ActiveSchema = message.payload.active_schema
+        payload = message.payload
+        self.register_advertisement(
+            payload.active_schema, rejoin=getattr(payload, "rejoin", False)
+        )
+
+    def register_advertisement(
+        self, advertisement: ActiveSchema, rejoin: bool = False, record: bool = True
+    ) -> None:
+        """Register (or refresh) one clustered peer's advertisement.
+
+        ``rejoin`` marks a peer coming back after a crash/departure: it
+        is rehabilitated and the advertisement is rebroadcast to the
+        SON's other members so coordinator-local quarantines lift too.
+        ``record=False`` replays recovered registry state without
+        re-logging or re-counting it.
+        """
         if advertisement.peer_id is None:
             raise PeerError("advertisement without peer id")
         son = self.registry.setdefault(advertisement.schema_uri, {})
+        previous = son.get(advertisement.peer_id)
         son[advertisement.peer_id] = advertisement
         index = self.indices.get(advertisement.schema_uri)
         if index is not None:
             index.add(advertisement)
+        if record:
+            if self.network is not None:
+                if rejoin:
+                    self.network.metrics.record_rejoin()
+                elif previous is None:
+                    self.network.metrics.record_join()
+            if self.state_store is not None and previous != advertisement:
+                self.state_store.log_advertise(advertisement)
         # a fresh advertisement is proof of life
-        self.quarantine.restore(advertisement.peer_id)
+        self.restore_peer(advertisement.peer_id)
         if self.failure_detector is not None:
             self.failure_detector.watch(advertisement.peer_id)
             self.failure_detector.beat(advertisement.peer_id)
+        if rejoin and record:
+            self._broadcast_rehabilitation(advertisement)
 
-    def deregister(self, peer_id: str) -> None:
+    def _broadcast_rehabilitation(self, advertisement: ActiveSchema) -> None:
+        """Tell the SON's other members their fellow is back.  The
+        rejoin travels the message plane, so coordinator quarantines
+        lift identically over the simulated and the live transport."""
+        son = self.registry.get(advertisement.schema_uri, {})
+        for member in sorted(son):
+            if member != advertisement.peer_id:
+                self.send(member, Advertise(advertisement, rejoin=True))
+
+    def deregister(self, peer_id: str, record: bool = True) -> None:
         """Drop a departed peer's advertisements from every SON."""
+        dropped = False
         for son in self.registry.values():
-            son.pop(peer_id, None)
+            if son.pop(peer_id, None) is not None:
+                dropped = True
         for index in self.indices.values():
             index.remove(peer_id)
         if self.failure_detector is not None:
             self.failure_detector.unwatch(peer_id)
+        if dropped and record:
+            if self.network is not None:
+                self.network.metrics.record_goodbye()
+            if self.state_store is not None:
+                self.state_store.log_goodbye(peer_id)
 
     def handle_Goodbye(self, message: Message) -> None:
         """A clustered peer departs: forget its advertisements."""
@@ -298,8 +349,10 @@ class SuperPeer(Peer):
             check.finish()
             self._mediate(request, annotated)
             if self.quarantine_enabled and len(self.quarantine):
-                # filter after the cache layer: entries stay unfiltered,
-                # so lifting a quarantine needs no invalidation
+                # filter after the cache layer: entries stay unfiltered
+                # (and restore_peer still invalidates the peer's scope,
+                # symmetric with suspicion, so downstream caches keyed
+                # on the filtered reply cannot linger either)
                 annotated = annotated.without_peers(self.quarantine.peers)
             span.set(peers=len(annotated.all_peers()))
             span.finish()

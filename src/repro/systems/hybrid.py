@@ -60,7 +60,10 @@ class HybridPeer(SimplePeer):
         super-peer responsible for that SON."""
         super().join(network)
         for advertisement in self.own_advertisements():
-            self.send(self._home_for(advertisement.schema_uri), Advertise(advertisement))
+            self.send(
+                self._home_for(advertisement.schema_uri),
+                Advertise(advertisement, rejoin=self.rejoining),
+            )
 
     def _advertisement_targets(self):
         targets = {self.home_super_peer, *self.home_super_peers.values()}

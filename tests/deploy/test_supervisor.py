@@ -1,0 +1,144 @@
+"""The crash-restart supervisor: backoff, storms, operator intent."""
+
+import pytest
+
+from repro.deploy import RestartBackoff, Supervisor
+
+
+class FakeProcess:
+    def __init__(self, alive=True):
+        self.alive = alive
+
+    def poll(self):
+        return None if self.alive else -9
+
+    def die(self):
+        self.alive = False
+
+    def revive(self):
+        self.alive = True
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def harness():
+    clock = FakeClock()
+    processes = {"P1": FakeProcess(), "P2": FakeProcess()}
+    respawned = []
+
+    def respawn(node_id):
+        respawned.append(node_id)
+        processes[node_id].revive()
+
+    supervisor = Supervisor(
+        processes, respawn, backoff=RestartBackoff(base=1.0, factor=2.0,
+                                                   max_delay=8.0),
+        max_restarts=3, window=60.0, clock=clock,
+    )
+    return clock, processes, respawned, supervisor
+
+
+class TestBackoff:
+    def test_delays_grow_exponentially_to_the_cap(self):
+        backoff = RestartBackoff(base=0.5, factor=2.0, max_delay=4.0)
+        assert [backoff.delay(a) for a in range(5)] == [0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            RestartBackoff(base=2.0, max_delay=1.0)
+
+
+class TestSupervisor:
+    def test_alive_cluster_needs_nothing(self, harness):
+        clock, processes, respawned, supervisor = harness
+        assert supervisor.tick() == []
+        assert respawned == []
+
+    def test_dead_process_restarts_after_backoff(self, harness):
+        clock, processes, respawned, supervisor = harness
+        processes["P2"].die()
+        assert supervisor.tick() == []  # first sighting only schedules
+        clock.advance(0.5)
+        assert supervisor.tick() == []  # backoff not elapsed
+        clock.advance(0.6)
+        assert supervisor.tick() == ["P2"]
+        assert respawned == ["P2"]
+        assert processes["P2"].alive
+
+    def test_expected_down_is_left_alone(self, harness):
+        clock, processes, respawned, supervisor = harness
+        supervisor.expect_down("P2")
+        processes["P2"].die()
+        clock.advance(100.0)
+        assert supervisor.tick() == []
+        supervisor.resume("P2")
+        supervisor.tick()          # schedules
+        clock.advance(2.0)
+        assert supervisor.tick() == ["P2"]
+
+    def test_backoff_widens_across_a_crash_loop(self, harness):
+        clock, processes, respawned, supervisor = harness
+
+        def restart_delay():
+            processes["P2"].die()
+            supervisor.tick()  # schedule
+            start = clock.now
+            while not processes["P2"].alive:
+                clock.advance(0.25)
+                supervisor.tick()
+            return clock.now - start
+
+        first = restart_delay()
+        second = restart_delay()
+        assert second > first
+
+    def test_restart_storm_trips_the_breaker(self, harness):
+        clock, processes, respawned, supervisor = harness
+        for _ in range(3):  # max_restarts within the window
+            processes["P2"].die()
+            supervisor.tick()
+            clock.advance(8.5)  # past any backoff
+            supervisor.tick()
+        assert respawned.count("P2") == 3
+        processes["P2"].die()
+        clock.advance(8.5)
+        supervisor.tick()
+        clock.advance(8.5)
+        assert supervisor.tick() == []
+        assert "P2" in supervisor.tripped
+        assert respawned.count("P2") == 3  # given up
+
+    def test_quiet_window_forgives_history(self, harness):
+        clock, processes, respawned, supervisor = harness
+        for _ in range(2):
+            processes["P2"].die()
+            supervisor.tick()
+            clock.advance(8.5)
+            supervisor.tick()
+        # a full quiet window resets the attempt and history counters
+        clock.advance(61.0)
+        supervisor.tick()
+        processes["P2"].die()
+        supervisor.tick()
+        clock.advance(1.1)  # base delay again, not the widened one
+        assert supervisor.tick() == ["P2"]
+        assert "P2" not in supervisor.tripped
+
+    def test_totals_are_per_node(self, harness):
+        clock, processes, respawned, supervisor = harness
+        processes["P1"].die()
+        processes["P2"].die()
+        supervisor.tick()
+        clock.advance(1.5)
+        assert set(supervisor.tick()) == {"P1", "P2"}
+        assert supervisor.restart_totals == {"P1": 1, "P2": 1}

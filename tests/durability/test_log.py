@@ -1,0 +1,83 @@
+"""The checksummed append-only membership log."""
+
+import pytest
+
+from repro.durability import decode_log, encode_record
+from repro.durability.log import LogRecord
+
+
+def _blob(*records):
+    return b"".join(encode_record(seq, kind, data)
+                    for seq, (kind, data) in enumerate(records))
+
+
+def test_round_trip():
+    blob = _blob(("advertise", {"peer": "P1"}),
+                 ("goodbye", {"peer": "P2"}),
+                 ("quarantine", {"peer": "P3", "n": 2}))
+    records, clean = decode_log(blob)
+    assert clean
+    assert records == [
+        LogRecord(0, "advertise", {"peer": "P1"}),
+        LogRecord(1, "goodbye", {"peer": "P2"}),
+        LogRecord(2, "quarantine", {"peer": "P3", "n": 2}),
+    ]
+
+
+def test_empty_log_is_clean():
+    records, clean = decode_log(b"")
+    assert records == [] and clean
+
+
+def test_encoding_is_deterministic():
+    one = encode_record(5, "advertise", {"b": 1, "a": 2})
+    two = encode_record(5, "advertise", {"a": 2, "b": 1})
+    assert one == two  # canonical JSON: key order never matters
+
+
+def test_torn_tail_yields_valid_prefix():
+    blob = _blob(("advertise", {"peer": "P1"}), ("goodbye", {"peer": "P2"}))
+    # a crash mid-append leaves a partial last line
+    records, clean = decode_log(blob[:-7])
+    assert not clean
+    assert [r.kind for r in records] == ["advertise"]
+
+
+def test_every_truncation_point_is_tolerated():
+    blob = _blob(*[("advertise", {"peer": f"P{i}"}) for i in range(4)])
+    boundaries = set()
+    offset = 0
+    for i in range(4):
+        offset += len(encode_record(i, "advertise", {"peer": f"P{i}"}))
+        boundaries.add(offset)
+    for cut in range(len(blob) + 1):
+        records, clean = decode_log(blob[:cut])
+        # decoding never raises; a cut at a record boundary is clean
+        assert clean == (cut in boundaries or cut == 0)
+        assert len(records) <= 4
+
+
+def test_corrupted_checksum_stops_at_prefix():
+    blob = bytearray(_blob(("advertise", {"peer": "P1"}),
+                           ("goodbye", {"peer": "P2"}),
+                           ("rehabilitate", {"peer": "P2"})))
+    first = len(encode_record(0, "advertise", {"peer": "P1"}))
+    blob[first + 2] ^= 0xFF  # flip a checksum byte of record 1
+    records, clean = decode_log(bytes(blob))
+    assert not clean
+    assert [r.kind for r in records] == ["advertise"]
+
+
+def test_sequence_gap_is_damage():
+    blob = (encode_record(0, "advertise", {"peer": "P1"})
+            + encode_record(2, "goodbye", {"peer": "P2"}))  # seq 1 missing
+    records, clean = decode_log(blob)
+    assert not clean
+    assert [r.seq for r in records] == [0]
+
+
+def test_garbage_line_is_damage():
+    blob = _blob(("advertise", {"peer": "P1"})) + b"deadbeef not json\n"
+    records, clean = decode_log(blob)
+    assert not clean
+    assert [r.kind for r in records] == ["advertise"]

@@ -1,0 +1,94 @@
+"""Seeded churn schedules: determinism and validity."""
+
+import pytest
+
+from repro.membership import ChurnEvent, ChurnSchedule
+
+MEMBERS = ["P1", "P2", "P3", "P4"]
+
+
+def test_same_seed_same_schedule():
+    one = ChurnSchedule.generate(11, MEMBERS, joiners=["P5"], horizon=2000)
+    two = ChurnSchedule.generate(11, MEMBERS, joiners=["P5"], horizon=2000)
+    assert list(one) == list(two)
+
+
+def test_different_seeds_differ():
+    schedules = {
+        tuple(ChurnSchedule.generate(seed, MEMBERS, horizon=2000))
+        for seed in range(6)
+    }
+    assert len(schedules) > 1
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        ChurnEvent(1.0, "explode", "P1")
+
+
+def test_needs_initial_members():
+    with pytest.raises(ValueError):
+        ChurnSchedule.generate(0, [])
+
+
+def test_events_are_time_ordered():
+    events = list(ChurnSchedule.generate(3, MEMBERS, horizon=5000))
+    assert events == sorted(events, key=lambda e: e.at)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_validity_state_machine(seed):
+    """Replaying any generated schedule keeps the membership machine
+    consistent: only active peers leave/crash, nobody joins twice, at
+    least one peer stays active, every crash eventually rejoins."""
+    joiners = ["P5", "P6"]
+    schedule = ChurnSchedule.generate(
+        seed, MEMBERS, joiners=joiners, horizon=5000,
+        leave_rate=0.004, crash_rate=0.008, join_rate=0.006,
+    )
+    active = set(MEMBERS)
+    down = set()
+    seen_joins = set()
+    for event in schedule:
+        if event.kind == "join":
+            assert event.peer_id in joiners
+            assert event.peer_id not in seen_joins, "joined twice"
+            seen_joins.add(event.peer_id)
+            active.add(event.peer_id)
+        elif event.kind == "leave":
+            assert event.peer_id in active
+            active.discard(event.peer_id)
+        elif event.kind == "crash":
+            assert event.peer_id in active
+            active.discard(event.peer_id)
+            down.add(event.peer_id)
+        elif event.kind == "rejoin":
+            assert event.peer_id in down
+            down.discard(event.peer_id)
+            active.add(event.peer_id)
+        assert active, "the overlay emptied out"
+    assert not down, "a crashed peer never rejoined"
+
+
+def test_rejoin_delay_bounds():
+    schedule = ChurnSchedule.generate(
+        5, MEMBERS, horizon=5000, crash_rate=0.01, leave_rate=0.0,
+        join_rate=0.0, rejoin_delay=(40.0, 120.0),
+    )
+    pending = {}  # peer -> crash time awaiting its rejoin
+    saw_crash = False
+    for event in schedule:
+        if event.kind == "crash":
+            saw_crash = True
+            pending[event.peer_id] = event.at
+        elif event.kind == "rejoin":
+            delay = event.at - pending.pop(event.peer_id)
+            assert 40.0 <= delay <= 120.0
+    assert saw_crash, "seed 5 drew no crashes; pick another seed"
+    assert not pending
+
+
+def test_for_peer_filters():
+    schedule = ChurnSchedule.generate(2, MEMBERS, horizon=5000, crash_rate=0.01)
+    for peer_id in MEMBERS:
+        assert all(e.peer_id == peer_id for e in schedule.for_peer(peer_id))
