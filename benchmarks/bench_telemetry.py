@@ -1,0 +1,281 @@
+"""Experiment telemetry — cost of the live telemetry plane.
+
+The telemetry plane (PR "live cluster telemetry") is pull-based by
+design: per-peer endpoints render state on demand, the launcher's
+scraper polls between workload steps, and the in-sim
+:class:`~repro.obs.telemetry.probe.TelemetryProbe` reads the same
+objects without ever scheduling a simulator event.  Three costs keep
+that defensible:
+
+* **Probe cost** — one in-sim sample (exposition render + counter
+  snapshot) must be microseconds, far below a query's simulated work,
+  and **must not perturb** any simulated quantity: a run probed after
+  every query ends with a metric snapshot identical to an unprobed
+  run's.  Asserted here, not assumed.
+* **Scrape round-trip** — one launcher-side poll of a real
+  :class:`~repro.obs.telemetry.http.TelemetryServer` (TCP connect,
+  GET /metrics + /healthz, parse) must stay a few milliseconds, so a
+  per-second scrape cadence costs well under 1 % of a run.
+* **Timeline write amplification** — each scrape round appends a
+  bounded number of bytes per peer to ``timeline.jsonl`` (flushed per
+  line for SIGKILL durability), so an hour-long run's black box stays
+  megabytes, not gigabytes.
+
+``python -m benchmarks.bench_telemetry --smoke`` asserts the
+zero-perturbation property and the per-round byte bound for CI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.obs.telemetry import (
+    ClusterScraper,
+    TelemetryProbe,
+    TelemetryServer,
+    parse_exposition,
+    read_timeline,
+    scrape,
+    scrape_json,
+    write_endpoint_file,
+)
+from repro.systems import HybridSystem
+from repro.workloads.paper import PAPER_QUERY, hybrid_scenario
+
+from ._common import banner, format_table, write_report
+
+#: samples per timing estimate (median reported)
+SAMPLES = 200
+#: ceiling on timeline bytes appended per peer per scrape round
+MAX_BYTES_PER_PEER_ROUND = 2048
+
+
+def _probed_and_unprobed():
+    """Two identical seeded runs, one probed after every query."""
+    systems = {}
+    for probed in (False, True):
+        system = HybridSystem.from_scenario(hybrid_scenario())
+        probe = TelemetryProbe(
+            system.network, list(system.peers.values()), role="system"
+        )
+        for _ in range(4):
+            system.query("P1", PAPER_QUERY)
+            if probed:
+                probe.metrics_text()
+                probe.healthz()
+                probe.sample()
+        systems[probed] = system
+    return systems
+
+
+def _perturbation_diffs(systems) -> list:
+    on, off = systems[True].network.metrics, systems[False].network.metrics
+    diffs = []
+    for item, a, b in (
+        ("snapshot", on.snapshot(), off.snapshot()),
+        ("virtual time", systems[True].network.now, systems[False].network.now),
+    ):
+        if a != b:
+            diffs.append(f"{item}: probed={a} unprobed={b}")
+    return diffs
+
+
+def _median_micros(fn, samples: int = SAMPLES) -> float:
+    fn()  # warm caches untimed
+    times = []
+    for _ in range(samples):
+        started = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - started)
+    return statistics.median(times) * 1e6
+
+
+def _probe_cost():
+    system = HybridSystem.from_scenario(hybrid_scenario())
+    system.query("P1", PAPER_QUERY)
+    probe = TelemetryProbe(
+        system.network, list(system.peers.values()), role="system"
+    )
+    return {
+        "metrics_text": _median_micros(probe.metrics_text),
+        "sample": _median_micros(probe.sample),
+        "healthz": _median_micros(probe.healthz),
+    }
+
+
+class _ThreadedEndpoint:
+    """A real TelemetryServer on a background event loop, serving one
+    probed system's telemetry — the scrape target for timings."""
+
+    def __init__(self, probe: TelemetryProbe):
+        self.loop = asyncio.new_event_loop()
+        self.server = TelemetryServer(
+            {
+                "/metrics": lambda: ("text/plain", probe.metrics_text()),
+                "/healthz": lambda: ("application/json", json.dumps(probe.healthz())),
+            }
+        )
+        self.host, self.port = self.server.start(self.loop)
+        self.thread = threading.Thread(target=self.loop.run_forever, daemon=True)
+        self.thread.start()
+
+    def close(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=5.0)
+        self.server.close(self.loop)
+        self.loop.close()
+
+
+def _scrape_cost(endpoint: _ThreadedEndpoint):
+    def once():
+        parse_exposition(scrape(endpoint.host, endpoint.port, "/metrics"))
+        scrape_json(endpoint.host, endpoint.port, "/healthz")
+
+    return _median_micros(once, samples=50)
+
+
+def _timeline_amplification(endpoint: _ThreadedEndpoint, rounds: int = 10):
+    """Bytes appended to timeline.jsonl per peer per scrape round."""
+    with tempfile.TemporaryDirectory() as tmp:
+        outdir = Path(tmp)
+        write_endpoint_file(outdir, "P1", endpoint.host, endpoint.port)
+        clock = iter(float(i) for i in range(rounds + 1))
+        scraper = ClusterScraper(outdir, clock=lambda: next(clock))
+        for _ in range(rounds):
+            scraper.scrape_once()
+        scraper.close()
+        timeline = outdir / "timeline.jsonl"
+        size = timeline.stat().st_size
+        records = len(read_timeline(timeline))
+    return size / rounds, records / rounds
+
+
+def _measure():
+    systems = _probed_and_unprobed()
+    diffs = _perturbation_diffs(systems)
+    probe_micros = _probe_cost()
+    probe = TelemetryProbe(
+        systems[True].network, list(systems[True].peers.values()), role="system"
+    )
+    endpoint = _ThreadedEndpoint(probe)
+    try:
+        scrape_micros = _scrape_cost(endpoint)
+        bytes_per_round, records_per_round = _timeline_amplification(endpoint)
+    finally:
+        endpoint.close()
+    return diffs, probe_micros, scrape_micros, bytes_per_round, records_per_round
+
+
+def report() -> str:
+    (diffs, probe_micros, scrape_micros, bytes_per_round,
+     records_per_round) = _measure()
+    rows = [
+        ("probed run perturbs the sim", "nothing",
+         "nothing" if not diffs else "; ".join(diffs)),
+        ("in-sim probe: /metrics render", "µs-scale",
+         f"{probe_micros['metrics_text']:.0f} µs"),
+        ("in-sim probe: counter sample", "µs-scale",
+         f"{probe_micros['sample']:.0f} µs"),
+        ("in-sim probe: healthz", "µs-scale",
+         f"{probe_micros['healthz']:.0f} µs"),
+        ("live scrape round-trip (metrics+healthz)", "ms-scale",
+         f"{scrape_micros / 1e3:.2f} ms"),
+        ("timeline bytes / peer / round",
+         f"≤ {MAX_BYTES_PER_PEER_ROUND}", f"{bytes_per_round:.0f}"),
+        ("timeline records / round", "sample + rollup",
+         f"{records_per_round:.1f}"),
+    ]
+    text = banner(
+        "telemetry",
+        "telemetry plane cost: probes, scrapes, timeline amplification",
+        "pull-based telemetry perturbs nothing and costs µs in-sim / "
+        "ms per live scrape round",
+    ) + format_table(("item", "expectation", "measured"), rows)
+    return write_report(
+        "telemetry",
+        text,
+        params={
+            "samples": SAMPLES,
+            "max_bytes_per_peer_round": MAX_BYTES_PER_PEER_ROUND,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def bench_probe_sample(benchmark):
+    system = HybridSystem.from_scenario(hybrid_scenario())
+    system.query("P1", PAPER_QUERY)
+    probe = TelemetryProbe(
+        system.network, list(system.peers.values()), role="system"
+    )
+    sample = benchmark(probe.sample)
+    assert sample.counters["queries_finished"] >= 1
+
+
+def bench_scrape_round(benchmark):
+    system = HybridSystem.from_scenario(hybrid_scenario())
+    system.query("P1", PAPER_QUERY)
+    probe = TelemetryProbe(
+        system.network, list(system.peers.values()), role="system"
+    )
+    endpoint = _ThreadedEndpoint(probe)
+    try:
+        body = benchmark(
+            lambda: scrape(endpoint.host, endpoint.port, "/metrics")
+        )
+        assert parse_exposition(body)
+    finally:
+        endpoint.close()
+
+
+def bench_probing_perturbs_nothing(benchmark):
+    diffs = benchmark(lambda: _perturbation_diffs(_probed_and_unprobed()))
+    assert diffs == []
+
+
+# ----------------------------------------------------------------------
+# CI smoke mode
+# ----------------------------------------------------------------------
+def smoke() -> int:
+    (diffs, probe_micros, scrape_micros, bytes_per_round,
+     records_per_round) = _measure()
+    print(
+        f"telemetry: probe sample {probe_micros['sample']:.0f} µs, "
+        f"exposition render {probe_micros['metrics_text']:.0f} µs, "
+        f"live scrape {scrape_micros / 1e3:.2f} ms, "
+        f"timeline {bytes_per_round:.0f} B/peer/round "
+        f"(bound {MAX_BYTES_PER_PEER_ROUND})"
+    )
+    failed = False
+    if diffs:
+        print("FAIL: probing perturbed the simulation: " + "; ".join(diffs))
+        failed = True
+    if bytes_per_round > MAX_BYTES_PER_PEER_ROUND:
+        print("FAIL: timeline write amplification exceeds bound")
+        failed = True
+    if records_per_round < 2:
+        print("FAIL: a scrape round must log a sample and a rollup")
+        failed = True
+    if not failed:
+        print("OK: zero perturbation, bounded timeline amplification")
+    return 1 if failed else 0
+
+
+def main(argv) -> int:
+    if "--smoke" in argv:
+        return smoke()
+    print(report())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

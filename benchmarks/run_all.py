@@ -42,6 +42,7 @@ MODULES = [
     "bench_concurrency",
     "bench_transport",
     "bench_membership",
+    "bench_telemetry",
 ]
 
 

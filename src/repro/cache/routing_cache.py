@@ -129,6 +129,9 @@ class RoutingCache:
         self.epoch = 0
         self.stats = CacheStats()
         self.metrics = None  # optionally a MetricSet, via bind_metrics()
+        #: optional callable(count) fired per invalidation batch — the
+        #: owning peer hangs a flight-recorder event off it
+        self.on_invalidate = None
         self._entries: Dict[Tuple, _Entry] = {}
         self._by_peer: Dict[str, Set[Tuple]] = {}
         #: (schema uri, query property) -> signature keys
@@ -272,6 +275,8 @@ class RoutingCache:
             self.stats.invalidations += count
             if self.metrics is not None:
                 self.metrics.record_cache_invalidation(count)
+            if self.on_invalidate is not None:
+                self.on_invalidate(count)
         return count
 
     def invalidate_peer(self, peer_id: str) -> int:

@@ -154,6 +154,14 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--via", default="P1", help="coordinating peer")
     trace.add_argument("--json", default=None, metavar="FILE",
                        help="also write the trace export as JSON")
+    trace.add_argument("--query", default=None, metavar="ID", dest="query_id",
+                       help="render the trace of this query id instead of "
+                       "the latest one (with --from: pick it out of the "
+                       "export)")
+    trace.add_argument("--from", default=None, metavar="FILE", dest="from_file",
+                       help="render a trace from an exported JSON file "
+                       "(a node's traces.json or a live run's "
+                       "merged.traces.json) instead of running a query")
     trace.add_argument("--no-events", action="store_true",
                        help="hide span events (retries, packets)")
     trace.add_argument(
@@ -176,6 +184,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="instead of running a workload, merge the "
                          "per-process *.metrics.prom dumps under DIR into "
                          "one exposition on stdout")
+    metrics.add_argument("--scrape", default=None, metavar="DIR",
+                         help="instead of running a workload, scrape the "
+                         "live telemetry endpoints discovered under DIR "
+                         "and print the merged exposition")
+    metrics.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                         help="with --scrape or --merge: re-render every "
+                         "SECONDS until interrupted")
+    metrics.add_argument("--iterations", type=int, default=None, metavar="N",
+                         help="with --watch: stop after N renders")
+    metrics.add_argument("--peer-filter", default=None, metavar="NODE",
+                         help="with --scrape: only this peer's endpoint")
 
     serve = commands.add_parser(
         "serve",
@@ -245,6 +264,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="durable state root (snapshot + membership log "
                       "under DIR/<node-id>); a restarted process recovers "
                       "from it")
+    peer.add_argument("--no-telemetry", action="store_true",
+                      help="disable the /metrics /healthz /tracez "
+                      "endpoints and the durable flight-recorder sink")
+    peer.add_argument("--telemetry-port", type=int, default=0,
+                      help="telemetry endpoint port (0 picks a free one)")
+    peer.add_argument("--slow-query-threshold", type=float, default=500.0,
+                      help="virtual-time latency above which a query's "
+                      "full trace is dumped to the slow-query log")
     add_spec_arguments(peer)
 
     launch = commands.add_parser(
@@ -280,7 +307,56 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="durable state root passed to every node "
                         "(defaults to OUTDIR/state when --supervise or "
                         "--restart-after is given)")
+    launch.add_argument("--no-telemetry", action="store_true",
+                        help="disable mid-run scraping, timeline.jsonl "
+                        "and the SLO watchdogs")
+    launch.add_argument("--scrape-every", type=int, default=2,
+                        help="scrape every N driven queries (default 2)")
+    launch.add_argument("--slo-window", type=float, default=120.0,
+                        help="sliding window (virtual units) the SLO "
+                        "rules evaluate over")
+    launch.add_argument("--shed-alert", type=float, default=0.25,
+                        help="shed-rate fraction above which the "
+                        "shed-rate SLO fires")
     add_spec_arguments(launch)
+
+    top = commands.add_parser(
+        "top",
+        help="live cluster view: scrape every peer's telemetry endpoint "
+        "and render per-peer health, inflight and throughput",
+    )
+    top.add_argument("outdir", nargs="?", default="live-run",
+                     help="run directory holding *.endpoint.json files "
+                     "(default live-run)")
+    top.add_argument("--watch", action="store_true",
+                     help="keep re-rendering instead of scraping once")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between scrapes with --watch (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="with --watch: stop after N rounds")
+    top.add_argument("--window", type=float, default=60.0,
+                     help="rollup window for rates/percentiles (default 60)")
+
+    alerts = commands.add_parser(
+        "alerts",
+        help="replay a run's SLO alert timeline, or demo the watchdogs "
+        "against an in-sim overload",
+    )
+    alerts.add_argument("outdir", nargs="?", default=None,
+                        help="run directory with a timeline.jsonl to replay")
+    alerts.add_argument("--demo", action="store_true",
+                        help="drive an overloaded in-sim deployment and "
+                        "print the alerts the SLO watchdogs fire")
+    alerts.add_argument("--seed", type=int, default=0,
+                        help="demo: deployment/workload seed")
+    alerts.add_argument("--shed-alert", type=float, default=0.05,
+                        help="demo: shed-rate fraction that trips the "
+                        "shed-rate rule (default 0.05)")
+    alerts.add_argument("--window", type=float, default=120.0,
+                        help="sliding window the rules evaluate over")
+    alerts.add_argument("--fail-on-active", action="store_true",
+                        help="exit non-zero if any alert is still firing "
+                        "at the end")
     return parser
 
 
@@ -448,29 +524,85 @@ def _build_paper_system(arch: str, seed: int):
     return HybridSystem.from_scenario(hybrid_scenario(), seed=seed)
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    from .obs import render_trace, validate_trace
+def _load_trace_export(path: str):
+    """``trace_id -> span dicts`` from any of the trace export schemas
+    (a node's ``trace-v1`` export or a launcher's ``trace-merge-v1``)."""
+    import json
 
-    system = _build_paper_system(args.arch, args.seed)
-    text = args.text or PAPER_QUERY
-    try:
-        system.query(args.via, text)
-    except Exception as exc:
-        # the trace of a failed query is still worth rendering
-        print(f"query failed: {exc}", file=sys.stderr)
-    collector = system.network.trace_collector
-    trace_id = collector.latest_trace_id()
-    if trace_id is None:
-        print("no trace was recorded", file=sys.stderr)
-        return 1
-    spans = collector.spans(trace_id)
+    from .obs import stitch_trace_exports
+
+    with open(path) as handle:
+        export = json.load(handle)
+    if export.get("schema") == "repro.obs/trace-merge-v1":
+        return stitch_trace_exports(list(export.get("nodes", {}).values()))
+    return stitch_trace_exports([export])
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import render_trace, spans_from_dicts, validate_trace
+
+    cross_clock = False
+    if args.from_file is not None:
+        # operator path: follow one query out of an exported run artifact
+        try:
+            stitched = _load_trace_export(args.from_file)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.from_file}: {exc}", file=sys.stderr)
+            return 2
+        if not stitched:
+            print("no traces in the export", file=sys.stderr)
+            return 1
+        trace_id = args.query_id or next(reversed(stitched))
+        if trace_id not in stitched:
+            print(f"no trace for query {trace_id!r}; export holds: "
+                  + ", ".join(sorted(stitched)), file=sys.stderr)
+            return 1
+        spans = spans_from_dicts(stitched[trace_id])
+        # merged live-run spans carry per-process clock epochs
+        cross_clock = len({s.peer_id for s in spans}) > 1
+    else:
+        system = _build_paper_system(args.arch, args.seed)
+        text = args.text or PAPER_QUERY
+        try:
+            system.query(args.via, text)
+        except Exception as exc:
+            # the trace of a failed query is still worth rendering
+            print(f"query failed: {exc}", file=sys.stderr)
+        collector = system.network.trace_collector
+        trace_id = args.query_id or collector.latest_trace_id()
+        if trace_id is None:
+            print("no trace was recorded", file=sys.stderr)
+            return 1
+        if trace_id not in collector.trace_ids():
+            print(f"no trace for query {trace_id!r}; collected: "
+                  + ", ".join(collector.trace_ids()), file=sys.stderr)
+            return 1
+        spans = collector.spans(trace_id)
     print(render_trace(spans, show_events=not args.no_events))
     if args.json:
-        with open(args.json, "w") as handle:
-            handle.write(collector.export_json(trace_id))
+        if args.from_file is not None:
+            import json
+
+            with open(args.json, "w") as handle:
+                json.dump(
+                    {
+                        "schema": "repro.obs/trace-v1",
+                        "traces": [
+                            {
+                                "trace_id": trace_id,
+                                "spans": stitched[trace_id],
+                            }
+                        ],
+                    },
+                    handle,
+                    indent=2,
+                )
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(collector.export_json(trace_id))
         print(f"trace written to {args.json}", file=sys.stderr)
     if args.check:
-        problems = validate_trace(spans)
+        problems = validate_trace(spans, cross_clock=cross_clock)
         if problems:
             for problem in problems:
                 print(f"INVALID: {problem}", file=sys.stderr)
@@ -483,22 +615,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_loop(render, interval, iterations) -> int:
+    """Re-invoke ``render`` every ``interval`` seconds (clearing the
+    screen between rounds) until Ctrl-C or ``iterations`` rounds."""
+    import time
+
+    rounds = 0
+    try:
+        while True:
+            if rounds:
+                print("\033[2J\033[H", end="")
+            code = render()
+            rounds += 1
+            if iterations is not None and rounds >= iterations:
+                return code
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _render_merged_dumps(directory: str) -> int:
+    from pathlib import Path
+
+    from .obs import merge_expositions
+
+    dumps = sorted(Path(directory).glob("*.metrics.prom"))
+    if not dumps:
+        print(f"error: no *.metrics.prom files under {directory}",
+              file=sys.stderr)
+        return 1
+    print(merge_expositions([p.read_text() for p in dumps]), end="")
+    print(f"# merged {len(dumps)} process dumps", file=sys.stderr)
+    return 0
+
+
+def _render_scraped(directory: str, peer_filter) -> int:
+    from pathlib import Path
+
+    from .errors import NetworkError
+    from .obs import merge_expositions
+    from .obs.telemetry import discover_endpoints, scrape
+
+    endpoints = discover_endpoints(Path(directory))
+    if peer_filter is not None:
+        endpoints = {k: v for k, v in endpoints.items() if k == peer_filter}
+    if not endpoints:
+        print(f"error: no matching *.endpoint.json under {directory}",
+              file=sys.stderr)
+        return 1
+    texts, down = [], []
+    for node_id, (host, port) in sorted(endpoints.items()):
+        try:
+            texts.append(scrape(host, port, "/metrics"))
+        except NetworkError:
+            down.append(node_id)
+    if not texts:
+        print(f"error: no live endpoint among {sorted(endpoints)}",
+              file=sys.stderr)
+        return 1
+    print(merge_expositions(texts), end="")
+    note = f"# scraped {len(texts)}/{len(endpoints)} endpoints"
+    if down:
+        note += f" (down: {', '.join(down)})"
+    print(note, file=sys.stderr)
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from .obs import render_prometheus, system_gauges
 
-    if args.merge is not None:
-        from pathlib import Path
-
-        from .obs import merge_expositions
-
-        dumps = sorted(Path(args.merge).glob("*.metrics.prom"))
-        if not dumps:
-            print(f"error: no *.metrics.prom files under {args.merge}",
-                  file=sys.stderr)
-            return 1
-        print(merge_expositions([p.read_text() for p in dumps]), end="")
-        print(f"# merged {len(dumps)} process dumps", file=sys.stderr)
-        return 0
+    if args.scrape is not None:
+        render = lambda: _render_scraped(args.scrape, args.peer_filter)  # noqa: E731
+    elif args.merge is not None:
+        render = lambda: _render_merged_dumps(args.merge)  # noqa: E731
+    else:
+        render = None
+    if render is not None:
+        if args.watch is not None:
+            return _watch_loop(render, args.watch, args.iterations)
+        return render()
+    if args.watch is not None:
+        print("error: --watch needs --scrape DIR or --merge DIR "
+              "(nothing moves in a finished in-sim run)", file=sys.stderr)
+        return 2
     system = _build_paper_system(args.arch, args.seed)
     via = "P1"
     for _ in range(args.queries):
@@ -583,6 +782,206 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_top(outdir, series, window: float) -> int:
+    """One ``repro top`` frame: scrape every endpoint, print the table."""
+    import time
+    from pathlib import Path
+
+    from .obs.telemetry import discover_endpoints
+
+    run = Path(outdir)
+    endpoints = discover_endpoints(run)
+    if not endpoints:
+        print(f"error: no *.endpoint.json under {run} "
+              "(is this a live run directory?)", file=sys.stderr)
+        return 1
+    t = time.time()
+    health: dict = {}
+    for node_id, (host, port) in sorted(endpoints.items()):
+        sample = _scrape_top_sample(node_id, host, port, t, health)
+        series.append(node_id, sample)
+    rollup = series.rollup(window)
+    print(f"cluster  peers {rollup['peers_up']}/{rollup['peers']} up  "
+          f"availability {rollup['availability']:.0%}  "
+          f"q/s {rollup['query_rate']:.3g}  "
+          f"inflight {rollup['inflight']:.0f}  "
+          f"shed {rollup['shed_rate']:.1%}  "
+          f"p99 {_fmt(rollup['p99_latency'])}")
+    header = (f"{'NODE':<8} {'ROLE':<6} {'STATUS':<8} {'INFLIGHT':>8} "
+              f"{'FINISHED':>8} {'SHED':>6} {'Q/S':>8} {'P99':>8}  NOTES")
+    print(header)
+    for node_id in sorted(endpoints):
+        peer = series.peers[node_id]
+        info = health.get(node_id, {})
+        roll = peer.rollup(window)
+        latest = peer.latest()
+        notes = []
+        quarantined = info.get("quarantined") or []
+        if quarantined:
+            notes.append("quarantined: " + ",".join(sorted(quarantined)))
+        down = info.get("down_peers") or []
+        if down:
+            notes.append("down: " + ",".join(sorted(down)))
+        if info.get("recoveries"):
+            notes.append(f"recoveries: {info['recoveries']}")
+        finished = latest.counters.get("queries_finished", 0) if latest else 0
+        shed = latest.counters.get("queries_shed", 0) if latest else 0
+        print(f"{node_id:<8} {str(info.get('role', '?')):<6} "
+              f"{str(info.get('status', 'down')):<8} "
+              f"{roll['inflight']:>8.0f} {finished:>8.0f} {shed:>6.0f} "
+              f"{roll['query_rate']:>8.3g} {_fmt(roll['p99_latency']):>8}"
+              f"  {'; '.join(notes)}")
+    return 0
+
+
+def _fmt(value) -> str:
+    return "-" if value is None else f"{value:.4g}"
+
+
+def _scrape_top_sample(node_id, host, port, t, health):
+    from .errors import NetworkError
+    from .obs.telemetry import (
+        TelemetrySample,
+        parse_exposition,
+        sample_from_exposition,
+        scrape,
+        scrape_json,
+    )
+
+    try:
+        parsed = parse_exposition(scrape(host, port, "/metrics"))
+        info = scrape_json(host, port, "/healthz")
+    except (NetworkError, ValueError):
+        health[node_id] = {"status": "down"}
+        return TelemetrySample(
+            t=t, counters={}, latency_buckets=(), gauges={}, up=False
+        )
+    health[node_id] = info
+    gauges = {"inflight_queries": info.get("inflight_queries", 0)}
+    return sample_from_exposition(parsed, t, gauges)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.telemetry import ClusterSeries
+
+    series = ClusterSeries()
+    render = lambda: _render_top(args.outdir, series, args.window)  # noqa: E731
+    if args.watch:
+        return _watch_loop(render, args.interval, args.iterations)
+    return render()
+
+
+def _cmd_alerts_demo(args: argparse.Namespace) -> int:
+    """Drive an overloaded in-sim deployment until the shed-rate SLO
+    fires — the watchdogs' end-to-end demo (and the CI probe that an
+    injected overload actually raises an alert)."""
+    from .errors import EventBudgetExhausted
+    from .obs.telemetry import default_slo_rules, render_alert
+    from .workload_engine import AdmissionControl, WorkloadSpec
+    from .workload_engine.driver import WorkloadDriver
+    from .workloads.data_gen import Distribution, generate_bases
+    from .workloads.query_gen import random_queries
+    from .workloads.schema_gen import generate_schema
+
+    synthetic = generate_schema(
+        chain_length=4, refinement_fraction=0.0, noise_properties=1,
+        seed=args.seed,
+    )
+    peer_ids = ["P1", "P2", "P3"]
+    generated = generate_bases(
+        synthetic, peer_ids, Distribution.MIXED,
+        statements_per_segment=15, shared_pool=6, seed=args.seed,
+    )
+    texts = random_queries(synthetic, 6, max_length=3, seed=args.seed)
+    system = HybridSystem(synthetic.schema, seed=args.seed)
+    system.add_super_peer("SP")
+    for peer_id in peer_ids:
+        system.add_peer(peer_id, generated.bases[peer_id], "SP")
+    system.run()
+    # starve admission so the burst has to shed
+    system.enable_admission(AdmissionControl(
+        max_concurrent=1, max_queued=1, retry_after=25.0
+    ))
+    count = 32
+    spec = WorkloadSpec(
+        queries=tuple(
+            (peer_ids[i % len(peer_ids)], texts[i % len(texts)])
+            for i in range(count)
+        ),
+        count=count,
+        mode="open",
+        arrival_rate=4.0,
+        burst_size=4,
+        clients=4,
+        seed=args.seed,
+        resubmit_sheds=False,
+    )
+    driver = WorkloadDriver(system, spec)
+    driver.attach_telemetry(
+        rules=default_slo_rules(shed_bound=args.shed_alert, window=args.window),
+        window=args.window,
+    )
+    driver.install()
+    try:
+        system.network.run(max_events=2_000_000)
+    except EventBudgetExhausted as exc:
+        print(f"demo failed: {exc}", file=sys.stderr)
+        return 1
+    report = driver.report()
+    by_status = report.by_status()
+    print(f"overload   : {count} queries burst at an admission gate of "
+          f"1 running + 1 queued per peer")
+    print(f"outcomes   : " + " ".join(
+        f"{status}={n}" for status, n in sorted(by_status.items())
+    ))
+    if not driver.slo_events:
+        print("no alerts fired (overload insufficient?)", file=sys.stderr)
+        return 1
+    print("alerts     :")
+    for event in driver.slo_events:
+        print("  " + render_alert(event))
+    fired = {e["rule"] for e in driver.slo_events if e["state"] == "firing"}
+    print(f"fired rules: {', '.join(sorted(fired))}")
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    if args.demo:
+        return _cmd_alerts_demo(args)
+    if args.outdir is None:
+        print("error: give a run directory to replay, or --demo",
+              file=sys.stderr)
+        return 2
+    from pathlib import Path
+
+    from .obs.telemetry import read_timeline, render_alert
+
+    run = Path(args.outdir)
+    records = read_timeline(run / "timeline.jsonl")
+    if not records:
+        print(f"error: no timeline.jsonl under {run}", file=sys.stderr)
+        return 1
+    rounds = sum(1 for r in records if r.get("kind") == "rollup")
+    alerts = [r for r in records if r.get("kind") == "alert"]
+    active: dict = {}
+    for event in alerts:
+        key = (event.get("scope"), event.get("rule"))
+        if event.get("state") == "firing":
+            active[key] = event
+        else:
+            active.pop(key, None)
+        print(render_alert(event))
+    if not alerts:
+        print("no alert transitions recorded")
+    print(f"# {rounds} scrape rounds, {len(alerts)} transitions, "
+          f"{len(active)} still firing", file=sys.stderr)
+    for (scope, rule), event in sorted(active.items()):
+        print(f"#   still firing: {rule} ({scope})", file=sys.stderr)
+    if args.fail_on_active and active:
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -608,6 +1007,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .deploy.launcher import run_launch
 
         return run_launch(args)
+    if args.command == "top":
+        return _cmd_top(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -28,7 +28,18 @@ from typing import Dict, List, Optional
 
 from ..errors import NetworkError
 from ..net.simulator import Network
-from ..obs import merge_expositions, render_prometheus
+from ..obs import (
+    merge_expositions,
+    render_prometheus,
+    stitch_trace_exports,
+    validate_trace_dicts,
+)
+from ..obs.telemetry import (
+    ClusterScraper,
+    default_slo_rules,
+    render_alert,
+    write_diagnostic_bundle,
+)
 from ..peers.base import Peer
 from ..peers.client import ClientPeer
 from ..peers.protocol import AdvertisementReply, AdvertisementRequest
@@ -75,10 +86,15 @@ class LiveCluster:
     """
 
     def __init__(self, spec: ClusterSpec, outdir, host: str = "127.0.0.1",
-                 statedir=None):
+                 statedir=None, telemetry: bool = True,
+                 slo_window: float = 120.0, shed_alert: float = 0.25):
         self.spec = spec
         self.outdir = Path(outdir)
         self.host = host
+        self.telemetry = telemetry
+        self.slo_window = slo_window
+        self.shed_alert = shed_alert
+        self.scraper: Optional[ClusterScraper] = None
         #: per-node durable state root; None keeps peers ephemeral
         self.statedir = Path(statedir) if statedir is not None else None
         self.workload: ClusterWorkload = build_workload(spec)
@@ -86,6 +102,9 @@ class LiveCluster:
             host=host, port=0, seed=None, time_scale=spec.time_scale
         )
         self.network = Network(seed=spec.seed, transport=self.transport)
+        if self.network.tracer.enabled:
+            # same id disambiguation the node processes apply
+            self.network.tracer.id_suffix = "@launcher"
         self.probe = _Probe()
         self.probe.join(self.network)
         self.processes: Dict[str, subprocess.Popen] = {}
@@ -120,6 +139,17 @@ class LiveCluster:
         """Bring the cluster up: seed, processes, membership, settling."""
         self.outdir.mkdir(parents=True, exist_ok=True)
         self.transport.start()
+        if self.telemetry:
+            # the scraper's clock reads the transport's virtual units,
+            # so live timelines compare 1:1 with simulated ones
+            self.scraper = ClusterScraper(
+                self.outdir,
+                clock=lambda: self.transport.now,
+                rules=default_slo_rules(
+                    shed_bound=self.shed_alert, window=self.slo_window
+                ),
+                window=self.slo_window,
+            )
         for node_id in self.spec.super_ids() + self.spec.peer_ids():
             self._spawn(node_id)
         expected = set(self.spec.super_ids()) | set(self.spec.peer_ids())
@@ -140,6 +170,8 @@ class LiveCluster:
         ] + self.spec.to_args()
         if self.statedir is not None:
             argv += ["--statedir", str(self.statedir)]
+        if not self.telemetry:
+            argv += ["--no-telemetry"]
         env = dict(os.environ)
         package_root = str(Path(__file__).resolve().parents[2])
         env["PYTHONPATH"] = os.pathsep.join(
@@ -173,6 +205,17 @@ class LiveCluster:
                 if not wanted[super_id] <= self.probe.registries.get(super_id, set()):
                     self.probe.poll(super_id)
             self.transport.run(until=self.transport.now + 20.0)
+
+    def scrape(self) -> Optional[Dict[str, object]]:
+        """One mid-run telemetry round over every peer's endpoints;
+        returns the cluster rollup (with alert transitions) or ``None``
+        when telemetry is off."""
+        if self.scraper is None:
+            return None
+        rollup = self.scraper.scrape_once()
+        for event in rollup.get("alerts", ()):
+            print(f"  ALERT {render_alert(event)}")
+        return rollup
 
     def kill_peer(self, node_id: str, sig: str = "term") -> None:
         """Kill one process mid-run (the live analogue of a chaos
@@ -280,6 +323,13 @@ class LiveCluster:
 
         Returns the run summary written to ``report.json``.
         """
+        # one last scrape while the endpoints are still alive, so the
+        # timeline's final round reflects the cluster at teardown
+        if self.scraper is not None:
+            try:
+                self.scraper.scrape_once()
+            except Exception:
+                pass  # teardown must proceed even if a peer died racing us
         for node_id, process in self.processes.items():
             if process.poll() is None:
                 process.send_signal(signal.SIGTERM)
@@ -294,7 +344,14 @@ class LiveCluster:
             self.outdir, "launcher", self.network, self.transport
         )
         self.transport.close()
-        return self._merge_artifacts()
+        summary = self._merge_artifacts()
+        if self.scraper is not None:
+            summary["telemetry"] = self.scraper.summary()
+            self.scraper.close()
+            (self.outdir / "report.json").write_text(
+                json.dumps(summary, indent=2, default=str)
+            )
+        return summary
 
     def _merge_artifacts(self) -> Dict[str, object]:
         expositions = sorted(self.outdir.glob("*.metrics.prom"))
@@ -303,8 +360,29 @@ class LiveCluster:
         traces = {}
         for path in sorted(self.outdir.glob("*.trace.json")):
             traces[path.name[: -len(".trace.json")]] = json.loads(path.read_text())
+        # cross-process stitching: each node exports only its local
+        # fragment of a distributed trace; reassemble per trace id and
+        # validate the whole causal tree.  The dump is strict JSON —
+        # Span.to_dict guarantees scalars, so no default= escape hatch.
+        stitched = stitch_trace_exports(list(traces.values()))
+        validation = {
+            trace_id: problems
+            for trace_id, problems in (
+                (trace_id, validate_trace_dicts(spans, cross_clock=True))
+                for trace_id, spans in sorted(stitched.items())
+            )
+            if problems
+        }
         (self.outdir / "merged.traces.json").write_text(
-            json.dumps(traces, indent=2, default=str)
+            json.dumps(
+                {
+                    "schema": "repro.obs/trace-merge-v1",
+                    "nodes": traces,
+                    "stitched_traces": len(stitched),
+                    "validation": validation,
+                },
+                indent=2,
+            )
         )
         summary = {
             "spec": {
@@ -344,7 +422,14 @@ def run_launch(args) -> int:
     if statedir is None and (supervise or restart_after is not None):
         # restarted processes need somewhere to recover from
         statedir = str(Path(args.outdir) / "state")
-    cluster = LiveCluster(spec, args.outdir, host=args.host, statedir=statedir)
+    telemetry = not getattr(args, "no_telemetry", False)
+    scrape_every = max(1, getattr(args, "scrape_every", 2))
+    cluster = LiveCluster(
+        spec, args.outdir, host=args.host, statedir=statedir,
+        telemetry=telemetry,
+        slo_window=getattr(args, "slo_window", 120.0),
+        shed_alert=getattr(args, "shed_alert", 0.25),
+    )
     print(f"launching {spec.super_peers} super-peer(s) + {spec.peers} peer(s) "
           f"on {args.host} (seed {spec.seed}, "
           f"{'resilient' if spec.resilient else 'baseline'}"
@@ -359,7 +444,26 @@ def run_launch(args) -> int:
         print(f"cluster up: seed port {cluster.transport.port}, "
               f"book {sorted(cluster.transport.book)}")
         if supervise:
-            supervisor = Supervisor(cluster.processes, cluster.restart_peer)
+            def _on_restart(node_id: str, attempt: int) -> None:
+                write_diagnostic_bundle(
+                    cluster.outdir, f"restart-{node_id}-{attempt}",
+                    reason="supervised restart", node_ids=(node_id,),
+                    scraper=cluster.scraper,
+                    details={"attempt": attempt},
+                )
+
+            def _on_trip(node_id: str, restarts: int) -> None:
+                write_diagnostic_bundle(
+                    cluster.outdir, f"breaker-{node_id}",
+                    reason="restart-storm circuit breaker tripped",
+                    node_ids=(node_id,), scraper=cluster.scraper,
+                    details={"restarts": restarts},
+                )
+
+            supervisor = Supervisor(
+                cluster.processes, cluster.restart_peer,
+                on_restart=_on_restart, on_trip=_on_trip,
+            )
         kill_index = args.count // 2 if args.kill is not None else None
         join_index = (3 * args.count) // 4 if joiner is not None else None
         for index in range(args.count):
@@ -395,6 +499,14 @@ def run_launch(args) -> int:
                 cluster.kill_peer(args.kill, sig=kill_signal)
                 down.add(args.kill)
                 kill_time = time.monotonic()
+                if kill_signal == "kill" and telemetry:
+                    # the crash black box: the victim's durable flight
+                    # record survives the SIGKILL; bundle it now
+                    write_diagnostic_bundle(
+                        cluster.outdir, f"crash-{args.kill}",
+                        reason="SIGKILL crash", node_ids=(args.kill,),
+                        scraper=cluster.scraper,
+                    )
                 result = cluster.await_result(client, query_id)
             else:
                 result = cluster.query(via, text)
@@ -406,6 +518,10 @@ def run_launch(args) -> int:
             outcomes.append({"via": via, "status": status, "rows": rows,
                              "error": result.error})
             print(f"  q{index}: via {via} -> {status} ({rows} rows)")
+            if telemetry and index % scrape_every == 0:
+                # mid-run scrape: every peer's /metrics + /healthz into
+                # the rollups, the timeline, and the SLO watchdogs
+                cluster.scrape()
             if supervisor is not None and args.kill in down and restart_after is None:
                 # give the backoff clock a chance between queries, so a
                 # short run still observes the supervised restart

@@ -27,6 +27,13 @@ from typing import Tuple
 from ..durability import FileStore, PeerStateStore
 from ..net.simulator import Network
 from ..obs import peer_gauges, render_prometheus
+from ..obs.telemetry import (
+    JsonlSink,
+    SlowQueryLog,
+    TelemetryProbe,
+    TelemetryServer,
+    write_endpoint_file,
+)
 from ..peers.base import PeerBase
 from ..peers.super import SuperPeer
 from ..systems.hybrid import HybridPeer
@@ -131,6 +138,37 @@ def run_node(args) -> int:
         time_scale=spec.time_scale,
     )
     network = Network(seed=spec.seed, transport=transport)
+    if network.tracer.enabled:
+        # disambiguate span/trace ids across processes: the launcher
+        # stitches every node's export into one trace per query, and
+        # two processes' locally-minted ``s<n>`` ids would collide
+        network.tracer.id_suffix = f"@{args.node_id}"
+
+    # telemetry (repro.obs.telemetry): durable flight-recorder sink +
+    # slow-query log, attached before any event can fire so a crash
+    # always leaves its last moments in <node>.events.jsonl
+    outdir = Path(args.outdir)
+    telemetry_on = not getattr(args, "no_telemetry", False)
+    event_sink = None
+    slow_log = None
+    if telemetry_on:
+        outdir.mkdir(parents=True, exist_ok=True)
+        event_sink = JsonlSink(outdir / f"{node_id}.events.jsonl")
+        if network.flight_recorder is not None:
+            network.flight_recorder.sink = event_sink
+
+        def _dump_slow(entry, _counter=[0]):
+            _counter[0] += 1
+            import json as _json
+            (outdir / f"{node_id}.slow.{_counter[0]}.json").write_text(
+                _json.dumps(entry, indent=2)
+            )
+
+        slow_log = SlowQueryLog(
+            threshold=getattr(args, "slow_query_threshold", 500.0),
+            collector=network.trace_collector,
+            on_slow=_dump_slow,
+        ).install(network.metrics)
 
     # durable peer state: snapshot + membership log under the node's
     # own state directory; a restarted process finds it and recovers
@@ -158,6 +196,7 @@ def run_node(args) -> int:
             _trip_quarantine(node.quarantine, recovered.quarantined)
             node.channels.epoch = recovered.incarnations + 1
             network.metrics.record_recovery()
+            network.emit_event("recovery", peer=node_id, pid=os.getpid())
         host, port = transport.start()
     else:
         host, port = transport.start()
@@ -190,6 +229,7 @@ def run_node(args) -> int:
             # incarnation's channel ids: mint ids they cannot have seen
             node.channels.epoch = recovered.incarnations + 1
             network.metrics.record_recovery()
+            network.emit_event("recovery", peer=node_id, pid=os.getpid())
         elif state_store is not None:
             node.save_durable_snapshot()
     if spec.resilient:
@@ -199,13 +239,47 @@ def run_node(args) -> int:
     for signum in (signal.SIGTERM, signal.SIGINT):
         transport.loop.add_signal_handler(signum, lambda: stopping.append(True))
 
+    # telemetry endpoints: /metrics /healthz /tracez on the node's own
+    # event loop; the endpoint file makes the address discoverable even
+    # after the launcher dies (nodes outlive their parent)
+    server = None
+    if telemetry_on:
+        probe = TelemetryProbe(network, peers=[node], node_id=node_id, role=role)
+        labels = {"peer_id": node_id, "pid": os.getpid(), "transport": transport.kind}
+        import json as _json
+        server = TelemetryServer(
+            {
+                "/metrics": lambda: (
+                    "text/plain; version=0.0.4",
+                    probe.metrics_text(const_labels=labels),
+                ),
+                "/healthz": lambda: (
+                    "application/json", _json.dumps(probe.healthz(), default=str)
+                ),
+                "/tracez": lambda: (
+                    "application/json", _json.dumps(probe.tracez(), default=str)
+                ),
+            },
+            host=args.host,
+            port=getattr(args, "telemetry_port", 0),
+        )
+        telemetry_host, telemetry_port = server.start(transport.loop)
+        write_endpoint_file(
+            outdir, node_id, telemetry_host, telemetry_port,
+            pid=os.getpid(), role=role, peer_port=port,
+        )
+
     print(f"READY {node_id} {host} {port}", flush=True)
     transport.run_until(lambda: bool(stopping), timeout=args.lifetime)
 
     # graceful stop: persist the latest base/views/active-schema so the
     # next incarnation recovers from it (crashes skip this, by nature)
     node.save_durable_snapshot()
-    export_artifacts(Path(args.outdir), node_id, network, transport, node)
+    export_artifacts(outdir, node_id, network, transport, node)
+    if server is not None:
+        server.close(transport.loop)
+    if event_sink is not None:
+        event_sink.close()
     transport.close()
     print(f"STOPPED {node_id}", flush=True)
     sys.stdout.flush()

@@ -57,6 +57,11 @@ class Supervisor:
         max_restarts: Storm threshold per node within ``window``.
         window: Seconds of restart history the breaker considers.
         clock: Injectable monotonic clock (tests pass a fake).
+        on_restart: Optional ``on_restart(node_id, attempt)`` fired
+            after each successful respawn (the launcher writes a
+            diagnostic bundle from it).
+        on_trip: Optional ``on_trip(node_id, restarts)`` fired once when
+            the storm breaker gives up on a node.
     """
 
     def __init__(
@@ -67,6 +72,8 @@ class Supervisor:
         max_restarts: int = 5,
         window: float = 60.0,
         clock: Callable[[], float] = time.monotonic,
+        on_restart: Optional[Callable[[str, int], None]] = None,
+        on_trip: Optional[Callable[[str, int], None]] = None,
     ):
         self.processes = processes
         self.respawn = respawn
@@ -74,6 +81,8 @@ class Supervisor:
         self.max_restarts = max_restarts
         self.window = window
         self.clock = clock
+        self.on_restart = on_restart
+        self.on_trip = on_trip
         #: nodes whose death is ordered (graceful stop, manual restart
         #: pending) — the supervisor leaves them alone
         self.expected_down: Set[str] = set()
@@ -119,6 +128,8 @@ class Supervisor:
             if len(history) >= self.max_restarts:
                 self.tripped.add(node_id)
                 self._due.pop(node_id, None)
+                if self.on_trip is not None:
+                    self.on_trip(node_id, self.restart_totals.get(node_id, 0))
                 continue
             due = self._due.get(node_id)
             if due is None:
@@ -135,4 +146,6 @@ class Supervisor:
             self.restart_totals[node_id] = self.restart_totals.get(node_id, 0) + 1
             self._due.pop(node_id, None)
             restarted.append(node_id)
+            if self.on_restart is not None:
+                self.on_restart(node_id, self._attempts[node_id])
         return restarted

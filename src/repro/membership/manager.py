@@ -75,10 +75,12 @@ class MembershipManager:
 
     def leave(self, peer_id: str) -> None:
         """Graceful departure: snapshot + goodbyes, then dark."""
+        self.system.network.emit_event("leave", peer=peer_id)
         self.system.peers[peer_id].leave()
 
     def crash(self, peer_id: str) -> None:
         """Abrupt failure: no snapshot, no goodbye."""
+        self.system.network.emit_event("crash", peer=peer_id)
         self.system.network.fail_peer(peer_id)
 
     def rejoin(self, peer_id: str):
@@ -113,6 +115,7 @@ class MembershipManager:
         network = self.system.network
         network.recover_peer(peer_id)
         network.metrics.record_recovery()
+        network.emit_event("recovery", peer=peer_id)
         peer.rejoining = True
         try:
             for advertisement in peer.own_advertisements():

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from ..obs.histogram import Histogram
 
@@ -117,6 +117,9 @@ class MetricSet:
         self.recoveries = 0
         self.log_replays = 0
         self.snapshot_bytes = 0
+        # telemetry (repro.obs.telemetry): per-query latency tap — the
+        # slow-query log installs itself here; None costs one comparison
+        self.on_query_latency: Optional[Callable[[str, float], None]] = None
 
     # ------------------------------------------------------------------
     # recording
@@ -258,6 +261,8 @@ class MetricSet:
         self.query_latencies.setdefault(query_id, []).append(latency)
         self.query_latency[query_id] = latency
         self.latency_histogram.record(latency)
+        if self.on_query_latency is not None:
+            self.on_query_latency(query_id, latency)
 
     def inflight_query_ids(self) -> List[str]:
         """Query ids with at least one open (unfinished) attempt."""

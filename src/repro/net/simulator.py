@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Set, Tuple
 from ..errors import EventBudgetExhausted, NetworkError
 from ..metrics.collectors import MetricSet
 from ..obs.collect import TraceCollector
+from ..obs.telemetry.flightrec import FlightRecorder
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..resilience.faults import FaultInjector, FaultPlan
 from ..transport.base import Transport
@@ -120,6 +121,15 @@ class Network:
         else:
             self.trace_collector = None
             self.tracer = NULL_TRACER
+        # flight recorder (repro.obs.telemetry): control-plane events —
+        # sheds, quarantines, replans, churn — in a bounded ring; like
+        # the tracer it is uncharged, so recording perturbs nothing
+        if observability:
+            self.flight_recorder: Optional[FlightRecorder] = FlightRecorder(
+                clock=lambda: self.now
+            )
+        else:
+            self.flight_recorder = None
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._default_link = Link(default_latency, default_cost_per_byte)
@@ -176,12 +186,14 @@ class Network:
         if peer_id in self._down:
             return
         self._down.add(peer_id)
+        self.emit_event("peer_down", peer=peer_id)
         self._notify_liveness(peer_id, alive=False)
 
     def recover_peer(self, peer_id: str) -> None:
         if peer_id not in self._down:
             return
         self._down.discard(peer_id)
+        self.emit_event("peer_up", peer=peer_id)
         self._notify_liveness(peer_id, alive=True)
 
     def is_down(self, peer_id: str) -> bool:
@@ -198,6 +210,12 @@ class Network:
     def _notify_liveness(self, peer_id: str, alive: bool) -> None:
         for listener in self._liveness_listeners:
             listener(peer_id, alive)
+
+    def emit_event(self, kind: str, peer: Optional[str] = None, **fields) -> None:
+        """Record one control-plane event in the flight recorder (a
+        no-op when observability is off — callers need no guard)."""
+        if self.flight_recorder is not None:
+            self.flight_recorder.record(kind, peer=peer, **fields)
 
     # ------------------------------------------------------------------
     # fault injection

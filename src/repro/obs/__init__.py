@@ -23,7 +23,14 @@ Everything defaults on; disabling observability swaps in
 seed's behaviour and bench numbers are preserved.
 """
 
-from .collect import TraceCollector, span_tree, validate_trace
+from .collect import (
+    TraceCollector,
+    span_tree,
+    spans_from_dicts,
+    stitch_trace_exports,
+    validate_trace,
+    validate_trace_dicts,
+)
 from .gauges import peer_gauges, system_gauges
 from .histogram import Histogram
 from .render import render_trace
@@ -46,6 +53,9 @@ __all__ = [
     "render_prometheus",
     "render_trace",
     "span_tree",
+    "spans_from_dicts",
+    "stitch_trace_exports",
     "system_gauges",
     "validate_trace",
+    "validate_trace_dicts",
 ]

@@ -20,11 +20,16 @@ _EPS = 1e-9
 
 
 def _span_order(span: Span):
-    """Sort key: start time, then creation order (span ids are ``s<n>``,
-    so the numeric suffix recovers mint order; lexicographic comparison
-    would put ``s10`` before ``s2``)."""
-    suffix = span.span_id[1:]
-    return (span.start, int(suffix) if suffix.isdigit() else 0, span.span_id)
+    """Sort key: start time, then creation order (span ids are
+    ``s<n>`` — or ``s<n>@<node>`` from a live process — so the digits
+    after the ``s`` recover mint order; lexicographic comparison would
+    put ``s10`` before ``s2``)."""
+    digits = ""
+    for char in span.span_id[1:]:
+        if not char.isdigit():
+            break
+        digits += char
+    return (span.start, int(digits) if digits else 0, span.span_id)
 
 
 class TraceCollector:
@@ -105,7 +110,10 @@ class TraceCollector:
         }
 
     def export_json(self, trace_id: Optional[str] = None, indent: int = 2) -> str:
-        return json.dumps(self.export(trace_id), indent=indent, default=str)
+        # strict: Span.to_dict guarantees JSON scalars, so any
+        # non-serialisable value here is a bug worth crashing on —
+        # no ``default=str`` escape hatch
+        return json.dumps(self.export(trace_id), indent=indent)
 
 
 def span_tree(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
@@ -118,7 +126,7 @@ def span_tree(spans: List[Span]) -> Dict[Optional[str], List[Span]]:
     return tree
 
 
-def validate_trace(spans: List[Span]) -> List[str]:
+def validate_trace(spans: List[Span], cross_clock: bool = False) -> List[str]:
     """Check a trace is a single rooted, gap-free causal tree.
 
     Returns a list of problems (empty means valid):
@@ -129,6 +137,12 @@ def validate_trace(spans: List[Span]) -> List[str]:
       trace context);
     * no span starts before its parent (causality on virtual time);
     * no span is left unfinished.
+
+    ``cross_clock=True`` restricts the causality check to spans on the
+    same peer: a live deployment's processes each run their own
+    virtual-clock epoch, so start times are only comparable within one
+    process (in-sim every peer shares the simulator clock, and the full
+    check applies).
     """
     problems: List[str] = []
     if not spans:
@@ -147,7 +161,11 @@ def validate_trace(spans: List[Span]) -> List[str]:
                 f"(parent {span.parent_id} missing — context gap)"
             )
         parent = by_id.get(span.parent_id) if span.parent_id else None
-        if parent is not None and span.start + _EPS < parent.start:
+        if (
+            parent is not None
+            and span.start + _EPS < parent.start
+            and (not cross_clock or span.peer_id == parent.peer_id)
+        ):
             problems.append(
                 f"span {span.name}@{span.peer_id} starts at {span.start} "
                 f"before its parent {parent.name} ({parent.start})"
@@ -155,3 +173,68 @@ def validate_trace(spans: List[Span]) -> List[str]:
         if span.end is None:
             problems.append(f"span {span.name}@{span.peer_id} never finished")
     return problems
+
+
+class _SpanRecord:
+    """A :class:`Span` stand-in built from an exported dict — enough
+    API surface to re-validate *and* re-render a trace that crossed a
+    JSON boundary (a node's export, a merged live-run artifact)."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "peer_id",
+        "start",
+        "end",
+        "status",
+        "attributes",
+        "events",
+    )
+
+    def __init__(self, record: dict):
+        self.trace_id = record.get("trace_id", "?")
+        self.span_id = record["span_id"]
+        self.parent_id = record.get("parent_id")
+        self.name = record.get("name", "?")
+        self.peer_id = record.get("peer", "?")
+        self.start = record.get("start", 0.0)
+        self.end = record.get("end")
+        self.status = record.get("status", "ok")
+        self.attributes = dict(record.get("attributes") or {})
+        self.events = [tuple(event) for event in record.get("events") or ()]
+
+    @property
+    def duration(self):
+        return None if self.end is None else self.end - self.start
+
+
+def spans_from_dicts(records: List[dict]) -> List[_SpanRecord]:
+    """Exported span dicts as render/validate-ready span objects,
+    ordered by (start, creation order)."""
+    spans = [_SpanRecord(record) for record in records]
+    spans.sort(key=_span_order)
+    return spans
+
+
+def stitch_trace_exports(exports: List[dict]) -> Dict[str, List[dict]]:
+    """Merge per-process trace exports into whole traces.
+
+    A distributed trace's spans are spread across the processes that
+    executed it; each node's collector only holds its local fragment.
+    This gathers every fragment's spans by trace id, so the reassembled
+    trace can be validated as the single causal tree it is.
+    """
+    stitched: Dict[str, List[dict]] = {}
+    for export in exports:
+        for trace in export.get("traces", ()):
+            stitched.setdefault(trace["trace_id"], []).extend(trace["spans"])
+    for spans in stitched.values():
+        spans.sort(key=lambda s: _span_order(_SpanRecord(s)))
+    return stitched
+
+
+def validate_trace_dicts(spans: List[dict], cross_clock: bool = False) -> List[str]:
+    """:func:`validate_trace` over exported span dicts."""
+    return validate_trace(spans_from_dicts(spans), cross_clock=cross_clock)

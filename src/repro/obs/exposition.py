@@ -73,7 +73,9 @@ def add_const_labels(text: str, labels: Dict[str, Any]) -> str:
         f'{name}="{_escape(str(value))}"' for name, value in sorted(labels.items())
     )
     out: List[str] = []
-    for line in text.splitlines():
+    # newline splits only: label values may legally contain \f, \v and
+    # unicode separators, which str.splitlines would break on
+    for line in text.split("\n"):
         if not line or line.startswith("#"):
             out.append(line)
             continue
@@ -82,6 +84,8 @@ def add_const_labels(text: str, labels: Dict[str, Any]) -> str:
             out.append(f"{name_and_labels[:-1]},{rendered}}} {value}")
         else:
             out.append(f"{name_and_labels}{{{rendered}}} {value}")
+    if out and out[-1] == "":
+        out.pop()  # the split's artifact of the trailing newline
     return "\n".join(out) + "\n"
 
 
@@ -108,7 +112,7 @@ def merge_expositions(texts: List[str]) -> str:
 
     for text in texts:
         pending_header: List[str] = []
-        for line in text.splitlines():
+        for line in text.split("\n"):  # not splitlines: see add_const_labels
             if not line:
                 continue
             if line.startswith("#"):

@@ -17,9 +17,15 @@ def _stringify(value: Any):
     """Render deferred attribute values at export time.  Spans may hold
     live objects (e.g. an optimiser's plan tree) so that the hot path
     never pays for string building; anything with a ``render()`` is
-    rendered here, when the trace is actually read."""
+    rendered here, when the trace is actually read.  The result is
+    always a JSON scalar — exports must serialise strictly, without a
+    ``default=`` escape hatch."""
     render = getattr(value, "render", None)
-    return render() if callable(render) else value
+    if callable(render):
+        return str(render())
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
 
 
 class TraceContext(NamedTuple):

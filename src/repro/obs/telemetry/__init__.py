@@ -1,0 +1,82 @@
+"""Live cluster telemetry: time-series rollups, scrape endpoints, SLO
+watchdogs and the crash flight recorder.
+
+Layered on the PR-3 observability core (:mod:`repro.obs`), this
+package adds the *operational* half of observability:
+
+* :mod:`timeseries` — bounded rings with Prometheus-style reset-aware
+  ``rate()`` / ``increase()`` and windowed percentiles from cumulative
+  histogram-bucket deltas;
+* :mod:`sampler` — one :class:`TelemetrySample` shape whether read
+  in-process off a :class:`MetricSet` or parsed from a scraped text
+  exposition, feeding per-peer and cluster rollups;
+* :mod:`slo` — declarative SLO rules with debounce, firing/resolved
+  transition events (``repro.obs/alert-v1``);
+* :mod:`flightrec` — the bounded structured-event black box
+  (``repro.obs/event-v1``), durable JSONL sinks, slow-query log;
+* :mod:`probe` — in-sim snapshot API mirroring the live endpoints;
+* :mod:`http` — the per-peer ``/metrics`` / ``/healthz`` / ``/tracez``
+  server on the node's event loop, plus the scrape client and
+  exposition parser;
+* :mod:`scraper` — the launcher-side scrape loop, durable
+  ``timeline.jsonl`` and crash diagnostic bundles.
+
+The PR-3 invariants carry over: everything here is pull-based and
+uncharged, so telemetry perturbs no simulated quantity and a
+telemetry-enabled run stays bit-identical to a bare one.
+"""
+
+from .flightrec import EVENT_SCHEMA, KNOWN_KINDS, FlightRecorder, JsonlSink, SlowQueryLog
+from .http import TelemetryServer, parse_exposition, scrape, scrape_json
+from .probe import HEALTH_SCHEMA, TRACEZ_SCHEMA, TelemetryProbe
+from .sampler import (
+    COUNTER_NAMES,
+    ClusterSeries,
+    PeerSeries,
+    TelemetrySample,
+    sample_from_exposition,
+    sample_metricset,
+)
+from .scraper import (
+    ClusterScraper,
+    discover_endpoints,
+    read_timeline,
+    write_diagnostic_bundle,
+    write_endpoint_file,
+)
+from .slo import ALERT_SCHEMA, SLOMonitor, SLORule, default_slo_rules, render_alert
+from .timeseries import TimeSeries, delta_buckets, percentile_from_buckets
+
+__all__ = [
+    "ALERT_SCHEMA",
+    "COUNTER_NAMES",
+    "ClusterScraper",
+    "ClusterSeries",
+    "EVENT_SCHEMA",
+    "FlightRecorder",
+    "HEALTH_SCHEMA",
+    "JsonlSink",
+    "KNOWN_KINDS",
+    "PeerSeries",
+    "SLOMonitor",
+    "SLORule",
+    "SlowQueryLog",
+    "TRACEZ_SCHEMA",
+    "TelemetryProbe",
+    "TelemetrySample",
+    "TelemetryServer",
+    "TimeSeries",
+    "default_slo_rules",
+    "delta_buckets",
+    "discover_endpoints",
+    "parse_exposition",
+    "percentile_from_buckets",
+    "read_timeline",
+    "render_alert",
+    "sample_from_exposition",
+    "sample_metricset",
+    "scrape",
+    "scrape_json",
+    "write_diagnostic_bundle",
+    "write_endpoint_file",
+]

@@ -1,0 +1,231 @@
+"""Per-peer telemetry endpoints: a minimal HTTP server and scrape client.
+
+Live nodes serve three read-only paths off the same asyncio event loop
+that drives their :class:`~repro.transport.live.AsyncioTransport` —
+no threads, no third-party dependencies:
+
+* ``/metrics`` — the Prometheus text exposition;
+* ``/healthz`` — JSON liveness/membership state (peer id, role,
+  incarnation epoch, quarantined peers, inflight queries, ...);
+* ``/tracez`` — JSON summaries of recently collected traces.
+
+The server speaks just enough HTTP/1.0 for a scraper or ``curl``:
+request line + headers in, status line + ``Content-Type`` +
+``Content-Length`` out, connection closed after the response.  The
+matching :func:`scrape` client is synchronous (the launcher scrapes
+between workload steps, from outside the peers' event loops).
+
+:func:`parse_exposition` is the scrape-side parser: exposition text to
+``(family, labels, value)`` triples, unescaping label values — the
+inverse of :mod:`repro.obs.exposition`'s renderer, and property-tested
+against it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...errors import NetworkError
+
+#: ``path -> () -> (content_type, body)``
+Handlers = Dict[str, Callable[[], Tuple[str, str]]]
+
+#: scrape timeout (real seconds) before a peer counts as down
+DEFAULT_SCRAPE_TIMEOUT = 2.0
+
+
+class TelemetryServer:
+    """Serves read-only telemetry paths on a peer's event loop.
+
+    Args:
+        handlers: Route table; each handler returns ``(content_type,
+            body)`` and is invoked per request on the event loop.
+        host: Interface to bind.
+        port: Port (0 picks a free one; see :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(self, handlers: Handlers, host: str = "127.0.0.1", port: int = 0):
+        self.handlers = dict(handlers)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(self._serve, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def start(self, loop: asyncio.AbstractEventLoop) -> Tuple[str, int]:
+        """Bind on ``loop``; returns the bound ``(host, port)``."""
+        loop.run_until_complete(self._start())
+        return (self.host, self.port)
+
+    def close(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._server is not None:
+            self._server.close()
+            if not loop.is_closed():
+                loop.run_until_complete(self._server.wait_closed())
+            self._server = None
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            parts = request.decode("ascii", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            # drain headers; telemetry requests carry no body
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            handler = self.handlers.get(path.split("?", 1)[0])
+            if parts and parts[0] != "GET":
+                status, content_type, body = "405 Method Not Allowed", "text/plain", "GET only\n"
+            elif handler is None:
+                known = " ".join(sorted(self.handlers))
+                status, content_type, body = "404 Not Found", "text/plain", f"unknown path; try: {known}\n"
+            else:
+                try:
+                    content_type, body = handler()
+                    status = "200 OK"
+                except Exception as exc:  # a broken gauge must not kill the node
+                    status, content_type, body = "500 Internal Server Error", "text/plain", f"{exc}\n"
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}; charset=utf-8\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+            )
+            writer.write(payload)
+            await writer.drain()
+            self.requests_served += 1
+        except (asyncio.TimeoutError, ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+def scrape(
+    host: str, port: int, path: str = "/metrics",
+    timeout: float = DEFAULT_SCRAPE_TIMEOUT,
+) -> str:
+    """Synchronous GET of one telemetry path; returns the body.
+
+    Raises :class:`~repro.errors.NetworkError` when the peer is
+    unreachable or answers non-200 — the scraper's down signal.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            sock.sendall(
+                f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("ascii")
+            )
+            chunks = []
+            while True:
+                chunk = sock.recv(64 * 1024)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except OSError as exc:
+        raise NetworkError(f"scrape of {host}:{port}{path} failed: {exc}") from exc
+    response = b"".join(chunks).decode("utf-8", "replace")
+    head, _, body = response.partition("\r\n\r\n")
+    status_line = head.split("\r\n", 1)[0]
+    parts = status_line.split()
+    if len(parts) < 2 or parts[1] != "200":
+        raise NetworkError(
+            f"scrape of {host}:{port}{path} answered {status_line!r}"
+        )
+    return body
+
+
+def scrape_json(
+    host: str, port: int, path: str, timeout: float = DEFAULT_SCRAPE_TIMEOUT
+) -> dict:
+    return json.loads(scrape(host, port, path, timeout))
+
+
+def _unescape(value: str) -> str:
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                index += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def parse_exposition(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse a Prometheus text exposition into ``(family, labels,
+    value)`` triples.
+
+    Handles the full label-value escape set (backslashes, quotes,
+    newlines) and skips comment/blank lines.  Malformed lines raise —
+    a scraped endpoint producing soup should fail the scrape loudly,
+    not silently drop samples.
+    """
+    out: List[Tuple[str, Dict[str, str], float]] = []
+    # split on newlines only: str.splitlines would also break on \f,
+    # \v and unicode separators, which are legal *inside* quoted label
+    # values
+    for line in text.split("\n"):
+        if not line or line.startswith("#"):
+            continue
+        labels: Dict[str, str] = {}
+        brace = line.find("{")
+        if brace == -1:
+            name, _, value = line.rpartition(" ")
+            if not name:
+                raise ValueError(f"malformed exposition line: {line!r}")
+            out.append((name.strip(), labels, float(value)))
+            continue
+        name = line[:brace]
+        index = brace + 1
+        while index < len(line) and line[index] != "}":
+            equals = line.index("=", index)
+            label = line[index:equals]
+            if line[equals + 1] != '"':
+                raise ValueError(f"unquoted label value in: {line!r}")
+            cursor = equals + 2
+            raw = []
+            while True:
+                if cursor >= len(line):
+                    raise ValueError(f"unterminated label value in: {line!r}")
+                char = line[cursor]
+                if char == "\\":
+                    raw.append(line[cursor : cursor + 2])
+                    cursor += 2
+                    continue
+                if char == '"':
+                    break
+                raw.append(char)
+                cursor += 1
+            labels[label] = _unescape("".join(raw))
+            index = cursor + 1
+            if index < len(line) and line[index] == ",":
+                index += 1
+        value = line[index + 1 :].strip()
+        out.append((name, labels, float(value)))
+    return out

@@ -1,0 +1,239 @@
+"""The launcher-side scrape loop: cluster rollups, a durable timeline,
+and crash diagnostic bundles.
+
+A :class:`ClusterScraper` discovers peers from the ``*.endpoint.json``
+files each node writes next to its artifacts, polls every peer's
+``/metrics`` + ``/healthz`` mid-run, feeds one shared
+:class:`~repro.obs.telemetry.sampler.ClusterSeries`, and evaluates the
+SLO monitor per round.  Every round is appended — flushed per line —
+to ``timeline.jsonl``, so a SIGKILLed launcher still leaves the
+cluster's history on disk up to its last heartbeat.
+
+Timeline record kinds (one JSON object per line):
+
+* ``{"kind": "sample", "peer": ..., "t": ..., "up": ..., ...}`` —
+  one per peer per round;
+* ``{"kind": "rollup", "t": ..., ...}`` — the cluster rollup;
+* ``{"kind": "alert", "state": "firing"|"resolved", ...}`` — SLO
+  transitions (schema ``repro.obs/alert-v1``).
+
+:func:`write_diagnostic_bundle` assembles the black box after a crash
+or breaker trip: the dead node's durable ``*.events.jsonl`` flight
+record, its slow-query dumps, the last scraped health, and the active
+alerts — everything an operator needs, in one directory.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ...errors import NetworkError
+from .http import parse_exposition, scrape, scrape_json
+from .sampler import ClusterSeries, TelemetrySample, sample_from_exposition
+from .slo import SLOMonitor, SLORule
+
+#: filename each node writes once its telemetry server is bound
+ENDPOINT_SUFFIX = ".endpoint.json"
+
+
+def write_endpoint_file(
+    outdir: Path, node_id: str, host: str, port: int, **extra: Any
+) -> Path:
+    """Publish one node's telemetry address (called by the node itself,
+    so discovery survives a dead launcher)."""
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{node_id}{ENDPOINT_SUFFIX}"
+    record = {"node_id": node_id, "host": host, "port": port}
+    record.update(extra)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True))
+    return path
+
+
+def discover_endpoints(outdir: Path) -> Dict[str, Tuple[str, int]]:
+    """``node_id -> (host, port)`` from the endpoint files in a run dir."""
+    endpoints: Dict[str, Tuple[str, int]] = {}
+    for path in sorted(Path(outdir).glob(f"*{ENDPOINT_SUFFIX}")):
+        try:
+            record = json.loads(path.read_text())
+            endpoints[record["node_id"]] = (record["host"], int(record["port"]))
+        except (ValueError, KeyError):
+            continue  # half-written file: the node will rewrite it
+    return endpoints
+
+
+class ClusterScraper:
+    """Polls every peer's telemetry endpoints and keeps cluster rollups.
+
+    Args:
+        outdir: The run directory (endpoint discovery + timeline home).
+        clock: Returns the scrape timestamp; the launcher passes a
+            scaled-wall-time clock so live timelines read in the same
+            units as simulated ones.
+        rules: SLO rules for the cluster monitor (stock set if empty).
+        window: Rollup window passed to every evaluation.
+        timeline: Timeline filename (``None`` disables the file).
+    """
+
+    def __init__(
+        self,
+        outdir: Path,
+        clock: Callable[[], float],
+        rules: Tuple[SLORule, ...] = (),
+        window: float = 60.0,
+        timeline: Optional[str] = "timeline.jsonl",
+    ):
+        self.outdir = Path(outdir)
+        self.clock = clock
+        self.window = window
+        self.series = ClusterSeries()
+        self.monitor = SLOMonitor(rules, scope="cluster")
+        self.health: Dict[str, Dict[str, Any]] = {}
+        self.rounds = 0
+        self.scrape_failures = 0
+        self._timeline = None
+        if timeline is not None:
+            self.outdir.mkdir(parents=True, exist_ok=True)
+            self._timeline = open(self.outdir / timeline, "a", buffering=1)
+
+    # ------------------------------------------------------------------
+    # the scrape loop
+    # ------------------------------------------------------------------
+    def scrape_peer(self, node_id: str, host: str, port: int, t: float) -> TelemetrySample:
+        """One peer, one round; a dead peer yields a ``down`` sample."""
+        try:
+            parsed = parse_exposition(scrape(host, port, "/metrics"))
+            health = scrape_json(host, port, "/healthz")
+        except (NetworkError, ValueError):
+            self.scrape_failures += 1
+            down = TelemetrySample(
+                t=t, counters={}, latency_buckets=(), gauges={}, up=False
+            )
+            self.health[node_id] = {"status": "down", "node_id": node_id, "t": t}
+            return down
+        self.health[node_id] = health
+        gauges = {"inflight_queries": health.get("inflight_queries", 0)}
+        return sample_from_exposition(parsed, t, gauges)
+
+    def scrape_once(self) -> Dict[str, Any]:
+        """One full round: every discovered peer, the cluster rollup,
+        the SLO evaluation; all appended to the timeline.  Returns the
+        cluster rollup (with any alert transitions under ``"alerts"``)."""
+        t = self.clock()
+        endpoints = discover_endpoints(self.outdir)
+        for node_id, (host, port) in sorted(endpoints.items()):
+            sample = self.scrape_peer(node_id, host, port, t)
+            self.series.append(node_id, sample)
+            self._append_timeline(
+                {
+                    "kind": "sample",
+                    "t": t,
+                    "peer": node_id,
+                    "up": sample.up,
+                    "counters": sample.counters,
+                    "inflight": sample.gauges.get("inflight_queries", 0),
+                }
+            )
+        rollup = self.series.rollup(self.window)
+        rollup["t"] = t
+        self._append_timeline({"kind": "rollup", **rollup})
+        alerts = self.monitor.evaluate(t, rollup)
+        for event in alerts:
+            self._append_timeline(event)
+        rollup["alerts"] = alerts
+        self.rounds += 1
+        return rollup
+
+    def _append_timeline(self, record: Dict[str, Any]) -> None:
+        if self._timeline is not None:
+            self._timeline.write(json.dumps(record, default=str) + "\n")
+            self._timeline.flush()
+
+    def close(self) -> None:
+        if self._timeline is not None:
+            self._timeline.close()
+            self._timeline = None
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """A report-ready digest: final rollup, alert history, health."""
+        return {
+            "rounds": self.rounds,
+            "scrape_failures": self.scrape_failures,
+            "rollup": self.series.rollup(self.window) if self.series.peers else None,
+            "alerts": list(self.monitor.history),
+            "active_alerts": self.monitor.active(),
+            "health": dict(self.health),
+        }
+
+
+def read_timeline(path: Path) -> List[Dict[str, Any]]:
+    """Parse a ``timeline.jsonl``, skipping a torn final line (the one
+    record a SIGKILL may have cut mid-write)."""
+    records: List[Dict[str, Any]] = []
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        return records
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue
+    return records
+
+
+def write_diagnostic_bundle(
+    outdir: Path,
+    name: str,
+    reason: str,
+    node_ids: Tuple[str, ...] = (),
+    scraper: Optional[ClusterScraper] = None,
+    details: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Assemble a crash/breaker diagnostic bundle directory.
+
+    Collects, per involved node: its durable flight-recorder
+    ``<node>.events.jsonl``, any ``<node>.slow.*.json`` slow-query
+    dumps, and its endpoint file; plus a ``manifest.json`` with the
+    reason, last known health and the currently active alerts.
+    Returns the bundle directory.
+    """
+    outdir = Path(outdir)
+    bundle = outdir / "bundles" / name
+    bundle.mkdir(parents=True, exist_ok=True)
+    copied: List[str] = []
+    patterns = []
+    for node_id in node_ids or ("*",):
+        patterns += [
+            f"{node_id}.events.jsonl",
+            f"{node_id}.slow.*.json",
+            f"{node_id}{ENDPOINT_SUFFIX}",
+        ]
+    for pattern in patterns:
+        for source in sorted(outdir.glob(pattern)):
+            shutil.copy2(source, bundle / source.name)
+            copied.append(source.name)
+    manifest: Dict[str, Any] = {
+        "schema": "repro.obs/bundle-v1",
+        "reason": reason,
+        "nodes": list(node_ids),
+        "files": copied,
+    }
+    if details:
+        manifest["details"] = details
+    if scraper is not None:
+        manifest["health"] = {
+            node: scraper.health.get(node) for node in node_ids if node in scraper.health
+        }
+        manifest["active_alerts"] = scraper.monitor.active()
+    (bundle / "manifest.json").write_text(
+        json.dumps(manifest, indent=2, default=str)
+    )
+    return bundle

@@ -1,0 +1,184 @@
+"""Windowed time series over cumulative counters and histograms.
+
+The scrape-side substrate of :mod:`repro.obs.telemetry`: bounded ring
+buffers of ``(t, value)`` observations with the delta-aware reads a
+monitoring stack needs — ``increase()`` and ``rate()`` that survive
+counter resets (a restarted peer's counters start again from zero, like
+a restarted Prometheus target), and windowed percentile reads computed
+from *bucket deltas* of two cumulative histogram snapshots, so a p99
+over the last window is available even though the underlying
+:class:`~repro.obs.histogram.Histogram` only accumulates.
+
+Time is whatever clock the caller samples on: virtual time in-sim,
+wall time live.  Nothing here schedules anything — sampling cadence is
+the caller's business, which is what keeps the in-sim path free of
+perturbation (no extra simulator events, ever).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default ring capacity: enough for ~10 minutes at 1 sample/second.
+DEFAULT_CAPACITY = 600
+
+
+class TimeSeries:
+    """A bounded ring of ``(t, value)`` samples of one cumulative counter.
+
+    Args:
+        capacity: Samples retained; older ones fall off the front.
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_start")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 2:
+            raise ValueError("a time series needs capacity >= 2")
+        self.capacity = capacity
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._start = 0  # ring head offset into the lists
+
+    def append(self, t: float, value: float) -> None:
+        if len(self._times) < self.capacity:
+            self._times.append(t)
+            self._values.append(value)
+            return
+        # overwrite the oldest slot in place (no list churn)
+        self._times[self._start] = t
+        self._values[self._start] = value
+        self._start = (self._start + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def samples(self) -> List[Tuple[float, float]]:
+        """Oldest-to-newest ``(t, value)`` pairs."""
+        n = len(self._times)
+        order = range(self._start, self._start + n)
+        return [(self._times[i % n], self._values[i % n]) for i in order] if n else []
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        if not self._times:
+            return None
+        n = len(self._times)
+        i = (self._start - 1) % n if n == self.capacity else n - 1
+        return (self._times[i], self._values[i])
+
+    # ------------------------------------------------------------------
+    # delta-aware rollups
+    # ------------------------------------------------------------------
+    def window(self, duration: float, now: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Samples with ``t >= now - duration`` (``now`` defaults to the
+        newest sample's time)."""
+        samples = self.samples()
+        if not samples:
+            return []
+        horizon = (now if now is not None else samples[-1][0]) - duration
+        return [s for s in samples if s[0] >= horizon]
+
+    def increase(self, duration: float, now: Optional[float] = None) -> float:
+        """Counter growth over the window, reset-aware.
+
+        A sample smaller than its predecessor means the counter reset
+        (process restart); the growth since the reset is counted from
+        zero, exactly like Prometheus's ``increase()``.
+        """
+        window = self.window(duration, now)
+        if len(window) < 2:
+            return 0.0
+        total = 0.0
+        previous = window[0][1]
+        for _, value in window[1:]:
+            total += value - previous if value >= previous else value
+            previous = value
+        return total
+
+    def rate(self, duration: float, now: Optional[float] = None) -> float:
+        """Per-time-unit growth over the window (``increase / elapsed``)."""
+        window = self.window(duration, now)
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return self.increase(duration, now) / elapsed
+
+
+#: A cumulative-bucket snapshot: ``(upper_bound, cumulative_count)``
+#: pairs sorted by bound — exactly the shape of
+#: :meth:`~repro.obs.histogram.Histogram.cumulative_buckets` and of a
+#: parsed Prometheus ``_bucket`` family.
+BucketSnapshot = Sequence[Tuple[float, int]]
+
+
+def delta_buckets(
+    earlier: BucketSnapshot, later: BucketSnapshot
+) -> List[Tuple[float, int]]:
+    """Per-bucket growth between two cumulative snapshots.
+
+    Returns non-cumulative ``(upper_bound, count)`` pairs; a later
+    snapshot with *smaller* cumulative counts is a reset and the later
+    snapshot is returned whole (growth since zero).
+    """
+    before: Dict[float, int] = {}
+    last = 0
+    for bound, cumulative in earlier:
+        before[bound] = cumulative - last
+        last = cumulative
+    out: List[Tuple[float, int]] = []
+    last = 0
+    reset = False
+    for bound, cumulative in later:
+        in_bucket = cumulative - last
+        last = cumulative
+        grown = in_bucket - before.get(bound, 0)
+        if grown < 0:
+            reset = True
+            break
+        if grown:
+            out.append((bound, grown))
+    if reset:
+        out = []
+        last = 0
+        for bound, cumulative in later:
+            if cumulative - last:
+                out.append((bound, cumulative - last))
+            last = cumulative
+    return out
+
+
+def percentile_from_buckets(
+    buckets: BucketSnapshot, p: float, cumulative: bool = False
+) -> Optional[float]:
+    """The quantile ``p`` in [0, 100] from bucket counts.
+
+    ``buckets`` are ``(upper_bound, count)`` pairs sorted by bound —
+    non-cumulative by default (the :func:`delta_buckets` shape), or
+    cumulative with ``cumulative=True``.  Interpolates linearly inside
+    the winning bucket between the previous bound and its own, which
+    matches :meth:`Histogram.percentile` up to the min/max clamp.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("percentile must be within [0, 100]")
+    counts: List[Tuple[float, int]] = []
+    last = 0
+    for bound, value in buckets:
+        count = (value - last) if cumulative else value
+        last = value
+        if count:
+            counts.append((bound, count))
+    total = sum(count for _, count in counts)
+    if not total:
+        return None
+    rank = p / 100.0 * total
+    seen = 0
+    lower = 0.0
+    for bound, count in counts:
+        if seen + count >= rank:
+            fraction = (rank - seen) / count
+            return lower + (bound - lower) * min(max(fraction, 0.0), 1.0)
+        seen += count
+        lower = bound
+    return counts[-1][0]

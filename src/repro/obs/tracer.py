@@ -47,6 +47,12 @@ class Tracer:
         self.collector = collector
         self.metrics = metrics
         self._ids = itertools.count(1)
+        #: appended to every minted span/trace id.  In-sim it stays
+        #: empty (one tracer serves the whole network, ids are already
+        #: unique and deterministic); each live node process sets it to
+        #: ``@<node-id>`` so ids from different processes never collide
+        #: when the launcher stitches their exports into one trace.
+        self.id_suffix = ""
 
     def start_span(
         self,
@@ -67,12 +73,16 @@ class Tracer:
             trace = parent.trace_id
             parent_id: Optional[str] = parent.span_id
         else:
-            trace = trace_id if trace_id is not None else f"t{next(self._ids)}"
+            trace = (
+                trace_id
+                if trace_id is not None
+                else f"t{next(self._ids)}{self.id_suffix}"
+            )
             parent_id = None
         span = Span(
             self,
             trace,
-            f"s{next(self._ids)}",
+            f"s{next(self._ids)}{self.id_suffix}",
             parent_id,
             name,
             peer,

@@ -200,6 +200,9 @@ class SimplePeer(Peer):
         super().join(network)
         if self.routing_cache is not None:
             self.routing_cache.bind_metrics(network.metrics)
+            self.routing_cache.on_invalidate = lambda count: network.emit_event(
+                "cache_invalidate", peer=self.peer_id, entries=count
+            )
         if self.plan_cache is not None:
             self.plan_cache.bind_metrics(network.metrics)
         # liveness control events keep the routing cache honest: cached
@@ -229,8 +232,10 @@ class SimplePeer(Peer):
             self.routing_cache.invalidate_peer(peer_id)
         if self.quarantine_enabled:
             tripped = self.quarantine.record_failure(peer_id)
-            if tripped and self.state_store is not None:
-                self.state_store.log_quarantine(peer_id)
+            if tripped:
+                network.emit_event("quarantine", peer=self.peer_id, suspect=peer_id)
+                if self.state_store is not None:
+                    self.state_store.log_quarantine(peer_id)
 
     def restore_peer(self, peer_id: str) -> None:
         """The peer was heard from again: lift its quarantine and drop
@@ -247,6 +252,9 @@ class SimplePeer(Peer):
         if peer_id == self.peer_id:
             return
         if self.quarantine.restore(peer_id):
+            self._require_network().emit_event(
+                "rehabilitate", peer=self.peer_id, suspect=peer_id
+            )
             if self.routing_cache is not None:
                 self.routing_cache.invalidate_peer(peer_id)
             if self.state_store is not None:
@@ -424,6 +432,9 @@ class SimplePeer(Peer):
                 # load shedding: refuse this query with a back-off hint
                 # rather than degrade every admitted one
                 network.metrics.record_shed_query()
+                network.emit_event(
+                    "shed", peer=self.peer_id, query_id=submit.query_id
+                )
                 if submit.reply_to != self.peer_id:
                     self.send(
                         submit.reply_to,
@@ -514,6 +525,10 @@ class SimplePeer(Peer):
             return  # answered in time
         network = self._require_network()
         network.metrics.record_deadline_expiration()
+        network.emit_event(
+            "deadline_expired", peer=self.peer_id,
+            query_id=query_id, deadline=deadline,
+        )
         pending.span.annotate(f"deadline ({deadline:g}) expired: cancelling")
         if pending.executor is not None:
             pending.executor.abort()
@@ -700,6 +715,10 @@ class SimplePeer(Peer):
         pending.discarded_results += 1
         pending.span.annotate(
             f"replan: peer {failed_peer} failed (attempt {pending.attempts})"
+        )
+        self._require_network().emit_event(
+            "replan", peer=self.peer_id, query_id=pending.query_id,
+            failed_peer=failed_peer, attempt=pending.attempts,
         )
         self.suspect_peer(failed_peer)
         if pending.executor is not None:

@@ -96,6 +96,9 @@ class SuperPeer(Peer):
         for index in self.indices.values():
             if index.cache is not None:
                 index.cache.bind_metrics(network.metrics)
+                index.cache.on_invalidate = lambda count: network.emit_event(
+                    "cache_invalidate", peer=self.peer_id, entries=count
+                )
         # liveness control events keep the per-SON routing caches
         # honest: entries must never resurrect a peer known to be down
         network.add_liveness_listener(self._on_liveness)
@@ -127,8 +130,13 @@ class SuperPeer(Peer):
         self._invalidate_routing(peer_id)
         if self.quarantine_enabled:
             tripped = self.quarantine.record_failure(peer_id)
-            if tripped and self.state_store is not None:
-                self.state_store.log_quarantine(peer_id)
+            if tripped:
+                if self.network is not None:
+                    self.network.emit_event(
+                        "quarantine", peer=self.peer_id, suspect=peer_id
+                    )
+                if self.state_store is not None:
+                    self.state_store.log_quarantine(peer_id)
 
     def restore_peer(self, peer_id: str) -> None:
         """The peer was heard from again (heartbeat, recovery or a
@@ -180,7 +188,13 @@ class SuperPeer(Peer):
                 self.registry.setdefault(uri, {})
                 index = RoutingIndex(schema, use_cache=self.cache_enabled)
                 if index.cache is not None and self.network is not None:
-                    index.cache.bind_metrics(self.network.metrics)
+                    network = self.network
+                    index.cache.bind_metrics(network.metrics)
+                    index.cache.on_invalidate = (
+                        lambda count: network.emit_event(
+                            "cache_invalidate", peer=self.peer_id, entries=count
+                        )
+                    )
                 self.indices.setdefault(uri, index)
         self.articulations.append(articulation)
 
@@ -216,8 +230,14 @@ class SuperPeer(Peer):
             if self.network is not None:
                 if rejoin:
                     self.network.metrics.record_rejoin()
+                    self.network.emit_event(
+                        "rejoin", peer=advertisement.peer_id, via=self.peer_id
+                    )
                 elif previous is None:
                     self.network.metrics.record_join()
+                    self.network.emit_event(
+                        "join", peer=advertisement.peer_id, via=self.peer_id
+                    )
             if self.state_store is not None and previous != advertisement:
                 self.state_store.log_advertise(advertisement)
         # a fresh advertisement is proof of life
@@ -297,6 +317,10 @@ class SuperPeer(Peer):
             # hint instead of queueing unboundedly
             request: RouteRequest = message.payload
             network.metrics.record_shed_query()
+            network.emit_event(
+                "shed", peer=self.peer_id, query_id=request.query_id,
+                service="routing",
+            )
             self.send(
                 request.requester,
                 RouteBusy(request.query_id, admission.retry_after, self.peer_id),

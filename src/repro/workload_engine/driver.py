@@ -52,11 +52,41 @@ class WorkloadDriver:
         #: shared remaining-work counter)
         self._next_index = 0
         self._installed = False
+        # telemetry (repro.obs.telemetry): optional pull-based sampling
+        # on outcome completion — reads metrics, never schedules events
+        self.probe = None
+        self.telemetry_series = None
+        self.slo_monitor = None
+        self.slo_window = 60.0
+        self.slo_events: List[dict] = []
 
     @property
     def clients(self) -> List:
         """The driver-owned client peers (created by :meth:`install`)."""
         return list(self._clients)
+
+    def attach_telemetry(self, probe=None, rules=(), window: float = 60.0):
+        """Sample telemetry on every completed outcome.
+
+        Pull-based and uncharged: each completion reads the metrics
+        into a :class:`~repro.obs.telemetry.sampler.PeerSeries` and
+        evaluates the SLO monitor — no simulator events are scheduled,
+        so an instrumented run stays bit-identical to a bare one.
+        Returns the driver for chaining.
+        """
+        from ..obs.telemetry import PeerSeries, SLOMonitor, TelemetryProbe
+
+        if probe is None:
+            probe = TelemetryProbe(
+                self.network,
+                peers=list(getattr(self.system, "peers", {}).values())
+                + list(getattr(self.system, "super_peers", {}).values()),
+            )
+        self.probe = probe
+        self.telemetry_series = PeerSeries()
+        self.slo_monitor = SLOMonitor(tuple(rules), scope="sim")
+        self.slo_window = window
+        return self
 
     # ------------------------------------------------------------------
     # installation: turn the spec into scheduled submission events
@@ -162,6 +192,14 @@ class WorkloadDriver:
             outcome.status = "ok"
             outcome.rows = len(result.table)
         self.outcomes.append(outcome)
+        if self.probe is not None:
+            sample = self.probe.sample()
+            self.telemetry_series.append(sample)
+            self.slo_events.extend(
+                self.slo_monitor.evaluate(
+                    sample.t, self.telemetry_series.rollup(self.slo_window)
+                )
+            )
         if self.spec.mode == "closed":
             index = self._claim_index()
             if index is not None:

@@ -134,6 +134,34 @@ class TestSupervisor:
         assert supervisor.tick() == ["P2"]
         assert "P2" not in supervisor.tripped
 
+    def test_callbacks_fire_on_restart_and_trip(self):
+        clock = FakeClock()
+        processes = {"P2": FakeProcess()}
+        restarts, trips = [], []
+        supervisor = Supervisor(
+            processes, lambda node_id: processes[node_id].revive(),
+            backoff=RestartBackoff(base=1.0, factor=2.0, max_delay=8.0),
+            max_restarts=2, window=60.0, clock=clock,
+            on_restart=lambda node_id, attempt: restarts.append((node_id, attempt)),
+            on_trip=lambda node_id, total: trips.append((node_id, total)),
+        )
+        for _ in range(2):
+            processes["P2"].die()
+            supervisor.tick()
+            clock.advance(8.5)
+            supervisor.tick()
+        assert restarts == [("P2", 1), ("P2", 2)]
+        assert trips == []
+        processes["P2"].die()
+        supervisor.tick()
+        clock.advance(8.5)
+        supervisor.tick()
+        # the breaker announces itself exactly once, with the totals
+        assert trips == [("P2", 2)]
+        clock.advance(8.5)
+        supervisor.tick()
+        assert trips == [("P2", 2)]
+
     def test_totals_are_per_node(self, harness):
         clock, processes, respawned, supervisor = harness
         processes["P1"].die()

@@ -1,0 +1,124 @@
+"""Tests for the per-peer telemetry HTTP server and its scrape client.
+
+The server normally runs on a live node's transport event loop; here it
+gets a dedicated loop on a background thread so the synchronous
+:func:`scrape` client can hit it from the test thread, exactly as the
+launcher's scraper hits a node from outside its process.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.metrics import MetricSet
+from repro.obs import render_prometheus
+from repro.obs.telemetry import (
+    TelemetryServer,
+    parse_exposition,
+    scrape,
+    scrape_json,
+)
+
+
+@pytest.fixture()
+def served():
+    """A TelemetryServer bound on a background-thread event loop."""
+    metrics = MetricSet()
+    metrics.record_message("data", "P1", "SP1", size=256)
+    metrics.query_started("q1", time=0.0)
+    metrics.query_finished("q1", time=12.5)
+
+    def metrics_handler():
+        return "text/plain; version=0.0.4", render_prometheus(
+            metrics, const_labels={"peer_id": "P1"}
+        )
+
+    def healthz_handler():
+        return "application/json", json.dumps(
+            {"status": "ok", "node_id": "P1", "role": "peer", "inflight_queries": 0}
+        )
+
+    def broken_handler():
+        raise RuntimeError("gauge exploded")
+
+    loop = asyncio.new_event_loop()
+    server = TelemetryServer(
+        {
+            "/metrics": metrics_handler,
+            "/healthz": healthz_handler,
+            "/broken": broken_handler,
+        }
+    )
+    host, port = server.start(loop)
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, host, port
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=5.0)
+        server.close(loop)
+        loop.close()
+
+
+class TestServer:
+    def test_metrics_returns_parseable_exposition(self, served):
+        server, host, port = served
+        body = scrape(host, port, "/metrics")
+        samples = parse_exposition(body)
+        by_name = {name: value for name, labels, value in samples}
+        assert by_name["repro_messages_total"] == 1.0
+        assert all(
+            labels["peer_id"] == "P1" for _, labels, _ in samples
+        )
+        assert server.requests_served == 1
+
+    def test_healthz_json(self, served):
+        _, host, port = served
+        health = scrape_json(host, port, "/healthz")
+        assert health["status"] == "ok"
+        assert health["node_id"] == "P1"
+
+    def test_unknown_path_is_404_listing_routes(self, served):
+        _, host, port = served
+        with pytest.raises(NetworkError) as err:
+            scrape(host, port, "/nope")
+        assert "404" in str(err.value)
+
+    def test_non_get_is_405(self, served):
+        import socket
+
+        _, host, port = served
+        with socket.create_connection((host, port), timeout=2.0) as sock:
+            sock.sendall(b"POST /metrics HTTP/1.0\r\n\r\n")
+            response = b""
+            while chunk := sock.recv(4096):
+                response += chunk
+        assert b"405" in response.split(b"\r\n", 1)[0]
+
+    def test_broken_handler_is_500_not_a_crash(self, served):
+        server, host, port = served
+        with pytest.raises(NetworkError) as err:
+            scrape(host, port, "/broken")
+        assert "500" in str(err.value)
+        # server survives and keeps answering
+        assert scrape_json(host, port, "/healthz")["status"] == "ok"
+
+    def test_query_string_ignored_for_routing(self, served):
+        _, host, port = served
+        assert scrape_json(host, port, "/healthz?verbose=1")["status"] == "ok"
+
+
+class TestScrapeClient:
+    def test_dead_port_raises_network_error(self):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here any more
+        with pytest.raises(NetworkError):
+            scrape("127.0.0.1", port, "/metrics", timeout=0.5)

@@ -1,0 +1,127 @@
+"""Property tests: the exposition renderer against the scrape parser.
+
+``parse_exposition`` is the inverse of the renderer's escaping; the
+merge keeps every sample under exactly one ``# HELP``/``# TYPE`` header
+per family; const labels survive the round trip with hostile values
+(spaces, quotes, backslashes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MetricSet
+from repro.obs import add_const_labels, merge_expositions, render_prometheus
+from repro.obs.telemetry import parse_exposition
+
+# label values the renderer must escape and the parser must recover:
+# anything printable except newlines (the text format is line-based)
+label_values = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs",), blacklist_characters="\n\r"
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+label_sets = st.dictionaries(
+    st.sampled_from(["peer_id", "pid", "transport", "zone"]),
+    label_values,
+    min_size=1,
+    max_size=3,
+)
+
+
+def metricset(messages=3, queries=2):
+    metrics = MetricSet()
+    for i in range(messages):
+        metrics.record_message("data", f"P{i % 2}", "SP", size=100 + i)
+    for i in range(queries):
+        metrics.query_started(f"q{i}", time=float(i))
+        metrics.query_finished(f"q{i}", time=float(i) + 2.5)
+    return metrics
+
+
+class TestConstLabelRoundTrip:
+    @given(label_sets)
+    @settings(max_examples=60)
+    def test_hostile_label_values_survive(self, labels):
+        text = render_prometheus(metricset(), const_labels=labels)
+        for _, parsed_labels, _ in parse_exposition(text):
+            for name, value in labels.items():
+                assert parsed_labels[name] == value
+
+    @given(label_sets)
+    @settings(max_examples=30)
+    def test_every_sample_is_labelled(self, labels):
+        bare = parse_exposition(render_prometheus(metricset()))
+        tagged = parse_exposition(
+            add_const_labels(render_prometheus(metricset()), labels)
+        )
+        assert len(tagged) == len(bare)
+        for (name, bare_labels, value), (tname, tlabels, tvalue) in zip(
+            bare, tagged
+        ):
+            assert (name, value) == (tname, tvalue)
+            # existing labels (le, kind, ...) preserved alongside
+            for key, val in bare_labels.items():
+                assert tlabels[key] == val
+
+    def test_explicit_escape_cases(self):
+        labels = {"peer_id": 'a "quoted" \\ backslash and space'}
+        text = add_const_labels(render_prometheus(metricset()), labels)
+        for _, parsed, _ in parse_exposition(text):
+            assert parsed["peer_id"] == labels["peer_id"]
+
+    def test_newline_escape_is_parsed(self):
+        # the parser accepts the full Prometheus escape set even though
+        # the renderer never emits newlines
+        ((name, labels, value),) = parse_exposition(
+            'family{key="line1\\nline2"} 4.0'
+        )
+        assert labels["key"] == "line1\nline2"
+        assert (name, value) == ("family", 4.0)
+
+
+class TestMerge:
+    @given(st.lists(label_sets, min_size=1, max_size=4, unique_by=lambda d: tuple(sorted(d.items()))))
+    @settings(max_examples=30)
+    def test_one_header_per_family_and_all_samples_kept(self, label_runs):
+        texts = [
+            render_prometheus(metricset(messages=2 + i), const_labels=labels)
+            for i, labels in enumerate(label_runs)
+        ]
+        merged = merge_expositions(texts)
+        # exactly one HELP and one TYPE line per family
+        help_lines = [l for l in merged.splitlines() if l.startswith("# HELP ")]
+        type_lines = [l for l in merged.splitlines() if l.startswith("# TYPE ")]
+        families = [l.split(" ", 3)[2] for l in help_lines]
+        assert len(families) == len(set(families))
+        assert len(help_lines) == len(type_lines)
+        # every input sample survives, values intact
+        merged_samples = parse_exposition(merged)
+        expected = [s for text in texts for s in parse_exposition(text)]
+        assert sorted(
+            (n, tuple(sorted(l.items())), v) for n, l, v in merged_samples
+        ) == sorted((n, tuple(sorted(l.items())), v) for n, l, v in expected)
+
+    def test_merge_groups_families_in_first_seen_order(self):
+        texts = [
+            render_prometheus(metricset(), const_labels={"peer_id": "P1"}),
+            render_prometheus(metricset(), const_labels={"peer_id": "P2"}),
+        ]
+        merged = merge_expositions(texts).splitlines()
+        first = merged.index('# HELP repro_messages_total Messages delivered')
+        samples = [l for l in merged[first + 2:] if not l.startswith("#")]
+        assert 'peer_id="P1"' in samples[0]
+        assert 'peer_id="P2"' in samples[1]
+
+
+class TestParserStrictness:
+    def test_malformed_line_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parse_exposition('family{key=unquoted} 1')
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_exposition("# HELP x y\n# TYPE x counter\n\n") == []

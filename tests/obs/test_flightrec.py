@@ -1,0 +1,122 @@
+"""Tests for the flight recorder and slow-query log."""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricSet
+from repro.obs.telemetry import FlightRecorder, JsonlSink, SlowQueryLog
+from repro.obs.telemetry.flightrec import EVENT_SCHEMA, KNOWN_KINDS
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestFlightRecorder:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(clock=FakeClock(), capacity=0)
+
+    def test_records_are_timestamped_and_filtered(self):
+        clock = FakeClock()
+        recorder = FlightRecorder(clock=clock)
+        clock.now = 5.0
+        recorder.record("shed", peer="P1", query_id="q1")
+        clock.now = 6.0
+        recorder.record("quarantine", peer="P2", suspect="P3")
+        recorder.record("shed", peer="P2", query_id="q2")
+        assert len(recorder) == 3
+        sheds = recorder.events(kind="shed")
+        assert [r["t"] for r in sheds] == [5.0, 6.0]
+        assert recorder.events(kind="shed", peer="P2") == [
+            {"t": 6.0, "kind": "shed", "peer": "P2", "query_id": "q2"}
+        ]
+        assert recorder.counts["shed"] == 2
+
+    def test_bounded_ring_drops_oldest(self):
+        recorder = FlightRecorder(clock=FakeClock(), capacity=2)
+        for i in range(5):
+            recorder.record("shed", query_id=f"q{i}")
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert [r["query_id"] for r in recorder.events()] == ["q3", "q4"]
+        assert recorder.counts["shed"] == 5  # counts survive eviction
+
+    def test_export_schema(self):
+        recorder = FlightRecorder(clock=FakeClock())
+        recorder.record("replan", peer="P1", failed_peer="P2", attempt=1)
+        export = recorder.export()
+        assert export["schema"] == EVENT_SCHEMA
+        assert export["counts"] == {"replan": 1}
+        json.dumps(export)  # JSON-clean without default=str
+
+    def test_sink_sees_every_record(self):
+        seen = []
+        recorder = FlightRecorder(clock=FakeClock(), sink=seen.append)
+        recorder.record("crash", peer="P1")
+        assert seen == [{"t": 0.0, "kind": "crash", "peer": "P1"}]
+
+    def test_documented_kinds_are_strings(self):
+        assert "shed" in KNOWN_KINDS and "breaker_trip" in KNOWN_KINDS
+
+
+class TestJsonlSink:
+    def test_appends_one_json_line_per_record(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink({"t": 1.0, "kind": "shed"})
+        sink({"t": 2.0, "kind": "crash", "peer": "P1"})
+        # durable without close(): flushed per write
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["kind"] for line in lines] == ["shed", "crash"]
+        sink.close()
+
+
+class TestSlowQueryLog:
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=0.0)
+
+    def test_only_logs_above_threshold(self):
+        log = SlowQueryLog(threshold=100.0)
+        log.observe("fast", 50.0)
+        log.observe("slow", 150.0)
+        assert log.observed == 2
+        assert [e["query_id"] for e in log.entries] == ["slow"]
+
+    def test_keeps_the_worst_n(self):
+        log = SlowQueryLog(threshold=10.0, capacity=2)
+        for i, latency in enumerate((20.0, 40.0, 30.0)):
+            log.observe(f"q{i}", latency)
+        assert [e["latency"] for e in log.entries] == [40.0, 30.0]
+
+    def test_attaches_the_trace_when_collected(self):
+        class StubCollector:
+            def trace_ids(self):
+                return ["q1"]
+
+            def export(self, trace_id):
+                return {"schema": "repro.obs/trace-v1", "traces": [trace_id]}
+
+        log = SlowQueryLog(threshold=10.0, collector=StubCollector())
+        log.observe("q1", 99.0)
+        log.observe("q2", 99.0)  # no trace collected for this one
+        by_id = {e["query_id"]: e for e in log.entries}
+        assert by_id["q1"]["trace"]["traces"] == ["q1"]
+        assert "trace" not in by_id["q2"]
+
+    def test_on_slow_callback_and_metricset_hook(self):
+        dumped = []
+        metrics = MetricSet()
+        log = SlowQueryLog(threshold=100.0, on_slow=dumped.append).install(metrics)
+        metrics.query_started("q1", time=0.0)
+        metrics.query_finished("q1", time=500.0)
+        metrics.query_started("q2", time=0.0)
+        metrics.query_finished("q2", time=5.0)
+        assert log.observed == 2
+        assert [e["query_id"] for e in dumped] == ["q1"]

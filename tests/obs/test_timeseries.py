@@ -1,0 +1,110 @@
+"""Tests for the windowed time-series layer (repro.obs.telemetry)."""
+
+import pytest
+
+from repro.obs.telemetry import TimeSeries, delta_buckets, percentile_from_buckets
+
+
+class TestRing:
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ValueError):
+            TimeSeries(capacity=1)
+
+    def test_appends_in_order(self):
+        series = TimeSeries(capacity=4)
+        for t in range(3):
+            series.append(float(t), float(t * 10))
+        assert len(series) == 3
+        assert series.samples() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+        assert series.latest() == (2.0, 20.0)
+
+    def test_overwrites_oldest_at_capacity(self):
+        series = TimeSeries(capacity=3)
+        for t in range(5):
+            series.append(float(t), float(t))
+        assert len(series) == 3
+        assert series.samples() == [(2.0, 2.0), (3.0, 3.0), (4.0, 4.0)]
+        assert series.latest() == (4.0, 4.0)
+
+    def test_window_filters_on_time(self):
+        series = TimeSeries(capacity=10)
+        for t in (0.0, 5.0, 9.0, 10.0):
+            series.append(t, t)
+        assert [t for t, _ in series.window(5.0)] == [5.0, 9.0, 10.0]
+        assert [t for t, _ in series.window(5.0, now=20.0)] == []
+
+
+class TestIncreaseAndRate:
+    def test_monotone_growth(self):
+        series = TimeSeries()
+        for t, value in ((0.0, 10.0), (1.0, 15.0), (2.0, 25.0)):
+            series.append(t, value)
+        assert series.increase(10.0) == pytest.approx(15.0)
+        assert series.rate(10.0) == pytest.approx(7.5)
+
+    def test_single_sample_is_zero(self):
+        series = TimeSeries()
+        series.append(0.0, 42.0)
+        assert series.increase(10.0) == 0.0
+        assert series.rate(10.0) == 0.0
+
+    def test_counter_reset_counts_growth_from_zero(self):
+        # a restarted peer's counter starts over: 100 -> 3 means
+        # "+3 since the restart", not "-97"
+        series = TimeSeries()
+        for t, value in ((0.0, 100.0), (1.0, 3.0), (2.0, 8.0)):
+            series.append(t, value)
+        assert series.increase(10.0) == pytest.approx(8.0)
+
+    def test_zero_elapsed_rate_is_zero(self):
+        series = TimeSeries()
+        series.append(1.0, 5.0)
+        series.append(1.0, 9.0)
+        assert series.rate(10.0) == 0.0
+
+
+class TestDeltaBuckets:
+    def test_growth_between_snapshots(self):
+        earlier = [(1.0, 2), (2.0, 5)]
+        later = [(1.0, 3), (2.0, 7), (4.0, 8)]
+        assert delta_buckets(earlier, later) == [(1.0, 1), (2.0, 1), (4.0, 1)]
+
+    def test_no_growth_is_empty(self):
+        snapshot = [(1.0, 2), (2.0, 5)]
+        assert delta_buckets(snapshot, snapshot) == []
+
+    def test_reset_returns_later_snapshot_whole(self):
+        earlier = [(1.0, 10), (2.0, 20)]
+        later = [(1.0, 1), (2.0, 2)]
+        assert delta_buckets(earlier, later) == [(1.0, 1), (2.0, 1)]
+
+    def test_fresh_peer_with_empty_earlier(self):
+        assert delta_buckets([], [(1.0, 2)]) == [(1.0, 2)]
+
+
+class TestPercentileFromBuckets:
+    def test_empty_is_none(self):
+        assert percentile_from_buckets([], 50) is None
+        assert percentile_from_buckets([(1.0, 0)], 50, cumulative=True) is None
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile_from_buckets([(1.0, 1)], 101)
+
+    def test_single_bucket_interpolates_from_zero(self):
+        assert percentile_from_buckets([(10.0, 2)], 50) == pytest.approx(5.0)
+        assert percentile_from_buckets([(10.0, 2)], 100) == pytest.approx(10.0)
+
+    def test_cumulative_and_delta_forms_agree(self):
+        delta = [(1.0, 2), (2.0, 3), (4.0, 5)]
+        cumulative = [(1.0, 2), (2.0, 5), (4.0, 10)]
+        for p in (0, 10, 50, 90, 99, 100):
+            assert percentile_from_buckets(delta, p) == pytest.approx(
+                percentile_from_buckets(cumulative, p, cumulative=True)
+            )
+
+    def test_high_quantile_lands_in_top_bucket(self):
+        buckets = [(1.0, 98), (100.0, 2)]
+        p99 = percentile_from_buckets(buckets, 99)
+        assert 1.0 <= p99 <= 100.0
+        assert percentile_from_buckets(buckets, 50) <= 1.0

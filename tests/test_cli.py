@@ -122,6 +122,48 @@ class TestTrace:
         assert "· " in without_flag
 
 
+class TestTraceFollow:
+    def test_query_filter_hits(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--json", str(path)]) == 0
+        trace_id = json.loads(path.read_text())["traces"][0]["trace_id"]
+        capsys.readouterr()
+        assert main(["trace", "--query", trace_id, "--check"]) == 0
+        assert "trace OK" in capsys.readouterr().err
+
+    def test_query_filter_miss_lists_available(self, capsys):
+        assert main(["trace", "--query", "nope-q9"]) == 1
+        err = capsys.readouterr().err
+        assert "no trace for query 'nope-q9'" in err
+        assert "collected:" in err
+
+    def test_from_export_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--json", str(path)]) == 0
+        trace_id = json.loads(path.read_text())["traces"][0]["trace_id"]
+        capsys.readouterr()
+        assert main(["trace", "--from", str(path), "--query", trace_id,
+                     "--check"]) == 0
+        captured = capsys.readouterr()
+        assert "query @client1" in captured.out
+        assert "trace OK" in captured.err
+
+    def test_from_export_miss(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--json", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--from", str(path), "--query", "absent"]) == 1
+        assert "export holds:" in capsys.readouterr().err
+
+    def test_from_unreadable_file(self, tmp_path, capsys):
+        assert main(["trace", "--from", str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
 class TestMetrics:
     def test_metrics_exposition(self, capsys):
         assert main(["metrics", "--queries", "2"]) == 0
@@ -134,6 +176,74 @@ class TestMetrics:
     def test_metrics_adhoc(self, capsys):
         assert main(["metrics", "--arch", "adhoc", "--queries", "1"]) == 0
         assert "repro_messages_total" in capsys.readouterr().out
+
+
+class TestMetricsWatch:
+    def test_watch_without_a_source_is_an_error(self, capsys):
+        assert main(["metrics", "--watch", "1"]) == 2
+        assert "--watch needs" in capsys.readouterr().err
+
+    def test_scrape_empty_dir(self, tmp_path, capsys):
+        assert main(["metrics", "--scrape", str(tmp_path)]) == 1
+        assert "*.endpoint.json" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_empty_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path)]) == 1
+        assert "no *.endpoint.json" in capsys.readouterr().err
+
+    def test_dead_endpoints_render_as_down(self, tmp_path, capsys):
+        import socket
+
+        from repro.obs.telemetry import write_endpoint_file
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        write_endpoint_file(tmp_path, "P1", "127.0.0.1", port)
+        assert main(["top", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "peers 0/1 up" in out
+        assert "availability 0%" in out
+        assert "down" in out
+
+
+class TestAlerts:
+    def test_demo_fires_the_shed_rate_alert(self, capsys):
+        assert main(["alerts", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "FIRING" in out and "shed-rate" in out
+        assert "fired rules:" in out
+
+    def test_no_directory_and_no_demo_is_usage_error(self, capsys):
+        assert main(["alerts"]) == 2
+        assert "--demo" in capsys.readouterr().err
+
+    def test_replay_reports_transitions_and_active(self, tmp_path, capsys):
+        import json
+
+        records = [
+            {"kind": "rollup", "t": 1.0},
+            {"kind": "alert", "schema": "repro.obs/alert-v1", "state": "firing",
+             "rule": "shed-rate", "scope": "cluster", "t": 1.0,
+             "metric": "shed_rate", "value": 0.4, "threshold": 0.25,
+             "op": ">", "window": 60.0},
+            {"kind": "rollup", "t": 2.0},
+        ]
+        (tmp_path / "timeline.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["alerts", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "FIRING" in captured.out and "shed-rate" in captured.out
+        assert "2 scrape rounds, 1 transitions, 1 still firing" in captured.err
+        assert main(["alerts", str(tmp_path), "--fail-on-active"]) == 1
+
+    def test_replay_without_timeline(self, tmp_path, capsys):
+        assert main(["alerts", str(tmp_path)]) == 1
+        assert "no timeline.jsonl" in capsys.readouterr().err
 
 
 class TestServe:
