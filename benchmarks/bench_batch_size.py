@@ -11,9 +11,12 @@ wall-clock time, simulator messages and shipped data packets.
 
 Invariants asserted by the pytest entry points:
 
-* identical answers at every batch size, vectorized or scalar;
+* identical answers at every batch size, vectorized, scalar,
+  dictionary-encoded or cost-based;
 * ``batch_size=256`` beats the scalar engine by ≥ 2x wall-clock;
-* ``batch_size=256`` ships ≥ 10x fewer simulator messages.
+* ``batch_size=256`` ships ≥ 10x fewer simulator messages;
+* the dictionary-encoded engine under the cost-based planner beats the
+  scalar engine by ≥ 10x wall-clock.
 
 ``python -m benchmarks.bench_batch_size --quick`` runs a scaled-down
 sweep for the CI bench-smoke job (same table, smaller bases).
@@ -54,11 +57,21 @@ def _bases(statements: int):
     ).bases
 
 
-def run_once(vectorize: bool, batch_size: int, statements: int = FULL_STATEMENTS):
-    """One end-to-end query; returns a measurement dict."""
+def run_once(
+    vectorize: bool,
+    batch_size: int,
+    statements: int = FULL_STATEMENTS,
+    **options,
+):
+    """One end-to-end query; returns a measurement dict.
+
+    Extra keyword ``options`` (``encode=``, ``cost_based=``, ...) are
+    forwarded to :class:`~repro.systems.HybridSystem` verbatim.
+    """
     bases = _bases(statements)
     system = HybridSystem(
-        SYNTH.schema, seed=SEED, vectorize=vectorize, batch_size=batch_size
+        SYNTH.schema, seed=SEED, vectorize=vectorize, batch_size=batch_size,
+        **options,
     )
     system.add_super_peer("SP")
     for peer_id in PEERS:
@@ -81,27 +94,31 @@ def run_once(vectorize: bool, batch_size: int, statements: int = FULL_STATEMENTS
     }
 
 
-#: (label, vectorize, batch_size) sweep — "scalar" is the seed engine
+#: (label, vectorize, batch_size, extra options) sweep — "scalar" is the
+#: seed engine; "encoded+cost" is the dictionary-encoded columnar engine
+#: under the cost-based planner (PR 9's headline configuration)
 SWEEP = [
-    ("scalar", False, 256),
-    ("batch-1", True, 1),
-    ("batch-8", True, 8),
-    ("batch-32", True, 32),
-    ("batch-256", True, 256),
+    ("scalar", False, 256, {}),
+    ("batch-1", True, 1, {}),
+    ("batch-8", True, 8, {}),
+    ("batch-32", True, 32, {}),
+    ("batch-256", True, 256, {}),
+    ("encoded", True, 256, {"encode": True}),
+    ("encoded+cost", True, 256, {"encode": True, "cost_based": True}),
 ]
 
 
 def sweep(statements: int = FULL_STATEMENTS):
     results = {}
-    for label, vectorize, batch_size in SWEEP:
-        results[label] = run_once(vectorize, batch_size, statements)
+    for label, vectorize, batch_size, options in SWEEP:
+        results[label] = run_once(vectorize, batch_size, statements, **options)
     return results
 
 
 def _table_text(results) -> str:
     scalar = results["scalar"]
     rows = []
-    for label, _, _ in SWEEP:
+    for label, _, _, _ in SWEEP:
         r = results[label]
         rows.append((
             label,
@@ -142,9 +159,23 @@ def report(statements: int = FULL_STATEMENTS) -> str:
             "seed": SEED,
             "peers": len(PEERS),
             "statements_per_segment": statements,
-            "batch_sizes": [bs for _, vec, bs in SWEEP if vec],
+            "batch_sizes": [bs for _, vec, bs, _ in SWEEP if vec],
         },
-        metrics=results["batch-256"]["summary"],
+        metrics={
+            **results["batch-256"]["summary"],
+            # speedups over the seed's scalar engine — the CI cost-smoke
+            # job asserts on these from the machine-readable JSON
+            "speedup_batch_256": round(
+                results["scalar"]["wall"]
+                / max(results["batch-256"]["wall"], 1e-9),
+                2,
+            ),
+            "speedup_encoded_cost": round(
+                results["scalar"]["wall"]
+                / max(results["encoded+cost"]["wall"], 1e-9),
+                2,
+            ),
+        },
     )
 
 
@@ -171,8 +202,34 @@ def bench_all_batch_sizes_agree(benchmark):
     """Every engine in the sweep returns the same binding multiset."""
     results = benchmark(lambda: sweep(QUICK_STATEMENTS))
     reference = results["scalar"]["table"]
-    for label, _, _ in SWEEP:
+    for label, _, _, _ in SWEEP:
         assert results[label]["table"] == reference, label
+
+
+def bench_encoded_cost_beats_scalar_10x(benchmark):
+    """PR 9's headline: the dictionary-encoded columnar engine under
+    the cost-based planner beats the seed's scalar engine by ≥ 10x
+    wall-clock on the full workload, with an identical answer table.
+
+    Wall-clock compares the best of three runs per engine."""
+    encoded = benchmark(lambda: run_once(True, 256, encode=True, cost_based=True))
+    scalar = run_once(False, 256)
+    assert encoded["table"] == scalar["table"]
+    encoded_wall = min(
+        [encoded["wall"]]
+        + [
+            run_once(True, 256, encode=True, cost_based=True)["wall"]
+            for _ in range(2)
+        ]
+    )
+    scalar_wall = min(
+        [scalar["wall"]] + [run_once(False, 256)["wall"] for _ in range(2)]
+    )
+    assert scalar_wall >= 10.0 * encoded_wall, (
+        f"speedup only {scalar_wall / encoded_wall:.1f}x "
+        f"(scalar {scalar_wall * 1000:.1f}ms, encoded+cost "
+        f"{encoded_wall * 1000:.1f}ms)"
+    )
 
 
 def bench_batch_size_one_matches_scalar_messages(benchmark):

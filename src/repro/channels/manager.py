@@ -13,12 +13,14 @@ from typing import Callable, Dict, List, Optional, Set
 from ..core.algebra import PlanNode
 from ..errors import ChannelError
 from ..execution.batch import concat_tables
+from ..execution.encoded import decode_table
 from ..net.message import Message
 from ..net.simulator import Network
 from ..resilience.retry import RetryPolicy
+from ..rdf.terms import Term
 from ..rql.bindings import BindingTable
 from .channel import Channel
-from .packets import DataPacket, SubPlanPacket, TreePath
+from .packets import DataPacket, DictionaryPacket, SubPlanPacket, TreePath
 
 #: Continuation invoked with (table, failed_peer) when a channel completes.
 ChannelCallback = Callable[[Optional[BindingTable], Optional[str]], None]
@@ -58,6 +60,20 @@ class ChannelManager:
         #: channels torn down by a replan: late packets for them count
         #: as discarded bindings instead of silently vanishing
         self._discarded: Set[str] = set()
+        #: per-channel id → term mapping (encoded streams), from the
+        #: channel's DictionaryPacket
+        self._dictionaries: Dict[str, Dict[int, Term]] = {}
+        #: the owning peer's term dictionary, bound at join when the
+        #: peer runs encoded: arriving streams are *translated* into
+        #: this id space (one encode per dictionary entry, not per
+        #: cell) so the coordinator's whole pipeline stays on ints
+        self.wire_dictionary = None
+        #: per-channel sender-id → owner-id translation tables
+        self._translations: Dict[str, Dict[int, int]] = {}
+        #: encoded packets that raced ahead of their dictionary
+        #: (delivery delay grows with size, and the dictionary packet
+        #: is usually the largest) — drained on dictionary arrival
+        self._undecodable: Dict[str, List[DataPacket]] = {}
         self._metrics = None  # bound by Peer.join
         self._scheduler = None  # bound by Peer.install_scheduler
 
@@ -192,6 +208,26 @@ class ChannelManager:
 
         network.call_later(retry.timeout(attempt), check)
 
+    def on_dictionary(self, packet: DictionaryPacket) -> None:
+        """Install an encoded channel's id → term mapping and drain any
+        data packets that arrived before it (idempotent: a duplicated
+        dictionary merges into the same mapping)."""
+        channel = self._channels.get(packet.channel_id)
+        if channel is None or not channel.is_open:
+            return  # unknown or torn down: buffered packets were counted at discard
+        mapping = self._dictionaries.setdefault(packet.channel_id, {})
+        mapping.update(packet.entries)
+        if self.wire_dictionary is not None:
+            translation = self._translations.setdefault(packet.channel_id, {})
+            encode = self.wire_dictionary.encode
+            for tid, term in packet.entries:
+                translation[tid] = encode(term)
+        self._activity[packet.channel_id] = self._activity.get(packet.channel_id, 0) + 1
+        pending = self._undecodable.pop(packet.channel_id, None)
+        if pending:
+            for data_packet in pending:
+                self.on_data(data_packet)
+
     def on_data(self, packet: DataPacket) -> None:
         """Dispatch a data packet to the channel's continuation."""
         channel = self._channels.get(packet.channel_id)
@@ -202,7 +238,14 @@ class ChannelManager:
             if packet.channel_id in self._discarded:
                 # the replan already tore this channel down: these
                 # bindings were computed for nothing — account them
-                self._record_discarded(len(packet.table))
+                self._record_discarded(packet.rows)
+            return
+        if packet.encoded is not None and packet.channel_id not in self._dictionaries:
+            # encoded data raced ahead of its dictionary: hold it
+            self._activity[packet.channel_id] = (
+                self._activity.get(packet.channel_id, 0) + 1
+            )
+            self._undecodable.setdefault(packet.channel_id, []).append(packet)
             return
         seen = self._received_seqs.setdefault(packet.channel_id, set())
         if packet.seq in seen:
@@ -210,11 +253,34 @@ class ChannelManager:
             # original answer raced: never union the same rows twice
             return
         seen.add(packet.seq)
+        if packet.encoded is not None:
+            if self.wire_dictionary is not None:
+                table = self._translate_encoded(packet)
+            else:
+                table = decode_table(
+                    packet.encoded, self._dictionaries[packet.channel_id]
+                )
+        elif (
+            self.wire_dictionary is not None
+            and packet.failed_peer is None
+            and packet.table.columns
+            and packet.table.rows
+        ):
+            # a scalar stream arriving at an encoding root (mixed
+            # deployment): intern the terms so the pipeline stays in
+            # one id space
+            encode = self.wire_dictionary.encode
+            table = BindingTable(packet.table.columns)
+            table.rows.extend(
+                tuple(encode(term) for term in row) for row in packet.table.rows
+            )
+        else:
+            table = packet.table
         self._activity[packet.channel_id] = self._activity.get(packet.channel_id, 0) + 1
-        channel.record_tuples(len(packet.table))
+        channel.record_tuples(len(table))
         if channel.span is not None:
             channel.span.annotate(
-                f"data seq={packet.seq} rows={len(packet.table)}"
+                f"data seq={packet.seq} rows={len(table)}"
                 + (" final" if packet.final else "")
             )
         if packet.failed_peer is not None:
@@ -228,21 +294,40 @@ class ChannelManager:
             self._final_seqs[packet.channel_id] = packet.seq
         progress = self._progress.get(packet.channel_id)
         if progress is not None:
-            progress(packet.table)
+            progress(table)
         else:
-            self._buffers.setdefault(packet.channel_id, []).append(packet.table)
+            self._buffers.setdefault(packet.channel_id, []).append(table)
         final_seq = self._final_seqs.get(packet.channel_id)
         if final_seq is None or len(seen) < final_seq + 1:
             return  # chunks still outstanding
         channel.close()
         self._final_seqs.pop(packet.channel_id, None)
+        self._dictionaries.pop(packet.channel_id, None)
+        self._translations.pop(packet.channel_id, None)
         if progress is not None:
             self._progress.pop(packet.channel_id, None)
-            self._finish(packet.channel_id, BindingTable(packet.table.columns), None)
+            self._finish(packet.channel_id, BindingTable(table.columns), None)
             return
         chunks = self._buffers.pop(packet.channel_id, None)
-        table = concat_tables(chunks) if chunks else packet.table
+        table = concat_tables(chunks) if chunks else table
         self._finish(packet.channel_id, table, None)
+
+    def _translate_encoded(self, packet: DataPacket) -> BindingTable:
+        """Map an encoded chunk's cells sender-id → owner-id, yielding
+        an *id table* in the owning peer's dictionary space."""
+        encoded = packet.encoded
+        translation = self._translations.get(packet.channel_id)
+        table = BindingTable(encoded.columns)
+        if not encoded.columns:
+            table.rows.extend(() for _ in range(encoded.length))
+            return table
+        if translation is None:
+            raise ChannelError(
+                f"encoded data on {packet.channel_id} before its dictionary"
+            )
+        translated = [[translation[i] for i in column] for column in encoded.ids]
+        table.rows.extend(zip(*translated))
+        return table
 
     def on_failure(self, channel_id: str) -> None:
         """Transport-level failure of the channel's destination."""
@@ -256,6 +341,9 @@ class ChannelManager:
         self._received_seqs.pop(channel_id, None)
         self._activity.pop(channel_id, None)
         self._final_seqs.pop(channel_id, None)
+        self._dictionaries.pop(channel_id, None)
+        self._translations.pop(channel_id, None)
+        self._undecodable.pop(channel_id, None)
         callback = self._callbacks.pop(channel_id, None)
         if callback is None:
             return
@@ -295,10 +383,15 @@ class ChannelManager:
         chunks = self._buffers.pop(channel_id, None)
         if chunks:
             self._record_discarded(sum(len(chunk) for chunk in chunks))
+        undecoded = self._undecodable.pop(channel_id, None)
+        if undecoded:
+            self._record_discarded(sum(p.rows for p in undecoded))
         self._progress.pop(channel_id, None)
         self._received_seqs.pop(channel_id, None)
         self._activity.pop(channel_id, None)
         self._final_seqs.pop(channel_id, None)
+        self._dictionaries.pop(channel_id, None)
+        self._translations.pop(channel_id, None)
 
     def discard_all(self) -> int:
         """Discard every open channel; returns how many were open."""

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..core.algebra import PlanNode, count_scans
+from ..execution.encoded import EncodedTable
+from ..rdf.terms import Term
 from ..rql.bindings import BindingTable
 
 #: Relative tree path inside a shipped subplan.
@@ -56,6 +58,10 @@ class DataPacket:
         seq: Position of this packet in the channel's stream.  The root
             deduplicates on it, so duplicated or retransmitted packets
             never union the same rows twice.
+        encoded: With dictionary encoding on, the bindings travel as an
+            :class:`~repro.execution.encoded.EncodedTable` of ids (the
+            channel's :class:`DictionaryPacket` supplies the mapping);
+            ``table`` is then an empty placeholder carrying the columns.
     """
 
     channel_id: str
@@ -63,9 +69,33 @@ class DataPacket:
     final: bool = True
     failed_peer: Optional[str] = None
     seq: int = 0
+    encoded: Optional[EncodedTable] = None
+
+    @property
+    def rows(self) -> int:
+        """Bindings carried, whichever representation is in use."""
+        return self.encoded.length if self.encoded is not None else len(self.table)
 
     def size_bytes(self) -> int:
+        if self.encoded is not None:
+            return 64 + self.encoded.size_bytes()
         return 64 + self.table.size_bytes()
+
+
+@dataclass(frozen=True)
+class DictionaryPacket:
+    """Destination → root: dictionary entries for an encoded stream.
+
+    Ships once per channel, before the data packets whose id columns it
+    decodes.  Only the ids the stream actually references travel (the
+    peer's full dictionary stays home).
+    """
+
+    channel_id: str
+    entries: Tuple[Tuple[int, Term], ...] = ()
+
+    def size_bytes(self) -> int:
+        return 64 + sum(4 + len(term.n3()) for _, term in self.entries)
 
 
 @dataclass(frozen=True)

@@ -116,6 +116,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="bindings per shipped data packet when vectorizing "
         "(default 256)",
     )
+    query.add_argument(
+        "--cost-based",
+        action="store_true",
+        help="statistics-driven planning: peers advertise per-predicate "
+        "statistics, joins are ordered by estimated cardinality and the "
+        "cost model places operators (off: the rule-based path)",
+    )
+    query.add_argument(
+        "--encode",
+        action="store_true",
+        help="dictionary-encoded columnar execution: scans run over "
+        "interned id columns and results ship encoded",
+    )
     query.add_argument("text", help="RQL query text")
 
     chaos = commands.add_parser(
@@ -419,6 +432,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         cache_enabled=not args.no_cache,
         vectorize=not args.no_vectorize,
         batch_size=args.batch_size,
+        cost_based=args.cost_based,
+        encode=args.encode,
     )
     system.add_super_peer("SP")
     names = []

@@ -111,15 +111,22 @@ class BindingBatch:
         build, probe, build_is_self = (self, other, True)
         if other.length < self.length:
             build, probe, build_is_self = (other, self, False)
-        build_keys = list(zip(*(build.data[c] for c in shared)))
-        buckets: Dict[Tuple[Term, ...], List[int]] = {}
+        if len(shared) == 1:
+            # single-key fast path: hash the values directly instead of
+            # boxing every key into a 1-tuple (the common case for both
+            # chain joins and dictionary-encoded int columns)
+            build_keys: Sequence = build.data[shared[0]]
+            probe_keys: Iterable = probe.data[shared[0]]
+        else:
+            build_keys = list(zip(*(build.data[c] for c in shared)))
+            probe_keys = zip(*(probe.data[c] for c in shared))
+        buckets: Dict[object, List[int]] = {}
         for index, key in enumerate(build_keys):
             bucket = buckets.get(key)
             if bucket is None:
                 buckets[key] = [index]
             else:
                 bucket.append(index)
-        probe_keys = zip(*(probe.data[c] for c in shared))
         build_idx: List[int] = []
         probe_idx: List[int] = []
         get = buckets.get

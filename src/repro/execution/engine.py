@@ -30,7 +30,14 @@ from ..net.simulator import Network
 from ..obs.tracer import NULL_SPAN
 from ..rql.bindings import BindingTable
 from .batch import concat_tables
-from .operators import join_all, union_all, vjoin_all, vunion_all
+from .operators import (
+    join_all,
+    union_all,
+    vjoin_all,
+    vjoin_all_distinct,
+    vunion_all,
+    vunion_all_distinct,
+)
 
 #: Completion continuation: (result table or None, failed peer or None).
 Completion = Callable[[Optional[BindingTable], Optional[str]], None]
@@ -84,6 +91,7 @@ class PlanExecutor:
         pipelined: bool = False,
         retry=None,
         trace=None,
+        keep_variables: Optional[set] = None,
     ):
         self.host = host
         self.network = network
@@ -99,6 +107,17 @@ class PlanExecutor:
         #: hosting peer's ``--no-vectorize`` escape hatch flips this
         #: back to the seed's binding-at-a-time path
         self.vectorize = bool(getattr(host, "vectorize", True))
+        #: dictionary-encoded pipeline: intermediates are id tables and
+        #: the final answer is a distinct projection, so combines can
+        #: de-duplicate eagerly (never on the seed-identical default)
+        self.encoded = bool(getattr(host, "encode", False))
+        #: the variables the plan's *consumer* needs (projections plus
+        #: condition variables), set only by a coordinator that owns the
+        #: whole query: encoded combines then prune dead columns, which
+        #: is what keeps chain-join intermediates from exploding.  A
+        #: serving peer never sets it — a shipped subplan's raw width is
+        #: part of its contract with the root.
+        self.keep_variables = keep_variables
         self.span = NULL_SPAN
         #: virtual time of the first output rows (pipelined mode)
         self.first_output_at: Optional[float] = None
@@ -131,7 +150,12 @@ class PlanExecutor:
         if self.pipelined:
             self._start_pipelined()
         else:
-            self._execute(self.plan, (), self._finish_ok)
+            needed = (
+                self.keep_variables
+                if self.vectorize and self.encoded and self.keep_variables is not None
+                else None
+            )
+            self._execute(self.plan, (), self._finish_ok, needed)
 
     def _start_pipelined(self) -> None:
         """Pipelined evaluation (Section 2.5's 'pipeline way'): stream
@@ -226,7 +250,11 @@ class PlanExecutor:
         return self.host.peer_id
 
     def _execute(
-        self, node: PlanNode, path: TreePath, k: Callable[[BindingTable], None]
+        self,
+        node: PlanNode,
+        path: TreePath,
+        k: Callable[[BindingTable], None],
+        needed: Optional[set] = None,
     ) -> None:
         if isinstance(node, Hole):
             raise PlanningError(
@@ -248,13 +276,27 @@ class PlanExecutor:
                 self._ship(node, path, node.peer_id, k)
             return
         children = node.children()
-        if self.vectorize:
+        if self.vectorize and self.encoded:
+            if isinstance(node, Union):
+                combine = lambda tables: vunion_all_distinct(tables, needed)
+            else:
+                combine = lambda tables: vjoin_all_distinct(tables, needed)
+        elif self.vectorize:
             combine = vunion_all if isinstance(node, Union) else vjoin_all
         else:
             combine = union_all if isinstance(node, Union) else join_all
         gather = _Gather(len(children), combine, k)
+        child_vars = [set(child.variables()) for child in children]
         for index, child in enumerate(children):
-            self._execute(child, path + (index,), gather.collector(index))
+            child_needed: Optional[set] = None
+            if needed is not None:
+                # what the rest of the query references: the consumer's
+                # variables plus every sibling's (join keys included)
+                child_needed = set(needed)
+                for j, variables in enumerate(child_vars):
+                    if j != index:
+                        child_needed |= variables
+            self._execute(child, path + (index,), gather.collector(index), child_needed)
 
     # ------------------------------------------------------------------
     # pipelined execution (Section 2.5's "pipeline way")

@@ -21,13 +21,28 @@ from ..rdf.inference import InferredView
 from ..rdf.schema import Schema
 from ..rql.bindings import BindingTable
 from ..rql.evaluator import evaluate_path_pattern
+from .encoded import EncodedBase, evaluate_scan_encoded
 from .operators import join_all, vjoin_all
 
 
 def evaluate_scan(
-    scan: Scan, base: Graph, schema: Schema, vectorize: bool = True
+    scan: Scan,
+    base: Graph,
+    schema: Schema,
+    vectorize: bool = True,
+    encoded: "EncodedBase" = None,
+    decode: bool = True,
 ) -> BindingTable:
-    """Evaluate a (possibly composite) scan against a local base."""
+    """Evaluate a (possibly composite) scan against a local base.
+
+    With an :class:`~repro.execution.encoded.EncodedBase` supplied the
+    scan runs on its cached dictionary-encoded columns instead of
+    re-matching triples (same entailment semantics, shared matcher);
+    ``decode=False`` additionally keeps the result as an id table in
+    that base's dictionary space.
+    """
+    if encoded is not None:
+        return evaluate_scan_encoded(scan, encoded, decode=decode)
     view = InferredView(base, schema)
     tables = [evaluate_path_pattern(pattern, view) for pattern in scan.patterns()]
     return vjoin_all(tables) if vectorize else join_all(tables)

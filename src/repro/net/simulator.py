@@ -257,7 +257,7 @@ class Network:
                 delay=link.delay(message.size),
             )
             if message.kind == "DataPacket":
-                self.metrics.record_batch(len(message.payload.table))
+                self.metrics.record_batch(message.payload.rows)
             self.transport.transmit_remote(message)
             return
         link = self.link(message.src, message.dst)
@@ -269,7 +269,7 @@ class Network:
             # vectorized-execution accounting: each DataPacket carries
             # one binding batch; how full it is drives the batch-size
             # experiments (bench_batch_size)
-            self.metrics.record_batch(len(message.payload.table))
+            self.metrics.record_batch(message.payload.rows)
         faults = self.faults
         if faults is not None:
             if faults.partitioned(message.src, message.dst, self.now) or faults.drops(

@@ -12,10 +12,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Type
 
 from ..channels.manager import ChannelManager
-from ..channels.packets import DataPacket, StatsPacket, SubPlanPacket
+from ..channels.packets import DataPacket, DictionaryPacket, StatsPacket, SubPlanPacket
 from ..core.algebra import Scan
 from ..errors import PeerError
 from ..execution.batch import split_table
+from ..execution.encoded import (
+    EncodedBase,
+    EncodedTable,
+    encode_cells,
+    encode_table,
+    is_id_table,
+    split_encoded,
+)
 from ..execution.engine import PlanExecutor
 from ..execution.local import evaluate_scan
 from ..net.message import DeliveryFailure, Message
@@ -47,6 +55,7 @@ class PeerBase:
         self.graph = graph
         self.schema = schema
         self.views = tuple(views)
+        self._encoded: Optional[EncodedBase] = None
 
     def active_schema(self, peer_id: str) -> ActiveSchema:
         """The advertisement for this base.
@@ -63,8 +72,34 @@ class PeerBase:
             return merged
         return ActiveSchema.from_base(self.graph, self.schema, peer_id)
 
-    def evaluate_scan(self, scan: Scan, vectorize: bool = True) -> BindingTable:
-        """Evaluate a (composite) scan against this base."""
+    def encoded_base(self) -> EncodedBase:
+        """The base's dictionary-encoded columnar twin (built lazily,
+        column caches invalidated through ``Graph.version``)."""
+        if self._encoded is None:
+            self._encoded = EncodedBase(self.graph, self.schema)
+        return self._encoded
+
+    def evaluate_scan(
+        self,
+        scan: Scan,
+        vectorize: bool = True,
+        encode: bool = False,
+        decode: bool = True,
+    ) -> BindingTable:
+        """Evaluate a (composite) scan against this base.
+
+        ``decode=False`` (encoded only) returns an *id table* in this
+        base's dictionary space instead of materialised terms.
+        """
+        if encode:
+            return evaluate_scan(
+                scan,
+                self.graph,
+                self.schema,
+                vectorize=vectorize,
+                encoded=self.encoded_base(),
+                decode=decode,
+            )
         return evaluate_scan(scan, self.graph, self.schema, vectorize=vectorize)
 
 
@@ -93,6 +128,11 @@ class Peer:
     #: maximum bindings per shipped DataPacket when :attr:`vectorize`
     #: is on (larger results fragment back-to-back, no pacing delay)
     batch_size: int = 256
+    #: dictionary-encoded execution: scans run on cached int32 columns
+    #: (warmed at join time) and results travel as id columns with the
+    #: channel's dictionary shipped once; off keeps the scalar wire
+    #: format bit-identical to the seed
+    encode: bool = False
 
     def __init__(
         self,
@@ -185,6 +225,15 @@ class Peer:
         self.network = network
         # discarded-binding accounting flows through the channel manager
         self.channels.bind_metrics(network.metrics)
+        if self.encode:
+            # columnar ingest: precompute every declared path's encoded
+            # columns now, so query-time scans are pure cache hits
+            for base in self.all_bases():
+                base.encoded_base().warm()
+            if self.base is not None:
+                # arriving streams translate into the primary base's id
+                # space: the whole coordinator pipeline runs on ints
+                self.channels.wire_dictionary = self.base.encoded_base().dictionary
 
     def _require_network(self) -> Network:
         if self.network is None:
@@ -220,7 +269,17 @@ class Peer:
         if base is None:
             # no base speaks this vocabulary: the empty table
             return BindingTable(scan.patterns()[0].variables() if scan.patterns() else ())
-        return base.evaluate_scan(scan, vectorize=self.vectorize)
+        if self.encode and self.base is not None:
+            if base is self.base:
+                # stay in the primary dictionary's id space end to end
+                return base.evaluate_scan(
+                    scan, vectorize=self.vectorize, encode=True, decode=False
+                )
+            # secondary base (multi-SON): its dictionary differs, so
+            # materialise and re-intern into the primary id space
+            table = base.evaluate_scan(scan, vectorize=self.vectorize, encode=True)
+            return encode_cells(table, self.base.encoded_base().dictionary)
+        return base.evaluate_scan(scan, vectorize=self.vectorize, encode=self.encode)
 
     def handle_SubPlanPacket(self, message: Message) -> None:
         """Execute a received subplan and stream the result back.
@@ -291,6 +350,8 @@ class Peer:
         chunk = self.stream_chunk_rows
         if not chunk:
             chunk = self.batch_size if self.vectorize else 1
+        if self.encode:
+            return self._encoded_result_packets(channel_id, table, chunk)
         if len(table) <= chunk:
             return [DataPacket(channel_id, table, final=True, seq=0)]
         parts = split_table(table, chunk)
@@ -299,6 +360,47 @@ class Peer:
             DataPacket(channel_id, part, final=index == last, seq=index)
             for index, part in enumerate(parts)
         ]
+
+    def _encoded_result_packets(
+        self, channel_id: str, table: BindingTable, chunk: int
+    ) -> list:
+        """The result as a :class:`DictionaryPacket` (the stream's id →
+        term entries, shipped once) followed by encoded data packets
+        whose cells are dictionary ids.  The peer-lifetime dictionary
+        lives on the primary base, so ids stay stable across channels;
+        only the entries this stream references travel.
+        """
+        if self.base is not None:
+            dictionary = self.base.encoded_base().dictionary
+        else:
+            from ..rdf.dictionary import TermDictionary
+
+            dictionary = TermDictionary()
+        if is_id_table(table):
+            # the pipeline already ran on primary-dictionary ids: pivot
+            # straight into the wire layout, no re-encoding pass
+            encoded = EncodedTable(
+                tuple(table.columns),
+                tuple(tuple(column) for column in zip(*table.rows)),
+                len(table.rows),
+            )
+        else:
+            encoded = encode_table(table, dictionary)
+        entries = dictionary.entries(encoded.used_ids())
+        placeholder = BindingTable(table.columns)
+        parts = split_encoded(encoded, chunk)
+        last = len(parts) - 1
+        packets = [
+            DataPacket(
+                channel_id,
+                placeholder,
+                final=index == last,
+                seq=index,
+                encoded=part,
+            )
+            for index, part in enumerate(parts)
+        ]
+        return [DictionaryPacket(channel_id, entries)] + packets
 
     def _stream_packets(self, root: str, channel_id: str, packets: list) -> None:
         """Ship result packets.
@@ -325,7 +427,8 @@ class Peer:
                 # account the bindings it will never deliver
                 self._cancelled_streams.discard(channel_id)
                 self._active_streams.discard(channel_id)
-                remaining = sum(len(p.table) for p in packets[index:])
+                # dictionary packets carry no bindings (no ``rows``)
+                remaining = sum(getattr(p, "rows", 0) for p in packets[index:])
                 if remaining:
                     network.metrics.record_discarded_bindings(remaining)
                 return
@@ -357,12 +460,20 @@ class Peer:
             base = self.base_for_property(prop)
             if base is None:
                 continue
+            if self.encode:
+                # cached on the columnar twin: O(1) after the first ask
+                counts[prop.value] = base.encoded_base().property_count(prop)
+                continue
             view = InferredView(base.graph, base.schema)
             counts[prop.value] = sum(1 for _ in view.triples(None, prop, None))
         return counts
 
     def handle_DataPacket(self, message: Message) -> None:
         self.channels.on_data(message.payload)
+
+    def handle_DictionaryPacket(self, message: Message) -> None:
+        """Install an encoded stream's id → term entries on its channel."""
+        self.channels.on_dictionary(message.payload)
 
     def handle_ChangePlanPacket(self, message: Message) -> None:
         """The channel root changed its plan: terminate on-going work

@@ -22,14 +22,15 @@ from ..core.adaptivity import ReplanBudget
 from ..core.algebra import PlanNode
 from ..core.annotations import AnnotatedQueryPattern
 from ..core.constraints import QueryConstraints, UNCONSTRAINED, apply_peer_bound
-from ..core.cost import CostModel, Statistics
+from ..core.cost import CostModel, StatSummary, Statistics, harvest_stat_summary
 from ..core.optimizer import optimize
 from ..core.planning import build_plan
 from ..core.routing import route_query
 from ..core.shipping import assign_sites
 from ..errors import ParseError, SchemaError
 from ..execution.engine import PlanExecutor
-from ..execution.operators import finalize
+from ..execution.encoded import is_id_table
+from ..execution.operators import finalize, finalize_encoded
 from ..net.message import Message
 from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rdf.schema import Schema
@@ -114,6 +115,16 @@ class SimplePeer(Peer):
         cache_enabled: Run the :mod:`repro.cache` subsystem — routing
             cache, plan cache and request coalescing.  Off reproduces
             the paper's cold per-query routing exactly (``--no-cache``).
+        cost_based: Statistics-driven planning (``--cost-based``): the
+            peer advertises a :class:`~repro.core.cost.StatSummary`
+            alongside its active-schema, folds observed link behaviour
+            into the shared statistics before compiling, lets the
+            optimiser reorder joins by estimated cardinality and the
+            cost model place operators per subplan.  Off (the default)
+            preserves the rule-based path bit-identically.
+        encode: Dictionary-encoded columnar execution (``--encode``):
+            scans run over interned id columns and results ship as
+            :class:`~repro.execution.encoded.EncodedTable` packets.
     """
 
     def __init__(
@@ -130,6 +141,8 @@ class SimplePeer(Peer):
         cache_enabled: bool = True,
         vectorize: bool = True,
         batch_size: int = 256,
+        cost_based: bool = False,
+        encode: bool = False,
     ):
         super().__init__(peer_id, base, secondary_bases=secondary_bases)
         if failure_policy not in ("discard", "phased"):
@@ -142,6 +155,8 @@ class SimplePeer(Peer):
         self.max_replans = max_replans
         self.optimize_plans = optimize_plans
         self.use_shipping = use_shipping
+        self.cost_based = cost_based
+        self.encode = encode
         self.failure_policy = failure_policy
         #: phased policy: virtual-time window for the old phase's
         #: in-flight results to land in the cache before the new phase
@@ -296,6 +311,11 @@ class SimplePeer(Peer):
 
     def handle_Advertise(self, message: Message) -> None:
         advertisement = message.payload.active_schema
+        stats = getattr(message.payload, "stats", None)
+        if stats is not None:
+            # a cost-based sender shared its per-predicate statistics:
+            # fold them so this coordinator prices plans with them
+            self.statistics.fold_summary(stats)
         if getattr(message.payload, "rejoin", False) and advertisement.peer_id:
             self._rehabilitate(advertisement.peer_id)
         self.remember_advertisement(advertisement)
@@ -315,6 +335,20 @@ class SimplePeer(Peer):
         the home super-peer in hybrid SONs, the neighbours in ad-hoc)."""
         return []
 
+    def own_stat_summary(self) -> Optional[StatSummary]:
+        """This peer's :class:`~repro.core.cost.StatSummary`, harvested
+        from its own base — attached to advertisements only when
+        cost-based planning is on, so the default wire format stays
+        seed-identical.  The summary is also folded locally, giving the
+        coordinator exact cardinalities for its own base."""
+        if not self.cost_based or self.base is None:
+            return None
+        summary = harvest_stat_summary(
+            self.base.graph, self.base.schema, self.peer_id
+        )
+        self.statistics.fold_summary(summary)
+        return summary
+
     def refresh_advertisement(self) -> bool:
         """Push a fresh advertisement when the base's intensional
         footprint changed (Section 2.2: extensional churn is free).
@@ -325,7 +359,7 @@ class SimplePeer(Peer):
         if advertisement is None:
             return False
         for target in self._advertisement_targets():
-            self.send(target, Advertise(advertisement))
+            self.send(target, Advertise(advertisement, stats=self.own_stat_summary()))
         if self.state_store is not None:
             self.state_store.log_self_advertise(advertisement)
         return True
@@ -586,8 +620,17 @@ class SimplePeer(Peer):
 
         A ``plan.compile`` span covers the pass; each optimiser rewrite
         that changed the plan becomes an ``optimize.<rule>`` child span,
-        and plan-cache hits are tagged ``cached``.
+        and plan-cache hits are tagged ``cached``.  With cost-based
+        planning on, an ``optimize.cost`` span records the chosen
+        plan's estimated cost against the rule-based alternative's.
         """
+        if self.cost_based and self.network is not None:
+            # refresh link costs from observed channel behaviour before
+            # pricing (rounded folding, so unchanged observations do
+            # not churn the statistics version / plan cache)
+            self.statistics.fold_link_observations(
+                self.network.metrics.link_observations()
+            )
         span = self._tracer().start_span("plan.compile", peer=self.peer_id, parent=trace)
         if self.plan_cache is not None:
             version = self.statistics.version
@@ -598,7 +641,12 @@ class SimplePeer(Peer):
                 return plan
         plan = build_plan(annotated)
         if self.optimize_plans:
-            traced = optimize(plan, CostModel(self.statistics))
+            traced = optimize(
+                plan,
+                CostModel(self.statistics),
+                cost_based=self.cost_based,
+                coordinator=self.peer_id,
+            )
             if span:  # skip minting rewrite spans on the no-op path
                 for rule, step in traced.steps[1:]:
                     # the plan object itself; rendered only at export
@@ -607,6 +655,14 @@ class SimplePeer(Peer):
                         peer=self.peer_id,
                         parent=span.context(),
                         plan=step,
+                    ).finish()
+                if traced.cost_decision is not None:
+                    self._tracer().start_span(
+                        "optimize.cost",
+                        peer=self.peer_id,
+                        parent=span.context(),
+                        chosen=traced.cost_decision["chosen"],
+                        rejected=traced.cost_decision["rejected"],
                     ).finish()
             plan = traced.result
         if self.plan_cache is not None:
@@ -638,7 +694,9 @@ class SimplePeer(Peer):
     def _execute_plan(self, pending: PendingQuery, plan: PlanNode) -> None:
         network = self._require_network()
         sites = None
-        if self.use_shipping:
+        if self.use_shipping or self.cost_based:
+            # cost-based planning also lets the model choose data/
+            # query/hybrid shipping per subplan (Section 2.5)
             assignment = assign_sites(plan, self.peer_id, CostModel(self.statistics))
             sites = assignment.sites
 
@@ -664,6 +722,7 @@ class SimplePeer(Peer):
             pipelined=self.pipelined_execution,
             retry=self.channel_retry,
             trace=pending.span.context(),
+            keep_variables=self._keep_variables(pending),
         )
         pending.executor.start()
         if self.monitor_channels and self.adaptive:
@@ -824,8 +883,23 @@ class SimplePeer(Peer):
             on_complete=on_complete,
             retry=self.channel_retry,
             trace=pending.span.context(),
+            keep_variables=self._keep_variables(pending),
         )
         pending.executor.start()
+
+    def _keep_variables(self, pending: PendingQuery) -> Optional[set]:
+        """The variables this coordinator's finalisation still needs —
+        projections plus WHERE-condition operands.  Only meaningful on
+        the encoded pipeline (dead-column pruning); ``None`` otherwise
+        so the default path stays untouched."""
+        if not self.encode:
+            return None
+        keep = set(pending.query.effective_projections())
+        for condition in pending.query.conditions:
+            keep.add(condition.variable)
+            if condition.value_is_variable:
+                keep.add(str(condition.value))
+        return keep
 
     def _reply_partial(
         self, pending: PendingQuery, table: BindingTable, coverage: Coverage
@@ -834,12 +908,7 @@ class SimplePeer(Peer):
             return
         network = self._require_network()
         network.metrics.record_partial_result()
-        final = finalize(
-            table,
-            pending.query.effective_projections(),
-            pending.query.conditions,
-            vectorize=self.vectorize,
-        )
+        final = self._finalize_answer(table, pending)
         final = pending.constraints.apply_result_bounds(final)
         self._finish(pending, QueryResult(pending.query_id, final, coverage=coverage))
 
@@ -849,14 +918,30 @@ class SimplePeer(Peer):
     def _reply_result(self, pending: PendingQuery, table: BindingTable) -> None:
         if pending.query_id not in self._pending:
             return  # already answered (e.g. first-wins in ad-hoc mode)
-        final = finalize(
-            table,
-            pending.query.effective_projections(),
-            pending.query.conditions,
-            vectorize=self.vectorize,
-        )
+        final = self._finalize_answer(table, pending)
         final = pending.constraints.apply_result_bounds(final)
         self._finish(pending, QueryResult(pending.query_id, final))
+
+    def _finalize_answer(
+        self, table: BindingTable, pending: PendingQuery
+    ) -> BindingTable:
+        """Filter/project/de-duplicate a gathered table into the answer.
+
+        An encoding coordinator's pipeline delivers *id tables* (cells
+        are primary-dictionary ids): those finalise on ints and decode
+        only the final small table; everything else takes the seed's
+        scalar/vectorized path unchanged.
+        """
+        projections = pending.query.effective_projections()
+        conditions = pending.query.conditions
+        if self.encode and self.base is not None and is_id_table(table):
+            return finalize_encoded(
+                table,
+                self.base.encoded_base().dictionary,
+                projections,
+                conditions,
+            )
+        return finalize(table, projections, conditions, vectorize=self.vectorize)
 
     def _reply_error(self, pending: PendingQuery, reason: str) -> None:
         if pending.query_id not in self._pending:

@@ -4,6 +4,7 @@ Provides terms, triples, an indexed graph store, the RDF/S schema model
 with subsumption, RDFS inference, and N-Triples serialisation.
 """
 
+from .dictionary import TermDictionary
 from .graph import Graph
 from .inference import InferredView, materialize_closure
 from .schema import PropertyDef, Schema
@@ -46,6 +47,7 @@ __all__ = [
     "Schema",
     "TYPE",
     "Term",
+    "TermDictionary",
     "Triple",
     "URI",
     "Variable",

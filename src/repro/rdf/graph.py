@@ -33,6 +33,9 @@ class Graph:
         self._by_subject: Dict[Term, Set[Triple]] = defaultdict(set)
         self._by_predicate: Dict[URI, Set[Triple]] = defaultdict(set)
         self._by_object: Dict[Term, Set[Triple]] = defaultdict(set)
+        #: bumped on every effective mutation — derived structures
+        #: (encoded column caches, statistics) key their validity on it
+        self.version = 0
         if triples:
             for t in triples:
                 self.add_triple(t)
@@ -54,6 +57,7 @@ class Graph:
         self._by_subject[triple.subject].add(triple)
         self._by_predicate[triple.predicate].add(triple)
         self._by_object[triple.object].add(triple)
+        self.version += 1
 
     def remove_triple(self, triple: Triple) -> bool:
         """Remove a triple; return True if it was present."""
@@ -63,6 +67,7 @@ class Graph:
         self._discard_index(self._by_subject, triple.subject, triple)
         self._discard_index(self._by_predicate, triple.predicate, triple)
         self._discard_index(self._by_object, triple.object, triple)
+        self.version += 1
         return True
 
     @staticmethod
@@ -81,6 +86,8 @@ class Graph:
 
     def clear(self) -> None:
         """Remove all triples."""
+        if self._triples:
+            self.version += 1
         self._triples.clear()
         self._by_subject.clear()
         self._by_predicate.clear()

@@ -68,7 +68,9 @@ class URI(Term):
     def __hash__(self) -> int:
         return hash(("URI", self.value))
 
-    def __lt__(self, other: "URI") -> bool:
+    def __lt__(self, other: "URI"):
+        if not isinstance(other, URI):
+            return NotImplemented
         return self.value < other.value
 
 

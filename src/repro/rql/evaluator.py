@@ -23,6 +23,25 @@ from .parser import parse_query
 from .pattern import PathPattern, QueryPattern, extract_pattern
 
 
+def path_triple_matches(triple, path, schema: Schema, view: InferredView) -> bool:
+    """Does an asserted triple satisfy a schema path's domain/range
+    constraints under RDFS entailment?  The single matcher shared by
+    the scalar evaluator and the encoded column builder
+    (:mod:`repro.execution.encoded`), so both paths agree by
+    construction."""
+    asserted = triple.predicate
+    if schema.has_property(asserted):
+        asserted_def = schema.property_def(asserted)
+        subject_ok = schema.is_subclass(asserted_def.domain, path.domain) or (
+            view.is_instance_of(triple.subject, path.domain)
+        )
+        object_ok = _range_matches(triple.object, asserted_def.range, path.range, schema, view)
+    else:
+        subject_ok = view.is_instance_of(triple.subject, path.domain)
+        object_ok = _object_instance_ok(triple.object, path.range, schema, view)
+    return subject_ok and object_ok
+
+
 def evaluate_path_pattern(pattern: PathPattern, view: InferredView) -> BindingTable:
     """Evaluate one path pattern, returning bindings for its variables.
 
@@ -35,17 +54,7 @@ def evaluate_path_pattern(pattern: PathPattern, view: InferredView) -> BindingTa
     columns = pattern.variables()
     table = BindingTable(columns)
     for triple in view.triples(None, path.property, None):
-        asserted = triple.predicate
-        if schema.has_property(asserted):
-            asserted_def = schema.property_def(asserted)
-            subject_ok = schema.is_subclass(asserted_def.domain, path.domain) or (
-                view.is_instance_of(triple.subject, path.domain)
-            )
-            object_ok = _range_matches(triple.object, asserted_def.range, path.range, schema, view)
-        else:
-            subject_ok = view.is_instance_of(triple.subject, path.domain)
-            object_ok = _object_instance_ok(triple.object, path.range, schema, view)
-        if not (subject_ok and object_ok):
+        if not path_triple_matches(triple, path, schema, view):
             continue
         row = []
         if pattern.subject_var:

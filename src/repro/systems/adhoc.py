@@ -96,6 +96,10 @@ class AdhocPeer(SimplePeer):
     # ------------------------------------------------------------------
     def join(self, network: Network) -> None:
         super().join(network)
+        # with cost-based planning on, fold this base's summary into
+        # the deployment-shared statistics store (the ad-hoc pull
+        # protocol has no advertisement push to ride on)
+        self.own_stat_summary()
 
     def _advertisement_targets(self):
         return list(self.neighbours)
@@ -356,6 +360,14 @@ class AdhocPeer(SimplePeer):
                 )
             else:
                 assert table is not None
+                from ..execution.encoded import decode_cells, is_id_table
+
+                if is_id_table(table) and self.base is not None:
+                    # the root's dictionary differs from this peer's:
+                    # raw delegated bindings ship as terms
+                    table = decode_cells(
+                        table, self.base.encoded_base().dictionary
+                    )
                 span.set(rows=len(table))
                 span.finish()
                 self.send(
@@ -438,21 +450,32 @@ class AdhocSystem:
         observability: bool = True,
         vectorize: bool = True,
         batch_size: int = 256,
+        cost_based: bool = False,
+        encode: bool = False,
         **peer_options,
     ):
         self.schema = schema
         self.network = Network(
             seed=seed, default_latency=default_latency, observability=observability
         )
+        # cost-based planning shares one statistics store across the
+        # deployment: every peer folds its own summary in at join time
+        if statistics is None and cost_based:
+            statistics = Statistics()
         self.statistics = statistics
         self.cache_enabled = cache_enabled
         self.vectorize = vectorize
         self.batch_size = batch_size
+        self.cost_based = cost_based
+        self.encode = encode
         self.peer_options = dict(peer_options)
         self.peer_options.setdefault("cache_enabled", cache_enabled)
         # deployment-wide execution mode (--no-vectorize / --batch-size)
         self.peer_options.setdefault("vectorize", vectorize)
         self.peer_options.setdefault("batch_size", batch_size)
+        # deployment-wide planning/storage mode (--cost-based / --encode)
+        self.peer_options.setdefault("cost_based", cost_based)
+        self.peer_options.setdefault("encode", encode)
         self.peers: Dict[str, AdhocPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
         self._client_counter = itertools.count(1)

@@ -57,12 +57,17 @@ class HybridPeer(SimplePeer):
 
     def join(self, network: Network) -> None:
         """Register and push each base's active-schema to the
-        super-peer responsible for that SON."""
+        super-peer responsible for that SON.  With cost-based planning
+        on, the push carries the peer's stat summary too."""
         super().join(network)
         for advertisement in self.own_advertisements():
             self.send(
                 self._home_for(advertisement.schema_uri),
-                Advertise(advertisement, rejoin=self.rejoining),
+                Advertise(
+                    advertisement,
+                    rejoin=self.rejoining,
+                    stats=self.own_stat_summary(),
+                ),
             )
 
     def _advertisement_targets(self):
@@ -194,6 +199,8 @@ class HybridSystem:
         observability: bool = True,
         vectorize: bool = True,
         batch_size: int = 256,
+        cost_based: bool = False,
+        encode: bool = False,
         transport=None,
         **peer_options,
     ):
@@ -204,10 +211,17 @@ class HybridSystem:
             observability=observability,
             transport=transport,
         )
+        # cost-based planning needs one statistics store the whole
+        # deployment shares: peers fold advertised summaries and
+        # observed link costs into it, super-peers do the same
+        if statistics is None and cost_based:
+            statistics = Statistics()
         self.statistics = statistics
         self.cache_enabled = cache_enabled
         self.vectorize = vectorize
         self.batch_size = batch_size
+        self.cost_based = cost_based
+        self.encode = encode
         self.peer_options = dict(peer_options)
         # deployment-wide switch (--no-cache): every super-peer index
         # and simple peer runs cold unless a peer option overrides it
@@ -215,6 +229,9 @@ class HybridSystem:
         # deployment-wide execution mode (--no-vectorize / --batch-size)
         self.peer_options.setdefault("vectorize", vectorize)
         self.peer_options.setdefault("batch_size", batch_size)
+        # deployment-wide planning/storage mode (--cost-based / --encode)
+        self.peer_options.setdefault("cost_based", cost_based)
+        self.peer_options.setdefault("encode", encode)
         self.super_peers: Dict[str, SuperPeer] = {}
         self.peers: Dict[str, HybridPeer] = {}
         self.clients: Dict[str, ClientPeer] = {}
@@ -313,6 +330,7 @@ class HybridSystem:
             schemas=list(schemas) if schemas is not None else [self.schema],
             backbone_directory=self._backbone_directory,
             cache_enabled=self.cache_enabled,
+            statistics=self.statistics,
         )
         super_peer.join(self.network)
         self.super_peers[peer_id] = super_peer

@@ -29,9 +29,17 @@ import dataclasses
 import json
 from typing import Any, Callable, Dict, Tuple, Type
 
-from ..channels.packets import ChangePlanPacket, DataPacket, StatsPacket, SubPlanPacket
+from ..channels.packets import (
+    ChangePlanPacket,
+    DataPacket,
+    DictionaryPacket,
+    StatsPacket,
+    SubPlanPacket,
+)
 from ..core.algebra import Hole, Join, Scan, Union
 from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
+from ..core.cost import StatSummary
+from ..execution.encoded import EncodedTable
 from ..errors import CodecError
 from ..net.message import DeliveryFailure, Message
 from ..obs.span import TraceContext
@@ -378,6 +386,9 @@ for _cls in (
     PartialPlan,
     SubPlanPacket,
     DataPacket,
+    DictionaryPacket,
+    EncodedTable,
+    StatSummary,
     ChangePlanPacket,
     StatsPacket,
     Coverage,
