@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.systems import HybridSystem
 from repro.workloads.data_gen import Distribution, generate_bases
-from repro.workloads.query_gen import chain_query
+from repro.workloads.query_gen import chain_query, random_queries
 from repro.workloads.schema_gen import generate_schema
 
 from ._common import banner, format_table, write_report
@@ -41,6 +41,52 @@ def _run(max_peers):
     return len(table), kinds["SubPlanPacket"], system.network.metrics.bytes_total
 
 
+# -- live plane: top-k early termination via ubQL discard ------------------
+# The deployment mirrors the difftest wall's known cancellation-friendly
+# shape (a union where one channel completes while others still
+# stream); paced chunked streaming gives the discard something to stop.
+CANCEL_SEED = 0
+CANCEL_SYNTH = generate_schema(
+    chain_length=4, refinement_fraction=0.0, noise_properties=1,
+    seed=CANCEL_SEED,
+)
+CANCEL_PEERS = ["P1", "P2", "P3"]
+CANCEL_QUERY = random_queries(CANCEL_SYNTH, 1, max_length=3, seed=CANCEL_SEED)[0]
+
+
+def _cancel_system(cancel: bool) -> HybridSystem:
+    gen = generate_bases(
+        CANCEL_SYNTH,
+        CANCEL_PEERS,
+        Distribution.VERTICAL,
+        statements_per_segment=30,
+        shared_pool=6,
+        seed=CANCEL_SEED,
+    )
+    system = HybridSystem(CANCEL_SYNTH.schema, seed=CANCEL_SEED)
+    system.add_super_peer("SP")
+    for peer_id in CANCEL_PEERS:
+        system.add_peer(peer_id, gen.bases[peer_id], "SP")
+    system.run()
+    for peer_id in CANCEL_PEERS:
+        system.peers[peer_id].topk_cancel = cancel
+        system.peers[peer_id].stream_chunk_rows = 4
+    return system
+
+
+def topk_cancel_run(limit, cancel=True):
+    """(answer rows, cancels fired, binding batches on the wire) for one
+    top-k query through the paced deployment."""
+    system = _cancel_system(cancel)
+    client = system.add_client("C")
+    query_id = client.submit("P1", CANCEL_QUERY, limit=limit)
+    system.run()
+    result = client.result(query_id)
+    assert result is not None and result.error is None, result
+    metrics = system.network.metrics
+    return len(result.table), metrics.topk_cancels, metrics.batches_sent
+
+
 def report() -> str:
     full_rows, _, _ = _run(None)
     rows = []
@@ -63,7 +109,38 @@ def report() -> str:
          "subplans shipped", "bytes"),
         rows,
     )
-    return write_report("topn", text)
+    _, _, unbounded_batches = topk_cancel_run(None, cancel=True)
+    cancel_rows = []
+    for k in (1, 3, 5, 10, None):
+        answered, cancels, batches = topk_cancel_run(k)
+        cancel_rows.append((
+            k if k is not None else "∞",
+            answered,
+            cancels,
+            batches,
+            unbounded_batches - batches,
+        ))
+    cancel_text = banner(
+        "topk-cancel",
+        "Section 5 live plane: any-k early termination via ubQL discard",
+        "once k results are stable the coordinator discards the "
+        "remaining channels the ubQL way (ChangePlanPacket), so smaller "
+        "k stops paced binding streams earlier and saves wire batches",
+    ) + format_table(
+        ("k", "rows", "cancels", "batches on wire", "batches saved"),
+        cancel_rows,
+    )
+    write_report(
+        "topk-cancel",
+        cancel_text,
+        params={
+            "seed": CANCEL_SEED,
+            "peers": len(CANCEL_PEERS),
+            "stream_chunk_rows": 4,
+            "query": CANCEL_QUERY,
+        },
+    )
+    return write_report("topn", text) + "\n" + cancel_text
 
 
 def bench_unconstrained(benchmark):
@@ -77,6 +154,18 @@ def bench_bounded_to_two(benchmark):
     full_rows, full_subplans, _ = _run(None)
     assert rows <= full_rows
     assert subplans < full_subplans
+
+
+def bench_topk_cancel_saves_batches(benchmark):
+    """With top-k cancel on, the k answers arrive with strictly fewer
+    binding batches than the unbounded twin, and at least one ubQL
+    discard fires."""
+    rows, cancels, batches_on = benchmark(topk_cancel_run, 5)
+    _, off_cancels, batches_off = topk_cancel_run(5, cancel=False)
+    assert rows == 5
+    assert cancels >= 1
+    assert off_cancels == 0
+    assert batches_on < batches_off
 
 
 def bench_limit_truncates(benchmark):

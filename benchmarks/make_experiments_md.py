@@ -92,6 +92,18 @@ COMMENTARY = {
         "message per update while advertisements refresh only on "
         "intensional changes (12x at 100 updates, >700x at 10k).",
     ),
+    "live-maint": (
+        "Section 4 live plane (extension) — incremental advertisement "
+        "maintenance",
+        "Shape holds through a running deployment: under seeded live "
+        "update streams, purely extensional churn moves *zero* "
+        "advertisement traffic (the full re-derive baseline re-pushes "
+        "every advertisement every batch), and even when churn "
+        "genuinely flips the intensional footprint, shipping deltas "
+        "costs ~6-7x fewer advertisement bytes than republishing. "
+        "CI asserts >=5x fewer messages and bytes at update rates "
+        "<=10% of the base per revision.",
+    ),
     "routing-cache": (
         "repro.cache (extension) — routing/plan caching under churn",
         "Warm signature-keyed lookups answer repeated (even alpha-renamed) "
@@ -130,6 +142,16 @@ COMMENTARY = {
         "The predicted trade-off curve appears: tightening the per-pattern "
         "peer bound monotonically lowers subplans, bytes and completeness, "
         "and every bounded answer stays sound.",
+    ),
+    "topk-cancel": (
+        "Section 5 live plane (extension) — any-k early termination",
+        "The predicted curve appears: with top-k cancel on, the "
+        "coordinator discards remaining channels the ubQL way "
+        "(ChangePlanPacket) once k results are stable, so smaller k "
+        "terminates paced binding streams earlier — batches saved "
+        "shrink monotonically from k=1 to unbounded, the k answers are "
+        "always drawn from the exact answer set, and ORDER BY queries "
+        "never cancel (sorted top-k needs every candidate).",
     ),
     "dht": (
         "Section 5 / footnote 2 (extension) — schema DHT with subsumption",

@@ -14,6 +14,15 @@ additionally requires the stored pattern to *equal* the incoming one —
 an isomorphic-but-renamed query is a miss here even though it hits the
 routing cache.  Plans are immutable once built; sharing one across
 executions is safe.
+
+A compiled plan also *names* peers (its scans are addressed wire
+subqueries), so each entry remembers the peer set its plan touches and
+:meth:`PlanCache.invalidate_peer` drops exactly those entries.  The
+live data plane relies on this: when a peer's advertisement changes —
+a view redefinition above all — any cached plan naming it may carry
+rewrites against the *old* view.  A racing stale annotation (obtained
+before the change) would otherwise re-key to the old fingerprint and
+be served that stale plan.
 """
 
 from __future__ import annotations
@@ -40,7 +49,8 @@ class PlanCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self.metrics = None  # optionally a MetricSet, via bind_metrics()
-        self._entries: "OrderedDict[Tuple, Tuple[QueryPattern, PlanNode]]" = (
+        #: key → (pattern, plan, peers the plan names)
+        self._entries: "OrderedDict[Tuple, Tuple[QueryPattern, PlanNode, frozenset]]" = (
             OrderedDict()
         )
 
@@ -71,10 +81,34 @@ class PlanCache:
         self, annotated: AnnotatedQueryPattern, plan: PlanNode, version: int = 0
     ) -> None:
         key = self._key(annotated, version)
-        self._entries[key] = (annotated.query_pattern, plan)
+        self._entries[key] = (
+            annotated.query_pattern,
+            plan,
+            frozenset(annotated.all_peers()),
+        )
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+
+    def invalidate_peer(self, peer_id: str) -> int:
+        """Drop every cached plan that names ``peer_id``.
+
+        Called when the peer's advertisement moves (delta or full
+        refresh, view redefinitions included) or it departs: its cached
+        plans may address subqueries rewritten against state the peer
+        no longer has.  Fingerprint re-keying covers *fresh*
+        annotations; this covers plans reachable through stale ones.
+        """
+        stale = [
+            key for key, entry in self._entries.items() if peer_id in entry[2]
+        ]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            self.stats.invalidations += len(stale)
+            if self.metrics is not None:
+                self.metrics.record_cache_invalidation(len(stale))
+        return len(stale)
 
     def clear(self) -> None:
         self._entries.clear()

@@ -254,6 +254,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        "re-offering them after their back-off")
     serve.add_argument("--max-events", type=int, default=2_000_000,
                        help="simulator event budget for the run")
+    serve.add_argument("--updates", action="store_true",
+                       help="inject a seeded live update stream mid-run "
+                       "(triple inserts/deletes + view redefinitions); "
+                       "peers patch their bases and push advertisement "
+                       "deltas while queries are being served")
+    serve.add_argument("--update-rate", type=float, default=0.08,
+                       help="with --updates: fraction of each base "
+                       "mutated per revision")
+    serve.add_argument("--update-revisions", type=int, default=3,
+                       help="with --updates: how many revisions are "
+                       "spread over the run")
+    serve.add_argument("--topk", type=int, default=None, metavar="K",
+                       help="pose every query as top-K (LIMIT K) with "
+                       "any-k early termination: once K answers are "
+                       "stable the coordinator discards the remaining "
+                       "channels the ubQL way")
 
     from .deploy.node import add_spec_arguments
 
@@ -331,6 +347,19 @@ def _build_parser() -> argparse.ArgumentParser:
     launch.add_argument("--shed-alert", type=float, default=0.25,
                         help="shed-rate fraction above which the "
                         "shed-rate SLO fires")
+    launch.add_argument("--updates", action="store_true",
+                        help="inject a seeded live update stream a third "
+                        "of the way into the run: triple inserts/deletes "
+                        "and view redefinitions applied by the live "
+                        "peers, advertisement deltas flowing to the "
+                        "super-peers over the real transport")
+    launch.add_argument("--update-rate", type=float, default=0.08,
+                        help="with --updates: fraction of each base "
+                        "mutated by the injected revision")
+    launch.add_argument("--topk", type=int, default=None, metavar="K",
+                        help="pose one extra LIMIT-K query near the end "
+                        "of the run with any-k early termination "
+                        "(enables the live data plane on every node)")
     add_spec_arguments(launch)
 
     top = commands.add_parser(
@@ -766,6 +795,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ))
     if args.fair_quantum is not None:
         system.enable_fair_scheduling(args.fair_quantum)
+    driver = None
+    if args.updates:
+        from .livedata import LiveDataDriver, UpdateStream
+
+        stream = UpdateStream(
+            synthetic.schema, generated.bases, seed=args.seed,
+            revisions=args.update_revisions, rate=args.update_rate,
+        )
+        driver = LiveDataDriver(system, stream)
+        driver.schedule()
+    if args.topk is not None:
+        for peer_id in peer_ids:
+            system.peers[peer_id].topk_cancel = True
+            system.peers[peer_id].stream_chunk_rows = 4
     spec = WorkloadSpec(
         queries=tuple(
             (peer_ids[i % len(peer_ids)], texts[i % len(texts)])
@@ -779,6 +822,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         think_time=args.think_time,
         seed=args.seed,
         resubmit_sheds=not args.no_resubmit,
+        limit=args.topk,
     )
     try:
         report = system.serve(spec, max_events=args.max_events)
@@ -790,6 +834,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"load       : {args.mode} loop, {args.count} queries over "
           f"{len(texts)} distinct texts")
     print(report.render())
+    metrics = system.network.metrics
+    if driver is not None:
+        applied = sum(a.applied for a in driver.injector.acks)
+        print(f"updates    : {driver.injected} batches injected "
+              f"({applied} statements applied, "
+              f"{metrics.messages_by_kind['AdvertiseDelta']} "
+              f"advertisement deltas)")
+    if args.topk is not None:
+        print(f"top-k      : LIMIT {args.topk} on every query, "
+              f"{metrics.topk_cancels} early cancels, "
+              f"{metrics.discarded_bindings} bindings discarded")
     silent = report.by_status().get("silent", 0)
     if silent:
         print(f"WARNING: {silent} queries never got a reply", file=sys.stderr)

@@ -23,6 +23,7 @@ import signal
 import subprocess
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -414,6 +415,11 @@ def run_launch(args) -> int:
     from .supervisor import Supervisor
 
     spec = spec_from_args(args)
+    updates = getattr(args, "updates", False)
+    topk = getattr(args, "topk", None)
+    if topk is not None and not spec.livedata:
+        # top-k cancel needs the nodes' live data plane switched on
+        spec = replace(spec, livedata=True)
     kill_signal = getattr(args, "kill_signal", "term")
     restart_after = getattr(args, "restart_after", None)
     supervise = getattr(args, "supervise", False)
@@ -436,6 +442,7 @@ def run_launch(args) -> int:
           f"{', supervised' if supervise else ''})")
     outcomes = []
     supervisor = None
+    update_driver = None
     #: nodes currently believed dead (killed and not yet restarted)
     down = set()
     kill_time = None
@@ -466,7 +473,34 @@ def run_launch(args) -> int:
             )
         kill_index = args.count // 2 if args.kill is not None else None
         join_index = (3 * args.count) // 4 if joiner is not None else None
+        update_index = args.count // 3 if updates else None
         for index in range(args.count):
+            if update_index is not None and index == update_index:
+                from ..livedata import LiveDataDriver, UpdateStream
+
+                # only churn the peers that are actually up: joiners
+                # hold pre-generated bases but no process yet
+                live_bases = {
+                    p: cluster.workload.bases[p]
+                    for p in spec.peer_ids() if p not in down
+                }
+                stream = UpdateStream(
+                    cluster.workload.synthetic.schema,
+                    live_bases,
+                    seed=spec.seed,
+                    revisions=1,
+                    rate=getattr(args, "update_rate", 0.08),
+                )
+                update_driver = LiveDataDriver(cluster, stream)
+                print(f"injecting live update revision "
+                      f"({stream.total_records()} records, "
+                      f"rate {getattr(args, 'update_rate', 0.08)})")
+                update_driver.inject(0)
+                if not cluster.transport.run_until(
+                    lambda: update_driver.acked(1), QUERY_TIMEOUT
+                ):
+                    print("warning: update revision not fully acked",
+                          file=sys.stderr)
             if supervisor is not None:
                 for node_id in supervisor.tick():
                     down.discard(node_id)
@@ -526,9 +560,35 @@ def run_launch(args) -> int:
                 # give the backoff clock a chance between queries, so a
                 # short run still observes the supervised restart
                 time.sleep(supervisor.backoff.base)
+        if topk is not None:
+            # one LIMIT-k query over the live cluster: the answering
+            # peer cancels still-streaming channels once k rows are
+            # stable, the ubQL discard working across real sockets
+            rotation = spec.peer_ids() + cluster.joined
+            alive = [p for p in rotation if p not in down]
+            via = alive[0]
+            text = cluster.workload.queries[0]
+            client = cluster.add_client()
+            query_id = client.submit(via, text, limit=topk)
+            result = cluster.await_result(client, query_id)
+            status = "error" if result.error else "ok"
+            rows = 0 if result.table is None else len(result.table)
+            outcomes.append({"via": via, "status": status, "rows": rows,
+                             "error": result.error, "limit": topk})
+            print(f"  top-{topk}: via {via} -> {status} ({rows} rows)")
     finally:
         summary = cluster.shutdown()
     summary["outcomes"] = outcomes
+    if update_driver is not None:
+        summary["updates"] = {
+            "batches_injected": update_driver.injected,
+            "acks": len(update_driver.injector.acks),
+            "records": update_driver.stream.total_records(),
+        }
+        print(f"live updates: {update_driver.injected} batch(es), "
+              f"{len(update_driver.injector.acks)} ack(s)")
+    if topk is not None:
+        summary["topk"] = topk
     (cluster.outdir / "report.json").write_text(json.dumps(summary, indent=2))
     print(f"artifacts merged under {cluster.outdir}")
     statuses = {o["status"] for o in outcomes}

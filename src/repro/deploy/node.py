@@ -67,6 +67,9 @@ def add_spec_arguments(parser) -> None:
                              "join mid-run (default 0)")
     parser.add_argument("--resilient", action="store_true",
                         help="enable the resilience layer (required for kill runs)")
+    parser.add_argument("--livedata", action="store_true",
+                        help="enable the live data plane: top-k cancel "
+                             "with paced chunked result streaming")
     parser.add_argument("--time-scale", type=float, default=0.02,
                         help="real seconds per virtual-time unit (default 0.02)")
 
@@ -82,6 +85,7 @@ def spec_from_args(args) -> ClusterSpec:
         resilient=args.resilient,
         time_scale=args.time_scale,
         joiners=args.joiners,
+        livedata=getattr(args, "livedata", False),
     )
 
 
@@ -234,6 +238,12 @@ def run_node(args) -> int:
             node.save_durable_snapshot()
     if spec.resilient:
         _apply_resilience(node, ResilienceConfig.default(spec.seed))
+    if spec.livedata and role != "super":
+        # live data plane: LIMIT queries terminate early once k answers
+        # are stable, discarding still-streaming channels the ubQL way;
+        # paced chunked streaming gives the discard something to stop
+        node.topk_cancel = True
+        node.stream_chunk_rows = 4
 
     stopping = []
     for signum in (signal.SIGTERM, signal.SIGINT):

@@ -46,6 +46,11 @@ class ClusterSpec:
         joiners: Extra peers (``P{peers+1}`` ...) that are *not* started
             with the cluster but hold pre-generated bases, so a mid-run
             ``--join`` spawns them with data every process agrees on.
+        livedata: Enable the live data plane on every node: peers serve
+            :class:`~repro.livedata.updates.UpdateBatch` streams (they
+            always do) *and* opt into top-k cancel with paced chunked
+            result streaming, so ``LIMIT`` queries can discard channels
+            mid-stream.
     """
 
     seed: int
@@ -57,6 +62,7 @@ class ClusterSpec:
     resilient: bool = False
     time_scale: float = 0.02
     joiners: int = 0
+    livedata: bool = False
 
     def peer_ids(self) -> List[str]:
         return [f"P{i}" for i in range(1, self.peers + 1)]
@@ -92,6 +98,8 @@ class ClusterSpec:
             args.extend(["--joiners", str(self.joiners)])
         if self.resilient:
             args.append("--resilient")
+        if self.livedata:
+            args.append("--livedata")
         return args
 
 

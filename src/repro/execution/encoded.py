@@ -174,6 +174,96 @@ class EncodedBase:
         self._columns[key] = (subjects, objects)
         return subjects, objects
 
+    def _schema_decided(self, path: SchemaPath) -> bool:
+        """Whether :func:`path_triple_matches` for this path is decided
+        per-triple by the schema alone — no ``is_instance_of`` fallback
+        that could depend on *other* statements of the base.
+
+        Only then can a column be patched in place on updates: its
+        content is a pure function of the statements asserting the
+        path's subproperty closure.
+        """
+        from ..rdf.vocabulary import LITERAL_CLASS
+
+        schema = self.schema
+        if not schema.has_property(path.property):
+            return False
+        for sub in schema.subproperties(path.property):
+            definition = schema.property_def(sub)
+            if not schema.is_subclass(definition.domain, path.domain):
+                return False
+            if path.range == LITERAL_CLASS:
+                continue  # match reduces to isinstance(obj, Literal)
+            if definition.range == LITERAL_CLASS or not schema.is_subclass(
+                definition.range, path.range
+            ):
+                return False
+        return True
+
+    def _accepts(self, path: SchemaPath, triple) -> bool:
+        """Per-triple acceptance for a schema-decided path (the residue
+        of :func:`path_triple_matches` once the class checks are known
+        to hold by schema): only the literal-shape check on the object
+        remains."""
+        from ..rdf.terms import Literal
+        from ..rdf.vocabulary import LITERAL_CLASS
+
+        if path.range == LITERAL_CLASS:
+            return isinstance(triple.object, Literal)
+        return not isinstance(triple.object, Literal)
+
+    def apply_delta(self, inserted, deleted) -> None:
+        """Patch the cached id columns for one applied update batch —
+        the incremental alternative to the ``_fresh()`` wipe.
+
+        The term dictionary is never rebuilt (ids are stable), columns
+        of schema-decided paths are appended to / spliced in place, and
+        only columns whose matching depends on instance membership —
+        which *any* statement can flip under RDFS domain/range
+        entailment — are dropped for lazy re-derivation.  Must be
+        called immediately after the graph mutations it describes;
+        content is multiset-identical to a from-scratch rebuild (the
+        property suite pins this).
+        """
+        touched: set = set()
+        for triple in list(inserted) + list(deleted):
+            predicate = triple.predicate
+            if self.schema.has_property(predicate):
+                touched.update(self.schema.superproperties(predicate))
+            else:
+                touched.add(predicate)
+        encode = self.dictionary.encode
+        for key in list(self._columns):
+            path = SchemaPath(*key)
+            if not self._schema_decided(path):
+                del self._columns[key]
+                continue
+            if path.property not in touched:
+                continue
+            subjects, objects = self._columns[key]
+            closure = set(self.schema.subproperties(path.property))
+            for triple in inserted:
+                if triple.predicate in closure and self._accepts(path, triple):
+                    subjects.append(encode(triple.subject))
+                    objects.append(encode(triple.object))
+            for triple in deleted:
+                if triple.predicate in closure and self._accepts(path, triple):
+                    sid, oid = encode(triple.subject), encode(triple.object)
+                    for index in range(len(subjects) - 1, -1, -1):
+                        if subjects[index] == sid and objects[index] == oid:
+                            del subjects[index]
+                            del objects[index]
+                            break
+        for prop in list(self._counts):
+            if self.schema.has_property(prop):
+                closure = set(self.schema.subproperties(prop))
+            else:
+                closure = {prop}
+            self._counts[prop] += sum(
+                1 for t in inserted if t.predicate in closure
+            ) - sum(1 for t in deleted if t.predicate in closure)
+        self._version = self.graph.version
+
     def property_count(self, prop: URI) -> int:
         """Entailed asserted-triple count for a property (the number
         the scalar path derives by iterating ``view.triples``)."""

@@ -92,6 +92,7 @@ class PlanExecutor:
         retry=None,
         trace=None,
         keep_variables: Optional[set] = None,
+        early_stop: Optional[Callable[[BindingTable], bool]] = None,
     ):
         self.host = host
         self.network = network
@@ -118,6 +119,13 @@ class PlanExecutor:
         #: serving peer never sets it — a shipped subplan's raw width is
         #: part of its contract with the root.
         self.keep_variables = keep_variables
+        #: top-k early termination (pipelined mode only): called with
+        #: the accumulated table after each emitted chunk; returning
+        #: True completes with what arrived so far and discards the
+        #: remaining channels through the ubQL change-plan path.  Only
+        #: sound for monotone plans with order-insensitive consumers —
+        #: the coordinator gates it on ``limit`` without ``order_by``.
+        self.early_stop = early_stop
         self.span = NULL_SPAN
         #: virtual time of the first output rows (pipelined mode)
         self.first_output_at: Optional[float] = None
@@ -167,6 +175,19 @@ class PlanExecutor:
             if chunk and self.first_output_at is None:
                 self.first_output_at = self.network.now
             accumulated.append(chunk)
+            if self.early_stop is not None and chunk and not self._finished:
+                merged = concat_tables(accumulated)
+                if self.early_stop(merged):
+                    self.network.metrics.record_topk_cancel()
+                    self.network.emit_event(
+                        "topk_cancel",
+                        peer=self.host.peer_id,
+                        query_id=self.query_id,
+                        channels=len(self._open_channel_ids),
+                    )
+                    self.span.set(topk_cancelled=True)
+                    self._release_channels()
+                    self._finish_ok(merged)
 
         def done() -> None:
             if self._finished:

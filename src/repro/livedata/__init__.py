@@ -1,0 +1,46 @@
+"""The live data plane: seeded update streams, incremental
+active-schema maintenance, and continuous/top-k query support."""
+
+from .continuous import StandingQuery, fold_delta, table_delta
+from .maintenance import AppliedBatch, LiveMaintainer
+from .stream import LiveDataDriver, UpdateInjector, UpdateStream, covering_view_text
+from .updates import (
+    AdvertiseDelta,
+    ContinuousCancel,
+    ContinuousSubscribe,
+    ContinuousUpdate,
+    DeleteTriple,
+    InsertTriple,
+    RedefineViews,
+    RefreshStanding,
+    UpdateAck,
+    UpdateBatch,
+    active_schema_digest,
+    advertisement_delta,
+    apply_advertisement_delta,
+)
+
+__all__ = [
+    "AdvertiseDelta",
+    "AppliedBatch",
+    "ContinuousCancel",
+    "ContinuousSubscribe",
+    "ContinuousUpdate",
+    "DeleteTriple",
+    "InsertTriple",
+    "LiveDataDriver",
+    "LiveMaintainer",
+    "RedefineViews",
+    "RefreshStanding",
+    "StandingQuery",
+    "UpdateAck",
+    "UpdateBatch",
+    "UpdateInjector",
+    "UpdateStream",
+    "active_schema_digest",
+    "advertisement_delta",
+    "apply_advertisement_delta",
+    "covering_view_text",
+    "fold_delta",
+    "table_delta",
+]

@@ -110,6 +110,11 @@ class MetricSet:
         # flight at once (a gauge with a high-watermark, not a counter)
         self.queries_shed = 0
         self.deadline_expirations = 0
+        # live data plane (repro.livedata): top-k queries that cancelled
+        # their remaining channels early, and continuous-query delta
+        # pushes shipped to subscribers
+        self.topk_cancels = 0
+        self.continuous_pushes = 0
         self.inflight_queries = 0
         self.max_inflight_queries = 0
         self.queue_depth_histogram = Histogram()
@@ -216,6 +221,15 @@ class MetricSet:
     def record_deadline_expiration(self) -> None:
         """Account one per-query deadline that cancelled a straggler."""
         self.deadline_expirations += 1
+
+    def record_topk_cancel(self) -> None:
+        """Account one top-k query that terminated its remaining
+        channels early (enough distinct rows were already stable)."""
+        self.topk_cancels += 1
+
+    def record_continuous_push(self) -> None:
+        """Account one continuous-query delta pushed to a subscriber."""
+        self.continuous_pushes += 1
 
     def record_queue_depth(self, depth: int) -> None:
         """Observe an admission queue's depth at enqueue time."""

@@ -47,6 +47,10 @@ KNOWN_KINDS = (
     "restart",
     "breaker_trip",
     "slow_query",
+    # live data plane (repro.livedata)
+    "update_batch",
+    "advertise_delta",
+    "topk_cancel",
 )
 
 

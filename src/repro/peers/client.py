@@ -10,6 +10,8 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional
 
+from ..livedata.continuous import fold_delta
+from ..livedata.updates import ContinuousCancel, ContinuousSubscribe, ContinuousUpdate
 from ..net.message import Message
 from .base import Peer
 from .protocol import QueryResult, QueryShed, QuerySubmit
@@ -43,6 +45,11 @@ class ClientPeer(Peer):
         #: — answer, error or shed (repro.workload_engine drivers hook
         #: closed-loop submission and shed resubmission here)
         self.result_listeners: List[Callable[["ClientPeer", QueryResult], None]] = []
+        #: continuous subscriptions (repro.livedata): the folded
+        #: current answer and the raw pushed deltas, per query id
+        self.continuous: Dict[str, object] = {}
+        self.continuous_updates: Dict[str, List[ContinuousUpdate]] = {}
+        self.continuous_errors: Dict[str, str] = {}
 
     def submit(
         self,
@@ -144,6 +151,33 @@ class ClientPeer(Peer):
         self.results[shed.query_id] = result
         self._finish_span(shed.query_id, "shed")
         self._notify(result)
+
+    # ------------------------------------------------------------------
+    # continuous queries (repro.livedata)
+    # ------------------------------------------------------------------
+    def subscribe(self, via_peer: str, text: str) -> str:
+        """Keep ``text`` standing at ``via_peer``: the coordinator
+        pushes binding deltas per quiescent revision, folded here into
+        :attr:`continuous` (``next = (prev - removed) + added``)."""
+        query_id = f"{self.peer_id}-c{next(self._counter)}"
+        self.continuous_updates[query_id] = []
+        self.send(via_peer, ContinuousSubscribe(query_id, text, self.peer_id))
+        return query_id
+
+    def unsubscribe(self, via_peer: str, query_id: str) -> None:
+        """Stop the standing query's pushes (the folded answer and the
+        recorded deltas stay readable)."""
+        self.send(via_peer, ContinuousCancel(query_id))
+
+    def handle_ContinuousUpdate(self, message: Message) -> None:
+        update: ContinuousUpdate = message.payload
+        self.continuous_updates.setdefault(update.query_id, []).append(update)
+        if update.error is not None:
+            self.continuous_errors[update.query_id] = update.error
+            return
+        self.continuous[update.query_id] = fold_delta(
+            self.continuous.get(update.query_id), update
+        )
 
     def _notify(self, result: QueryResult) -> None:
         for listener in list(self.result_listeners):

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import replace
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from ..cache.coalescer import QueryCoalescer
 from ..cache.plan_cache import PlanCache
@@ -31,6 +32,14 @@ from ..errors import ParseError, SchemaError
 from ..execution.engine import PlanExecutor
 from ..execution.encoded import is_id_table
 from ..execution.operators import finalize, finalize_encoded
+from ..livedata.continuous import StandingQuery, table_delta
+from ..livedata.maintenance import LiveMaintainer
+from ..livedata.updates import (
+    AdvertiseDelta,
+    ContinuousUpdate,
+    UpdateAck,
+    apply_advertisement_delta,
+)
 from ..net.message import Message
 from ..obs.tracer import NULL_SPAN, NULL_TRACER
 from ..rdf.schema import Schema
@@ -210,6 +219,22 @@ class SimplePeer(Peer):
         self.admission = None
         self._admission_queue: Deque[Tuple[QuerySubmit, object]] = deque()
         self._parked_ids: Set[str] = set()
+        #: live data plane (repro.livedata): the incremental maintainer
+        #: is created on the first UpdateBatch; standing queries push
+        #: binding deltas per quiescent revision; ``topk_cancel`` opts
+        #: this coordinator into any-k early termination for LIMIT
+        #: queries (remaining channels discarded the ubQL way).  All
+        #: off/empty by default — the seed behaviour is untouched.
+        self.topk_cancel = False
+        #: baseline mode for the maintenance-cost experiments: re-derive
+        #: and re-push the *full* advertisement after every applied
+        #: update batch, the way a per-statement data index would.  The
+        #: default (False) is the paper's economy — deltas, and only
+        #: when the intensional footprint moved.
+        self.live_full_refresh = False
+        self._maintainer: Optional[LiveMaintainer] = None
+        self._standing: Dict[str, StandingQuery] = {}
+        self._result_hooks: Dict[str, Callable[[QueryResult], None]] = {}
 
     def join(self, network) -> None:
         super().join(network)
@@ -306,6 +331,16 @@ class SimplePeer(Peer):
             self.known_advertisements[advertisement.peer_id] = advertisement
             if self.routing_cache is not None:
                 self.routing_cache.on_advertise(advertisement, previous)
+            if (
+                self.plan_cache is not None
+                and previous is not None
+                and previous != advertisement
+            ):
+                # the peer's footprint moved (live updates, view
+                # redefinitions): cached plans naming it may embed
+                # subqueries rewritten against the old advertisement,
+                # and a racing stale annotation would still hit them
+                self.plan_cache.invalidate_peer(advertisement.peer_id)
             if self.state_store is not None and previous != advertisement:
                 self.state_store.log_advertise(advertisement)
 
@@ -382,6 +417,192 @@ class SimplePeer(Peer):
                 self.state_store.log_goodbye(departed)
         if self.routing_cache is not None:
             self.routing_cache.on_goodbye(departed)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_peer(departed)
+
+    # ------------------------------------------------------------------
+    # live data plane (repro.livedata)
+    # ------------------------------------------------------------------
+    def live_maintainer(self) -> Optional[LiveMaintainer]:
+        """The incremental active-schema maintainer, created lazily on
+        the first update batch (peers without a base have none)."""
+        if self._maintainer is None and self.base is not None:
+            self._maintainer = LiveMaintainer(self.base, self.peer_id)
+        return self._maintainer
+
+    def handle_UpdateBatch(self, message: Message) -> None:
+        """Apply a live update batch to the base, patch the encoded
+        twin, and — only when the intensional footprint moved — push an
+        :class:`~repro.livedata.updates.AdvertiseDelta` to the holders
+        (Section 2.2: extensional churn stays silent)."""
+        batch = message.payload
+        network = self._require_network()
+        maintainer = self.live_maintainer()
+        if maintainer is None:
+            self.send(message.src, UpdateAck(self.peer_id, batch.revision, 0))
+            return
+        result = maintainer.apply(batch)
+        network.emit_event(
+            "update_batch",
+            peer=self.peer_id,
+            revision=batch.revision,
+            applied=result.applied,
+        )
+        if self.live_full_refresh:
+            if result.applied or result.views_changed:
+                self._push_full_refresh()
+        elif result.delta is not None:
+            self._push_advertisement_delta(result.delta)
+        self.send(
+            message.src, UpdateAck(self.peer_id, batch.revision, result.applied)
+        )
+
+    def _push_full_refresh(self) -> None:
+        """The :attr:`live_full_refresh` baseline: re-push every own
+        advertisement wholesale (correct, but pays full-advertisement
+        bytes for extensional churn the delta path ships nothing for)."""
+        stats = self.own_stat_summary()
+        for advertisement in self.own_advertisements():
+            for target in self._advertisement_targets():
+                self.send(target, Advertise(advertisement, stats=stats))
+        if self._tracker is not None:
+            self._tracker.mark_advertised()
+        if self.routing_cache is not None:
+            self.routing_cache.invalidate_peer(self.peer_id)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_peer(self.peer_id)
+
+    def _push_advertisement_delta(self, delta: AdvertiseDelta) -> None:
+        """Ship only the flipped schema fragments to the advertisement
+        holders, and drop this peer's own cached routing and plans (its
+        annotations were computed under the old footprint)."""
+        network = self._require_network()
+        delta = replace(delta, stats=self.own_stat_summary())
+        for target in self._advertisement_targets():
+            self.send(target, delta)
+        if self._tracker is not None:
+            # the delta already told holders everything a full
+            # refresh() would re-push: keep the tracker coherent
+            self._tracker.mark_advertised()
+        if self.routing_cache is not None:
+            self.routing_cache.invalidate_peer(self.peer_id)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate_peer(self.peer_id)
+        if self.state_store is not None and self._maintainer is not None:
+            self.state_store.log_self_advertise(self._maintainer.current)
+        network.emit_event(
+            "advertise_delta",
+            peer=self.peer_id,
+            added=len(delta.added_paths) + len(delta.added_classes),
+            removed=len(delta.removed_paths) + len(delta.removed_classes),
+        )
+
+    def handle_AdvertiseDelta(self, message: Message) -> None:
+        """A known peer's advertisement changed incrementally:
+        reconstruct the full advertisement from the held one plus the
+        delta (ad-hoc neighbours hold advertisements directly)."""
+        delta: AdvertiseDelta = message.payload
+        if delta.peer_id == self.peer_id:
+            return
+        if delta.stats is not None:
+            self.statistics.fold_summary(delta.stats)
+        previous = self.known_advertisements.get(delta.peer_id)
+        if previous is None or previous.schema_uri != delta.schema_uri:
+            # no baseline to patch: pull the full advertisement instead
+            self.send(message.src, AdvertisementRequest(self.peer_id, 1))
+            return
+        self.remember_advertisement(apply_advertisement_delta(previous, delta))
+
+    # ------------------------------------------------------------------
+    # continuous (standing) queries
+    # ------------------------------------------------------------------
+    def handle_ContinuousSubscribe(self, message: Message) -> None:
+        """Register a standing query and evaluate its initial snapshot
+        (pushed as revision 0's delta against the empty table)."""
+        subscribe = message.payload
+        standing = StandingQuery(
+            subscribe.query_id, subscribe.text, subscribe.reply_to
+        )
+        self._standing[subscribe.query_id] = standing
+        self._evaluate_standing(standing, revision=0)
+
+    def handle_ContinuousCancel(self, message: Message) -> None:
+        self._standing.pop(message.payload.query_id, None)
+
+    def handle_RefreshStanding(self, message: Message) -> None:
+        """A quiescent revision was announced: re-evaluate every
+        standing query and push what changed."""
+        revision = message.payload.revision
+        for standing in list(self._standing.values()):
+            if standing.evaluating:
+                standing.pending_revisions.append(revision)
+            else:
+                self._evaluate_standing(standing, revision)
+
+    def _evaluate_standing(self, standing: StandingQuery, revision: int) -> None:
+        """Run one standing query through the ordinary coordination
+        machinery; the result lands in :meth:`_finish_standing` via the
+        result-hook seam in :meth:`_finish`."""
+        standing.evaluating = True
+        eval_id = (
+            f"{standing.query_id}-r{revision}-e{next(self._query_counter)}"
+        )
+        submit = QuerySubmit(eval_id, standing.text, self.peer_id)
+        self._result_hooks[eval_id] = (
+            lambda result: self._finish_standing(standing, revision, result)
+        )
+        network = self._require_network()
+        network.metrics.query_started(eval_id, network.now)
+        self._begin_coordination(submit)
+
+    def _finish_standing(
+        self, standing: StandingQuery, revision: int, result: QueryResult
+    ) -> None:
+        standing.evaluating = False
+        network = self._require_network()
+        if result.error is not None and "no relevant peers" in result.error:
+            # the community currently holds nothing the query touches —
+            # for a *standing* query that is an empty answer, not a
+            # failure: peers may advertise matching fragments at any
+            # later revision and the subscription must survive to see
+            # them (advertisements derive from base content, so an
+            # unrouted query has no entailed matches either)
+            columns = (
+                standing.snapshot.columns if standing.snapshot is not None else ()
+            )
+            result = QueryResult(result.query_id, BindingTable(columns), None)
+        if standing.query_id in self._standing:  # not cancelled meanwhile
+            if result.error is not None:
+                columns = (
+                    standing.snapshot.columns
+                    if standing.snapshot is not None
+                    else ()
+                )
+                network.metrics.record_continuous_push()
+                self.send(
+                    standing.reply_to,
+                    ContinuousUpdate(
+                        standing.query_id,
+                        BindingTable(columns),
+                        BindingTable(columns),
+                        revision,
+                        error=result.error,
+                    ),
+                )
+            else:
+                added, removed = table_delta(standing.snapshot, result.table)
+                if added or removed or standing.snapshot is None:
+                    network.metrics.record_continuous_push()
+                    self.send(
+                        standing.reply_to,
+                        ContinuousUpdate(
+                            standing.query_id, added, removed, revision
+                        ),
+                    )
+                standing.snapshot = result.table
+                standing.revision = revision
+        if standing.pending_revisions and standing.query_id in self._standing:
+            self._evaluate_standing(standing, standing.pending_revisions.pop(0))
 
     def _routing_knowledge(self) -> List[ActiveSchema]:
         """Everything this peer can route with: its own advertisement
@@ -420,6 +641,8 @@ class SimplePeer(Peer):
         own = tuple(self.own_advertisements())
         if self._cached_own_ads is not None and own != self._cached_own_ads:
             self.routing_cache.invalidate_peer(self.peer_id)
+            if self.plan_cache is not None:
+                self.plan_cache.invalidate_peer(self.peer_id)
             for advertisement in own:
                 self.routing_cache.on_advertise(advertisement)
         self._cached_own_ads = own
@@ -507,7 +730,14 @@ class SimplePeer(Peer):
             span.set(error=str(exc))
             span.finish("error")
             network.metrics.query_finished(submit.query_id, network.now)
-            self.send(submit.reply_to, QueryResult(submit.query_id, None, str(exc)))
+            failure = QueryResult(submit.query_id, None, str(exc))
+            hook = self._result_hooks.pop(submit.query_id, None)
+            if hook is not None:
+                # internal consumers (standing-query re-evaluations)
+                # take the failure through their hook, not a message
+                hook(failure)
+            else:
+                self.send(submit.reply_to, failure)
             self._drain_admission_queue()
             return
         if self._coalescer is not None:
@@ -710,6 +940,24 @@ class SimplePeer(Peer):
                 assert table is not None
                 self._reply_result(pending, table)
 
+        pipelined = self.pipelined_execution
+        early_stop = None
+        limit = pending.constraints.max_results
+        if (
+            self.topk_cancel
+            and limit is not None
+            and pending.constraints.order_by is None
+        ):
+            # any-k early termination: scans, joins, unions, filters
+            # and projections are all monotone, so the first k distinct
+            # finalised rows are stable under any completion order.
+            # Sound only without ORDER BY (ranked top-k needs every
+            # candidate), hence the gate.
+            pipelined = True
+
+            def early_stop(merged: BindingTable) -> bool:
+                return len(self._finalize_answer(merged, pending)) >= limit
+
         pending.attempts += 1
         pending.executor = PlanExecutor(
             self,
@@ -719,10 +967,11 @@ class SimplePeer(Peer):
             query_id=pending.query_id,
             on_complete=on_complete,
             scan_cache=pending.scan_cache if self.failure_policy == "phased" else None,
-            pipelined=self.pipelined_execution,
+            pipelined=pipelined,
             retry=self.channel_retry,
             trace=pending.span.context(),
             keep_variables=self._keep_variables(pending),
+            early_stop=early_stop,
         )
         pending.executor.start()
         if self.monitor_channels and self.adaptive:
@@ -967,6 +1216,11 @@ class SimplePeer(Peer):
             # locally submitted queries (tests drive peers directly)
             # get no reply message
             self.send(pending.reply_to, result)
+        # internal consumers (standing-query re-evaluations) get the
+        # result through their hook instead of a reply message
+        hook = self._result_hooks.pop(pending.query_id, None)
+        if hook is not None:
+            hook(result)
         if self._coalescer is not None:
             for follower in self._coalescer.complete(pending.query_id):
                 network.metrics.query_finished(follower.query_id, network.now)
@@ -976,6 +1230,9 @@ class SimplePeer(Peer):
                 self._remember_completed(shared)
                 if follower.reply_to != self.peer_id:
                     self.send(follower.reply_to, shared)
+                follower_hook = self._result_hooks.pop(follower.query_id, None)
+                if follower_hook is not None:
+                    follower_hook(shared)
         # the finished coordination freed a slot: admit parked queries
         self._drain_admission_queue()
 

@@ -16,6 +16,7 @@ from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
 from ..core.cost import Statistics
 from ..core.routing_index import RoutingIndex
 from ..errors import PeerError
+from ..livedata.updates import AdvertiseDelta, apply_advertisement_delta
 from ..mappings.articulation import Articulation
 from ..net.message import Message
 from ..rdf.schema import Schema
@@ -286,6 +287,42 @@ class SuperPeer(Peer):
                 self.network.metrics.record_goodbye()
             if self.state_store is not None:
                 self.state_store.log_goodbye(peer_id)
+
+    def handle_AdvertiseDelta(self, message: Message) -> None:
+        """A clustered peer's active-schema changed *by this much*:
+        patch the registered advertisement and refile it.  Refiling
+        through :meth:`register_advertisement` reuses the full-refresh
+        path — :meth:`~repro.core.routing_index.RoutingIndex.add`
+        rebuckets the advertisement and invalidates exactly the
+        affected routing-cache scope — so delta and full refreshes are
+        behaviourally identical, only cheaper on the wire."""
+        delta: AdvertiseDelta = message.payload
+        if delta.stats is not None and self.statistics is not None:
+            self.statistics.fold_summary(delta.stats)
+        previous = self.registry.get(delta.schema_uri, {}).get(delta.peer_id)
+        if previous is None:
+            # no registered baseline to patch (the delta raced ahead of
+            # the initial push, or state was lost): pull the full
+            # advertisement instead of guessing
+            self.send(delta.peer_id, AdvertisementRequest(self.peer_id, 1))
+            return
+        self.register_advertisement(apply_advertisement_delta(previous, delta))
+        if self.network is not None:
+            self.network.emit_event(
+                "advertise_delta",
+                peer=delta.peer_id,
+                via=self.peer_id,
+                added=len(delta.added_paths) + len(delta.added_classes),
+                removed=len(delta.removed_paths) + len(delta.removed_classes),
+            )
+
+    def handle_AdvertisementReply(self, message: Message) -> None:
+        """Register pulled advertisements — the recovery path when an
+        :class:`~repro.livedata.updates.AdvertiseDelta` arrived without
+        a registered baseline."""
+        for advertisement in message.payload.schemas:
+            if advertisement.peer_id:
+                self.register_advertisement(advertisement)
 
     def handle_Goodbye(self, message: Message) -> None:
         """A clustered peer departs: forget its advertisements."""

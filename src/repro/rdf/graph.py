@@ -49,15 +49,17 @@ class Graph:
         self.add_triple(triple)
         return triple
 
-    def add_triple(self, triple: Triple) -> None:
-        """Add an already-constructed :class:`Triple` (idempotent)."""
+    def add_triple(self, triple: Triple) -> bool:
+        """Add an already-constructed :class:`Triple` (idempotent);
+        return True when the statement was not already asserted."""
         if triple in self._triples:
-            return
+            return False
         self._triples.add(triple)
         self._by_subject[triple.subject].add(triple)
         self._by_predicate[triple.predicate].add(triple)
         self._by_object[triple.object].add(triple)
         self.version += 1
+        return True
 
     def remove_triple(self, triple: Triple) -> bool:
         """Remove a triple; return True if it was present."""

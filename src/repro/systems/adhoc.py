@@ -556,8 +556,9 @@ class AdhocSystem:
         graph: Graph,
         neighbours: Sequence[str] = (),
         schema: Optional[Schema] = None,
+        views: Sequence = (),
     ) -> AdhocPeer:
-        base = PeerBase(graph, schema or self.schema)
+        base = PeerBase(graph, schema or self.schema, views=views)
         peer = AdhocPeer(
             peer_id,
             base,

@@ -347,6 +347,7 @@ class HybridSystem:
         home_super_peer: str,
         schema: Optional[Schema] = None,
         secondary: Sequence = (),
+        views: Sequence = (),
     ) -> HybridPeer:
         """Add a simple peer.
 
@@ -354,10 +355,13 @@ class HybridSystem:
             secondary: Extra SON memberships as ``(graph, schema,
                 super_peer_id)`` triples — the peer advertises each base
                 to the corresponding super-peer.
+            views: RVL views populating the base (virtual scenario) —
+                lets a deployment start from a mid-life base snapshot,
+                e.g. the live-data oracle twins.
         """
         if home_super_peer not in self.super_peers:
             raise PeerError(f"unknown super-peer {home_super_peer}")
-        base = PeerBase(graph, schema or self.schema)
+        base = PeerBase(graph, schema or self.schema, views=views)
         secondary_bases = []
         homes = {}
         for extra_graph, extra_schema, super_id in secondary:

@@ -41,6 +41,18 @@ from ..core.annotations import AnnotatedQueryPattern, PeerAnnotation
 from ..core.cost import StatSummary
 from ..execution.encoded import EncodedTable
 from ..errors import CodecError
+from ..livedata.updates import (
+    AdvertiseDelta,
+    ContinuousCancel,
+    ContinuousSubscribe,
+    ContinuousUpdate,
+    DeleteTriple,
+    InsertTriple,
+    RedefineViews,
+    RefreshStanding,
+    UpdateAck,
+    UpdateBatch,
+)
 from ..net.message import DeliveryFailure, Message
 from ..obs.span import TraceContext
 from ..peers.churn import Goodbye
@@ -59,6 +71,7 @@ from ..peers.protocol import (
 )
 from ..rdf.schema import Schema
 from ..rdf.terms import BNode, Literal, Namespace, URI, Variable
+from ..rdf.triple import Triple
 from ..resilience.detector import Heartbeat
 from ..resilience.partial import Coverage
 from ..rql.bindings import BindingTable
@@ -188,6 +201,15 @@ def decode_frame(data: bytes) -> Tuple[str, dict]:
 _register(URI, lambda u: {"value": u.value}, lambda f: URI(f["value"]))
 _register(BNode, lambda b: {"id": b.id}, lambda f: BNode(f["id"]))
 _register(Variable, lambda v: {"name": v.name}, lambda f: Variable(f["name"]))
+_register(
+    Triple,
+    lambda t: {
+        "subject": _encode(t.subject),
+        "predicate": _encode(t.predicate),
+        "object": _encode(t.object),
+    },
+    lambda f: Triple(_decode(f["subject"]), _decode(f["predicate"]), _decode(f["object"])),
+)
 _register(
     Literal,
     lambda l: {
@@ -393,6 +415,16 @@ for _cls in (
     StatsPacket,
     Coverage,
     Goodbye,
+    InsertTriple,
+    DeleteTriple,
+    RedefineViews,
+    UpdateBatch,
+    UpdateAck,
+    AdvertiseDelta,
+    ContinuousSubscribe,
+    ContinuousUpdate,
+    ContinuousCancel,
+    RefreshStanding,
 ):
     _register_dataclass(_cls)
 del _cls

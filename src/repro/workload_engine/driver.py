@@ -148,7 +148,7 @@ class WorkloadDriver:
     # ------------------------------------------------------------------
     def _submit(self, client, index: int) -> None:
         via, text = self.spec.queries[index % len(self.spec.queries)]
-        query_id = client.submit(via, text)
+        query_id = client.submit(via, text, limit=self.spec.limit)
         self._inflight[query_id] = QueryOutcome(
             index=index,
             via=via,
@@ -162,7 +162,7 @@ class WorkloadDriver:
         """Re-offer a shed query after its back-off: a fresh query id,
         but the same logical outcome (latency keeps counting from the
         first submission)."""
-        query_id = client.submit(outcome.via, outcome.text)
+        query_id = client.submit(outcome.via, outcome.text, limit=self.spec.limit)
         outcome.query_id = query_id
         self._inflight[query_id] = outcome
 

@@ -46,6 +46,10 @@ class WorkloadSpec:
         resubmit_sheds: Re-offer shed queries after their retry-after
             back-off instead of recording them as refused.
         max_shed_retries: Bound on re-offers per logical query.
+        limit: Submit every query as top-``limit`` (``LIMIT`` k).  With
+            :attr:`~repro.peers.simple.Peer.topk_cancel` enabled on the
+            coordinators this turns the whole workload into any-k
+            early-terminated queries.
     """
 
     queries: Tuple[Tuple[str, str], ...]
@@ -58,6 +62,7 @@ class WorkloadSpec:
     seed: int = 0
     resubmit_sheds: bool = True
     max_shed_retries: int = 3
+    limit: Optional[int] = None
 
     def __post_init__(self):
         if not self.queries:
@@ -76,6 +81,8 @@ class WorkloadSpec:
             raise ValueError("think_time must be >= 0")
         if self.max_shed_retries < 0:
             raise ValueError("max_shed_retries must be >= 0")
+        if self.limit is not None and self.limit < 1:
+            raise ValueError("limit must be >= 1 when set")
 
 
 @dataclass

@@ -81,3 +81,44 @@ class TestPlanCache:
         assert len(cache) == 1
         assert cache.get(annotated, version=0) is None
         assert cache.get(annotated, version=1) is not None
+
+
+class TestPeerScopedInvalidation:
+    """Churn-scoped plan eviction (repro.livedata)."""
+
+    def test_view_redefinition_invalidates_stale_fingerprint(self):
+        """Pinned regression: when a peer redefines its views, a plan
+        compiled against the *old* advertisement must not survive.  A
+        racing stale annotation re-keys to the old fingerprint — so
+        fingerprint matching alone would serve a plan whose subqueries
+        are rewritten against the retracted view.  ``invalidate_peer``
+        drops every plan naming the redefined peer, whatever its key."""
+        cache = PlanCache()
+        annotated = _annotated()
+        plan = _compile(annotated)
+        cache.put(annotated, plan)
+        assert cache.get(annotated) is plan
+        dropped = cache.invalidate_peer("P2")
+        assert dropped == 1
+        assert cache.get(annotated) is None
+        assert cache.stats.invalidations == 1
+
+    def test_unrelated_plans_survive(self):
+        """Scoped, not a wipe: plans not naming the churned peer stay."""
+        cache = PlanCache()
+        annotated = _annotated()
+        cache.put(annotated, _compile(annotated))
+        narrowed = annotated.without_peers({"P2"})
+        narrowed_plan = _compile(narrowed)
+        cache.put(narrowed, narrowed_plan)
+        assert "P2" not in narrowed.all_peers()
+        dropped = cache.invalidate_peer("P2")
+        assert dropped == 1
+        assert cache.get(narrowed) is narrowed_plan
+
+    def test_unknown_peer_is_a_no_op(self):
+        cache = PlanCache()
+        annotated = _annotated()
+        cache.put(annotated, _compile(annotated))
+        assert cache.invalidate_peer("P99") == 0
+        assert len(cache) == 1

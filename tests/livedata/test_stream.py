@@ -1,0 +1,120 @@
+"""Unit tests for seeded update streams (repro.livedata.stream)."""
+
+from repro.livedata import UpdateStream, covering_view_text
+from repro.livedata.updates import DeleteTriple, InsertTriple, RedefineViews
+from repro.peers.base import PeerBase
+from repro.rvl.parser import parse_view
+from tests.difftest.harness import make_workload
+
+
+def _stream(seed, **kwargs):
+    workload = make_workload(seed)
+    defaults = dict(revisions=3)
+    defaults.update(kwargs)
+    return workload, UpdateStream(
+        workload.synthetic.schema, workload.bases, seed=seed, **defaults
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        _, first = _stream(9)
+        _, second = _stream(9)
+        assert first.revisions == second.revisions
+
+    def test_different_seeds_differ(self):
+        _, first = _stream(9)
+        _, second = _stream(10)
+        assert first.revisions != second.revisions
+
+    def test_generation_never_mutates_the_real_bases(self):
+        workload = make_workload(4)
+        before = {p: set(workload.bases[p].triples()) for p in workload.peer_ids}
+        UpdateStream(
+            workload.synthetic.schema, workload.bases, seed=4, revisions=3
+        )
+        for peer in workload.peer_ids:
+            assert set(workload.bases[peer].triples()) == before[peer]
+
+
+class TestRecordValidity:
+    def test_deletes_hit_and_inserts_are_fresh(self):
+        """Replaying the stream against base copies: every delete
+        retracts an existing statement, every insert asserts a new one
+        (generation ran against shadows, so records always apply)."""
+        workload, stream = _stream(2, revisions=4)
+        shadows = {p: workload.bases[p].copy() for p in workload.peer_ids}
+        for batch in stream.all_batches():
+            shadow = shadows[batch.target]
+            for record in batch.updates:
+                if isinstance(record, InsertTriple):
+                    assert shadow.add_triple(record.triple)
+                elif isinstance(record, DeleteTriple):
+                    assert shadow.remove_triple(record.triple)
+        for peer in workload.peer_ids:
+            assert set(shadows[peer].triples()) == set(
+                stream.final_shadows[peer].triples()
+            )
+
+    def test_per_peer_rates_scale_batch_sizes(self):
+        workload, hot = _stream(3, per_peer_rates={"P1": 0.4})
+        _, cold = _stream(3, per_peer_rates={"P1": 0.02})
+        hot_records = sum(
+            len(b.updates) for b in hot.all_batches() if b.target == "P1"
+        )
+        cold_records = sum(
+            len(b.updates) for b in cold.all_batches() if b.target == "P1"
+        )
+        assert hot_records > cold_records
+
+
+class TestCoveringViews:
+    def test_view_redefinitions_stay_covering(self):
+        """After any prefix of the stream, a peer's views must cover
+        every populated property — the invariant that keeps routing
+        complete (and the centralized oracle valid)."""
+        workload, stream = _stream(1, revisions=4, view_probability=0.9)
+        schema = workload.synthetic.schema
+        shadows = {p: workload.bases[p].copy() for p in workload.peer_ids}
+        views = {p: () for p in workload.peer_ids}
+        saw_a_view = False
+        for batches in stream.revisions:
+            for batch in batches:
+                shadow = shadows[batch.target]
+                for record in batch.updates:
+                    if isinstance(record, InsertTriple):
+                        shadow.add_triple(record.triple)
+                    elif isinstance(record, DeleteTriple):
+                        shadow.remove_triple(record.triple)
+                    elif isinstance(record, RedefineViews):
+                        views[batch.target] = tuple(
+                            parse_view(text) for text in record.texts
+                        )
+            for peer in workload.peer_ids:
+                if not views[peer]:
+                    continue
+                saw_a_view = True
+                base = PeerBase(shadows[peer], schema, views=views[peer])
+                advertised = {
+                    path.property for path in base.active_schema(peer).paths
+                }
+                populated = {
+                    prop
+                    for prop in schema.properties
+                    if next(shadows[peer].triples(None, prop, None), None)
+                    is not None
+                }
+                assert populated <= advertised, (
+                    f"{peer} view under-advertises {populated - advertised}"
+                )
+        assert saw_a_view  # the scenario actually exercised views
+
+
+class TestCoveringViewText:
+    def test_generates_parsable_covering_view(self):
+        workload = make_workload(0)
+        schema = workload.synthetic.schema
+        properties = sorted(schema.properties, key=lambda u: u.value)[:2]
+        text = covering_view_text(schema, properties)
+        view = parse_view(text)
+        assert view is not None
